@@ -1,0 +1,91 @@
+"""Ablation: the constraint-engine design choices DESIGN.md calls out.
+
+* Fourier–Motzkin vs exact simplex as the satisfiability oracle;
+* projection with and without redundancy elimination;
+* the cost of CQA difference (DNF complement), the most expensive
+  primitive.
+"""
+
+import random
+
+from repro.constraints import Conjunction, DNFFormula, LinearConstraint, LinearExpression
+from repro.constraints import elimination, simplex
+from repro.constraints.atoms import Comparator
+
+
+def _random_systems(count: int, variables: int, atoms: int, seed: int):
+    rng = random.Random(seed)
+    names = [f"v{i}" for i in range(variables)]
+    systems = []
+    for _ in range(count):
+        system = []
+        for _ in range(atoms):
+            coeffs = {
+                name: rng.randint(-3, 3) for name in rng.sample(names, rng.randint(1, variables))
+            }
+            coeffs = {k: v for k, v in coeffs.items() if v} or {names[0]: 1}
+            comparator = rng.choice([Comparator.LE, Comparator.LE, Comparator.LT, Comparator.EQ])
+            system.append(
+                LinearConstraint(LinearExpression(coeffs, rng.randint(-10, 10)), comparator)
+            )
+        systems.append(system)
+    return systems
+
+
+SYSTEMS = _random_systems(count=60, variables=4, atoms=6, seed=8)
+
+
+def test_satisfiability_fourier_motzkin(benchmark):
+    def run():
+        return [elimination.is_satisfiable(s) for s in SYSTEMS]
+
+    results = benchmark(run)
+    benchmark.extra_info["satisfiable"] = sum(results)
+
+
+def test_satisfiability_simplex(benchmark):
+    def run():
+        return [simplex.is_satisfiable(s) for s in SYSTEMS]
+
+    results = benchmark(run)
+    benchmark.extra_info["satisfiable"] = sum(results)
+    # Cross-check the two oracles while we are here.
+    assert results == [elimination.is_satisfiable(s) for s in SYSTEMS]
+
+
+PROJECTION_SYSTEMS = _random_systems(count=30, variables=4, atoms=7, seed=9)
+
+
+def test_projection_raw(benchmark):
+    def run():
+        return [Conjunction(s).project(["v0"]) for s in PROJECTION_SYSTEMS]
+
+    projected = benchmark(run)
+    benchmark.extra_info["mean_atoms"] = round(
+        sum(len(p) for p in projected) / len(projected), 1
+    )
+
+
+def test_projection_with_simplification(benchmark):
+    def run():
+        return [Conjunction(s).project(["v0"]).simplify() for s in PROJECTION_SYSTEMS]
+
+    projected = benchmark(run)
+    benchmark.extra_info["mean_atoms"] = round(
+        sum(len(p) for p in projected) / len(projected), 1
+    )
+
+
+def test_dnf_complement(benchmark):
+    formulas = [
+        DNFFormula([Conjunction(s) for s in _random_systems(3, 2, 3, seed)])
+        for seed in range(10, 16)
+    ]
+
+    def run():
+        return [f.complement() for f in formulas]
+
+    complements = benchmark(run)
+    benchmark.extra_info["mean_disjuncts"] = round(
+        sum(len(c) for c in complements) / len(complements), 1
+    )

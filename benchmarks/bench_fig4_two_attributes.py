@@ -1,0 +1,29 @@
+"""Figure 4 — querying both attributes: joint vs separate indexes.
+
+Regenerates the paper's Figure 4 series (disk accesses vs query area for
+experiments 1-A and 1-B) and records the headline numbers in the benchmark
+report.  The shape assertions mirror §5.4.1's conclusions; run with ``-s``
+to see the full per-bin table.
+"""
+
+from conftest import run_fig4
+
+from repro.experiments import print_result
+
+
+def test_figure4_two_attribute_queries(benchmark, scale):
+    result = benchmark.pedantic(lambda: run_fig4(scale), rounds=1, iterations=1)
+    print()
+    print_result(result)
+    constraint_series, relational_series = result.series
+    benchmark.extra_info["scale"] = scale.name
+    for series in result.series:
+        key = "1A" if "1-A" in series.label else "1B"
+        benchmark.extra_info[f"{key}_joint_mean_accesses"] = round(series.mean_joint, 2)
+        benchmark.extra_info[f"{key}_separate_mean_accesses"] = round(series.mean_separate, 2)
+        benchmark.extra_info[f"{key}_advantage"] = round(series.joint_advantage, 2)
+        # "it is more efficient to have them stored in the same index
+        # structure" — for both variants.
+        assert series.mean_joint < series.mean_separate, series.label
+    # "a larger improvement for constraint attributes"
+    assert constraint_series.joint_advantage >= relational_series.joint_advantage

@@ -1,0 +1,39 @@
+"""Figure 5 — querying one attribute: joint vs separate indexes.
+
+Regenerates the paper's Figure 5 series (disk accesses vs query length for
+experiments 2-A and 2-B).  Shape: "it is better to have separate indices
+when queries only use one attribute", but by a smaller factor than the
+joint advantage of Figure 4.
+"""
+
+from conftest import run_fig4, run_fig5
+
+from repro.experiments import print_result
+
+
+def test_figure5_one_attribute_queries(benchmark, scale):
+    result = benchmark.pedantic(lambda: run_fig5(scale), rounds=1, iterations=1)
+    print()
+    print_result(result)
+    benchmark.extra_info["scale"] = scale.name
+    for series in result.series:
+        key = "2A" if "2-A" in series.label else "2B"
+        benchmark.extra_info[f"{key}_joint_mean_accesses"] = round(series.mean_joint, 2)
+        benchmark.extra_info[f"{key}_separate_mean_accesses"] = round(series.mean_separate, 2)
+        assert series.mean_separate <= series.mean_joint, series.label
+
+
+def test_figure5_advantage_smaller_than_figure4(benchmark, scale):
+    """The cross-figure claim of §5.4.2: the separate advantage here 'is
+    not as significant as the advantage of joint indices when queries use
+    both attributes'."""
+
+    def both():
+        return run_fig4(scale), run_fig5(scale)  # cached within the session
+
+    f4, f5 = benchmark.pedantic(both, rounds=1, iterations=1)
+    fig4_margin = max(s.joint_advantage for s in f4.series)
+    fig5_margin = max(s.mean_joint / s.mean_separate for s in f5.series)
+    benchmark.extra_info["fig4_joint_advantage"] = round(fig4_margin, 2)
+    benchmark.extra_info["fig5_separate_advantage"] = round(fig5_margin, 2)
+    assert fig5_margin < fig4_margin

@@ -1,0 +1,38 @@
+"""Figure 2 / §3.3 — the Hurricane case-study queries as benchmarks.
+
+Times each of the five multi-step CQA scripts against the Figure 2
+instance and against a scaled Hurricane database (parcels_per_side² land
+parcels), recording result sizes — the functional reproduction of the
+case study under measurement.
+"""
+
+import pytest
+
+from repro.query import QuerySession
+from repro.workloads import paper_queries
+
+QUERIES = paper_queries()
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_figure2_query(benchmark, hurricane_db, query_name):
+    script = QUERIES[query_name]
+
+    def run():
+        return QuerySession(hurricane_db).run_script(script)
+
+    result = benchmark(run)
+    benchmark.extra_info["result_tuples"] = len(result)
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_scaled_hurricane_query(benchmark, scaled_hurricane_db, query_name):
+    script = QUERIES[query_name]
+
+    def run():
+        return QuerySession(scaled_hurricane_db).run_script(script)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["result_tuples"] = len(result)
+    benchmark.extra_info["land_parcels"] = len(scaled_hurricane_db["Land"])

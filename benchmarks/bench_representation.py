@@ -1,0 +1,71 @@
+"""Section 6.2 — constraint vs vector representation cost.
+
+Times the two conversions the paper calls out as expensive (digitised
+points → constraints and back via vertex enumeration) and records the
+storage-cost table quantifying both redundancies.
+"""
+
+from repro.experiments import representation
+from repro.spatial import ConvexPolygon, FeatureSet
+
+
+def test_representation_cost_table(benchmark):
+    rows = benchmark.pedantic(representation.run, rounds=1, iterations=1)
+    print()
+    print(representation.format_table(rows))
+    largest_polyline = max(
+        (r for r in rows if r.kind == "polyline"), key=lambda r: r.segments
+    )
+    benchmark.extra_info["polyline_coordinate_ratio"] = round(
+        largest_polyline.coordinate_ratio, 2
+    )
+    # The constraint representation stores ~2.5x the coordinates of the
+    # vector representation for linear features (3 atoms per segment vs
+    # one shared point per vertex), growing with feature complexity.
+    assert largest_polyline.coordinate_ratio > 2.0
+
+
+def test_nested_model_eliminates_attribute_duplication(benchmark):
+    """Section 6.2's other fix: Dedale's nested model stores non-spatial
+    attributes once per feature instead of once per convex part."""
+    from repro.model import nest
+
+    star = representation._star_region(10)
+    relation = FeatureSet([star.to_feature()]).to_relation()
+
+    def run():
+        return nest(relation)
+
+    nested = benchmark(run)
+    cost = nested.storage_cost()
+    benchmark.extra_info["flat_relational_values"] = cost["flat_relational_values"]
+    benchmark.extra_info["nested_relational_values"] = cost["relational_values"]
+    assert cost["relational_values"] < cost["flat_relational_values"]
+    # Redundancy 2 (shared boundary constraints) is untouched by nesting.
+    assert cost["constraints"] == sum(len(t.formula) for t in relation)
+
+
+def test_vector_to_constraint_conversion(benchmark):
+    """Digitisation → constraint store: triangulate + emit half-planes."""
+    star = representation._star_region(12)
+
+    def convert():
+        return star.to_feature()
+
+    feature = benchmark(convert)
+    benchmark.extra_info["convex_parts"] = len(feature.parts)
+
+
+def test_constraint_to_vector_conversion(benchmark):
+    """Constraint store → display: vertex enumeration per tuple (the
+    reverse conversion of section 6.2)."""
+    star = representation._star_region(12)
+    relation = FeatureSet([star.to_feature()]).to_relation()
+
+    def enumerate_vertices():
+        return [
+            ConvexPolygon.from_conjunction(t.formula) for t in relation
+        ]
+
+    polygons = benchmark(enumerate_vertices)
+    benchmark.extra_info["polygons"] = len(polygons)

@@ -1,0 +1,59 @@
+"""Section 4 — Buffer-Join and k-Nearest: indexed vs brute force.
+
+The whole-feature operators run as two-step filter/refine spatial joins
+over the feature R*-tree; these benches quantify the index's pruning
+against the quadratic brute-force baselines (which double as correctness
+oracles in the test suite).
+"""
+
+from repro.spatial import (
+    BufferJoinStatistics,
+    buffer_join,
+    buffer_join_bruteforce,
+    k_nearest_bruteforce,
+    k_nearest_features,
+)
+
+
+def test_buffer_join_indexed(benchmark, gis_scenario):
+    gis_scenario.roads.index()  # build outside the timed region
+
+    def run():
+        stats = BufferJoinStatistics()
+        return buffer_join(
+            gis_scenario.parcels, gis_scenario.roads, 2, statistics=stats
+        ), stats
+
+    result, stats = benchmark(run)
+    benchmark.extra_info["pairs"] = len(result)
+    benchmark.extra_info["candidate_pairs"] = stats.candidate_pairs
+    benchmark.extra_info["refinement_rate"] = round(stats.refinement_rate, 3)
+
+
+def test_buffer_join_bruteforce_baseline(benchmark, gis_scenario):
+    result = benchmark(
+        lambda: buffer_join_bruteforce(gis_scenario.parcels, gis_scenario.roads, 2)
+    )
+    benchmark.extra_info["pairs"] = len(result)
+
+
+def test_buffer_join_self_join_parcels(benchmark, gis_scenario):
+    gis_scenario.parcels.index()
+    result = benchmark(
+        lambda: buffer_join(gis_scenario.parcels, gis_scenario.parcels, 1)
+    )
+    benchmark.extra_info["pairs"] = len(result)
+    assert len(result) > 0  # adjacent parcels are within 1 of each other
+
+
+def test_k_nearest_indexed(benchmark, gis_scenario):
+    gis_scenario.shelters.index()
+    query = next(iter(gis_scenario.parcels))
+    result = benchmark(lambda: k_nearest_features(gis_scenario.shelters, query, 3))
+    assert len(result) == 3
+
+
+def test_k_nearest_bruteforce_baseline(benchmark, gis_scenario):
+    query = next(iter(gis_scenario.parcels))
+    result = benchmark(lambda: k_nearest_bruteforce(gis_scenario.shelters, query, 3))
+    assert len(result) == 3

@@ -1,0 +1,101 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE=small`` shrinks every workload for quick iteration;
+the default regenerates the paper's scales (10,000 boxes, 100/500 queries)
+— a full ``pytest benchmarks/ --benchmark-only`` run takes a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    data_size: int
+    query_count: int
+    expt3_query_count: int
+    expt3_sizes: tuple[int, ...]
+    hurricane_side: int
+    gis_side: int
+
+
+PAPER = BenchScale(
+    name="paper",
+    data_size=10_000,
+    query_count=100,
+    expt3_query_count=500,
+    expt3_sizes=(1_000, 2_000, 4_000, 8_000, 16_000),
+    hurricane_side=8,
+    gis_side=8,
+)
+
+SMALL = BenchScale(
+    name="small",
+    data_size=1_500,
+    query_count=40,
+    expt3_query_count=60,
+    expt3_sizes=(500, 1_000, 2_000),
+    hurricane_side=4,
+    gis_side=5,
+)
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return SMALL if os.environ.get("REPRO_BENCH_SCALE") == "small" else PAPER
+
+
+_RESULT_CACHE: dict[tuple, object] = {}
+
+
+def run_fig4(scale: BenchScale):
+    """Figure 4 at this scale, computed once per session (the cross-figure
+    bench reuses the result instead of re-running two multi-minute
+    experiments)."""
+    key = ("fig4", scale.name)
+    if key not in _RESULT_CACHE:
+        from repro.experiments import fig4
+
+        _RESULT_CACHE[key] = fig4.run(
+            data_size=scale.data_size, query_count=scale.query_count
+        )
+    return _RESULT_CACHE[key]
+
+
+def run_fig5(scale: BenchScale):
+    key = ("fig5", scale.name)
+    if key not in _RESULT_CACHE:
+        from repro.experiments import fig5
+
+        _RESULT_CACHE[key] = fig5.run(
+            data_size=scale.data_size, query_count=scale.query_count
+        )
+    return _RESULT_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def hurricane_db():
+    from repro.workloads import figure2_database
+
+    return figure2_database()
+
+
+@pytest.fixture(scope="session")
+def scaled_hurricane_db(scale):
+    from repro.workloads import generate_hurricane_database
+
+    return generate_hurricane_database(parcels_per_side=scale.hurricane_side)
+
+
+@pytest.fixture(scope="session")
+def gis_scenario(scale):
+    from repro.workloads import generate_gis_scenario
+
+    return generate_gis_scenario(
+        parcels_per_side=scale.gis_side, roads=4, shelters=12, seed=99
+    )

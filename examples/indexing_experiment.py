@@ -1,0 +1,58 @@
+"""The section 5.4 indexing experiments, at a configurable scale.
+
+Regenerates the paper's Figure 4 (two-attribute queries), Figure 5
+(one-attribute queries) and the reconstructed experiment 3 (low joint
+selectivity), printing the same series the figures plot; then runs the
+attribute-grouping advisor on the measured workload — the paper's open
+problem (section 5.4).
+
+Run:  python examples/indexing_experiment.py [--paper-scale]
+
+Default is a fast scale (2,000 boxes); --paper-scale uses the paper's
+10,000 boxes / 100 queries / 500 queries (a few minutes).
+"""
+
+import sys
+
+from repro.experiments import expt3, fig4, fig5, print_result
+from repro.indexing import WorkloadQuery, recommend_grouping
+
+
+def main() -> None:
+    paper_scale = "--paper-scale" in sys.argv
+    data_size = 10_000 if paper_scale else 2_000
+    queries = 100 if paper_scale else 50
+    expt3_queries = 500 if paper_scale else 100
+    expt3_sizes = (1_000, 2_000, 4_000, 8_000, 16_000) if paper_scale else (500, 1_000, 2_000, 4_000)
+
+    print_result(fig4.run(data_size=data_size, query_count=queries))
+    print()
+    print_result(fig5.run(data_size=data_size, query_count=queries))
+    print()
+    print_result(expt3.run(data_sizes=expt3_sizes, query_count=expt3_queries))
+    print()
+
+    # -- the open problem: which attribute subsets should share an index? --
+    print("attribute-grouping advisor (the paper's open problem, section 5.4):")
+    both_attr_workload = [
+        WorkloadQuery(frozenset({"x", "y"}), frequency=8.0, selectivity=0.05),
+        WorkloadQuery(frozenset({"x"}), frequency=2.0, selectivity=0.05),
+    ]
+    print(f"  workload dominated by two-attribute queries -> "
+          f"{recommend_grouping(['x', 'y'], both_attr_workload, data_size)}")
+    single_attr_workload = [
+        WorkloadQuery(frozenset({"x"}), frequency=5.0, selectivity=0.05),
+        WorkloadQuery(frozenset({"y"}), frequency=5.0, selectivity=0.05),
+    ]
+    print(f"  workload of single-attribute queries         -> "
+          f"{recommend_grouping(['x', 'y'], single_attr_workload, data_size)}")
+    mixed = [
+        WorkloadQuery(frozenset({"x", "y"}), frequency=6.0, selectivity=0.05),
+        WorkloadQuery(frozenset({"t"}), frequency=4.0, selectivity=0.02),
+    ]
+    print(f"  spatiotemporal mix (x,y together; t alone)   -> "
+          f"{recommend_grouping(['x', 'y', 't'], mixed, data_size)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Quickstart: a heterogeneous constraint database in five minutes.
+
+Builds a small database mixing traditional and constraint data, shows the
+C/R flag semantics (the paper's section 3), runs the six CQA operators
+directly, and then the same queries through the ASCII query language.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.algebra import StringPredicate, difference, natural_join, project, select, union
+from repro.constraints import Conjunction, parse_constraints, var
+from repro.model import (
+    ConstraintRelation,
+    Database,
+    DataType,
+    HTuple,
+    Schema,
+    constraint,
+    relational,
+)
+from repro.query import QuerySession
+
+
+def main() -> None:
+    # -- 1. A heterogeneous schema: the C/R flag per attribute ------------
+    # Sensors have a traditional id, a traditional (rational) accuracy,
+    # and a *constraint* time attribute: each tuple describes the whole
+    # interval during which the sensor was active — infinitely many time
+    # points, finitely represented.
+    sensors = Schema(
+        [
+            relational("sensor"),  # string, relational
+            relational("accuracy", DataType.RATIONAL),
+            constraint("t"),  # rational, constraint
+        ]
+    )
+    relation = ConstraintRelation(
+        sensors,
+        [
+            HTuple(sensors, {"sensor": "s1", "accuracy": "0.5"}, parse_constraints("0 <= t, t <= 10")),
+            HTuple(sensors, {"sensor": "s2", "accuracy": "0.1"}, parse_constraints("5 <= t, t <= 20")),
+            HTuple(sensors, {"sensor": "s3"}, parse_constraints("t >= 15")),  # accuracy unknown (NULL)
+        ],
+        "Sensors",
+    )
+    print(relation.pretty(), "\n")
+
+    # -- 2. Selection: constraint vs relational semantics ------------------
+    # Constraint attribute: conjoin the condition onto each tuple formula.
+    active_at_7 = select(relation, parse_constraints("t = 7"))
+    print("active at t=7:")
+    print(active_at_7.pretty(), "\n")
+
+    # Relational attribute: narrow semantics — s3's NULL accuracy never
+    # matches, even though 'accuracy <= 1' is true of every number.
+    accurate = select(relation, parse_constraints("accuracy <= 1"))
+    print("with known accuracy <= 1 (note: s3 is excluded, NULL matches nothing):")
+    print(accurate.pretty(), "\n")
+
+    # String predicates select on relational string attributes.
+    s1_only = select(relation, [StringPredicate("sensor", "s1")])
+    print("sensor = s1:", [str(t) for t in s1_only], "\n")
+
+    # -- 3. The other CQA primitives ---------------------------------------
+    readings = Schema([relational("sensor"), constraint("t"), constraint("value")])
+    measured = ConstraintRelation(
+        readings,
+        [
+            # Sensor s1's reading ramps linearly from 0 to 10 over t in [0, 10]:
+            # infinitely many (t, value) points captured by one equality.
+            HTuple(readings, {"sensor": "s1"}, parse_constraints("value = t, 0 <= t, t <= 10")),
+            HTuple(readings, {"sensor": "s2"}, parse_constraints("value = 3, 5 <= t, t <= 20")),
+        ],
+        "Readings",
+    )
+    joined = natural_join(relation, measured)
+    print("join Sensors with Readings (shared sensor and t):")
+    print(joined.simplify().pretty(), "\n")
+
+    print("project onto (sensor, value): where did each sensor's value range?")
+    print(project(joined, ["sensor", "value"]).simplify().pretty(), "\n")
+
+    early = select(relation, parse_constraints("t <= 10"))
+    late = select(relation, parse_constraints("t >= 10"))
+    print("union of early and late coverage has", len(union(early, late)), "tuples")
+    print("difference (early - late):")
+    print(difference(early, late).simplify().pretty(), "\n")
+
+    # -- 4. Or do it all in the ASCII query language -----------------------
+    database = Database({"Sensors": relation, "Readings": measured})
+    session = QuerySession(database)
+    result = session.run_script(
+        """
+        # which sensors saw value >= 5 while active?
+        R0 = join Sensors and Readings
+        R1 = select value >= 5 from R0
+        R2 = project R1 on sensor, t
+        """
+    )
+    print("query language result (sensor, t) where value >= 5:")
+    print(result.simplify().pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Visual output from constraint data (section 6.2's display conversion).
+
+Renders the Hurricane database as an SVG map — land parcels, the hurricane
+track, and the parcels a query marks as hit — and exports a GIS town map
+to GeoJSON.  Both paths run the constraint→geometry conversion the paper
+describes: "in order to display a feature, its boundary points have to be
+computed from the constraints."
+
+Run:  python examples/visualize_map.py [output-directory]
+Writes hurricane_map.svg and town_map.geojson.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.query import QuerySession
+from repro.spatial import ConvexPolygon, FeatureSet, feature_set_to_geojson, save_geojson
+from repro.workloads import figure2_database, generate_gis_scenario
+
+
+MAP_HEIGHT = 10.0  # SVG's y axis grows downward; flip around the map height
+
+
+def _flip(y: float) -> float:
+    return MAP_HEIGHT - y
+
+
+def _svg_polygon(polygon: ConvexPolygon, fill: str, opacity: str = "0.6") -> str:
+    points = " ".join(f"{float(v.x)},{_flip(float(v.y))}" for v in polygon.vertices)
+    return (
+        f'<polygon points="{points}" fill="{fill}" fill-opacity="{opacity}" '
+        'stroke="#333" stroke-width="0.05"/>'
+    )
+
+
+def render_hurricane_svg(path: Path) -> None:
+    database = figure2_database()
+
+    # Which parcels were hit?  Ask the database, not the drawing.
+    session = QuerySession(database)
+    hit = session.run_script(
+        "R0 = join Hurricane and Land\nR1 = project R0 on landId\n"
+    )
+    hit_ids = {t.value("landId") for t in hit}
+
+    parts: list[str] = []
+    # Land parcels: vertex-enumerate each constraint tuple.
+    for t in database["Land"]:
+        polygon = ConvexPolygon.from_conjunction(t.formula)
+        land_id = t.value("landId")
+        color = "#d95f5f" if land_id in hit_ids else "#7fbf7f"
+        parts.append(_svg_polygon(polygon, color))
+        center = polygon.centroid()
+        parts.append(
+            f'<text x="{float(center.x)}" y="{_flip(float(center.y))}" font-size="0.8" '
+            f'text-anchor="middle">{land_id}</text>'
+        )
+    # The hurricane path: project each (t, x, y) segment onto space.
+    track = []
+    for t in database["Hurricane"]:
+        spatial = t.formula.project(("x", "y"))
+        segment = ConvexPolygon.from_conjunction(spatial)
+        track.extend(segment.vertices)
+    seen = []
+    for v in track:
+        if v not in seen:
+            seen.append(v)
+    polyline = " ".join(f"{float(v.x)},{_flip(float(v.y))}" for v in seen)
+    parts.append(
+        f'<polyline points="{polyline}" fill="none" stroke="#3355cc" '
+        'stroke-width="0.3" stroke-dasharray="0.5,0.3"/>'
+    )
+    svg = (
+        '<svg xmlns="http://www.w3.org/2000/svg" viewBox="-1 -1 12 12" '
+        'width="480" height="480">\n'
+        + "\n".join(parts)
+        + "\n</svg>\n"
+    )
+    path.write_text(svg, encoding="utf-8")
+    print(f"wrote {path} — hit parcels {sorted(hit_ids)} drawn in red")
+
+
+def export_town_geojson(path: Path) -> None:
+    scenario = generate_gis_scenario(parcels_per_side=5, roads=3, shelters=6, seed=7)
+    merged = FeatureSet(
+        list(scenario.parcels) + list(scenario.roads) + list(scenario.shelters)
+    )
+    save_geojson(feature_set_to_geojson(merged), path)
+    print(f"wrote {path} — {len(merged)} features (open in any GeoJSON viewer)")
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    render_hurricane_svg(out_dir / "hurricane_map.svg")
+    export_town_geojson(out_dir / "town_map.geojson")
+
+
+if __name__ == "__main__":
+    main()

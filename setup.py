@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517 --no-build-isolation`` on offline hosts
+where PEP 660 editable builds (which require ``wheel``) are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

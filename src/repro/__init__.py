@@ -1,0 +1,77 @@
+"""CQA/CDB — a rational linear Constraint Database system in Python.
+
+A from-scratch reproduction of the system behind *"The Constraint Database
+Framework: Lessons Learned from CQA/CDB"* (Goldin, Kutlu, Song, Yang, ICDE
+2003) and its companion paper *"Extending The Constraint Database
+Framework"* (PCK50 2003).
+
+The public API re-exports the main entry points of each layer; see the
+subpackages for the full surface:
+
+* :mod:`repro.constraints` — rational linear constraints, conjunctions,
+  DNF formulas, Fourier–Motzkin elimination, exact simplex.
+* :mod:`repro.model` — the heterogeneous data model (C/R-flagged schemas,
+  constraint tuples and relations, databases).
+* :mod:`repro.algebra` — the Constraint Query Algebra and its optimizer.
+* :mod:`repro.query` — the ASCII multi-step query language front end.
+* :mod:`repro.spatial` — convex geometry, feature sets, Buffer-Join and
+  k-Nearest whole-feature operators, the vector model.
+* :mod:`repro.indexing` — R*-tree and joint/separate indexing strategies.
+* :mod:`repro.storage` — the simulated paged storage layer.
+* :mod:`repro.workloads` — paper workload generators (Hurricane DB, §5.4
+  rectangles, synthetic GIS).
+* :mod:`repro.experiments` — harnesses regenerating each figure.
+"""
+
+from .constraints import (
+    Conjunction,
+    DNFFormula,
+    LinearConstraint,
+    LinearExpression,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    parse_constraints,
+    parse_expression,
+    var,
+)
+from .errors import (
+    AlgebraError,
+    ConstraintError,
+    GeometryError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SafetyError,
+    SchemaError,
+    StorageError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgebraError",
+    "Conjunction",
+    "ConstraintError",
+    "DNFFormula",
+    "GeometryError",
+    "LinearConstraint",
+    "LinearExpression",
+    "ParseError",
+    "QueryError",
+    "ReproError",
+    "SafetyError",
+    "SchemaError",
+    "StorageError",
+    "eq",
+    "ge",
+    "gt",
+    "le",
+    "lt",
+    "parse_constraints",
+    "parse_expression",
+    "var",
+    "__version__",
+]

@@ -1,0 +1,92 @@
+"""Possible/certain selection under indefinite information (section 3.1).
+
+The paper distinguishes constraint tuples from *incomplete information*:
+
+    "Incomplete information can be specified by constraints … The
+    semantics is disjunctive rather than conjunctive; one of the values
+    satisfying the constraints is correct, rather than all of them, as
+    for constraint tuples."
+
+Under that disjunctive reading a tuple's formula describes a set of
+*candidate worlds*, exactly one of which is real.  A selection then has
+two meaningful answers:
+
+* **possible** — tuples whose formula is *consistent* with the condition
+  (the true value might satisfy it): ``φ(t) ∧ ξ`` satisfiable;
+* **certain** — tuples whose formula *entails* the condition (the true
+  value satisfies it no matter which candidate it is): ``φ(t) ⊨ ξ``.
+
+``certain ⊆ possible`` always, and both coincide with ordinary selection
+on definite (equality-pinned) tuples.  String and NULL handling follows
+the narrow relational semantics of ordinary selection.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..constraints import Conjunction, LinearConstraint
+from ..model.relation import ConstraintRelation
+from ..model.tuples import HTuple
+from .predicates import Predicate, StringPredicate, validate_predicates
+
+
+def _resolve_atoms(t: HTuple, predicates: Sequence[Predicate]) -> list[LinearConstraint] | None:
+    """Relational-value substitution shared by both modes; ``None`` means
+    the tuple fails outright (string mismatch, NULL, or ground-false)."""
+    atoms: list[LinearConstraint] = []
+    for predicate in predicates:
+        if isinstance(predicate, StringPredicate):
+            if not predicate.matches(t):
+                return None
+            continue
+        substituted = t.substitute_relational(predicate.expression)
+        if substituted is None:
+            return None
+        atom = LinearConstraint(substituted, predicate.comparator)
+        if atom.is_trivial:
+            if not atom.truth_value():
+                return None
+            continue
+        atoms.append(atom)
+    return atoms
+
+
+def select_possible(
+    relation: ConstraintRelation, predicates: Sequence[Predicate]
+) -> ConstraintRelation:
+    """Tuples whose indefinite value *may* satisfy the condition.
+
+    The output keeps each qualifying tuple's formula narrowed by the
+    condition — the remaining candidate worlds."""
+    validate_predicates(relation.schema, list(predicates))
+    kept = []
+    for t in relation:
+        atoms = _resolve_atoms(t, predicates)
+        if atoms is None:
+            continue
+        narrowed = t.formula.conjoin(atoms)
+        if narrowed.is_satisfiable():
+            kept.append(t.with_formula(narrowed))
+    return ConstraintRelation(relation.schema, kept)
+
+
+def select_certain(
+    relation: ConstraintRelation, predicates: Sequence[Predicate]
+) -> ConstraintRelation:
+    """Tuples whose indefinite value satisfies the condition in *every*
+    candidate world (φ(t) entails each conjunct).
+
+    Qualifying tuples keep their original formulas: certainty adds no
+    information about which world is real."""
+    validate_predicates(relation.schema, list(predicates))
+    kept = []
+    for t in relation:
+        atoms = _resolve_atoms(t, predicates)
+        if atoms is None:
+            continue
+        if not t.formula.is_satisfiable():
+            continue  # no candidate world at all
+        if t.formula.entails(Conjunction(atoms)):
+            kept.append(t)
+    return ConstraintRelation(relation.schema, kept)

@@ -1,0 +1,191 @@
+"""The six CQA primitive operators over heterogeneous constraint relations.
+
+Each operator follows the paper's three-clause definition (section 2.4):
+syntax (the function signature), argument conditions and result arity (the
+schema computation), and semantics (sets of points).  The implementations
+manipulate the finite representation — relational values and constraint
+conjunctions — and the test suite verifies the *semantic closure principle*
+(section 2.5): the results agree with relational algebra over the
+corresponding infinite point sets.
+
+All operators return new relations; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..constraints import Conjunction, DNFFormula, LinearConstraint, LinearExpression
+from ..errors import AlgebraError
+from ..model.relation import ConstraintRelation
+from ..model.schema import Schema
+from ..model.tuples import HTuple
+from ..model.types import Null, Value
+from .predicates import Predicate, StringPredicate, validate_predicates
+
+
+def select(relation: ConstraintRelation, predicates: Sequence[Predicate]) -> ConstraintRelation:
+    """ς — selection by a conjunction of predicates.
+
+    Linear atoms over constraint attributes are conjoined onto each tuple's
+    formula; atoms over rational relational attributes have the tuple's
+    values substituted first (a NULL value fails the tuple — narrow
+    semantics).  Tuples whose augmented formula is unsatisfiable vanish.
+    """
+    validate_predicates(relation.schema, list(predicates))
+    result: list[HTuple] = []
+    for t in relation:
+        atoms: list[LinearConstraint] = []
+        alive = True
+        for predicate in predicates:
+            if isinstance(predicate, StringPredicate):
+                if not predicate.matches(t):
+                    alive = False
+                    break
+                continue
+            substituted = t.substitute_relational(predicate.expression)
+            if substituted is None:  # a NULL relational value was mentioned
+                alive = False
+                break
+            atom = LinearConstraint(substituted, predicate.comparator)
+            if atom.is_trivial:
+                if not atom.truth_value():
+                    alive = False
+                    break
+                continue
+            atoms.append(atom)
+        if not alive:
+            continue
+        result.append(t.conjoin(atoms) if atoms else t)
+    return ConstraintRelation(relation.schema, result)
+
+
+def project(relation: ConstraintRelation, attributes: Sequence[str]) -> ConstraintRelation:
+    """π — projection onto ``attributes`` (⊆ α(R)).
+
+    Constraint attributes outside the projection list are eliminated from
+    each tuple's formula by Fourier–Motzkin, yielding exactly the geometric
+    projection of the tuple's point set.
+    """
+    out_schema = relation.schema.project(attributes)
+    return ConstraintRelation(out_schema, (t.project(attributes) for t in relation))
+
+
+def natural_join(left: ConstraintRelation, right: ConstraintRelation) -> ConstraintRelation:
+    """⋈ — natural join; α(E) = α(R₁) ∪ α(R₂).
+
+    Cross-product (no shared attributes) and intersection (identical
+    schemas) are special cases, per the paper's remark.  Shared attributes
+    join as follows:
+
+    * relational/relational: values must be equal and non-NULL;
+    * constraint/constraint: the formulas are conjoined (same variable);
+    * relational/constraint: the concrete value is substituted into the
+      constraint side's formula and the output attribute is relational.
+    """
+    out_schema = left.schema.join(right.schema)
+    shared = left.schema.shared_names(right.schema)
+    result: list[HTuple] = []
+    for lt_ in left:
+        for rt in right:
+            combined = _join_pair(lt_, rt, out_schema, shared)
+            if combined is not None:
+                result.append(combined)
+    return ConstraintRelation(out_schema, result)
+
+
+def _join_pair(
+    lt_: HTuple, rt: HTuple, out_schema: Schema, shared: Iterable[str]
+) -> HTuple | None:
+    left_schema, right_schema = lt_.schema, rt.schema
+    left_formula, right_formula = lt_.formula, rt.formula
+    values: dict[str, Value] = {}
+    for name in shared:
+        l_attr, r_attr = left_schema[name], right_schema[name]
+        if l_attr.is_relational and r_attr.is_relational:
+            lv, rv = lt_.value(name), rt.value(name)
+            if isinstance(lv, Null) or isinstance(rv, Null) or lv != rv:
+                return None  # NULL joins nothing (narrow semantics)
+            values[name] = lv
+        elif l_attr.is_constraint and r_attr.is_constraint:
+            pass  # same variable name: conjunction below unifies them
+        else:
+            rel_side, con_formula = (
+                (lt_, right_formula) if l_attr.is_relational else (rt, left_formula)
+            )
+            value = rel_side.value(name)
+            if isinstance(value, Null):
+                return None
+            substituted = con_formula.substitute(name, LinearExpression.constant_expr(value))
+            if l_attr.is_relational:
+                right_formula = substituted
+            else:
+                left_formula = substituted
+            values[name] = value
+    for name in out_schema.relational_names:
+        if name in values:
+            continue
+        if name in left_schema and left_schema[name].is_relational:
+            values[name] = lt_.value(name)
+        elif name in right_schema and right_schema[name].is_relational:
+            values[name] = rt.value(name)
+    combined = left_formula.conjoin(right_formula)
+    if not combined.is_satisfiable():
+        return None
+    return HTuple(out_schema, values, combined)
+
+
+def union(left: ConstraintRelation, right: ConstraintRelation) -> ConstraintRelation:
+    """∪ — requires union-compatible schemas; α(E) = α(R₁)."""
+    left.schema.union_compatible(right.schema)
+    recast = (t.cast(left.schema) for t in right)
+    return ConstraintRelation(left.schema, tuple(left) + tuple(recast))
+
+
+def rename(relation: ConstraintRelation, old: str, new: str) -> ConstraintRelation:
+    """ϱ — rename attribute ``old`` to ``new``."""
+    out_schema = relation.schema.rename(old, new)
+    return ConstraintRelation(out_schema, (t.rename(old, new) for t in relation))
+
+
+def difference(left: ConstraintRelation, right: ConstraintRelation) -> ConstraintRelation:
+    """− — set difference; requires union-compatible schemas.
+
+    For each left tuple, the subtrahend is the DNF of the formulas of the
+    right tuples with the *same relational values* (NULL markers compare
+    equal for set operations, as in SQL's distinct-row rule); the result is
+    ``φ(t) ∧ ¬φ(subtrahend)`` distributed back into constraint tuples.
+    """
+    left.schema.union_compatible(right.schema)
+    by_group: dict[tuple[tuple[str, Value], ...], list[Conjunction]] = {}
+    for rt in right:
+        key = tuple(sorted(rt.values.items(), key=lambda kv: kv[0]))
+        by_group.setdefault(key, []).append(rt.formula)
+    result: list[HTuple] = []
+    for t in left:
+        key = tuple(sorted(t.values.items(), key=lambda kv: kv[0]))
+        formulas = by_group.get(key)
+        if not formulas:
+            result.append(t)
+            continue
+        remainder = DNFFormula([t.formula]).difference(DNFFormula(formulas))
+        for disjunct in remainder:
+            result.append(t.with_formula(disjunct))
+    return ConstraintRelation(left.schema, result)
+
+
+def intersection(left: ConstraintRelation, right: ConstraintRelation) -> ConstraintRelation:
+    """∩ — a special case of natural join over identical schemas."""
+    left.schema.union_compatible(right.schema)
+    return natural_join(left, right.map_tuples(lambda t: t.cast(left.schema)))
+
+
+def cross_product(left: ConstraintRelation, right: ConstraintRelation) -> ConstraintRelation:
+    """× — a special case of natural join over disjoint schemas."""
+    shared = left.schema.shared_names(right.schema)
+    if shared:
+        raise AlgebraError(
+            f"cross product requires disjoint schemas; shared attributes: {list(shared)} "
+            "(rename them first, or use natural_join)"
+        )
+    return natural_join(left, right)

@@ -1,0 +1,352 @@
+"""A rule-based optimizer for CQA plans.
+
+"CQA queries can be optimized for efficient evaluation, through the use of
+indexing and through operator reordering" (section 1.1).  The rewriter
+applies, to a fixed point:
+
+* **merge-selects** — collapse stacked selections into one conjunction;
+* **selection pushdown** — through project, rename, union, difference and
+  (split by side) natural join;
+* **merge-projects** — collapse stacked projections;
+* **index selection** — replace ``Select(Scan(R))`` by an
+  :class:`~repro.algebra.plan.IndexScan` when the context's index catalog
+  has an index whose attributes are constrained by the selection (this is
+  where the paper's joint multi-attribute indexes pay off, section 5).
+
+All rewrites are semantics-preserving; the test suite checks every rule by
+comparing evaluation results before and after rewriting.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..constraints import LinearConstraint
+from ..model.database import Database
+from ..model.schema import Schema
+from .plan import Difference, IndexScan, Join, PlanNode, Project, Rename, Scan, Select, Union
+from .predicates import Predicate, StringPredicate
+
+
+def predicate_attributes(predicate: Predicate) -> frozenset[str]:
+    """The attribute names a predicate mentions."""
+    if isinstance(predicate, StringPredicate):
+        names = {predicate.attribute}
+        if predicate.is_attribute:
+            names.add(predicate.value)
+        return frozenset(names)
+    return predicate.variables
+
+
+def rename_predicate(predicate: Predicate, old: str, new: str) -> Predicate:
+    """The predicate with attribute ``old`` renamed to ``new``."""
+    if isinstance(predicate, StringPredicate):
+        attribute = new if predicate.attribute == old else predicate.attribute
+        value = predicate.value
+        if predicate.is_attribute and value == old:
+            value = new
+        return StringPredicate(attribute, value, predicate.negated, predicate.is_attribute)
+    return predicate.rename(old, new)
+
+
+def infer_schema(plan: PlanNode, database: Database) -> Schema | None:
+    """Best-effort output schema of a plan; ``None`` for node types the
+    optimizer does not know (rules needing schemas then skip)."""
+    if isinstance(plan, Scan):
+        return database.get(plan.relation_name).schema
+    if isinstance(plan, IndexScan):
+        return database.get(plan.relation_name).schema
+    if isinstance(plan, Select):
+        return infer_schema(plan.child, database)
+    if isinstance(plan, Project):
+        child = infer_schema(plan.child, database)
+        return None if child is None else child.project(plan.attributes)
+    if isinstance(plan, Rename):
+        child = infer_schema(plan.child, database)
+        return None if child is None else child.rename(plan.old, plan.new)
+    if isinstance(plan, Join):
+        left = infer_schema(plan.left, database)
+        right = infer_schema(plan.right, database)
+        if left is None or right is None:
+            return None
+        return left.join(right)
+    if isinstance(plan, (Union, Difference)):
+        return infer_schema(plan.left, database)
+    inferrer = getattr(plan, "infer_schema", None)
+    if inferrer is not None:
+        return inferrer(database)
+    return None
+
+
+class Optimizer:
+    """Rewrites plans against a database (for schemas) and an index catalog
+    (for index selection)."""
+
+    def __init__(
+        self,
+        database: Database,
+        indexes: Mapping[str, Mapping[frozenset[str], object]] | None = None,
+        max_passes: int = 10,
+        reorder_joins: bool = True,
+    ):
+        self._database = database
+        self._indexes = {k: dict(v) for k, v in (indexes or {}).items()}
+        self._max_passes = max_passes
+        self._reorder_joins = reorder_joins
+        self._stats_cache: dict[str, object] = {}
+
+    def optimize(self, plan: PlanNode) -> PlanNode:
+        for _ in range(self._max_passes):
+            rewritten = self._rewrite(plan)
+            if rewritten is plan:
+                return plan
+            plan = rewritten
+        return plan
+
+    # -- rewriting ----------------------------------------------------------
+
+    def _rewrite(self, plan: PlanNode) -> PlanNode:
+        children = plan.children
+        new_children = tuple(self._rewrite(child) for child in children)
+        if any(n is not o for n, o in zip(new_children, children)):
+            plan = plan.with_children(new_children)
+        return self._rewrite_node(plan)
+
+    def _rewrite_node(self, plan: PlanNode) -> PlanNode:
+        if isinstance(plan, Select):
+            return self._rewrite_select(plan)
+        if isinstance(plan, Project) and isinstance(plan.child, Project):
+            # π_Y(π_X(R)) = π_Y(R) whenever Y ⊆ X (guaranteed by validity).
+            return Project(plan.child.child, plan.attributes)
+        if self._reorder_joins and isinstance(plan, Join):
+            reordered = self._maybe_reorder_joins(plan)
+            if reordered is not None:
+                return reordered
+        return plan
+
+    # -- join ordering --------------------------------------------------------
+
+    def _maybe_reorder_joins(self, join: Join) -> PlanNode | None:
+        """Greedy smallest-intermediate-first ordering of a join chain.
+
+        Returns ``None`` when the chain is too short, a leaf's statistics
+        cannot be derived, or the greedy order matches the current one.
+        The reordered tree is wrapped in a projection restoring the
+        original attribute order, so results are bit-identical.
+        """
+        from .stats import estimate_join_size
+
+        leaves: list[PlanNode] = []
+        self._flatten_join(join, leaves)
+        if len(leaves) < 3:
+            return None
+        annotated = []
+        for leaf in leaves:
+            info = self._leaf_statistics(leaf)
+            if info is None:
+                return None
+            annotated.append((leaf, *info))  # (plan, schema, stats)
+        original_schema = infer_schema(join, self._database)
+        if original_schema is None:
+            return None
+
+        remaining = list(range(len(annotated)))
+
+        def join_estimate(i: int, j: int) -> float:
+            _, s1, st1 = annotated[i]
+            _, s2, st2 = annotated[j]
+            return estimate_join_size(st1, st2, s1.shared_names(s2), s1, s2)
+
+        # Seed with the cheapest pair (prefer pairs that actually share
+        # attributes so we do not start with a cross product).
+        best_pair = min(
+            (
+                (i, j)
+                for x, i in enumerate(remaining)
+                for j in remaining[x + 1 :]
+            ),
+            key=lambda pair: (
+                not annotated[pair[0]][1].shared_names(annotated[pair[1]][1]),
+                join_estimate(*pair),
+                pair,
+            ),
+        )
+        order = [best_pair[0], best_pair[1]]
+        remaining = [i for i in remaining if i not in order]
+        current_schema = annotated[order[0]][1].join(annotated[order[1]][1])
+        from .stats import RelationStatistics
+
+        current_stats = RelationStatistics(
+            tuple_count=max(1, int(join_estimate(order[0], order[1])))
+        )
+        current_stats.attributes = {
+            **annotated[order[0]][2].attributes,
+            **annotated[order[1]][2].attributes,
+        }
+        while remaining:
+            def cost(i: int) -> tuple:
+                _, schema_i, stats_i = annotated[i]
+                shared = current_schema.shared_names(schema_i)
+                return (
+                    not shared,  # defer cross products
+                    estimate_join_size(
+                        current_stats, stats_i, shared, current_schema, schema_i
+                    ),
+                    i,
+                )
+
+            nxt = min(remaining, key=cost)
+            _, schema_n, stats_n = annotated[nxt]
+            shared = current_schema.shared_names(schema_n)
+            size = estimate_join_size(current_stats, stats_n, shared, current_schema, schema_n)
+            current_schema = current_schema.join(schema_n)
+            merged = RelationStatistics(tuple_count=max(1, int(size)))
+            merged.attributes = {**current_stats.attributes, **stats_n.attributes}
+            current_stats = merged
+            order.append(nxt)
+            remaining.remove(nxt)
+        if order == list(range(len(annotated))):
+            return None  # already in greedy order
+        rebuilt: PlanNode = annotated[order[0]][0]
+        for i in order[1:]:
+            rebuilt = Join(rebuilt, annotated[i][0])
+        return Project(rebuilt, original_schema.names)
+
+    def _flatten_join(self, plan: PlanNode, out: list[PlanNode]) -> None:
+        if isinstance(plan, Join):
+            self._flatten_join(plan.left, out)
+            self._flatten_join(plan.right, out)
+        else:
+            out.append(plan)
+
+    def _leaf_statistics(self, leaf: PlanNode):
+        """(schema, statistics) for a join leaf, or ``None`` if unknown."""
+        from .stats import DEFAULT_PREDICATE_SELECTIVITY, RelationStatistics, collect_statistics
+
+        def base_stats(name: str) -> "RelationStatistics":
+            if name not in self._stats_cache:
+                self._stats_cache[name] = collect_statistics(self._database.get(name))
+            return self._stats_cache[name]  # type: ignore[return-value]
+
+        if isinstance(leaf, Scan):
+            return self._database.get(leaf.relation_name).schema, base_stats(leaf.relation_name)
+        if isinstance(leaf, IndexScan):
+            stats = base_stats(leaf.relation_name)
+            scaled = RelationStatistics(
+                tuple_count=max(
+                    1,
+                    int(
+                        stats.tuple_count
+                        * DEFAULT_PREDICATE_SELECTIVITY ** len(leaf.predicates)
+                    ),
+                ),
+                attributes=dict(stats.attributes),
+            )
+            return self._database.get(leaf.relation_name).schema, scaled
+        if isinstance(leaf, Select) and isinstance(leaf.child, Scan):
+            stats = base_stats(leaf.child.relation_name)
+            scaled = RelationStatistics(
+                tuple_count=max(
+                    1,
+                    int(
+                        stats.tuple_count
+                        * DEFAULT_PREDICATE_SELECTIVITY ** len(leaf.predicates)
+                    ),
+                ),
+                attributes=dict(stats.attributes),
+            )
+            return self._database.get(leaf.child.relation_name).schema, scaled
+        return None
+
+    def _rewrite_select(self, plan: Select) -> PlanNode:
+        child = plan.child
+        predicates = plan.predicates
+        if isinstance(child, Select):
+            return Select(child.child, tuple(child.predicates) + tuple(predicates))
+        if isinstance(child, Project):
+            # Predicates of a valid plan only mention projected attributes.
+            return Project(Select(child.child, predicates), child.attributes)
+        if isinstance(child, Rename):
+            inner = tuple(rename_predicate(p, child.new, child.old) for p in predicates)
+            return Rename(Select(child.child, inner), child.old, child.new)
+        if isinstance(child, Union):
+            return Union(Select(child.left, predicates), Select(child.right, predicates))
+        if isinstance(child, Difference):
+            # ς_p(A − B) = ς_p(A) − ς_p(B): shrink both sides.
+            return Difference(Select(child.left, predicates), Select(child.right, predicates))
+        if isinstance(child, Join):
+            pushed = self._push_into_join(child, predicates)
+            return plan if pushed is None else pushed
+        if isinstance(child, Scan):
+            indexed = self._maybe_index_scan(child, predicates)
+            return plan if indexed is None else indexed
+        return plan
+
+    def _push_into_join(self, join: Join, predicates: tuple[Predicate, ...]) -> PlanNode | None:
+        """Push predicates into the join sides; ``None`` when nothing moves."""
+        left_schema = infer_schema(join.left, self._database)
+        right_schema = infer_schema(join.right, self._database)
+        if left_schema is None or right_schema is None:
+            return None
+        left_names = set(left_schema.names)
+        right_names = set(right_schema.names)
+        to_left: list[Predicate] = []
+        to_right: list[Predicate] = []
+        stay: list[Predicate] = []
+        for predicate in predicates:
+            attrs = predicate_attributes(predicate)
+            # A predicate on shared attributes is pushed to *both* sides:
+            # it prunes each input and remains correct under natural join.
+            pushed = False
+            if attrs <= left_names:
+                to_left.append(predicate)
+                pushed = True
+            if attrs <= right_names:
+                to_right.append(predicate)
+                pushed = True
+            if not pushed:
+                stay.append(predicate)
+        if not to_left and not to_right:
+            return None
+        left = Select(join.left, tuple(to_left)) if to_left else join.left
+        right = Select(join.right, tuple(to_right)) if to_right else join.right
+        rebuilt: PlanNode = Join(left, right)
+        if stay:
+            rebuilt = Select(rebuilt, tuple(stay))
+        return rebuilt
+
+    def _maybe_index_scan(self, scan: Scan, predicates: tuple[Predicate, ...]) -> PlanNode | None:
+        """An :class:`IndexScan` replacement, or ``None`` when no index helps."""
+        strategies = self._indexes.get(scan.relation_name)
+        if not strategies:
+            return None
+        constrained = set()
+        for predicate in predicates:
+            if isinstance(predicate, LinearConstraint):
+                constrained |= predicate.variables
+        if not constrained:
+            return None
+        # Pick the index sharing the most attributes with the selection;
+        # ties break toward the smaller index (fewer wasted dimensions).
+        best: frozenset[str] | None = None
+        best_key: tuple[int, int] | None = None
+        for attrs in strategies:
+            overlap = len(attrs & constrained)
+            if overlap == 0:
+                continue
+            key = (-overlap, len(attrs))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = attrs
+        if best is None:
+            return None
+        return IndexScan(scan.relation_name, predicates, best)
+
+
+def optimize(
+    plan: PlanNode,
+    database: Database,
+    indexes: Mapping[str, Mapping[frozenset[str], object]] | None = None,
+) -> PlanNode:
+    """Convenience wrapper around :class:`Optimizer`."""
+    return Optimizer(database, indexes).optimize(plan)

@@ -1,0 +1,91 @@
+"""Selection predicates for CQA's ς operator.
+
+A selection condition ξ is "a conjunction of constraints over α(R)"
+(section 2.4).  In the heterogeneous model that conjunction mixes:
+
+* :class:`~repro.constraints.LinearConstraint` atoms over constraint
+  attributes — and, as a convenience, over *rational relational* attributes,
+  whose concrete values are substituted per tuple (a NULL value fails the
+  condition: narrow semantics);
+* :class:`StringPredicate` — equality/inequality of a string relational
+  attribute against a constant or another string attribute.  NULL never
+  matches anything, including another NULL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from ..constraints import LinearConstraint
+from ..errors import SchemaError
+from ..model.schema import Schema
+from ..model.tuples import HTuple
+from ..model.types import DataType, Null
+
+
+@dataclass(frozen=True)
+class StringPredicate:
+    """``attribute = value`` / ``attribute != value`` over string attributes.
+
+    ``value`` is either a string constant or, when ``is_attribute`` is true,
+    the name of another string relational attribute of the same relation.
+    """
+
+    attribute: str
+    value: str
+    negated: bool = False
+    is_attribute: bool = False
+
+    def validate(self, schema: Schema) -> None:
+        attr = schema[self.attribute]
+        if not attr.is_relational or attr.data_type is not DataType.STRING:
+            raise SchemaError(
+                f"string predicate requires a string relational attribute; "
+                f"{self.attribute!r} is ({attr.data_type.value}, {attr.kind.value})"
+            )
+        if self.is_attribute:
+            other = schema[self.value]
+            if not other.is_relational or other.data_type is not DataType.STRING:
+                raise SchemaError(
+                    f"string predicate requires a string relational attribute; "
+                    f"{self.value!r} is ({other.data_type.value}, {other.kind.value})"
+                )
+
+    def matches(self, t: HTuple) -> bool:
+        left = t.value(self.attribute)
+        if isinstance(left, Null):
+            return False
+        right: object = self.value
+        if self.is_attribute:
+            right = t.value(self.value)
+            if isinstance(right, Null):
+                return False
+        return (left != right) if self.negated else (left == right)
+
+    def __str__(self) -> str:
+        op = "!=" if self.negated else "="
+        rhs = self.value if self.is_attribute else repr(self.value)
+        return f"{self.attribute} {op} {rhs}"
+
+
+#: A single conjunct of a selection condition.
+Predicate = Union[LinearConstraint, StringPredicate]
+
+
+def validate_predicates(schema: Schema, predicates: Sequence[Predicate]) -> None:
+    """Check every conjunct against the schema before evaluation starts, so
+    errors surface as schema errors rather than mid-scan surprises."""
+    for predicate in predicates:
+        if isinstance(predicate, StringPredicate):
+            predicate.validate(schema)
+            continue
+        if not isinstance(predicate, LinearConstraint):
+            raise SchemaError(f"unsupported predicate {predicate!r}")
+        for name in predicate.variables:
+            attr = schema[name]  # raises when unknown
+            if attr.is_relational and attr.data_type is DataType.STRING:
+                raise SchemaError(
+                    f"string attribute {name!r} cannot appear in a linear constraint; "
+                    "use a string predicate"
+                )

@@ -1,0 +1,76 @@
+"""Query safety: the closed-form requirement of section 2.4.
+
+"For each input, the queries must be evaluable in closed form" — the output
+must be representable in the same constraint class as the input.  Every CQA
+primitive is safe by the closure principle (section 2.5).  Operators that
+*compute* new quantities can break this: a raw Euclidean ``distance``
+between constraint points is the classic unsafe example the paper gives in
+section 4, because ``d = sqrt(dx² + dy²)`` is not expressible with linear
+constraints.  The whole-feature operators Buffer-Join and k-Nearest are the
+safe alternatives: they return relations of feature IDs (relational
+attributes), never an unrepresentable quantity.
+
+:class:`UnsafeDistance` is provided deliberately so that applications (and
+tests) can demonstrate the safety check; evaluating it always fails.
+"""
+
+from __future__ import annotations
+
+from ..errors import SafetyError
+from .plan import EvaluationContext, PlanNode
+
+
+class UnsafeDistance(PlanNode):
+    """A hypothetical ``distance`` operator that would add an output
+    attribute holding the Euclidean distance between two constraint points.
+
+    Its output leaves the rational linear constraint class, so the plan is
+    unsafe: :func:`check_safe` rejects it and :meth:`evaluate` refuses to
+    run.  Use :class:`repro.spatial.plan_nodes.BufferJoinNode` or
+    :class:`repro.spatial.plan_nodes.KNearestNode` instead.
+    """
+
+    safe = False
+
+    def __init__(self, left: PlanNode, right: PlanNode, output_attribute: str = "distance"):
+        self.left = left
+        self.right = right
+        self.output_attribute = output_attribute
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children):
+        left, right = children
+        return UnsafeDistance(left, right, self.output_attribute)
+
+    def evaluate(self, context: EvaluationContext):
+        raise SafetyError(
+            f"operator {self.describe()} is unsafe: Euclidean distance is not "
+            "representable with rational linear constraints (section 4); use "
+            "Buffer-Join or k-Nearest whole-feature operators instead"
+        )
+
+    def describe(self) -> str:
+        return f"UnsafeDistance(-> {self.output_attribute})"
+
+
+def check_safe(plan: PlanNode) -> None:
+    """Raise :class:`SafetyError` when any node of the plan is unsafe."""
+    if not plan.safe:
+        raise SafetyError(
+            f"plan contains the unsafe operator {plan.describe()}; its output is "
+            "not evaluable in closed form within the linear constraint class"
+        )
+    for child in plan.children:
+        check_safe(child)
+
+
+def is_safe(plan: PlanNode) -> bool:
+    """Boolean form of :func:`check_safe`."""
+    try:
+        check_safe(plan)
+    except SafetyError:
+        return False
+    return True

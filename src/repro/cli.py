@@ -1,0 +1,123 @@
+"""Command-line interface: run query scripts against ``.cdb`` databases.
+
+The zero-code path into the system::
+
+    python -m repro query db.cdb script.cqa          # run a script file
+    python -m repro query db.cdb -e "R0 = select t >= 4 from Hurricane"
+    python -m repro show db.cdb [RelationName]       # inspect a database
+    python -m repro demo                             # the §3.3 case study
+
+Scripts are the paper's ASCII multi-step language (one statement per
+line); the last statement's result is printed, and ``--save OUT.cdb``
+writes every bound result to a new database file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .errors import ReproError
+from .model import Database
+from .query import QuerySession
+from .query.lexer import split_statements as _statement_lines
+from .storage import load_database, save_database
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    database = load_database(Path(args.database))
+    if args.expression:
+        script = "\n".join(args.expression)
+    elif args.script:
+        script = Path(args.script).read_text(encoding="utf-8")
+    else:
+        print("error: provide a script file or -e statements", file=sys.stderr)
+        return 2
+    session = QuerySession(database, use_optimizer=not args.no_optimizer)
+    if args.explain:
+        for _, statement in _statement_lines(script):
+            print(f"-- {statement}")
+            print(session.explain(statement))
+            session.execute(statement)  # later steps need earlier bindings
+        return 0
+    result = session.run_script(script)
+    shown = result.simplify() if args.simplify else result
+    print(shown.pretty(limit=args.limit))
+    if args.save:
+        out = Database()
+        for name, relation in session.results.items():
+            out.add(name, relation)
+        save_database(out, args.save)
+        print(f"(saved {len(out)} result relations to {args.save})", file=sys.stderr)
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    database = load_database(Path(args.database))
+    names = [args.relation] if args.relation else list(database)
+    for name in names:
+        print(database[name].pretty(limit=args.limit))
+        print()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .experiments.hurricane_queries import main as hurricane_main
+
+    hurricane_main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CQA/CDB: a rational linear constraint database (ICDE 2003 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="run a multi-step CQA script")
+    query.add_argument("database", help="a .cdb database file")
+    query.add_argument("script", nargs="?", help="a query script file")
+    query.add_argument(
+        "-e",
+        "--expression",
+        action="append",
+        metavar="STMT",
+        help="inline statement (repeatable; used instead of a script file)",
+    )
+    query.add_argument("--save", metavar="OUT.cdb", help="save all bound results")
+    query.add_argument("--limit", type=int, default=20, help="tuples shown per relation")
+    query.add_argument("--simplify", action="store_true", help="simplify formulas before printing")
+    query.add_argument("--no-optimizer", action="store_true", help="evaluate plans as written")
+    query.add_argument(
+        "--explain", action="store_true", help="print each statement's optimized plan"
+    )
+    query.set_defaults(handler=_cmd_query)
+
+    show = commands.add_parser("show", help="print relations of a database")
+    show.add_argument("database", help="a .cdb database file")
+    show.add_argument("relation", nargs="?", help="show one relation only")
+    show.add_argument("--limit", type=int, default=20)
+    show.set_defaults(handler=_cmd_show)
+
+    demo = commands.add_parser("demo", help="run the Hurricane case study (§3.3)")
+    demo.set_defaults(handler=_cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Rational linear constraint algebra: the substrate of CQA/CDB.
+
+Public surface:
+
+* :class:`LinearExpression` / :func:`var` — rational linear expressions.
+* :class:`LinearConstraint`, :class:`Comparator` and the factories
+  :func:`le`, :func:`lt`, :func:`ge`, :func:`gt`, :func:`eq` — atoms.
+* :class:`Conjunction` — constraint-tuple formulas (convex polyhedra).
+* :class:`DNFFormula` — relation formulas φ(R) in disjunctive normal form.
+* :func:`parse_expression`, :func:`parse_constraints` — text input.
+* :mod:`~repro.constraints.elimination` — Fourier–Motzkin projection.
+* :mod:`~repro.constraints.simplex` — independent simplex feasibility.
+"""
+
+from .atoms import FALSE, TRUE, Comparator, LinearConstraint, eq, ge, gt, le, lt
+from .conjunction import Conjunction
+from .dnf import DNFFormula
+from .independence import (
+    decompose,
+    has_variable_independence,
+    independent_attributes,
+    is_product,
+)
+from .parsing import parse_constraints, parse_expression
+from .terms import LinearExpression, var
+
+__all__ = [
+    "Comparator",
+    "Conjunction",
+    "DNFFormula",
+    "FALSE",
+    "LinearConstraint",
+    "LinearExpression",
+    "TRUE",
+    "decompose",
+    "eq",
+    "ge",
+    "gt",
+    "has_variable_independence",
+    "independent_attributes",
+    "is_product",
+    "le",
+    "lt",
+    "parse_constraints",
+    "parse_expression",
+    "var",
+]

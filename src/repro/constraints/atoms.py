@@ -1,0 +1,218 @@
+"""Constraint atoms: single rational linear constraints.
+
+An atom is ``expression ⊙ 0`` with ``⊙ ∈ {≤, <, =}``; the richer surface
+forms (``lhs ≥ rhs``, ``lhs > rhs``, two-sided comparisons) are normalised
+into this shape at construction.  Keeping only three comparators makes the
+Fourier–Motzkin elimination and negation rules small and easy to verify.
+
+Atoms are canonicalised: coefficients are scaled to coprime integers with a
+deterministic sign convention, so syntactically different spellings of the
+same constraint (``2x <= 4`` and ``x <= 2``) compare and hash equal.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from math import gcd
+from typing import Mapping
+
+from ..errors import ConstraintError
+from ..rational import RationalLike, format_rational
+from .terms import LinearExpression
+
+
+class Comparator(enum.Enum):
+    """The three normalised comparison operators of a constraint atom."""
+
+    LE = "<="
+    LT = "<"
+    EQ = "="
+
+    @property
+    def is_strict(self) -> bool:
+        return self is Comparator.LT
+
+
+class LinearConstraint:
+    """An immutable atom ``expression ⊙ 0``.
+
+    Use the module-level factories (:func:`le`, :func:`lt`, :func:`eq`,
+    :func:`ge`, :func:`gt`) or the comparison operators on
+    :class:`~repro.constraints.terms.LinearExpression` rather than calling
+    the constructor with a pre-moved expression.
+    """
+
+    __slots__ = ("_expression", "_comparator", "_hash")
+
+    def __init__(self, expression: LinearExpression, comparator: Comparator):
+        if not isinstance(comparator, Comparator):
+            raise ConstraintError(f"invalid comparator {comparator!r}")
+        self._expression = _canonicalise(expression, comparator)
+        self._comparator = comparator
+        self._hash: int | None = None
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def expression(self) -> LinearExpression:
+        """The canonicalised left-hand side (the atom is ``expression ⊙ 0``)."""
+        return self._expression
+
+    @property
+    def comparator(self) -> Comparator:
+        return self._comparator
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self._expression.variables
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the atom mentions no variables (ground truth/falsity)."""
+        return self._expression.is_constant
+
+    def truth_value(self) -> bool:
+        """The truth value of a trivial atom; raises otherwise."""
+        if not self.is_trivial:
+            raise ConstraintError(f"{self} is not a ground constraint")
+        value = self._expression.constant
+        if self._comparator is Comparator.LE:
+            return value <= 0
+        if self._comparator is Comparator.LT:
+            return value < 0
+        return value == 0
+
+    def satisfied_by(self, assignment: Mapping[str, RationalLike]) -> bool:
+        """Whether the point ``assignment`` satisfies the atom."""
+        value = self._expression.evaluate(assignment)
+        if self._comparator is Comparator.LE:
+            return value <= 0
+        if self._comparator is Comparator.LT:
+            return value < 0
+        return value == 0
+
+    # -- transformation ----------------------------------------------------
+
+    def substitute(self, variable: str, replacement: LinearExpression) -> "LinearConstraint":
+        return LinearConstraint(self._expression.substitute(variable, replacement), self._comparator)
+
+    def rename(self, old: str, new: str) -> "LinearConstraint":
+        return LinearConstraint(self._expression.rename(old, new), self._comparator)
+
+    def negate(self) -> tuple["LinearConstraint", ...]:
+        """Atoms whose *disjunction* is the negation of this atom.
+
+        ``¬(e ≤ 0)`` is ``-e < 0``; ``¬(e < 0)`` is ``-e ≤ 0``;
+        ``¬(e = 0)`` is ``e < 0 ∨ -e < 0`` (two atoms).
+        """
+        e = self._expression
+        if self._comparator is Comparator.LE:
+            return (LinearConstraint(-e, Comparator.LT),)
+        if self._comparator is Comparator.LT:
+            return (LinearConstraint(-e, Comparator.LE),)
+        return (
+            LinearConstraint(e, Comparator.LT),
+            LinearConstraint(-e, Comparator.LT),
+        )
+
+    def split_equality(self) -> tuple["LinearConstraint", ...]:
+        """An equality as the pair of opposing ``≤`` atoms; inequalities
+        return themselves."""
+        if self._comparator is not Comparator.EQ:
+            return (self,)
+        return (
+            LinearConstraint(self._expression, Comparator.LE),
+            LinearConstraint(-self._expression, Comparator.LE),
+        )
+
+    # -- value semantics ---------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (self._expression, self._comparator)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearConstraint):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"LinearConstraint({self})"
+
+    def __str__(self) -> str:
+        # Render with positive terms on the left for readability:
+        # x - y <= 0 prints as "x - y <= 0" but x <= 3 prints naturally.
+        coeffs = self._expression.coefficients
+        constant = self._expression.constant
+        lhs = LinearExpression(coeffs)
+        if constant == 0:
+            return f"{lhs} {self._comparator.value} 0"
+        return f"{lhs} {self._comparator.value} {format_rational(-constant)}"
+
+
+def _canonicalise(expression: LinearExpression, comparator: Comparator) -> LinearExpression:
+    """Scale to coprime integer coefficients with a deterministic sign.
+
+    Inequalities may only be scaled by *positive* rationals; equalities may
+    additionally be negated, and we fix the sign so the lexicographically
+    first variable has a positive coefficient.
+    """
+    coeffs = expression.coefficients
+    if not coeffs:
+        # Ground atom: normalise the constant's magnitude to 0 or +/-1 for
+        # inequalities is unnecessary; keep as-is for faithful printing.
+        return expression
+    denominators = [c.denominator for c in coeffs.values()] + [expression.constant.denominator]
+    lcm = 1
+    for d in denominators:
+        lcm = lcm * d // gcd(lcm, d)
+    numerators = [abs(c.numerator * lcm // c.denominator) for c in coeffs.values()]
+    if expression.constant != 0:
+        numerators.append(abs(expression.constant.numerator * lcm // expression.constant.denominator))
+    divisor = 0
+    for n in numerators:
+        divisor = gcd(divisor, n)
+    scale = Fraction(lcm, divisor if divisor else 1)
+    if comparator is Comparator.EQ:
+        first_var = min(coeffs)
+        if coeffs[first_var] < 0:
+            scale = -scale
+    return expression * scale
+
+
+# -- factories -------------------------------------------------------------
+
+
+def le(lhs: LinearExpression | RationalLike, rhs: LinearExpression | RationalLike) -> LinearConstraint:
+    """The atom ``lhs ≤ rhs``."""
+    return LinearConstraint(LinearExpression.coerce(lhs) - LinearExpression.coerce(rhs), Comparator.LE)
+
+
+def lt(lhs: LinearExpression | RationalLike, rhs: LinearExpression | RationalLike) -> LinearConstraint:
+    """The atom ``lhs < rhs``."""
+    return LinearConstraint(LinearExpression.coerce(lhs) - LinearExpression.coerce(rhs), Comparator.LT)
+
+
+def ge(lhs: LinearExpression | RationalLike, rhs: LinearExpression | RationalLike) -> LinearConstraint:
+    """The atom ``lhs ≥ rhs`` (normalised to ``rhs ≤ lhs``)."""
+    return le(rhs, lhs)
+
+
+def gt(lhs: LinearExpression | RationalLike, rhs: LinearExpression | RationalLike) -> LinearConstraint:
+    """The atom ``lhs > rhs`` (normalised to ``rhs < lhs``)."""
+    return lt(rhs, lhs)
+
+
+def eq(lhs: LinearExpression | RationalLike, rhs: LinearExpression | RationalLike) -> LinearConstraint:
+    """The atom ``lhs = rhs``."""
+    return LinearConstraint(LinearExpression.coerce(lhs) - LinearExpression.coerce(rhs), Comparator.EQ)
+
+
+#: Ground atoms for truth and falsity, useful as neutral elements.
+TRUE = le(0, 0)
+FALSE = lt(0, 0)

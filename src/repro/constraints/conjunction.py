@@ -1,0 +1,234 @@
+"""Conjunctions of linear constraint atoms: the "constraint tuple" core.
+
+A :class:`Conjunction` is the formula φ(t) of a constraint tuple
+(Definition 1 of the paper): a finite set of atoms whose conjunction
+describes a (possibly unbounded) convex polyhedron over the mentioned
+variables.  All the operations CQA needs live here: satisfiability,
+entailment, projection (variable elimination), substitution, renaming,
+redundancy-free simplification, and per-variable bounds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import ConstraintError
+from ..rational import RationalLike
+from . import elimination
+from .atoms import LinearConstraint
+from .terms import LinearExpression
+
+
+class Conjunction:
+    """An immutable conjunction of :class:`LinearConstraint` atoms.
+
+    The empty conjunction is *true* (the whole space).  Ground-true atoms
+    are dropped at construction; a ground-false atom collapses the
+    conjunction to the canonical unsatisfiable one.  Satisfiability is
+    computed lazily and cached.
+    """
+
+    __slots__ = ("_atoms", "_satisfiable", "_hash")
+
+    def __init__(self, atoms: Iterable[LinearConstraint] = ()):
+        cleaned: list[LinearConstraint] = []
+        seen: set[LinearConstraint] = set()
+        unsat = False
+        for atom in atoms:
+            if not isinstance(atom, LinearConstraint):
+                raise ConstraintError(f"expected a LinearConstraint, got {atom!r}")
+            if atom.is_trivial:
+                if not atom.truth_value():
+                    unsat = True
+                    break
+                continue
+            if atom not in seen:
+                seen.add(atom)
+                cleaned.append(atom)
+        if unsat:
+            from .atoms import FALSE
+
+            self._atoms: tuple[LinearConstraint, ...] = (FALSE,)
+            self._satisfiable: bool | None = False
+        else:
+            self._atoms = tuple(sorted(cleaned, key=str))
+            self._satisfiable = True if not self._atoms else None
+        self._hash: int | None = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def true(cls) -> "Conjunction":
+        """The empty (always-true) conjunction."""
+        return cls(())
+
+    @classmethod
+    def false(cls) -> "Conjunction":
+        """The canonical unsatisfiable conjunction."""
+        from .atoms import FALSE
+
+        return cls((FALSE,))
+
+    @classmethod
+    def point(cls, assignment: Mapping[str, RationalLike]) -> "Conjunction":
+        """The conjunction of equalities pinning each variable to a value —
+        the constraint view of a traditional relational tuple (Example 1)."""
+        from .atoms import eq
+
+        return cls(eq(LinearExpression.variable(var), value) for var, value in assignment.items())
+
+    @classmethod
+    def box(
+        cls,
+        bounds: Mapping[str, tuple[RationalLike, RationalLike]],
+    ) -> "Conjunction":
+        """An axis-aligned closed box: ``{var: (low, high)}``."""
+        from .atoms import ge, le
+
+        atoms: list[LinearConstraint] = []
+        for variable, (low, high) in bounds.items():
+            v = LinearExpression.variable(variable)
+            atoms.append(ge(v, low))
+            atoms.append(le(v, high))
+        return cls(atoms)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def atoms(self) -> tuple[LinearConstraint, ...]:
+        return self._atoms
+
+    @property
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for atom in self._atoms:
+            result |= atom.variables
+        return result
+
+    @property
+    def is_true(self) -> bool:
+        """Whether this is the empty (trivially true) conjunction."""
+        return not self._atoms
+
+    def is_satisfiable(self) -> bool:
+        if self._satisfiable is None:
+            self._satisfiable = elimination.is_satisfiable(self._atoms)
+        return self._satisfiable
+
+    def satisfied_by(self, assignment: Mapping[str, RationalLike]) -> bool:
+        """Whether the point satisfies every atom (point membership)."""
+        return all(atom.satisfied_by(assignment) for atom in self._atoms)
+
+    def entails(self, other: "Conjunction | LinearConstraint") -> bool:
+        """Whether every point of this conjunction satisfies ``other``.
+
+        ``self ⊨ other`` iff ``self ∧ ¬a`` is unsatisfiable for every atom
+        ``a`` of ``other`` (negation of an atom is a disjunction of at most
+        two atoms, each checked separately).
+        """
+        if not self.is_satisfiable():
+            return True
+        other_atoms = (other,) if isinstance(other, LinearConstraint) else other.atoms
+        for atom in other_atoms:
+            for negated in atom.negate():
+                if elimination.is_satisfiable(self._atoms + (negated,)):
+                    return False
+        return True
+
+    def equivalent(self, other: "Conjunction") -> bool:
+        """Mutual entailment."""
+        return self.entails(other) and other.entails(self)
+
+    # -- combination and transformation -------------------------------------
+
+    def conjoin(self, other: "Conjunction | LinearConstraint | Iterable[LinearConstraint]") -> "Conjunction":
+        """The conjunction of this formula with more atoms."""
+        if isinstance(other, LinearConstraint):
+            extra: Iterable[LinearConstraint] = (other,)
+        elif isinstance(other, Conjunction):
+            extra = other.atoms
+        else:
+            extra = tuple(other)
+        return Conjunction(self._atoms + tuple(extra))
+
+    def project(self, keep: Iterable[str]) -> "Conjunction":
+        """Project onto ``keep``: eliminate every other variable.
+
+        This is the constraint-level core of CQA's π operator; the result
+        describes exactly the geometric projection of the polyhedron.
+        """
+        keep_set = set(keep)
+        to_remove = sorted(self.variables - keep_set)
+        if not to_remove:
+            return self
+        return Conjunction(elimination.eliminate(self._atoms, to_remove))
+
+    def eliminate(self, variables: Iterable[str]) -> "Conjunction":
+        """Eliminate the given variables (dual of :meth:`project`)."""
+        doomed = set(variables) & self.variables
+        if not doomed:
+            return self
+        return Conjunction(elimination.eliminate(self._atoms, sorted(doomed)))
+
+    def substitute(self, variable: str, replacement: LinearExpression) -> "Conjunction":
+        return Conjunction(atom.substitute(variable, replacement) for atom in self._atoms)
+
+    def rename(self, old: str, new: str) -> "Conjunction":
+        if new in self.variables and old in self.variables:
+            raise ConstraintError(f"cannot rename {old!r} to {new!r}: {new!r} already used")
+        return Conjunction(atom.rename(old, new) for atom in self._atoms)
+
+    def simplify(self) -> "Conjunction":
+        """An equivalent conjunction without redundant atoms.
+
+        An atom is redundant when the remaining atoms entail it; each check
+        is a satisfiability test, so this is O(n) eliminations — worth it
+        before storing or printing, not inside inner evaluation loops.
+        """
+        if not self.is_satisfiable():
+            return Conjunction.false()
+        kept = list(self._atoms)
+        changed = True
+        while changed:
+            changed = False
+            for atom in list(kept):
+                rest = [a for a in kept if a is not atom]
+                if Conjunction(rest).entails(atom):
+                    kept = rest
+                    changed = True
+                    break
+        return Conjunction(kept)
+
+    def bounds(self, variable: str) -> tuple[Fraction | None, bool, Fraction | None, bool]:
+        """Tightest implied ``(lower, lower_strict, upper, upper_strict)``
+        bounds on ``variable`` (``None`` = unbounded side)."""
+        if not self.is_satisfiable():
+            raise ConstraintError("an unsatisfiable conjunction bounds nothing")
+        return elimination.variable_bounds(self._atoms, variable)
+
+    # -- value semantics ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[LinearConstraint]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Conjunction):
+            return NotImplemented
+        return self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._atoms)
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Conjunction({self})"
+
+    def __str__(self) -> str:
+        if not self._atoms:
+            return "true"
+        return " and ".join(str(atom) for atom in self._atoms)

@@ -1,0 +1,172 @@
+"""Disjunctive-normal-form formulas over linear constraint atoms.
+
+φ(R), the formula of a constraint relation (Definition 2), is a DNF of
+constraints: a disjunction of conjunctions.  This module provides the
+formula-level operations CQA's set operators reduce to — union, conjunction
+(distribution), complement, satisfiability, entailment and equivalence —
+independent of any schema or tuple bookkeeping.
+
+Complementation is the expensive one: ¬(C₁ ∨ … ∨ Cₙ) = ¬C₁ ∧ … ∧ ¬Cₙ where
+each ¬Cᵢ is a disjunction of negated atoms; distributing the product back
+into DNF is exponential in n.  Unsatisfiable branches are pruned as they are
+built, which keeps the practical blow-up modest for the small per-relation
+formulas CQA difference works on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..rational import RationalLike
+from .atoms import LinearConstraint
+from .conjunction import Conjunction
+
+
+class DNFFormula:
+    """An immutable disjunction of :class:`Conjunction` disjuncts.
+
+    The empty disjunction is *false*.  Unsatisfiable disjuncts are dropped
+    at construction, so ``bool(formula)`` doubles as a satisfiability test.
+    """
+
+    __slots__ = ("_disjuncts",)
+
+    def __init__(self, disjuncts: Iterable[Conjunction] = ()):
+        kept: list[Conjunction] = []
+        seen: set[Conjunction] = set()
+        for disjunct in disjuncts:
+            if not disjunct.is_satisfiable():
+                continue
+            if disjunct not in seen:
+                seen.add(disjunct)
+                kept.append(disjunct)
+        self._disjuncts: tuple[Conjunction, ...] = tuple(kept)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def false(cls) -> "DNFFormula":
+        return cls(())
+
+    @classmethod
+    def true(cls) -> "DNFFormula":
+        return cls((Conjunction.true(),))
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def disjuncts(self) -> tuple[Conjunction, ...]:
+        return self._disjuncts
+
+    @property
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for disjunct in self._disjuncts:
+            result |= disjunct.variables
+        return result
+
+    def is_satisfiable(self) -> bool:
+        return bool(self._disjuncts)
+
+    def satisfied_by(self, assignment: Mapping[str, RationalLike]) -> bool:
+        return any(d.satisfied_by(assignment) for d in self._disjuncts)
+
+    # -- connectives -------------------------------------------------------
+
+    def union(self, other: "DNFFormula") -> "DNFFormula":
+        return DNFFormula(self._disjuncts + other._disjuncts)
+
+    def conjoin(self, other: "DNFFormula | Conjunction | LinearConstraint") -> "DNFFormula":
+        """Distribute a conjunction over the disjuncts."""
+        if isinstance(other, (Conjunction, LinearConstraint)):
+            return DNFFormula(d.conjoin(other) for d in self._disjuncts)
+        return DNFFormula(
+            mine.conjoin(theirs) for mine in self._disjuncts for theirs in other._disjuncts
+        )
+
+    def complement(self) -> "DNFFormula":
+        """The negation, again in DNF.
+
+        Each branch of the result picks one negated atom per disjunct; the
+        product is built incrementally with unsatisfiable partial branches
+        pruned early.
+        """
+        if not self._disjuncts:
+            return DNFFormula.true()
+        branches: list[Conjunction] = [Conjunction.true()]
+        for disjunct in self._disjuncts:
+            if disjunct.is_true:
+                return DNFFormula.false()
+            # Atom negations: list of alternatives (each itself one atom).
+            alternatives: list[LinearConstraint] = []
+            for atom in disjunct.atoms:
+                alternatives.extend(atom.negate())
+            new_branches: list[Conjunction] = []
+            for branch in branches:
+                for alt in alternatives:
+                    candidate = branch.conjoin(alt)
+                    if candidate.is_satisfiable():
+                        new_branches.append(candidate)
+            if not new_branches:
+                return DNFFormula.false()
+            branches = new_branches
+        return DNFFormula(branches)
+
+    def difference(self, other: "DNFFormula") -> "DNFFormula":
+        return self.conjoin(other.complement())
+
+    def project(self, keep: Iterable[str]) -> "DNFFormula":
+        keep = tuple(keep)
+        return DNFFormula(d.project(keep) for d in self._disjuncts)
+
+    # -- comparisons -------------------------------------------------------
+
+    def entails(self, other: "DNFFormula") -> bool:
+        """Whether every satisfying point of ``self`` satisfies ``other``."""
+        return not self.difference(other).is_satisfiable()
+
+    def equivalent(self, other: "DNFFormula") -> bool:
+        """Semantic equivalence (Definition 2: equivalent relations have the
+        same semantics)."""
+        return self.entails(other) and other.entails(self)
+
+    def simplify(self) -> "DNFFormula":
+        """Drop disjuncts absorbed by (entailed by) another disjunct and
+        simplify each survivor."""
+        survivors: list[Conjunction] = []
+        disjuncts = [d.simplify() for d in self._disjuncts]
+        for i, candidate in enumerate(disjuncts):
+            absorbed = False
+            for j, other in enumerate(disjuncts):
+                if i == j:
+                    continue
+                if candidate.entails(other) and not (other.entails(candidate) and j > i):
+                    absorbed = True
+                    break
+            if not absorbed:
+                survivors.append(candidate)
+        return DNFFormula(survivors)
+
+    # -- value semantics ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[Conjunction]:
+        return iter(self._disjuncts)
+
+    def __len__(self) -> int:
+        return len(self._disjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DNFFormula):
+            return NotImplemented
+        return self._disjuncts == other._disjuncts
+
+    def __hash__(self) -> int:
+        return hash(self._disjuncts)
+
+    def __repr__(self) -> str:
+        return f"DNFFormula({self})"
+
+    def __str__(self) -> str:
+        if not self._disjuncts:
+            return "false"
+        return " or ".join(f"({d})" for d in self._disjuncts)

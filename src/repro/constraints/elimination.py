@@ -1,0 +1,183 @@
+"""Variable elimination for conjunctions of rational linear constraints.
+
+This is the engine behind CQA's *project* operator and all satisfiability
+and entailment checks.  Equalities are eliminated by Gaussian substitution;
+inequalities by Fourier–Motzkin combination of lower and upper bounds, with
+the standard strictness rule (a combination is strict iff either side is).
+
+Fourier–Motzkin is worst-case exponential in the number of eliminated
+variables, which is acceptable here: constraint tuples in CQA/CDB have small
+arity (spatiotemporal data is 2–4 dimensional), exactly the regime the paper
+targets.  Redundancy elimination between steps keeps intermediate systems
+small in practice.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from .atoms import Comparator, LinearConstraint, le, lt
+from .terms import LinearExpression
+
+#: Sentinel result for an unsatisfiable system: a single ground-false atom.
+_FALSE = lt(0, 0)
+
+
+def solve_equality_for(atom: LinearConstraint, variable: str) -> LinearExpression:
+    """Solve the equality ``atom`` for ``variable``, returning the
+    expression it equals.  ``atom`` must be an equality mentioning it."""
+    if atom.comparator is not Comparator.EQ or variable not in atom.variables:
+        raise ValueError(f"{atom} is not an equality over {variable!r}")
+    coeff = atom.expression.coefficient(variable)
+    rest = atom.expression - LinearExpression({variable: coeff})
+    return rest * (Fraction(-1) / coeff)
+
+
+def _clean(atoms: Iterable[LinearConstraint]) -> list[LinearConstraint] | None:
+    """Dedupe and drop ground-true atoms; return ``None`` when any atom is
+    ground false (unsatisfiable system)."""
+    seen: set[LinearConstraint] = set()
+    result: list[LinearConstraint] = []
+    for atom in atoms:
+        if atom.is_trivial:
+            if not atom.truth_value():
+                return None
+            continue
+        if atom not in seen:
+            seen.add(atom)
+            result.append(atom)
+    return result
+
+
+def fourier_motzkin_step(atoms: Sequence[LinearConstraint], variable: str) -> list[LinearConstraint]:
+    """Eliminate ``variable`` from a system of *inequality* atoms.
+
+    Any equality mentioning the variable must have been substituted away
+    first (see :func:`eliminate`); equalities not mentioning it pass through.
+    The returned system may contain ground atoms — callers should
+    :func:`_clean` it.
+    """
+    lowers: list[tuple[LinearExpression, bool]] = []  # (bound, strict): variable >(=) bound
+    uppers: list[tuple[LinearExpression, bool]] = []  # (bound, strict): variable <(=) bound
+    others: list[LinearConstraint] = []
+    for atom in atoms:
+        coeff = atom.expression.coefficient(variable)
+        if coeff == 0:
+            others.append(atom)
+            continue
+        if atom.comparator is Comparator.EQ:
+            raise ValueError(
+                f"equality {atom} still mentions {variable!r}; substitute equalities first"
+            )
+        rest = atom.expression - LinearExpression({variable: coeff})
+        bound = rest * (Fraction(-1) / coeff)
+        if coeff > 0:  # coeff*v + rest <= 0  =>  v <= bound
+            uppers.append((bound, atom.comparator.is_strict))
+        else:  # v >= bound
+            lowers.append((bound, atom.comparator.is_strict))
+    for low, low_strict in lowers:
+        for up, up_strict in uppers:
+            if low_strict or up_strict:
+                others.append(lt(low, up))
+            else:
+                others.append(le(low, up))
+    return others
+
+
+def eliminate(
+    atoms: Iterable[LinearConstraint],
+    variables: Iterable[str],
+) -> list[LinearConstraint]:
+    """Eliminate ``variables`` from the conjunction ``atoms``.
+
+    Returns an equivalent system (w.r.t. the remaining variables) that does
+    not mention any eliminated variable.  An unsatisfiable input yields the
+    single ground-false atom ``[0 < 0]``.
+    """
+    current = _clean(atoms)
+    if current is None:
+        return [_FALSE]
+    remaining = [v for v in dict.fromkeys(variables)]
+    while remaining:
+        # Eliminate the variable occurring in the fewest atoms first: this
+        # is the classic min-degree heuristic and substantially curbs the
+        # quadratic growth of each Fourier-Motzkin step.
+        counts = {
+            v: sum(1 for a in current if v in a.variables) for v in remaining
+        }
+        variable = min(remaining, key=lambda v: (counts[v], v))
+        remaining.remove(variable)
+        if counts[variable] == 0:
+            continue
+        equality = next(
+            (
+                a
+                for a in current
+                if a.comparator is Comparator.EQ and variable in a.variables
+            ),
+            None,
+        )
+        if equality is not None:
+            replacement = solve_equality_for(equality, variable)
+            substituted = [
+                a.substitute(variable, replacement) for a in current if a is not equality
+            ]
+            current = _clean(substituted)
+        else:
+            current = _clean(fourier_motzkin_step(current, variable))
+        if current is None:
+            return [_FALSE]
+    return current
+
+
+def is_satisfiable(atoms: Iterable[LinearConstraint]) -> bool:
+    """Whether the conjunction of ``atoms`` has a rational solution."""
+    atoms = list(atoms)
+    variables: set[str] = set()
+    for atom in atoms:
+        variables |= atom.variables
+    result = eliminate(atoms, sorted(variables))
+    return all(a.truth_value() for a in result if a.is_trivial) and _FALSE not in result
+
+
+def variable_bounds(
+    atoms: Iterable[LinearConstraint], variable: str
+) -> tuple[Fraction | None, bool, Fraction | None, bool]:
+    """The tightest bounds implied on ``variable``.
+
+    Returns ``(lower, lower_strict, upper, upper_strict)`` with ``None`` for
+    an unbounded side.  Raises :class:`ValueError` when the system is
+    unsatisfiable (no bounds exist).
+    """
+    atoms = list(atoms)
+    other_vars = set()
+    for atom in atoms:
+        other_vars |= atom.variables
+    other_vars.discard(variable)
+    reduced = eliminate(atoms, sorted(other_vars))
+    if _FALSE in reduced or not is_satisfiable(reduced):
+        raise ValueError("cannot bound a variable of an unsatisfiable system")
+    lower: Fraction | None = None
+    lower_strict = False
+    upper: Fraction | None = None
+    upper_strict = False
+    for atom in reduced:
+        if atom.is_trivial:
+            continue
+        coeff = atom.expression.coefficient(variable)
+        bound = -atom.expression.constant / coeff
+        if atom.comparator is Comparator.EQ:
+            if (lower is None or bound > lower) or (lower == bound and lower_strict):
+                lower, lower_strict = bound, False
+            if upper is None or bound < upper or (upper == bound and upper_strict):
+                upper, upper_strict = bound, False
+            continue
+        strict = atom.comparator.is_strict
+        if coeff > 0:  # upper bound
+            if upper is None or bound < upper or (bound == upper and strict):
+                upper, upper_strict = bound, strict
+        else:  # lower bound
+            if lower is None or bound > lower or (bound == lower and strict):
+                lower, lower_strict = bound, strict
+    return lower, lower_strict, upper, upper_strict

@@ -1,0 +1,117 @@
+"""Variable independence for constraint formulas.
+
+Section 3.2 notes a side benefit of the C/R flag: "Attribute type plays a
+role, for example, in establishing variable independence [Chomicki,
+Goldin, Kuper, Toman]; if an attribute is known to be relational, it is
+automatically independent of all other attributes."  Variable independence
+is the property that lets a formula be stored and indexed per variable
+block (it is exactly when the separate-index strategy of section 5 loses
+nothing).
+
+This module implements the conjunction-level test exactly and the
+DNF-level test disjunct-wise:
+
+* a conjunction C is a **product** over blocks (L, R) iff
+  ``C ≡ π_L(C) ∧ π_R(C)`` — decidable with two entailment checks (the ⊨
+  direction holds for every C by projection soundness);
+* a DNF formula *has variable independence* when each disjunct of its
+  simplified form is a product.  This is the standard sufficient condition
+  (a disjunction of products); formulas that need *cross-block*
+  disjunction re-grouping may be reported dependent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import ConstraintError
+from .conjunction import Conjunction
+from .dnf import DNFFormula
+
+
+def _split_blocks(
+    variables: frozenset[str], left: Iterable[str], right: Iterable[str]
+) -> tuple[frozenset[str], frozenset[str]]:
+    left_set = frozenset(left)
+    right_set = frozenset(right)
+    overlap = left_set & right_set
+    if overlap:
+        raise ConstraintError(f"variable blocks overlap: {sorted(overlap)}")
+    stray = variables - left_set - right_set
+    if stray:
+        raise ConstraintError(
+            f"variables {sorted(stray)} belong to neither block; assign every "
+            "variable of the formula to a block"
+        )
+    return left_set, right_set
+
+
+def decompose(
+    conjunction: Conjunction, left: Iterable[str], right: Iterable[str]
+) -> tuple[Conjunction, Conjunction] | None:
+    """The product decomposition ``(C_L, C_R)`` of a conjunction, or
+    ``None`` when the blocks are genuinely entangled.
+
+    ``C_L`` mentions only ``left`` variables and ``C_R`` only ``right``
+    ones, with ``C ≡ C_L ∧ C_R``.
+    """
+    left_set, right_set = _split_blocks(conjunction.variables, left, right)
+    if not conjunction.is_satisfiable():
+        return Conjunction.false(), Conjunction.false()
+    c_left = conjunction.project(left_set)
+    c_right = conjunction.project(right_set)
+    product = c_left.conjoin(c_right)
+    # product ⊨ C is the only direction in question.
+    if product.entails(conjunction):
+        return c_left, c_right
+    return None
+
+
+def is_product(
+    conjunction: Conjunction, left: Iterable[str], right: Iterable[str]
+) -> bool:
+    """Whether the conjunction's point set is the cross product of its
+    projections onto the two blocks."""
+    return decompose(conjunction, left, right) is not None
+
+
+def has_variable_independence(
+    formula: DNFFormula, left: Iterable[str], right: Iterable[str]
+) -> bool:
+    """Disjunct-wise variable independence of a DNF formula.
+
+    True when every disjunct of the simplified formula is a product over
+    the blocks — the formula is then a *disjunction of products*, the form
+    the variable-independence literature calls independent.  (Sufficient
+    condition: a dependent-looking disjunct cover of an independent set is
+    reported dependent.)
+    """
+    left_set = frozenset(left)
+    right_set = frozenset(right)
+    return all(
+        is_product(d, left_set & d.variables, right_set & d.variables)
+        if d.variables
+        else True
+        for d in formula.simplify()
+    )
+
+
+def independent_attributes(relation, a: str, b: str) -> bool:
+    """Whether attributes ``a`` and ``b`` of a heterogeneous relation are
+    variable-independent.
+
+    Implements the section 3.2 observation directly: a *relational*
+    attribute is automatically independent of every other attribute (each
+    tuple pins it to a single value, trivially a product).  Two constraint
+    attributes are checked formula-by-formula, with the other constraint
+    attributes eliminated first.
+    """
+    schema = relation.schema
+    attr_a, attr_b = schema[a], schema[b]
+    if attr_a.is_relational or attr_b.is_relational:
+        return True
+    for t in relation:
+        restricted = t.formula.project((a, b))
+        if not is_product(restricted, {a} & restricted.variables, {b} & restricted.variables):
+            return False
+    return True

@@ -1,0 +1,164 @@
+"""A small text parser for linear expressions and constraint conjunctions.
+
+This gives tests, examples and the interactive user a compact way to write
+constraints::
+
+    parse_constraints("x + 2*y <= 5, 0 <= t < 10")
+
+Chained comparisons expand into one atom per adjacent pair.  The syntax is
+deliberately the numeric subset of the query language's condition syntax
+(:mod:`repro.query`); string comparisons on relational attributes are a
+query-level concern and are rejected here.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from ..errors import ParseError
+from .atoms import LinearConstraint, eq, ge, gt, le, lt
+from .terms import LinearExpression
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+(?:\.\d+)?(?:/\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|==|!=|[-+*/()<>=,])
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+_COMPARATORS = {"<=", "<", ">=", ">", "=", "=="}
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        if kind == "bad":
+            raise ParseError(f"unexpected character {match.group()!r} in {text!r}")
+        yield kind, match.group()
+    yield "end", ""
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = list(_tokenize(text))
+        self._pos = 0
+
+    def _peek(self) -> tuple[str, str]:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        kind, text = self._advance()
+        if text != value:
+            raise ParseError(f"expected {value!r} but found {text or 'end of input'!r} in {self._text!r}")
+
+    # expr := term (('+'|'-') term)*
+    def expression(self) -> LinearExpression:
+        result = self.term()
+        while self._peek()[1] in {"+", "-"}:
+            op = self._advance()[1]
+            rhs = self.term()
+            result = result + rhs if op == "+" else result - rhs
+        return result
+
+    # term := factor (('*'|'/') factor)*
+    def term(self) -> LinearExpression:
+        result = self.factor()
+        while self._peek()[1] in {"*", "/"}:
+            op = self._advance()[1]
+            rhs = self.factor()
+            if op == "*":
+                result = result * rhs  # raises ConstraintError if non-linear
+            else:
+                if not rhs.is_constant:
+                    raise ParseError(f"division by a variable expression in {self._text!r}")
+                result = result / rhs.constant
+        return result
+
+    # factor := NUMBER | NAME | '-' factor | '(' expr ')'
+    def factor(self) -> LinearExpression:
+        kind, text = self._advance()
+        if kind == "number":
+            return LinearExpression.constant_expr(text)
+        if kind == "name":
+            return LinearExpression.variable(text)
+        if text == "-":
+            return -self.factor()
+        if text == "+":
+            return self.factor()
+        if text == "(":
+            inner = self.expression()
+            self._expect(")")
+            return inner
+        raise ParseError(f"expected a number, variable or '(' but found {text or 'end of input'!r} in {self._text!r}")
+
+    # comparison := expr (CMP expr)+   (chained)
+    def comparison(self) -> list[LinearConstraint]:
+        left = self.expression()
+        atoms: list[LinearConstraint] = []
+        kind, text = self._peek()
+        if text == "!=":
+            raise ParseError(
+                "'!=' is not a conjunctive linear constraint; express it as a "
+                "union of two relations (see section 2.4 of the paper)"
+            )
+        if text not in _COMPARATORS:
+            raise ParseError(f"expected a comparison operator after {left} in {self._text!r}")
+        while self._peek()[1] in _COMPARATORS:
+            op = self._advance()[1]
+            right = self.expression()
+            atoms.append(_make_atom(left, op, right))
+            left = right
+        return atoms
+
+    def parse_expression(self) -> LinearExpression:
+        result = self.expression()
+        if self._peek()[0] != "end":
+            raise ParseError(f"trailing input {self._peek()[1]!r} in {self._text!r}")
+        return result
+
+    def parse_constraints(self) -> list[LinearConstraint]:
+        atoms = self.comparison()
+        while self._peek()[1] == ",":
+            self._advance()
+            atoms.extend(self.comparison())
+        if self._peek()[0] != "end":
+            raise ParseError(f"trailing input {self._peek()[1]!r} in {self._text!r}")
+        return atoms
+
+
+def _make_atom(left: LinearExpression, op: str, right: LinearExpression) -> LinearConstraint:
+    if op == "<=":
+        return le(left, right)
+    if op == "<":
+        return lt(left, right)
+    if op == ">=":
+        return ge(left, right)
+    if op == ">":
+        return gt(left, right)
+    return eq(left, right)
+
+
+def parse_expression(text: str) -> LinearExpression:
+    """Parse a rational linear expression such as ``"x + 2*y - 1/3"``."""
+    return _Parser(text).parse_expression()
+
+
+def parse_constraints(text: str) -> list[LinearConstraint]:
+    """Parse a comma-separated conjunction of (possibly chained)
+    comparisons, e.g. ``"0 <= x < 10, x + y = 2.5"``."""
+    return _Parser(text).parse_constraints()

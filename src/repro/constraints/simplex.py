@@ -1,0 +1,252 @@
+"""An exact rational simplex solver for linear constraint feasibility.
+
+Fourier–Motzkin elimination (:mod:`repro.constraints.elimination`) is the
+paper-faithful projection engine, but as a pure *satisfiability* oracle it
+can blow up.  This module provides an independent decision procedure —
+two-phase primal simplex over :class:`~fractions.Fraction` with Bland's rule
+(so it terminates without any numerical tolerance) — used to cross-check
+elimination in the property-test suite and compared against it in
+``benchmarks/bench_constraint_solvers.py``.
+
+Strict inequalities use the standard ε-trick: every ``e < 0`` atom becomes
+``e + ε ≤ 0`` and we maximise ε (capped at 1).  The system is satisfiable
+over the rationals iff the optimum is positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from .atoms import Comparator, LinearConstraint
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class FeasibilityResult:
+    """Outcome of a feasibility check.
+
+    ``witness`` maps every variable of the input system to a rational value
+    satisfying all atoms whenever ``feasible`` is true.
+    """
+
+    feasible: bool
+    witness: Mapping[str, Fraction] | None = None
+
+
+class _Tableau:
+    """A dense simplex tableau with exact rational entries.
+
+    Rows are stored as coefficient lists over the column space; the basis
+    maps each row to its basic column.  Bland's rule is used for both the
+    entering and the leaving choice, guaranteeing termination.
+    """
+
+    def __init__(self, num_cols: int):
+        self.num_cols = num_cols
+        self.rows: list[list[Fraction]] = []
+        self.rhs: list[Fraction] = []
+        self.basis: list[int] = []
+
+    def add_row(self, coeffs: Sequence[Fraction], rhs: Fraction, basic: int) -> None:
+        row = list(coeffs) + [_ZERO] * (self.num_cols - len(coeffs))
+        self.rows.append(row)
+        self.rhs.append(rhs)
+        self.basis.append(basic)
+
+    def add_columns(self, count: int) -> int:
+        """Append ``count`` zero columns; return the index of the first."""
+        first = self.num_cols
+        self.num_cols += count
+        for row in self.rows:
+            row.extend([_ZERO] * count)
+        return first
+
+    def pivot(self, row_idx: int, col: int) -> None:
+        pivot_row = self.rows[row_idx]
+        factor = pivot_row[col]
+        inv = _ONE / factor
+        self.rows[row_idx] = [value * inv for value in pivot_row]
+        self.rhs[row_idx] *= inv
+        pivot_row = self.rows[row_idx]
+        for i, row in enumerate(self.rows):
+            if i == row_idx:
+                continue
+            coeff = row[col]
+            if coeff == 0:
+                continue
+            self.rows[i] = [value - coeff * pivot_row[j] for j, value in enumerate(row)]
+            self.rhs[i] -= coeff * self.rhs[row_idx]
+        self.basis[row_idx] = col
+
+    def minimise(self, objective: Sequence[Fraction], forbidden: frozenset[int] = frozenset()) -> Fraction:
+        """Minimise ``objective · x`` from the current basic feasible point.
+
+        Columns in ``forbidden`` never enter the basis (used to keep retired
+        artificial variables out).  Returns the optimal objective value; the
+        objective here is always bounded below (phase-1 cost ≥ 0, phase-2
+        maximises a variable explicitly capped by a row).
+        """
+        obj = list(objective) + [_ZERO] * (self.num_cols - len(objective))
+        # Reduced costs: subtract basic rows from the objective row.
+        value = _ZERO
+        for i, basic in enumerate(self.basis):
+            coeff = obj[basic]
+            if coeff == 0:
+                continue
+            row = self.rows[i]
+            obj = [o - coeff * row[j] for j, o in enumerate(obj)]
+            value -= coeff * self.rhs[i]
+        while True:
+            entering = -1
+            for col in range(self.num_cols):
+                if col in forbidden:
+                    continue
+                if obj[col] < 0:
+                    entering = col
+                    break
+            if entering < 0:
+                return -value
+            leaving = -1
+            best_ratio: Fraction | None = None
+            for i, row in enumerate(self.rows):
+                coeff = row[entering]
+                if coeff > 0:
+                    ratio = self.rhs[i] / coeff
+                    if (
+                        best_ratio is None
+                        or ratio < best_ratio
+                        or (ratio == best_ratio and self.basis[i] < self.basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving < 0:
+                raise ArithmeticError("objective unbounded; feasibility objectives never are")
+            coeff = obj[entering]
+            self.pivot(leaving, entering)
+            row = self.rows[leaving]
+            obj = [o - coeff * row[j] for j, o in enumerate(obj)]
+            value -= coeff * self.rhs[leaving]
+
+    def column_value(self, col: int) -> Fraction:
+        for i, basic in enumerate(self.basis):
+            if basic == col:
+                return self.rhs[i]
+        return _ZERO
+
+
+def find_rational_solution(atoms: Iterable[LinearConstraint]) -> FeasibilityResult:
+    """Decide satisfiability of a conjunction of atoms; produce a witness.
+
+    Ground atoms are decided directly; an unsatisfiable ground atom makes
+    the whole system infeasible regardless of the rest.
+    """
+    materialised: list[LinearConstraint] = []
+    for atom in atoms:
+        if atom.is_trivial:
+            if not atom.truth_value():
+                return FeasibilityResult(False)
+            continue
+        materialised.append(atom)
+    variables = sorted({v for atom in materialised for v in atom.variables})
+    if not materialised:
+        return FeasibilityResult(True, {v: _ZERO for v in variables})
+
+    has_strict = any(a.comparator is Comparator.LT for a in materialised)
+    # Column layout: for each free variable v, a nonnegative pair (v+, v-);
+    # then ε (if needed); slack and artificial columns are appended per row.
+    var_cols = {v: 2 * i for i, v in enumerate(variables)}
+    eps_col = 2 * len(variables) if has_strict else -1
+    first_slack = 2 * len(variables) + (1 if has_strict else 0)
+
+    # Build raw rows (standard-form equalities with nonnegative rhs).
+    raw_rows: list[tuple[list[Fraction], Fraction, bool]] = []  # (coeffs, rhs, needs_slack)
+    for atom in materialised:
+        coeffs = [_ZERO] * first_slack
+        for v, c in atom.expression.coefficients.items():
+            coeffs[var_cols[v]] += c
+            coeffs[var_cols[v] + 1] -= c
+        rhs = -atom.expression.constant
+        if atom.comparator is Comparator.LT and eps_col >= 0:
+            coeffs[eps_col] += _ONE
+        needs_slack = atom.comparator is not Comparator.EQ
+        raw_rows.append((coeffs, rhs, needs_slack))
+    if has_strict:
+        cap = [_ZERO] * first_slack
+        cap[eps_col] = _ONE
+        raw_rows.append((cap, _ONE, True))  # ε ≤ 1 keeps phase 2 bounded
+
+    num_slacks = sum(1 for _, _, s in raw_rows if s)
+    tableau = _Tableau(first_slack + num_slacks)
+    slack_idx = first_slack
+    pending: list[tuple[list[Fraction], Fraction, int]] = []  # rows needing artificials
+    for coeffs, rhs, needs_slack in raw_rows:
+        coeffs = coeffs + [_ZERO] * num_slacks
+        slack_col = -1
+        if needs_slack:
+            coeffs[slack_idx] = _ONE
+            slack_col = slack_idx
+            slack_idx += 1
+        if rhs < 0:
+            coeffs = [-c for c in coeffs]
+            rhs = -rhs
+            slack_col = -1  # slack coefficient is now -1: not a valid basis
+        if slack_col >= 0:
+            tableau.add_row(coeffs, rhs, slack_col)
+        else:
+            pending.append((coeffs, rhs, -1))
+
+    forbidden: frozenset[int] = frozenset()
+    if pending:
+        first_artificial = tableau.num_cols + 0
+        artificial_cols = []
+        # Temporarily extend existing rows, then add pending rows with their
+        # artificial basic columns.
+        base = tableau.add_columns(len(pending))
+        for offset, (coeffs, rhs, _) in enumerate(pending):
+            col = base + offset
+            coeffs = coeffs + [_ZERO] * len(pending)
+            coeffs[col] = _ONE
+            tableau.add_row(coeffs, rhs, col)
+            artificial_cols.append(col)
+        phase1 = [_ZERO] * tableau.num_cols
+        for col in artificial_cols:
+            phase1[col] = _ONE
+        if tableau.minimise(phase1) != 0:
+            return FeasibilityResult(False)
+        # Pivot any artificial still (degenerately) basic out of the basis.
+        for i, basic in enumerate(tableau.basis):
+            if basic >= first_artificial:
+                pivot_col = next(
+                    (
+                        c
+                        for c in range(first_artificial)
+                        if tableau.rows[i][c] != 0
+                    ),
+                    -1,
+                )
+                if pivot_col >= 0:
+                    tableau.pivot(i, pivot_col)
+        forbidden = frozenset(artificial_cols)
+
+    if has_strict:
+        objective = [_ZERO] * tableau.num_cols
+        objective[eps_col] = -_ONE  # maximise ε == minimise -ε
+        best = tableau.minimise(objective, forbidden)
+        if -best <= 0:
+            return FeasibilityResult(False)
+
+    witness = {
+        v: tableau.column_value(col) - tableau.column_value(col + 1)
+        for v, col in var_cols.items()
+    }
+    return FeasibilityResult(True, witness)
+
+
+def is_satisfiable(atoms: Iterable[LinearConstraint]) -> bool:
+    """Simplex-backed satisfiability (same contract as
+    :func:`repro.constraints.elimination.is_satisfiable`)."""
+    return find_rational_solution(atoms).feasible

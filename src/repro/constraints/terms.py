@@ -1,0 +1,234 @@
+"""Linear expressions over rational coefficients.
+
+A :class:`LinearExpression` is an immutable value ``sum(coeff_i * var_i) +
+constant`` with :class:`~fractions.Fraction` coefficients.  It is the shared
+building block for constraint atoms (:mod:`repro.constraints.atoms`) and for
+the query language's condition syntax.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterator, Mapping
+
+from ..errors import ConstraintError
+from ..rational import RationalLike, ZERO, format_rational, to_rational
+
+
+class LinearExpression:
+    """An immutable rational linear expression.
+
+    Instances are hashable and compare by value.  Arithmetic (``+``, ``-``,
+    unary ``-``, and multiplication by rationals) always yields new
+    instances; multiplying two non-constant expressions raises
+    :class:`~repro.errors.ConstraintError` because the result would be
+    non-linear.
+    """
+
+    __slots__ = ("_coefficients", "_constant", "_hash")
+
+    def __init__(
+        self,
+        coefficients: Mapping[str, RationalLike] | None = None,
+        constant: RationalLike = 0,
+    ):
+        coeffs: dict[str, Fraction] = {}
+        if coefficients:
+            for var, raw in coefficients.items():
+                if not isinstance(var, str) or not var:
+                    raise ConstraintError(f"variable names must be non-empty strings, got {var!r}")
+                value = to_rational(raw)
+                if value != 0:
+                    coeffs[var] = value
+        self._coefficients: dict[str, Fraction] = coeffs
+        self._constant: Fraction = to_rational(constant)
+        self._hash: int | None = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def variable(cls, name: str) -> "LinearExpression":
+        """The expression consisting of a single variable with coefficient 1."""
+        return cls({name: 1})
+
+    @classmethod
+    def constant_expr(cls, value: RationalLike) -> "LinearExpression":
+        """The constant expression ``value``."""
+        return cls({}, value)
+
+    @classmethod
+    def coerce(cls, value: "LinearExpression | RationalLike") -> "LinearExpression":
+        """Coerce a rational-like value or expression into an expression."""
+        if isinstance(value, LinearExpression):
+            return value
+        return cls.constant_expr(value)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def coefficients(self) -> Mapping[str, Fraction]:
+        """Read-only view of the non-zero coefficients."""
+        return dict(self._coefficients)
+
+    @property
+    def constant(self) -> Fraction:
+        return self._constant
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(self._coefficients)
+
+    def coefficient(self, var: str) -> Fraction:
+        """The coefficient of ``var`` (zero when absent)."""
+        return self._coefficients.get(var, ZERO)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self._coefficients
+
+    def evaluate(self, assignment: Mapping[str, RationalLike]) -> Fraction:
+        """Evaluate at a point. All variables of the expression must be bound."""
+        total = self._constant
+        for var, coeff in self._coefficients.items():
+            if var not in assignment:
+                raise ConstraintError(f"no value for variable {var!r} in assignment")
+            total += coeff * to_rational(assignment[var])
+        return total
+
+    def substitute(self, var: str, replacement: "LinearExpression") -> "LinearExpression":
+        """Replace ``var`` with ``replacement`` (itself a linear expression)."""
+        coeff = self._coefficients.get(var)
+        if coeff is None:
+            return self
+        remaining = {v: c for v, c in self._coefficients.items() if v != var}
+        base = LinearExpression(remaining, self._constant)
+        return base + replacement * coeff
+
+    def rename(self, old: str, new: str) -> "LinearExpression":
+        """Rename variable ``old`` to ``new``; ``new`` must not collide."""
+        if old not in self._coefficients:
+            return self
+        if new in self._coefficients:
+            raise ConstraintError(f"cannot rename {old!r} to {new!r}: {new!r} already present")
+        coeffs = dict(self._coefficients)
+        coeffs[new] = coeffs.pop(old)
+        return LinearExpression(coeffs, self._constant)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "LinearExpression | RationalLike") -> "LinearExpression":
+        other = LinearExpression.coerce(other)
+        coeffs = dict(self._coefficients)
+        for var, coeff in other._coefficients.items():
+            coeffs[var] = coeffs.get(var, ZERO) + coeff
+        return LinearExpression(coeffs, self._constant + other._constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "LinearExpression | RationalLike") -> "LinearExpression":
+        return self + (-LinearExpression.coerce(other))
+
+    def __rsub__(self, other: "LinearExpression | RationalLike") -> "LinearExpression":
+        return LinearExpression.coerce(other) - self
+
+    def __neg__(self) -> "LinearExpression":
+        return self * Fraction(-1)
+
+    def __mul__(self, scalar: RationalLike) -> "LinearExpression":
+        if isinstance(scalar, LinearExpression):
+            if scalar.is_constant:
+                scalar = scalar.constant
+            elif self.is_constant:
+                return scalar * self._constant
+            else:
+                raise ConstraintError("product of two non-constant expressions is non-linear")
+        factor = to_rational(scalar)
+        coeffs = {var: coeff * factor for var, coeff in self._coefficients.items()}
+        return LinearExpression(coeffs, self._constant * factor)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: RationalLike) -> "LinearExpression":
+        factor = to_rational(scalar)
+        if factor == 0:
+            raise ConstraintError("division of an expression by zero")
+        return self * (1 / factor)
+
+    # -- constraint construction -------------------------------------------
+    # ``x + y <= 5`` reads naturally in queries, tests and examples, so the
+    # ordering operators build constraint atoms.  (``==`` keeps its value
+    # semantics; use :func:`repro.constraints.atoms.eq` for equality atoms.)
+    # The import is deferred because atoms.py imports this module.
+
+    def __le__(self, other: "LinearExpression | RationalLike"):
+        from .atoms import le
+
+        return le(self, other)
+
+    def __lt__(self, other: "LinearExpression | RationalLike"):
+        from .atoms import lt
+
+        return lt(self, other)
+
+    def __ge__(self, other: "LinearExpression | RationalLike"):
+        from .atoms import ge
+
+        return ge(self, other)
+
+    def __gt__(self, other: "LinearExpression | RationalLike"):
+        from .atoms import gt
+
+        return gt(self, other)
+
+    # -- value semantics ---------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (tuple(sorted(self._coefficients.items())), self._constant)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearExpression):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
+
+    def __iter__(self) -> Iterator[tuple[str, Fraction]]:
+        return iter(sorted(self._coefficients.items()))
+
+    def __repr__(self) -> str:
+        return f"LinearExpression({self})"
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for var, coeff in sorted(self._coefficients.items()):
+            if coeff == 1:
+                term = var
+            elif coeff == -1:
+                term = f"-{var}"
+            else:
+                term = f"{format_rational(coeff)}*{var}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+ {term}")
+            elif parts:
+                parts.append(f"- {term[1:]}")
+            else:
+                parts.append(term)
+        if self._constant != 0 or not parts:
+            text = format_rational(self._constant)
+            if parts and not text.startswith("-"):
+                parts.append(f"+ {text}")
+            elif parts:
+                parts.append(f"- {text[1:]}")
+            else:
+                parts.append(text)
+        return " ".join(parts)
+
+
+def var(name: str) -> LinearExpression:
+    """Shorthand for :meth:`LinearExpression.variable`, for expressive tests
+    and examples: ``var("x") + 2 * var("y") <= 5`` (comparison operators on
+    expressions are provided by :mod:`repro.constraints.atoms`)."""
+    return LinearExpression.variable(name)

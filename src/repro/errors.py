@@ -1,0 +1,65 @@
+"""Exception hierarchy for the CQA/CDB reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subclasses mirror the layers of
+the system (constraints, schema/model, algebra, query language, spatial,
+storage) described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConstraintError(ReproError):
+    """Invalid constraint construction or manipulation."""
+
+
+class NonLinearError(ConstraintError):
+    """An operation would leave the linear constraint class."""
+
+
+class SchemaError(ReproError):
+    """Schema violations: unknown attributes, arity/type mismatches."""
+
+
+class AlgebraError(ReproError):
+    """Invalid algebraic operation over constraint relations."""
+
+
+class SafetyError(AlgebraError):
+    """A query is unsafe: its output is not representable in closed form
+    within the system's constraint class (section 2.4 of the paper)."""
+
+
+class QueryError(ReproError):
+    """Errors in the CQA query language front end."""
+
+
+class ParseError(QueryError):
+    """Syntax errors in the ASCII query language."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (unbounded regions, degenerate polygons)."""
+
+
+class StorageError(ReproError):
+    """Errors in the simulated storage layer or serialization format."""
+
+
+class IndexError_(ReproError):
+    """Errors in index construction or search (named to avoid shadowing
+    the builtin :class:`IndexError`)."""

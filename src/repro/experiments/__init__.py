@@ -1,0 +1,29 @@
+"""Experiment harnesses: one module per paper figure/experiment.
+
+* :mod:`~repro.experiments.fig4` — Figure 4 (two-attribute queries).
+* :mod:`~repro.experiments.fig5` — Figure 5 (one-attribute queries).
+* :mod:`~repro.experiments.expt3` — experiment 3 (low joint selectivity;
+  reconstructed, see the module docstring).
+* :mod:`~repro.experiments.hurricane_queries` — Figure 2 / §3.3 case study.
+* :mod:`~repro.experiments.representation` — §6.2 representation costs.
+
+Each module exposes ``run(...)`` returning structured results and a
+``main()`` that prints the paper-style table; the ``benchmarks/`` tree
+wraps these for ``pytest-benchmark``.
+"""
+
+from .runner import (
+    ExperimentResult,
+    ExperimentSeries,
+    QueryMeasurement,
+    check_consistency,
+    print_result,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSeries",
+    "QueryMeasurement",
+    "check_consistency",
+    "print_result",
+]

@@ -1,0 +1,60 @@
+"""Figure 2 / section 3.3 — the Hurricane case-study queries.
+
+Runs the five multi-step CQA scripts against the Figure 2 instance and
+reports each result relation with the evaluator's operator metrics.  This
+is the functional reproduction of the case study: the expected outputs
+(who owned parcel A, which parcels the hurricane crossed, and so on) are
+asserted exactly in ``tests/integration/test_hurricane_case_study.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..model.database import Database
+from ..model.relation import ConstraintRelation
+from ..query import QuerySession
+from ..workloads.hurricane import figure2_database, paper_queries
+
+
+@dataclass
+class CaseStudyResult:
+    query_name: str
+    script: str
+    result: ConstraintRelation
+    operator_calls: dict[str, int] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [f"== {self.query_name} =="]
+        lines.extend(f"  | {line}" for line in self.script.strip().splitlines())
+        lines.append(self.result.simplify().pretty())
+        ops = ", ".join(f"{op}×{n}" for op, n in sorted(self.operator_calls.items()))
+        lines.append(f"  operators: {ops}")
+        return "\n".join(lines)
+
+
+def run(database: Database | None = None, use_optimizer: bool = True) -> list[CaseStudyResult]:
+    database = database or figure2_database()
+    results = []
+    for name, script in paper_queries().items():
+        session = QuerySession(database, use_optimizer=use_optimizer)
+        relation = session.run_script(script)
+        results.append(
+            CaseStudyResult(
+                query_name=name,
+                script=script,
+                result=relation,
+                operator_calls=dict(session.metrics.operator_calls),
+            )
+        )
+    return results
+
+
+def main() -> None:  # pragma: no cover - exercised via examples/benches
+    for result in run():
+        print(result.format())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

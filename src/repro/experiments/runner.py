@@ -1,0 +1,133 @@
+"""Shared experiment plumbing: measurements, binning and table printing.
+
+Each experiment module (:mod:`fig4`, :mod:`fig5`, :mod:`expt3`, …) produces
+:class:`ExperimentResult` objects; the paper's figures are scatter/line
+plots of disk accesses, so results carry raw per-query measurements plus a
+binned summary suitable for a text table (and for asserting the shape —
+who wins, by what factor — in tests and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class QueryMeasurement:
+    """One query's outcome under both strategies.
+
+    ``x_value`` is the figure's x-coordinate (query area for Figure 4,
+    query length for Figure 5, data size for experiment 3).
+    """
+
+    x_value: float
+    joint_accesses: int
+    separate_accesses: int
+    result_count: int
+
+
+@dataclass
+class ExperimentSeries:
+    """All measurements of one experiment variant (e.g. '1-A')."""
+
+    label: str
+    x_label: str
+    measurements: list[QueryMeasurement] = field(default_factory=list)
+
+    @property
+    def mean_joint(self) -> float:
+        return mean(m.joint_accesses for m in self.measurements)
+
+    @property
+    def mean_separate(self) -> float:
+        return mean(m.separate_accesses for m in self.measurements)
+
+    @property
+    def joint_advantage(self) -> float:
+        """separate/joint mean access ratio (>1 means joint wins)."""
+        joint = self.mean_joint
+        return self.mean_separate / joint if joint else float("inf")
+
+    def binned(self, bins: int = 8) -> list[tuple[float, float, float, int]]:
+        """``(bin center x, mean joint, mean separate, count)`` rows over
+        equal-width x bins (empty bins are skipped)."""
+        if not self.measurements:
+            return []
+        xs = [m.x_value for m in self.measurements]
+        low, high = min(xs), max(xs)
+        if high == low:
+            return [(low, self.mean_joint, self.mean_separate, len(self.measurements))]
+        width = (high - low) / bins
+        rows = []
+        for b in range(bins):
+            bin_low = low + b * width
+            bin_high = high if b == bins - 1 else bin_low + width
+            members = [
+                m
+                for m in self.measurements
+                if bin_low <= m.x_value <= bin_high
+                and (b == 0 or m.x_value > bin_low)
+            ]
+            if not members:
+                continue
+            # A singleton bin reports its exact x (sweeps over a handful of
+            # data sizes read better than synthetic bin centers).
+            x = members[0].x_value if len(members) == 1 else bin_low + width / 2
+            rows.append(
+                (
+                    x,
+                    mean(m.joint_accesses for m in members),
+                    mean(m.separate_accesses for m in members),
+                    len(members),
+                )
+            )
+        return rows
+
+
+@dataclass
+class ExperimentResult:
+    """A complete experiment: id, description and its variant series."""
+
+    experiment_id: str
+    title: str
+    series: list[ExperimentSeries]
+    notes: str = ""
+
+    def format_table(self, bins: int = 8) -> str:
+        lines = [f"{self.experiment_id}: {self.title}"]
+        if self.notes:
+            lines.append(f"  {self.notes}")
+        for series in self.series:
+            lines.append(f"\n  [{series.label}]  ({len(series.measurements)} points)")
+            lines.append(
+                f"    {series.x_label:>16} | {'joint':>8} | {'separate':>9} | {'n':>4}"
+            )
+            lines.append("    " + "-" * 48)
+            for x, joint, separate, count in series.binned(bins):
+                lines.append(
+                    f"    {x:16.1f} | {joint:8.1f} | {separate:9.1f} | {count:4d}"
+                )
+            lines.append(
+                f"    mean: joint={series.mean_joint:.1f}  "
+                f"separate={series.mean_separate:.1f}  "
+                f"advantage(sep/joint)={series.joint_advantage:.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def print_result(result: ExperimentResult, bins: int = 8) -> None:
+    print(result.format_table(bins))
+
+
+def check_consistency(
+    joint_hits: Sequence[int] | set[int], separate_hits: Sequence[int] | set[int]
+) -> None:
+    """Both strategies must return the same candidate sets — they index the
+    same intervals; raise loudly if an experiment run ever disagrees."""
+    if set(joint_hits) != set(separate_hits):
+        raise AssertionError(
+            f"strategy disagreement: joint found {len(set(joint_hits))} candidates, "
+            f"separate found {len(set(separate_hits))}"
+        )

@@ -1,0 +1,47 @@
+"""Indexing for constraint databases (section 5 of the paper).
+
+Public surface:
+
+* :class:`MBR` — k-dimensional bounding rectangles.
+* :class:`RStarTree` — the R*-tree with disk-access accounting.
+* :class:`JointIndex` / :class:`SeparateIndexes` — the two strategies the
+  paper compares, plus :func:`tuple_interval` and
+  :func:`query_box_for_predicates` glue used by the plan evaluator.
+* :func:`recommend_grouping` — a heuristic for the paper's open
+  attribute-grouping problem.
+"""
+
+from .advisor import Recommendation, WorkloadQuery, estimate_query_cost, recommend_grouping
+from .bulk import str_bulk_load, str_bulk_load_relation
+from .mbr import MBR
+from .rstar import RStarTree, bulk_load
+from .strategy import (
+    DOMAIN_CLAMP,
+    FULL_RANGE,
+    NULL_SENTINEL,
+    IndexStrategy,
+    JointIndex,
+    SeparateIndexes,
+    query_box_for_predicates,
+    tuple_interval,
+)
+
+__all__ = [
+    "DOMAIN_CLAMP",
+    "FULL_RANGE",
+    "IndexStrategy",
+    "JointIndex",
+    "MBR",
+    "NULL_SENTINEL",
+    "Recommendation",
+    "RStarTree",
+    "SeparateIndexes",
+    "WorkloadQuery",
+    "bulk_load",
+    "estimate_query_cost",
+    "query_box_for_predicates",
+    "recommend_grouping",
+    "str_bulk_load",
+    "str_bulk_load_relation",
+    "tuple_interval",
+]

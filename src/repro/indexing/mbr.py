@@ -1,0 +1,133 @@
+"""Minimum bounding rectangles in k dimensions.
+
+The R*-tree stores float MBRs.  Floats (not rationals) are deliberate and
+faithful: the index is an *approximate* pruning structure over bounding
+boxes — the paper's own experiments index bounding boxes — and every index
+hit is re-checked exactly by the constraint engine, so float rounding can
+only cost a false candidate, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import IndexError_
+
+
+class MBR:
+    """An immutable k-dimensional closed box ``[min_i, max_i]``."""
+
+    __slots__ = ("mins", "maxs")
+
+    def __init__(self, mins: Sequence[float], maxs: Sequence[float]):
+        mins = tuple(float(v) for v in mins)
+        maxs = tuple(float(v) for v in maxs)
+        if len(mins) != len(maxs) or not mins:
+            raise IndexError_(f"malformed MBR: mins={mins}, maxs={maxs}")
+        for low, high in zip(mins, maxs):
+            if low > high:
+                raise IndexError_(f"empty MBR: {mins} > {maxs}")
+        self.mins = mins
+        self.maxs = maxs
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def point(cls, coordinates: Sequence[float]) -> "MBR":
+        return cls(coordinates, coordinates)
+
+    @classmethod
+    def union_all(cls, boxes: Iterable["MBR"]) -> "MBR":
+        boxes = list(boxes)
+        if not boxes:
+            raise IndexError_("union of zero MBRs")
+        dims = boxes[0].dimensions
+        mins = [min(b.mins[d] for b in boxes) for d in range(dims)]
+        maxs = [max(b.maxs[d] for b in boxes) for d in range(dims)]
+        return cls(mins, maxs)
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.mins)
+
+    def area(self) -> float:
+        """The k-dimensional volume (the R*-tree literature says 'area')."""
+        result = 1.0
+        for low, high in zip(self.mins, self.maxs):
+            result *= high - low
+        return result
+
+    def margin(self) -> float:
+        """The sum of edge lengths (the R* split criterion)."""
+        return sum(high - low for low, high in zip(self.mins, self.maxs))
+
+    def center(self) -> tuple[float, ...]:
+        return tuple((low + high) / 2.0 for low, high in zip(self.mins, self.maxs))
+
+    def union(self, other: "MBR") -> "MBR":
+        return MBR(
+            tuple(min(a, b) for a, b in zip(self.mins, other.mins)),
+            tuple(max(a, b) for a, b in zip(self.maxs, other.maxs)),
+        )
+
+    def intersects(self, other: "MBR") -> bool:
+        return all(
+            low <= other_high and other_low <= high
+            for low, high, other_low, other_high in zip(
+                self.mins, self.maxs, other.mins, other.maxs
+            )
+        )
+
+    def contains(self, other: "MBR") -> bool:
+        return all(
+            low <= other_low and other_high <= high
+            for low, high, other_low, other_high in zip(
+                self.mins, self.maxs, other.mins, other.maxs
+            )
+        )
+
+    def overlap_area(self, other: "MBR") -> float:
+        result = 1.0
+        for low, high, other_low, other_high in zip(self.mins, self.maxs, other.mins, other.maxs):
+            extent = min(high, other_high) - max(low, other_low)
+            if extent <= 0:
+                return 0.0
+            result *= extent
+        return result
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area growth needed to absorb ``other``."""
+        return self.union(other).area() - self.area()
+
+    def center_distance_sq(self, other: "MBR") -> float:
+        return sum((a - b) ** 2 for a, b in zip(self.center(), other.center()))
+
+    def min_distance_sq(self, other: "MBR") -> float:
+        """Squared minimum distance between the two boxes (0 if they
+        intersect); the MINDIST of R-tree nearest-neighbour search."""
+        total = 0.0
+        for low, high, other_low, other_high in zip(self.mins, self.maxs, other.mins, other.maxs):
+            if other_high < low:
+                gap = low - other_high
+            elif high < other_low:
+                gap = other_low - high
+            else:
+                continue
+            total += gap * gap
+        return total
+
+    # -- value semantics ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBR):
+            return NotImplemented
+        return self.mins == other.mins and self.maxs == other.maxs
+
+    def __hash__(self) -> int:
+        return hash((self.mins, self.maxs))
+
+    def __repr__(self) -> str:
+        intervals = ", ".join(f"[{lo:g}, {hi:g}]" for lo, hi in zip(self.mins, self.maxs))
+        return f"MBR({intervals})"

@@ -1,0 +1,502 @@
+"""An R*-tree (Beckmann, Kriegel, Schneider, Seeger, SIGMOD 1990).
+
+This is the index structure the paper's section 5.4 experiments use ("An
+R* tree was used as the index data structure").  The implementation follows
+the original algorithms:
+
+* **ChooseSubtree** — minimum *overlap* enlargement when the children are
+  leaves (ties: area enlargement, then area), minimum *area* enlargement
+  above the leaf level;
+* **OverflowTreatment** — forced reinsertion of the ``reinsert_fraction``
+  entries whose centers lie furthest from the node's center, once per level
+  per insertion, before resorting to a split;
+* **Split** — choose the split axis by minimum margin-sum over all
+  distributions, then the distribution with minimum overlap (ties: minimum
+  area).
+
+Disk accesses are modelled by counting node visits: every node touched
+during a search increments :attr:`RStarTree.search_accesses`, the unit on
+the y-axis of the paper's Figures 4 and 5.  (Node = disk page; see
+:mod:`repro.storage.pages` for the page-size → fanout computation.)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..errors import IndexError_
+from .mbr import MBR
+
+
+class _Entry:
+    """A slot in a node: an MBR plus either a child node or a payload."""
+
+    __slots__ = ("mbr", "child", "payload")
+
+    def __init__(self, mbr: MBR, child: "_Node | None" = None, payload: Any = None):
+        self.mbr = mbr
+        self.child = child
+        self.payload = payload
+
+
+class _Node:
+    """A tree node; ``level`` 0 is the leaf level."""
+
+    __slots__ = ("level", "entries")
+
+    def __init__(self, level: int, entries: list[_Entry] | None = None):
+        self.level = level
+        self.entries = entries if entries is not None else []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def mbr(self) -> MBR:
+        return MBR.union_all(e.mbr for e in self.entries)
+
+
+class RStarTree:
+    """An in-memory R*-tree over float MBRs with access accounting.
+
+    ``max_entries`` is the node fanout (page capacity); ``min_entries``
+    defaults to 40% of it, per the R* paper's recommendation.  Set
+    ``forced_reinsert=False`` to ablate the R*'s signature improvement and
+    fall back to plain split-on-overflow (used by
+    ``benchmarks/bench_rstar_ablation.py``).
+    """
+
+    def __init__(
+        self,
+        dimensions: int,
+        max_entries: int = 50,
+        min_entries: int | None = None,
+        forced_reinsert: bool = True,
+        reinsert_fraction: float = 0.3,
+    ):
+        if dimensions < 1:
+            raise IndexError_(f"dimensions must be >= 1, got {dimensions}")
+        if max_entries < 4:
+            raise IndexError_(f"max_entries must be >= 4, got {max_entries}")
+        self.dimensions = dimensions
+        self.max_entries = max_entries
+        self.min_entries = min_entries if min_entries is not None else max(2, int(round(0.4 * max_entries)))
+        if not 2 <= self.min_entries <= max_entries // 2:
+            raise IndexError_(
+                f"min_entries must be in [2, {max_entries // 2}], got {self.min_entries}"
+            )
+        self.forced_reinsert = forced_reinsert
+        self.reinsert_fraction = reinsert_fraction
+        self._root = _Node(level=0)
+        self._size = 0
+        #: Node visits accumulated by search/nearest; reset with reset_counters().
+        self.search_accesses = 0
+        #: Node visits accumulated by insert/delete (write I/O model).
+        self.write_accesses = 0
+        #: Optional buffer pool: when attached, every node visit is also
+        #: recorded against it, separating logical accesses (this counter)
+        #: from simulated physical reads (pool misses).
+        self._buffer_pool = None
+
+    def attach_buffer_pool(self, pool) -> None:
+        """Route node visits through a :class:`repro.storage.BufferPool`
+        so experiments can report physical (miss) I/O alongside the
+        logical node-access counts the paper's figures use."""
+        self._buffer_pool = pool
+
+    def _visit(self, node: "_Node") -> None:
+        self.search_accesses += 1
+        if self._buffer_pool is not None:
+            self._buffer_pool.access(id(node))
+
+    # -- public API ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._root.level + 1
+
+    @property
+    def node_count(self) -> int:
+        return sum(1 for _ in self._iter_nodes())
+
+    def reset_counters(self) -> None:
+        self.search_accesses = 0
+        self.write_accesses = 0
+
+    def insert(self, mbr: MBR, payload: Any) -> None:
+        """Insert one entry; ``payload`` is opaque to the tree."""
+        self._check_dims(mbr)
+        self._insert_entry(_Entry(mbr, payload=payload), level=0, reinserted_levels=set())
+        self._size += 1
+
+    def search(self, query: MBR) -> list[Any]:
+        """Payloads of all entries whose MBR intersects ``query``, counting
+        one access per node visited (the paper's disk-access metric)."""
+        self._check_dims(query)
+        found: list[Any] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self._visit(node)
+            for entry in node.entries:
+                if not entry.mbr.intersects(query):
+                    continue
+                if node.is_leaf:
+                    found.append(entry.payload)
+                else:
+                    stack.append(entry.child)  # type: ignore[arg-type]
+        return found
+
+    def nearest(self, target: MBR, k: int = 1) -> list[tuple[float, Any]]:
+        """The ``k`` entries with smallest MINDIST to ``target`` as
+        ``(distance, payload)`` pairs, via best-first search
+        (Hjaltason & Samet).  Distances are Euclidean."""
+        self._check_dims(target)
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        results: list[tuple[float, Any]] = []
+        counter = 0  # tie-breaker so heap never compares payloads
+        heap: list[tuple[float, int, bool, Any]] = [(0.0, counter, False, self._root)]
+        while heap and len(results) < k:
+            distance_sq, _, is_payload, item = heapq.heappop(heap)
+            if is_payload:
+                results.append((distance_sq**0.5, item))
+                continue
+            node: _Node = item
+            self._visit(node)
+            for entry in node.entries:
+                counter += 1
+                d = target.min_distance_sq(entry.mbr)
+                if node.is_leaf:
+                    heapq.heappush(heap, (d, counter, True, entry.payload))
+                else:
+                    heapq.heappush(heap, (d, counter, False, entry.child))
+        return results
+
+    def nearest_iter(self, target: MBR) -> Iterator[tuple[float, Any]]:
+        """Lazily yield ``(mindist, payload)`` pairs in non-decreasing
+        MINDIST order — the incremental nearest-neighbour stream used by
+        the k-Nearest whole-feature operator, whose exact refinement step
+        needs to keep pulling candidates until the next lower bound exceeds
+        the best exact distances found so far."""
+        self._check_dims(target)
+        counter = 0
+        heap: list[tuple[float, int, bool, Any]] = [(0.0, counter, False, self._root)]
+        while heap:
+            distance_sq, _, is_payload, item = heapq.heappop(heap)
+            if is_payload:
+                yield distance_sq**0.5, item
+                continue
+            node: _Node = item
+            self._visit(node)
+            for entry in node.entries:
+                counter += 1
+                d = target.min_distance_sq(entry.mbr)
+                if node.is_leaf:
+                    heapq.heappush(heap, (d, counter, True, entry.payload))
+                else:
+                    heapq.heappush(heap, (d, counter, False, entry.child))
+
+    def delete(self, mbr: MBR, payload: Any) -> bool:
+        """Remove the entry with this exact MBR and payload; returns whether
+        it was found.  Underfull nodes are condensed: their remaining
+        entries are reinserted at their original level."""
+        self._check_dims(mbr)
+        path = self._find_leaf(self._root, mbr, payload, [])
+        if path is None:
+            return False
+        leaf = path[-1]
+        leaf.entries = [
+            e for e in leaf.entries if not (e.mbr == mbr and e.payload == payload)
+        ]
+        self._size -= 1
+        self._condense(path)
+        return True
+
+    def items(self) -> Iterator[tuple[MBR, Any]]:
+        """All (mbr, payload) pairs, in arbitrary order."""
+        for node in self._iter_nodes():
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield entry.mbr, entry.payload
+
+    def check_invariants(self) -> None:
+        """Raise when any structural invariant is violated (test hook):
+        parent MBRs cover children, fanout bounds hold (except the root),
+        all leaves share level 0, size is consistent."""
+        counted = 0
+        stack: list[tuple[_Node, MBR | None]] = [(self._root, None)]
+        while stack:
+            node, parent_mbr = stack.pop()
+            if node is not self._root:
+                if not self.min_entries <= len(node.entries) <= self.max_entries:
+                    raise IndexError_(
+                        f"node at level {node.level} has {len(node.entries)} entries "
+                        f"(bounds {self.min_entries}..{self.max_entries})"
+                    )
+            elif len(node.entries) > self.max_entries:
+                raise IndexError_(f"root has {len(node.entries)} entries (> {self.max_entries})")
+            if parent_mbr is not None and node.entries and not parent_mbr.contains(node.mbr()):
+                raise IndexError_(f"parent MBR does not cover node at level {node.level}")
+            for entry in node.entries:
+                if node.is_leaf:
+                    counted += 1
+                    if entry.child is not None:
+                        raise IndexError_("leaf entry with a child pointer")
+                else:
+                    if entry.child is None:
+                        raise IndexError_("internal entry without a child")
+                    if entry.child.level != node.level - 1:
+                        raise IndexError_("child level mismatch")
+                    stack.append((entry.child, entry.mbr))
+        if counted != self._size:
+            raise IndexError_(f"size mismatch: counted {counted}, recorded {self._size}")
+
+    # -- insertion machinery -------------------------------------------------
+
+    def _check_dims(self, mbr: MBR) -> None:
+        if mbr.dimensions != self.dimensions:
+            raise IndexError_(
+                f"MBR has {mbr.dimensions} dimensions; tree expects {self.dimensions}"
+            )
+
+    def _insert_entry(self, entry: _Entry, level: int, reinserted_levels: set[int]) -> None:
+        path = self._choose_path(entry.mbr, level)
+        node = path[-1]
+        node.entries.append(entry)
+        self.write_accesses += len(path)
+        self._handle_overflow(path, reinserted_levels)
+
+    def _choose_path(self, mbr: MBR, level: int) -> list[_Node]:
+        """Descend from the root to the node at ``level`` best suited for
+        ``mbr`` (ChooseSubtree)."""
+        node = self._root
+        path = [node]
+        while node.level > level:
+            if node.level == 1:  # children are leaves: minimise overlap growth
+                best = self._least_overlap_child(node, mbr)
+            else:  # minimise area enlargement
+                best = min(
+                    node.entries,
+                    key=lambda e: (e.mbr.enlargement(mbr), e.mbr.area()),
+                )
+            node = best.child  # type: ignore[assignment]
+            path.append(node)
+        return path
+
+    #: Overlap enlargement is evaluated only for this many least-area-
+    #: enlargement candidates, per the R* paper's own optimisation ("the
+    #: nearly minimum overlap cost" with p = 32): the full computation is
+    #: quadratic in the fanout.
+    _OVERLAP_CANDIDATES = 32
+
+    def _least_overlap_child(self, node: _Node, mbr: MBR) -> _Entry:
+        """Vectorised: enlargements and pairwise overlaps are computed with
+        numpy over the node's entry boxes (pure-Python loops here dominate
+        insert cost at realistic fanouts)."""
+        entries = node.entries
+        n = len(entries)
+        mins = np.array([e.mbr.mins for e in entries])  # (n, d)
+        maxs = np.array([e.mbr.maxs for e in entries])
+        new_min = np.array(mbr.mins)
+        new_max = np.array(mbr.maxs)
+        areas = np.prod(maxs - mins, axis=1)
+        grown_mins = np.minimum(mins, new_min)
+        grown_maxs = np.maximum(maxs, new_max)
+        grown_areas = np.prod(grown_maxs - grown_mins, axis=1)
+        enlargements = grown_areas - areas
+        if n > self._OVERLAP_CANDIDATES:
+            order = np.lexsort((areas, enlargements))
+            candidate_idx = order[: self._OVERLAP_CANDIDATES]
+        else:
+            candidate_idx = np.arange(n)
+
+        def total_overlap(box_min: np.ndarray, box_max: np.ndarray, skip: int) -> float:
+            extent = np.minimum(maxs, box_max) - np.maximum(mins, box_min)
+            inter = np.prod(np.clip(extent, 0.0, None), axis=1)
+            return float(inter.sum() - inter[skip])
+
+        best_i = -1
+        best_key: tuple[float, float, float] | None = None
+        for i in candidate_idx:
+            growth = total_overlap(grown_mins[i], grown_maxs[i], i) - total_overlap(
+                mins[i], maxs[i], i
+            )
+            key = (growth, float(enlargements[i]), float(areas[i]))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_i = int(i)
+        return entries[best_i]
+
+    def _handle_overflow(self, path: list[_Node], reinserted_levels: set[int]) -> None:
+        """Walk back up the path resolving overflows by forced reinsert or
+        split; grows a new root if the old one splits."""
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            if len(node.entries) > self.max_entries:
+                is_root = depth == 0
+                if (
+                    self.forced_reinsert
+                    and not is_root
+                    and node.level not in reinserted_levels
+                ):
+                    reinserted_levels.add(node.level)
+                    self._reinsert(node, path[:depth], reinserted_levels)
+                    return  # _reinsert re-enters _insert_entry, which re-resolves
+                split_node = self._split(node)
+                if is_root:
+                    new_root = _Node(level=node.level + 1)
+                    new_root.entries = [
+                        _Entry(node.mbr(), child=node),
+                        _Entry(split_node.mbr(), child=split_node),
+                    ]
+                    self._root = new_root
+                    return
+                path[depth - 1].entries.append(_Entry(split_node.mbr(), child=split_node))
+                self.write_accesses += 2
+            if depth > 0:
+                parent = path[depth - 1]
+                for entry in parent.entries:
+                    if entry.child is node:
+                        entry.mbr = node.mbr()
+                        break
+
+    def _tighten(self, path: list[_Node]) -> None:
+        """Refresh parent MBRs bottom-up along ``path``."""
+        for depth in range(len(path) - 1, 0, -1):
+            child = path[depth]
+            parent = path[depth - 1]
+            for entry in parent.entries:
+                if entry.child is child:
+                    entry.mbr = child.mbr()
+                    break
+
+    def _reinsert(self, node: _Node, ancestors: list[_Node], reinserted_levels: set[int]) -> None:
+        """Forced reinsert: remove the furthest-from-center entries and
+        insert them again from the top (close reinsert order)."""
+        count = max(1, int(round(self.reinsert_fraction * len(node.entries))))
+        node_center_mbr = node.mbr()
+        node.entries.sort(key=lambda e: e.mbr.center_distance_sq(node_center_mbr))
+        evicted = node.entries[-count:]
+        node.entries = node.entries[:-count]
+        self._tighten(ancestors + [node])
+        for entry in evicted:
+            self._insert_entry(entry, level=node.level, reinserted_levels=reinserted_levels)
+
+    def _split(self, node: _Node) -> _Node:
+        """R* topological split; mutates ``node`` to the first group and
+        returns a new sibling holding the second.
+
+        Prefix/suffix cumulative unions make each sort order O(M) instead
+        of O(M²) in union work.
+        """
+        entries = node.entries
+        m = self.min_entries
+        per_axis: list[tuple[float, list[tuple[list[_Entry], list[MBR], list[MBR]]]]] = []
+        for axis in range(self.dimensions):
+            margin_sum = 0.0
+            orders = []
+            for sort_key in (
+                lambda e: (e.mbr.mins[axis], e.mbr.maxs[axis]),
+                lambda e: (e.mbr.maxs[axis], e.mbr.mins[axis]),
+            ):
+                ordered = sorted(entries, key=sort_key)
+                prefix: list[MBR] = []
+                for entry in ordered:
+                    prefix.append(entry.mbr if not prefix else prefix[-1].union(entry.mbr))
+                suffix: list[MBR] = [None] * len(ordered)  # type: ignore[list-item]
+                for i in range(len(ordered) - 1, -1, -1):
+                    suffix[i] = (
+                        ordered[i].mbr
+                        if i == len(ordered) - 1
+                        else suffix[i + 1].union(ordered[i].mbr)
+                    )
+                for split_at in range(m, len(ordered) - m + 1):
+                    margin_sum += prefix[split_at - 1].margin() + suffix[split_at].margin()
+                orders.append((ordered, prefix, suffix))
+            per_axis.append((margin_sum, orders))
+        best_axis = min(range(self.dimensions), key=lambda a: per_axis[a][0])
+        best_distribution: tuple[list[_Entry], list[_Entry]] | None = None
+        best_key: tuple[float, float] | None = None
+        for ordered, prefix, suffix in per_axis[best_axis][1]:
+            for split_at in range(m, len(ordered) - m + 1):
+                left_mbr = prefix[split_at - 1]
+                right_mbr = suffix[split_at]
+                key = (
+                    left_mbr.overlap_area(right_mbr),
+                    left_mbr.area() + right_mbr.area(),
+                )
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_distribution = (list(ordered[:split_at]), list(ordered[split_at:]))
+        assert best_distribution is not None
+        node.entries = best_distribution[0]
+        sibling = _Node(level=node.level, entries=best_distribution[1])
+        return sibling
+
+    # -- deletion machinery ---------------------------------------------------
+
+    def _find_leaf(
+        self, node: _Node, mbr: MBR, payload: Any, path: list[_Node]
+    ) -> list[_Node] | None:
+        path = path + [node]
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.mbr == mbr and entry.payload == payload:
+                    return path
+            return None
+        for entry in node.entries:
+            if entry.mbr.contains(mbr):
+                found = self._find_leaf(entry.child, mbr, payload, path)  # type: ignore[arg-type]
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, path: list[_Node]) -> None:
+        orphans: list[tuple[_Entry, int]] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            if len(node.entries) < self.min_entries:
+                parent.entries = [e for e in parent.entries if e.child is not node]
+                orphans.extend((entry, node.level) for entry in node.entries)
+            else:
+                for entry in parent.entries:
+                    if entry.child is node:
+                        entry.mbr = node.mbr()
+                        break
+        for entry, level in orphans:
+            self._insert_entry(entry, level=level, reinserted_levels=set())
+        # Shrink the root when it has a single internal child.
+        while self._root.level > 0 and len(self._root.entries) == 1:
+            self._root = self._root.entries[0].child  # type: ignore[assignment]
+        if self._root.level > 0 and not self._root.entries:
+            self._root = _Node(level=0)
+
+    # -- iteration -------------------------------------------------------------
+
+    def _iter_nodes(self) -> Iterator[_Node]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries)  # type: ignore[misc]
+
+
+def bulk_load(
+    tree_factory: Callable[[], RStarTree],
+    items: Iterable[tuple[MBR, Any]],
+) -> RStarTree:
+    """Build a tree by repeated insertion (the paper's trees are built the
+    same way: 'We read in the data file, building … R* trees')."""
+    tree = tree_factory()
+    for mbr, payload in items:
+        tree.insert(mbr, payload)
+    return tree

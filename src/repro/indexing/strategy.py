@@ -1,0 +1,252 @@
+"""Joint vs separate indexing strategies (section 5 of the paper).
+
+Given a heterogeneous relation and a set of attributes to index, there are
+two strategies:
+
+* :class:`JointIndex` — one multidimensional R*-tree over all the
+  attributes ("a single indexing structure for both attributes");
+* :class:`SeparateIndexes` — one 1-D R*-tree per attribute; a
+  multi-attribute query runs one subquery per index and intersects the
+  resulting tuple-id sets, and "the overall number of disk accesses [is]
+  the sum of the numbers for the two subqueries" (§5.4.1).
+
+Both strategies index *bounding intervals*: a constraint attribute
+contributes the tightest interval its tuple formula implies (section 5.2's
+"indexing constraint tuples" via bounding boxes); a relational attribute
+contributes a degenerate point interval.  A NULL relational value is mapped
+to an out-of-domain sentinel coordinate so that constrained queries (which
+stay within the clamped domain) never match it, while unqueried dimensions
+(widened to the full sentinel-inclusive range) do not exclude it —
+exactly narrow semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..constraints import Comparator, Conjunction, LinearConstraint
+from ..errors import IndexError_, SchemaError
+from ..model.relation import ConstraintRelation
+from ..model.tuples import HTuple
+from ..model.types import DataType, Null
+from ..storage.pages import PageConfig
+from .mbr import MBR
+from .rstar import RStarTree
+
+#: Unbounded constraint sides are clamped to +/- this value.
+DOMAIN_CLAMP = 1e18
+#: NULL relational values are indexed at this out-of-domain coordinate.
+NULL_SENTINEL = 4e18
+#: The range used for an *unqueried* dimension of a joint index: wide
+#: enough to include the NULL sentinel ("the bound of the other attribute
+#: is set from minimum to maximum", §5.4).
+FULL_RANGE = (-5e18, 5e18)
+
+
+def tuple_interval(t: HTuple, attribute: str) -> tuple[float, float]:
+    """The bounding interval of one tuple along one attribute."""
+    attr = t.schema[attribute]
+    if attr.is_relational:
+        if attr.data_type is DataType.STRING:
+            raise SchemaError(f"cannot index string attribute {attribute!r} in an R*-tree")
+        value = t.values[attribute]
+        if isinstance(value, Null):
+            return (NULL_SENTINEL, NULL_SENTINEL)
+        as_float = float(value)
+        return (as_float, as_float)
+    lower, upper = _constraint_bounds(t, attribute)
+    low = -DOMAIN_CLAMP if lower is None else max(-DOMAIN_CLAMP, float(lower))
+    high = DOMAIN_CLAMP if upper is None else min(DOMAIN_CLAMP, float(upper))
+    if low > high:  # can only arise from clamping an extreme bound
+        low = high
+    return (low, high)
+
+
+def _constraint_bounds(t: HTuple, attribute: str):
+    """Bounds of ``attribute`` under the tuple formula.
+
+    Fast path: when every atom mentioning the attribute is single-variable
+    (axis-aligned box formulas — the §5.4 workload), read the bounds off
+    the atoms directly; otherwise fall back to exact elimination.
+    """
+    lower = upper = None
+    for atom in t.formula:
+        if attribute not in atom.variables:
+            continue
+        if len(atom.variables) > 1:
+            full = t.formula.bounds(attribute)
+            return full[0], full[2]
+        coeff = atom.expression.coefficient(attribute)
+        bound = -atom.expression.constant / coeff
+        if atom.comparator is Comparator.EQ:
+            lower = bound if lower is None else max(lower, bound)
+            upper = bound if upper is None else min(upper, bound)
+        elif coeff > 0:  # upper bound
+            upper = bound if upper is None else min(upper, bound)
+        else:
+            lower = bound if lower is None else max(lower, bound)
+    return lower, upper
+
+
+def _clamp_query(interval: tuple[float, float]) -> tuple[float, float]:
+    low = max(-DOMAIN_CLAMP, interval[0])
+    high = min(DOMAIN_CLAMP, interval[1])
+    return (low, high)
+
+
+class IndexStrategy:
+    """Common interface of the two strategies."""
+
+    def __init__(self, attributes: Sequence[str]):
+        if not attributes:
+            raise IndexError_("an index needs at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise IndexError_(f"duplicate attributes in index: {attributes}")
+        self.attributes = tuple(attributes)
+
+    @property
+    def accesses(self) -> int:
+        """Total node (disk) accesses accumulated by queries."""
+        raise NotImplementedError
+
+    def reset_counters(self) -> None:
+        raise NotImplementedError
+
+    def query(self, box: Mapping[str, tuple[float, float]] | None) -> set[int]:
+        """Candidate tuple ids whose bounding intervals intersect ``box``.
+
+        ``box`` maps attribute name → (low, high); attributes not present
+        are unconstrained.  ``None`` (an unsatisfiable condition) returns
+        the empty set without touching the index.
+        """
+        raise NotImplementedError
+
+
+class JointIndex(IndexStrategy):
+    """One ``len(attributes)``-dimensional R*-tree."""
+
+    def __init__(
+        self,
+        relation: ConstraintRelation,
+        attributes: Sequence[str],
+        config: PageConfig | None = None,
+        max_entries: int | None = None,
+        forced_reinsert: bool = True,
+    ):
+        super().__init__(attributes)
+        config = config or PageConfig()
+        fanout = max_entries if max_entries is not None else config.index_fanout(len(self.attributes))
+        self.tree = RStarTree(
+            dimensions=len(self.attributes),
+            max_entries=fanout,
+            forced_reinsert=forced_reinsert,
+        )
+        self.size = len(relation)
+        for i, t in enumerate(relation):
+            intervals = [tuple_interval(t, a) for a in self.attributes]
+            self.tree.insert(MBR([iv[0] for iv in intervals], [iv[1] for iv in intervals]), i)
+
+    @property
+    def accesses(self) -> int:
+        return self.tree.search_accesses
+
+    def reset_counters(self) -> None:
+        self.tree.reset_counters()
+
+    def query(self, box: Mapping[str, tuple[float, float]] | None) -> set[int]:
+        if box is None:
+            return set()
+        mins: list[float] = []
+        maxs: list[float] = []
+        for attribute in self.attributes:
+            if attribute in box:
+                low, high = _clamp_query(box[attribute])
+                if low > high:
+                    return set()
+            else:
+                low, high = FULL_RANGE
+            mins.append(low)
+            maxs.append(high)
+        return set(self.tree.search(MBR(mins, maxs)))
+
+
+class SeparateIndexes(IndexStrategy):
+    """One 1-D R*-tree per attribute, intersected at query time."""
+
+    def __init__(
+        self,
+        relation: ConstraintRelation,
+        attributes: Sequence[str],
+        config: PageConfig | None = None,
+        max_entries: int | None = None,
+        forced_reinsert: bool = True,
+    ):
+        super().__init__(attributes)
+        config = config or PageConfig()
+        fanout = max_entries if max_entries is not None else config.index_fanout(1)
+        self.trees: dict[str, RStarTree] = {}
+        self.size = len(relation)
+        self._all_ids = frozenset(range(len(relation)))
+        for attribute in self.attributes:
+            tree = RStarTree(dimensions=1, max_entries=fanout, forced_reinsert=forced_reinsert)
+            for i, t in enumerate(relation):
+                low, high = tuple_interval(t, attribute)
+                tree.insert(MBR((low,), (high,)), i)
+            self.trees[attribute] = tree
+
+    @property
+    def accesses(self) -> int:
+        return sum(tree.search_accesses for tree in self.trees.values())
+
+    def reset_counters(self) -> None:
+        for tree in self.trees.values():
+            tree.reset_counters()
+
+    def query(self, box: Mapping[str, tuple[float, float]] | None) -> set[int]:
+        if box is None:
+            return set()
+        result: set[int] | None = None
+        for attribute in self.attributes:
+            if attribute not in box:
+                continue
+            low, high = _clamp_query(box[attribute])
+            if low > high:
+                return set()
+            hits = set(self.trees[attribute].search(MBR((low,), (high,))))
+            # Every subquery runs (no early exit): the paper's accounting is
+            # "the sum of the numbers for the two subqueries" (§5.4.1).
+            result = hits if result is None else (result & hits)
+        if result is None:  # no indexed attribute was queried
+            return set(self._all_ids)
+        return result
+
+
+def query_box_for_predicates(
+    predicates: Iterable[object], attributes: Iterable[str]
+) -> dict[str, tuple[float, float]] | None:
+    """Derive the index query box implied by a selection's linear atoms.
+
+    Uses exact variable-bound elimination over the conjunction of linear
+    predicates, so multi-attribute atoms (``x + y <= 3``) contribute their
+    implied per-attribute bounds.  Returns ``None`` when the conjunction is
+    unsatisfiable (the selection is empty).  String predicates are ignored
+    (they are applied exactly after pruning).
+    """
+    atoms = [p for p in predicates if isinstance(p, LinearConstraint)]
+    if not atoms:
+        return {}
+    conjunction = Conjunction(atoms)
+    if not conjunction.is_satisfiable():
+        return None
+    box: dict[str, tuple[float, float]] = {}
+    mentioned = conjunction.variables
+    for attribute in attributes:
+        if attribute not in mentioned:
+            continue
+        lower, _, upper, _ = conjunction.bounds(attribute)
+        if lower is None and upper is None:
+            continue
+        low = -DOMAIN_CLAMP if lower is None else float(lower)
+        high = DOMAIN_CLAMP if upper is None else float(upper)
+        box[attribute] = (low, high)
+    return box

@@ -1,0 +1,41 @@
+"""The heterogeneous data model (section 3 of the paper).
+
+Public surface:
+
+* :class:`AttributeKind` (the C/R flag), :class:`DataType`, :data:`NULL`.
+* :class:`Attribute`, :class:`Schema` and the :func:`relational` /
+  :func:`constraint` attribute shorthands.
+* :class:`HTuple` and :func:`point_tuple` — heterogeneous tuples.
+* :class:`ConstraintRelation` — finite sets of constraint tuples.
+* :class:`Database` — a named catalog of relations.
+"""
+
+from .database import Database
+from .nested import NestedRelation, NestedTuple, nest, unnest
+from .relation import ConstraintRelation
+from .schema import Attribute, Schema, constraint, relational, schema
+from .tuples import HTuple, point_tuple
+from .types import NULL, AttributeKind, DataType, Null, Value, coerce_value, format_value
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "ConstraintRelation",
+    "Database",
+    "DataType",
+    "HTuple",
+    "NULL",
+    "NestedRelation",
+    "NestedTuple",
+    "Null",
+    "Schema",
+    "nest",
+    "unnest",
+    "Value",
+    "coerce_value",
+    "constraint",
+    "format_value",
+    "point_tuple",
+    "relational",
+    "schema",
+]

@@ -1,0 +1,66 @@
+"""A constraint database: a named catalog of constraint relations.
+
+"A Constraint Database is a finite set of constraint relations"
+(Definition 2).  :class:`Database` adds the catalog bookkeeping the query
+front end and the storage layer need: registration, lookup, listing, and
+(optionally) per-relation index management hooks used by the optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..errors import SchemaError
+from .relation import ConstraintRelation
+
+
+class Database:
+    """A mutable catalog mapping names to immutable relations."""
+
+    def __init__(self, relations: Mapping[str, ConstraintRelation] | None = None):
+        self._relations: dict[str, ConstraintRelation] = {}
+        if relations:
+            for name, relation in relations.items():
+                self.add(name, relation)
+
+    def add(self, name: str, relation: ConstraintRelation, replace: bool = False) -> None:
+        """Register ``relation`` under ``name``.
+
+        Refuses to overwrite an existing name unless ``replace`` is true, so
+        a mistyped script cannot silently clobber base data.
+        """
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"relation names must be non-empty strings, got {name!r}")
+        if name in self._relations and not replace:
+            raise SchemaError(f"relation {name!r} already exists (pass replace=True to overwrite)")
+        self._relations[name] = relation.with_name(name) if relation.name != name else relation
+
+    def get(self, name: str) -> ConstraintRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            known = ", ".join(sorted(self._relations)) or "(none)"
+            raise SchemaError(f"no relation named {name!r}; known relations: {known}") from None
+
+    def drop(self, name: str) -> None:
+        if name not in self._relations:
+            raise SchemaError(f"no relation named {name!r}")
+        del self._relations[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> ConstraintRelation:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._relations))
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def __repr__(self) -> str:
+        return f"<Database: {len(self._relations)} relations ({', '.join(self.names())})>"

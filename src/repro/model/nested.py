@@ -1,0 +1,119 @@
+"""The nested (Dedale-style) data model: nest/unnest for constraint data.
+
+Section 6.2, on avoiding duplicated non-spatial attributes:
+
+    "Dedale chose to depart from the relational model and use the nested
+    model instead.  The constraint part of all tuples representing the
+    same feature are grouped into a set, and stored as one nested
+    attribute value; the non-spatial attributes for each feature are only
+    stored once, together with this nested value.  The nest and unnest
+    operators in Dedale are necessary to work with this data model."
+
+A :class:`NestedRelation` keeps one row per distinct relational-value
+vector, whose constraint part is a :class:`~repro.constraints.DNFFormula`
+(the grouped set of conjunctions).  :func:`nest` and :func:`unnest`
+convert losslessly to and from the flat heterogeneous model, and
+:meth:`NestedRelation.storage_cost` quantifies how much of redundancy 1
+nesting eliminates (compare `RegionFeature.constraint_cost`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..constraints import Conjunction, DNFFormula
+from ..errors import SchemaError
+from .relation import ConstraintRelation
+from .schema import Schema
+from .tuples import HTuple
+from .types import Value
+
+
+@dataclass(frozen=True)
+class NestedTuple:
+    """One nested row: relational values stored once + a formula set."""
+
+    values: tuple[tuple[str, Value], ...]  # sorted (name, value) pairs
+    formula: DNFFormula
+
+    def value(self, name: str) -> Value:
+        for key, val in self.values:
+            if key == name:
+                return val
+        raise SchemaError(f"no relational attribute {name!r} in nested tuple")
+
+
+class NestedRelation:
+    """An immutable nested relation over a heterogeneous schema."""
+
+    __slots__ = ("_schema", "_rows")
+
+    def __init__(self, schema: Schema, rows: Mapping[tuple, DNFFormula] | None = None):
+        self._schema = schema
+        materialised: dict[tuple, DNFFormula] = {}
+        for key, formula in (rows or {}).items():
+            # Unsatisfiable rows denote no points; drop them, mirroring
+            # ConstraintRelation's treatment of unsatisfiable tuples.
+            if formula.is_satisfiable():
+                materialised[key] = formula
+        self._rows = materialised
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[NestedTuple]:
+        for key in sorted(self._rows, key=repr):
+            yield NestedTuple(key, self._rows[key])
+
+    def storage_cost(self, per_value_cost: int = 1) -> dict[str, int]:
+        """Counts comparable to §6.2's redundancy accounting:
+
+        ``relational_values`` — relational cells stored (once per row);
+        ``constraints`` — constraint atoms stored;
+        ``flat_relational_values`` — what the flat model would store
+        (once per constraint tuple), so the difference is redundancy 1.
+        """
+        relational_count = len(self._schema.relational_names)
+        rows = len(self._rows)
+        disjuncts = sum(len(f) for f in self._rows.values())
+        atoms = sum(len(d) for f in self._rows.values() for d in f)
+        return {
+            "rows": rows,
+            "relational_values": rows * relational_count * per_value_cost,
+            "constraints": atoms,
+            "flat_tuples": disjuncts,
+            "flat_relational_values": disjuncts * relational_count * per_value_cost,
+        }
+
+    def __repr__(self) -> str:
+        return f"<NestedRelation: {len(self._rows)} rows over ({', '.join(self._schema.names)})>"
+
+
+def nest(relation: ConstraintRelation) -> NestedRelation:
+    """Group the flat relation's tuples by relational values; each group's
+    conjunctions become one nested DNF value."""
+    groups: dict[tuple, list[Conjunction]] = {}
+    for t in relation:
+        key = tuple(sorted(t.values.items(), key=lambda kv: kv[0]))
+        groups.setdefault(key, []).append(t.formula)
+    return NestedRelation(
+        relation.schema, {key: DNFFormula(formulas) for key, formulas in groups.items()}
+    )
+
+
+def unnest(nested: NestedRelation, name: str | None = None) -> ConstraintRelation:
+    """Flatten back: one heterogeneous tuple per disjunct.
+
+    ``unnest(nest(R))`` is semantically equivalent to ``R`` (and
+    syntactically equal up to per-group deduplication)."""
+    tuples = []
+    for row in nested:
+        values = dict(row.values)
+        for disjunct in row.formula:
+            tuples.append(HTuple(nested.schema, values, disjunct))
+    return ConstraintRelation(nested.schema, tuples, name)

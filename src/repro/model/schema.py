@@ -1,0 +1,194 @@
+"""Heterogeneous relation schemas.
+
+A :class:`Schema` is an ordered set of :class:`Attribute` definitions, each
+carrying a name, a :class:`~repro.model.types.DataType`, and the paper's C/R
+flag (:class:`~repro.model.types.AttributeKind`).  Schemas know how to
+project, rename and merge themselves — the schema-level halves of the CQA
+operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import SchemaError
+from .types import AttributeKind, DataType
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single schema attribute: name, domain and C/R flag."""
+
+    name: str
+    data_type: DataType
+    kind: AttributeKind
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute names must be non-empty strings, got {self.name!r}")
+        if self.kind is AttributeKind.CONSTRAINT and self.data_type is not DataType.RATIONAL:
+            raise SchemaError(
+                f"constraint attribute {self.name!r} must be rational "
+                "(CQA/CDB is a rational linear constraint database)"
+            )
+
+    @property
+    def is_constraint(self) -> bool:
+        return self.kind is AttributeKind.CONSTRAINT
+
+    @property
+    def is_relational(self) -> bool:
+        return self.kind is AttributeKind.RELATIONAL
+
+    def renamed(self, name: str) -> "Attribute":
+        return Attribute(name, self.data_type, self.kind)
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.data_type.value}, {self.kind.value}"
+
+
+def relational(name: str, data_type: DataType = DataType.STRING) -> Attribute:
+    """Shorthand for a relational attribute (string-typed by default)."""
+    return Attribute(name, data_type, AttributeKind.RELATIONAL)
+
+
+def constraint(name: str) -> Attribute:
+    """Shorthand for a (rational) constraint attribute."""
+    return Attribute(name, DataType.RATIONAL, AttributeKind.CONSTRAINT)
+
+
+class Schema:
+    """An immutable ordered collection of attributes with unique names."""
+
+    __slots__ = ("_attributes", "_by_name")
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        by_name: dict[str, Attribute] = {}
+        for attr in attrs:
+            if not isinstance(attr, Attribute):
+                raise SchemaError(f"expected an Attribute, got {attr!r}")
+            if attr.name in by_name:
+                raise SchemaError(f"duplicate attribute name {attr.name!r}")
+            by_name[attr.name] = attr
+        self._attributes = attrs
+        self._by_name = by_name
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def relational_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes if a.is_relational)
+
+    @property
+    def constraint_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes if a.is_constraint)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r} in schema ({', '.join(self.names)})") from None
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    # -- operator support ----------------------------------------------------
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """The schema restricted to ``names``, which must all exist.
+
+        The projection's attribute order follows the argument order, as in
+        ``project R0 on name, t`` (§3.3).
+        """
+        names = list(names)
+        for name in names:
+            self[name]  # raises SchemaError when missing
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute in projection list: {names}")
+        return Schema(self._by_name[name] for name in names)
+
+    def rename(self, old: str, new: str) -> "Schema":
+        """Rename attribute ``old`` to ``new`` (CQA's ϱ operator)."""
+        attr = self[old]
+        if new in self._by_name:
+            raise SchemaError(f"cannot rename {old!r} to {new!r}: name already in use")
+        return Schema(a.renamed(new) if a is attr else a for a in self._attributes)
+
+    def union_compatible(self, other: "Schema") -> None:
+        """Raise unless the two schemas agree exactly (names, order ignored,
+        types and C/R flags must match) — required by ∪ and −."""
+        if set(self.names) != set(other.names):
+            raise SchemaError(
+                f"schemas are not union-compatible: {sorted(self.names)} vs {sorted(other.names)}"
+            )
+        for attr in self._attributes:
+            theirs = other[attr.name]
+            if attr.data_type is not theirs.data_type or attr.kind is not theirs.kind:
+                raise SchemaError(
+                    f"attribute {attr.name!r} differs between schemas: "
+                    f"({attr.data_type.value}, {attr.kind.value}) vs "
+                    f"({theirs.data_type.value}, {theirs.kind.value})"
+                )
+
+    def join(self, other: "Schema") -> "Schema":
+        """The natural-join output schema: α(R₁) ∪ α(R₂).
+
+        Shared attributes must agree on data type.  When the C/R flags
+        differ, the joined attribute is *relational*: the join pins it to
+        the concrete values of the relational side, which is the more
+        restrictive interpretation.
+        """
+        merged: list[Attribute] = list(self._attributes)
+        for attr in other._attributes:
+            mine = self._by_name.get(attr.name)
+            if mine is None:
+                merged.append(attr)
+                continue
+            if mine.data_type is not attr.data_type:
+                raise SchemaError(
+                    f"shared attribute {attr.name!r} has conflicting types: "
+                    f"{mine.data_type.value} vs {attr.data_type.value}"
+                )
+            if mine.kind is not attr.kind:
+                resolved = Attribute(attr.name, attr.data_type, AttributeKind.RELATIONAL)
+                merged[merged.index(mine)] = resolved
+        return Schema(merged)
+
+    def shared_names(self, other: "Schema") -> tuple[str, ...]:
+        return tuple(name for name in self.names if name in other)
+
+    # -- value semantics -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema([{', '.join(str(a) for a in self._attributes)}])"
+
+
+def schema(definition: Mapping[str, tuple[DataType, AttributeKind]] | Iterable[Attribute]) -> Schema:
+    """Build a schema from attributes or a ``{name: (type, kind)}`` mapping."""
+    if isinstance(definition, Mapping):
+        return Schema(Attribute(name, dt, kind) for name, (dt, kind) in definition.items())
+    return Schema(definition)

@@ -1,0 +1,229 @@
+"""Heterogeneous constraint tuples.
+
+A :class:`HTuple` is the generalised tuple of the heterogeneous data model
+(§3.2): concrete values (possibly :data:`~repro.model.types.NULL`) for the
+relational attributes, plus a conjunction of rational linear constraints
+over the constraint attributes.
+
+Semantics (Definition 1, refined by the C/R flag):
+
+* the tuple denotes the set of points ``p`` such that ``p[a] == value[a]``
+  for every relational attribute ``a`` (NULL matches nothing — *narrow*),
+  and the constraint formula is satisfied by the constraint coordinates of
+  ``p`` (an unmentioned constraint attribute admits all values — *broad*).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from ..constraints import Conjunction, LinearConstraint, LinearExpression
+from ..errors import SchemaError
+from ..rational import to_rational
+from .schema import Schema
+from .types import NULL, DataType, Null, Value, ValueLike, coerce_value, format_value
+
+
+class HTuple:
+    """An immutable heterogeneous tuple bound to a :class:`Schema`."""
+
+    __slots__ = ("_schema", "_values", "_formula", "_hash")
+
+    def __init__(
+        self,
+        schema: Schema,
+        values: Mapping[str, ValueLike] | None = None,
+        formula: Conjunction | Iterable[LinearConstraint] = (),
+    ):
+        if not isinstance(formula, Conjunction):
+            formula = Conjunction(formula)
+        values = dict(values or {})
+        stored: dict[str, Value] = {}
+        for attr in schema:
+            if attr.is_relational:
+                raw = values.pop(attr.name, NULL)
+                stored[attr.name] = coerce_value(raw, attr.data_type)
+        if values:
+            extra = sorted(values)
+            constraint_like = [n for n in extra if n in schema]
+            if constraint_like:
+                raise SchemaError(
+                    f"attributes {constraint_like} are constraint attributes; "
+                    "describe them in the formula, not the value map"
+                )
+            raise SchemaError(f"values for unknown attributes {extra}")
+        constraint_names = set(schema.constraint_names)
+        stray = formula.variables - constraint_names
+        if stray:
+            raise SchemaError(
+                f"formula mentions non-constraint attributes {sorted(stray)}; "
+                f"constraint attributes are {sorted(constraint_names)}"
+            )
+        self._schema = schema
+        self._values = stored
+        self._formula = formula
+        self._hash: int | None = None
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def values(self) -> Mapping[str, Value]:
+        """Relational attribute values (every relational attribute is a key;
+        missing inputs appear as NULL)."""
+        return dict(self._values)
+
+    @property
+    def formula(self) -> Conjunction:
+        return self._formula
+
+    def value(self, name: str) -> Value:
+        attr = self._schema[name]
+        if not attr.is_relational:
+            raise SchemaError(f"{name!r} is a constraint attribute; it has no single value")
+        return self._values[name]
+
+    def is_empty(self) -> bool:
+        """True when the tuple denotes no points because its constraint
+        formula is unsatisfiable.  (A NULL relational value also denotes no
+        points, but such tuples are kept, as relational databases keep rows
+        with NULLs.)"""
+        return not self._formula.is_satisfiable()
+
+    def contains_point(self, point: Mapping[str, ValueLike]) -> bool:
+        """Whether the point (a full assignment to all attributes) is in the
+        tuple's semantics."""
+        for attr in self._schema:
+            if attr.name not in point:
+                raise SchemaError(f"point is missing attribute {attr.name!r}")
+        assignment: dict[str, Fraction] = {}
+        for attr in self._schema:
+            given = point[attr.name]
+            if attr.is_relational:
+                mine = self._values[attr.name]
+                if isinstance(mine, Null) or isinstance(given, Null):
+                    return False  # narrow semantics: NULL matches nothing
+                theirs = coerce_value(given, attr.data_type)
+                if mine != theirs:
+                    return False
+            else:
+                if isinstance(given, Null):
+                    return False
+                assignment[attr.name] = to_rational(given)  # type: ignore[arg-type]
+        return self._formula.satisfied_by(assignment)
+
+    def substitute_relational(self, expression: LinearExpression) -> LinearExpression | None:
+        """Replace relational rational attributes in ``expression`` by this
+        tuple's values.
+
+        Returns ``None`` when a mentioned relational attribute is NULL
+        (narrow semantics: the condition cannot hold).  String attributes in
+        a linear expression are a schema error.
+        """
+        result = expression
+        for name in expression.variables:
+            attr = self._schema[name]
+            if attr.is_constraint:
+                continue
+            if attr.data_type is DataType.STRING:
+                raise SchemaError(f"string attribute {name!r} cannot appear in a linear constraint")
+            value = self._values[name]
+            if isinstance(value, Null):
+                return None
+            result = result.substitute(name, LinearExpression.constant_expr(value))
+        return result
+
+    # -- transformation ----------------------------------------------------
+
+    def conjoin(self, atoms: Conjunction | LinearConstraint | Iterable[LinearConstraint]) -> "HTuple":
+        """A new tuple with extra constraints conjoined onto the formula."""
+        return HTuple(self._schema, self._values, self._formula.conjoin(atoms))
+
+    def with_formula(self, formula: Conjunction) -> "HTuple":
+        return HTuple(self._schema, self._values, formula)
+
+    def project(self, names: Iterable[str]) -> "HTuple":
+        """Restriction to ``names`` (π at the tuple level).  Constraint
+        attributes outside ``names`` are eliminated from the formula.
+
+        A NULL in a *dropped* relational attribute does not erase the
+        tuple — the SQL-compatible reading required by upward
+        compatibility (relational projections keep rows with NULLs in
+        unprojected columns)."""
+        names = list(names)
+        sub_schema = self._schema.project(names)
+        kept_values = {n: self._values[n] for n in sub_schema.relational_names}
+        new_formula = self._formula.project(sub_schema.constraint_names)
+        return HTuple(sub_schema, kept_values, new_formula)
+
+    def rename(self, old: str, new: str) -> "HTuple":
+        new_schema = self._schema.rename(old, new)
+        values = dict(self._values)
+        formula = self._formula
+        if old in values:
+            values[new] = values.pop(old)
+        elif old in formula.variables:
+            formula = formula.rename(old, new)
+        return HTuple(new_schema, values, formula)
+
+    def cast(self, schema: Schema) -> "HTuple":
+        """Rebind to a union-compatible schema (possibly different attribute
+        order)."""
+        self._schema.union_compatible(schema)
+        return HTuple(schema, self._values, self._formula)
+
+    # -- value semantics ---------------------------------------------------
+
+    def _key(self) -> tuple:
+        rel = tuple(sorted(self._values.items(), key=lambda kv: kv[0]))
+        return (self._schema, rel, self._formula)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HTuple):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"HTuple({self})"
+
+    def __str__(self) -> str:
+        parts = [
+            f"{name}={format_value(self._values[name])}"
+            for name in self._schema.relational_names
+        ]
+        if not self._formula.is_true:
+            parts.append(str(self._formula))
+        elif self._schema.constraint_names:
+            parts.append("true")
+        return "(" + "; ".join(parts) + ")"
+
+
+def point_tuple(schema: Schema, point: Mapping[str, ValueLike]) -> HTuple:
+    """Build the tuple for a traditional data point: relational attributes
+    take their values directly; constraint attributes become equality
+    constraints (Example 1 — a relational tuple is a conjunction of
+    equalities)."""
+    from ..constraints import eq
+
+    values: dict[str, ValueLike] = {}
+    atoms: list[LinearConstraint] = []
+    for attr in schema:
+        if attr.name not in point:
+            continue
+        if attr.is_relational:
+            values[attr.name] = point[attr.name]
+        else:
+            raw = point[attr.name]
+            if isinstance(raw, Null):
+                continue  # broad: leave unconstrained
+            atoms.append(eq(LinearExpression.variable(attr.name), to_rational(raw)))  # type: ignore[arg-type]
+    return HTuple(schema, values, atoms)

@@ -1,0 +1,112 @@
+"""Attribute kinds, data types and the NULL sentinel.
+
+The heterogeneous data model (section 3.2 of the paper) annotates every
+attribute with a **C/R flag**:
+
+* ``RELATIONAL`` — traditional attribute.  A tuple holds a single concrete
+  value (possibly ``NULL``); a missing value is interpreted *narrowly*: it
+  matches no domain value.
+* ``CONSTRAINT`` — the attribute is described by the tuple's constraint
+  formula.  An attribute not mentioned by any constraint is interpreted
+  *broadly*: it admits every domain value.
+
+This flag is exactly what restores upward compatibility with relational
+semantics (Proposition 1 / the claim in §3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from typing import Union
+
+from ..errors import SchemaError
+from ..rational import RationalLike, to_rational
+
+
+class AttributeKind(enum.Enum):
+    """The C/R flag of an attribute."""
+
+    RELATIONAL = "relational"
+    CONSTRAINT = "constraint"
+
+
+class DataType(enum.Enum):
+    """Domain of an attribute.
+
+    Constraint attributes are always rational (the system is a *rational
+    linear* constraint database); relational attributes may be strings or
+    rationals.
+    """
+
+    STRING = "string"
+    RATIONAL = "rational"
+
+
+class Null:
+    """Singleton marker for a missing relational value.
+
+    Distinct from every domain value: all comparisons against ``NULL`` are
+    false (narrow semantics), including ``NULL = NULL`` in *query
+    predicates*.  For *set-level* tuple identity (union/difference
+    deduplication) two NULLs are treated as the same marker, mirroring SQL's
+    distinct-row treatment.
+    """
+
+    _instance: "Null | None" = None
+
+    def __new__(cls) -> "Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (Null, ())
+
+
+#: The unique NULL marker.
+NULL = Null()
+
+#: A relational attribute value as stored in a tuple.
+Value = Union[str, Fraction, Null]
+
+#: Anything coercible to a stored value.
+ValueLike = Union[str, RationalLike, Null]
+
+
+def coerce_value(value: ValueLike, data_type: DataType) -> Value:
+    """Validate and normalise a relational value for ``data_type``.
+
+    Rationals are converted exactly (see :func:`repro.rational.to_rational`);
+    strings must already be ``str``.  ``NULL`` passes through for either
+    type.
+    """
+    if isinstance(value, Null):
+        return NULL
+    if data_type is DataType.STRING:
+        if not isinstance(value, str):
+            raise SchemaError(f"expected a string value, got {value!r}")
+        return value
+    if isinstance(value, str):
+        # Allow numeric strings for rational columns ("2.5", "1/3").
+        return to_rational(value)
+    if isinstance(value, bool) or not isinstance(value, (int, float, Fraction)):
+        raise SchemaError(f"expected a rational value, got {value!r}")
+    return to_rational(value)
+
+
+def format_value(value: Value) -> str:
+    """Render a stored value for display and serialization."""
+    from ..rational import format_rational
+
+    if isinstance(value, Null):
+        return "NULL"
+    if isinstance(value, Fraction):
+        return format_rational(value)
+    return value

@@ -1,0 +1,20 @@
+"""The ASCII multi-step query language front end (section 3.3).
+
+Public surface:
+
+* :class:`QuerySession` — execute scripts/statements against a database.
+* :func:`parse_statement` / :func:`parse_script` — parsing only.
+* :func:`compile_statement`, :func:`compile_conditions` — AST → plan.
+"""
+
+from .compiler import compile_conditions, compile_statement
+from .parser import parse_script, parse_statement
+from .session import QuerySession
+
+__all__ = [
+    "QuerySession",
+    "compile_conditions",
+    "compile_statement",
+    "parse_script",
+    "parse_statement",
+]

@@ -1,0 +1,154 @@
+"""Abstract syntax for the ASCII query language.
+
+Expressions are kept generic at parse time — an identifier might be a
+constraint attribute, a rational relational attribute, or (bare, in an
+equality) a string constant like the ``A`` in the paper's
+``select LandID=A from Landownership``.  The compiler
+(:mod:`repro.query.compiler`) resolves identifiers against the schema of
+the referenced relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+
+# -- expression nodes --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    value: Fraction
+
+
+@dataclass(frozen=True)
+class StringLit:
+    value: str
+
+
+@dataclass(frozen=True)
+class Identifier:
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # '+', '-', '*', '/'
+    left: "ExprAST"
+    right: "ExprAST"
+
+
+@dataclass(frozen=True)
+class Negate:
+    operand: "ExprAST"
+
+
+ExprAST = Union[NumberLit, StringLit, Identifier, BinaryOp, Negate]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A single ``left op right`` conjunct; chains are expanded by the
+    parser into adjacent comparisons."""
+
+    left: ExprAST
+    op: str  # '<=', '<', '>=', '>', '=', '!='
+    right: ExprAST
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    conditions: tuple[Comparison, ...]
+    source: str
+
+
+@dataclass(frozen=True)
+class ProjectStmt:
+    source: str
+    attributes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class JoinStmt:
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class IntersectStmt:
+    """∩ — natural join restricted to union-compatible schemas."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class CrossStmt:
+    """× — natural join restricted to disjoint schemas."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class UnionStmt:
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class DiffStmt:
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class RenameStmt:
+    old: str
+    new: str
+    source: str
+
+
+@dataclass(frozen=True)
+class BufferJoinStmt:
+    left: str
+    right: str
+    distance: Fraction
+    left_attr: str = "fid1"
+    right_attr: str = "fid2"
+
+
+@dataclass(frozen=True)
+class KNearestStmt:
+    k: int
+    query_fid: str
+    source: str
+    query_source: str | None = None  # 'of <relation>': cross-layer query
+
+
+StatementBody = Union[
+    SelectStmt,
+    ProjectStmt,
+    JoinStmt,
+    IntersectStmt,
+    CrossStmt,
+    UnionStmt,
+    DiffStmt,
+    RenameStmt,
+    BufferJoinStmt,
+    KNearestStmt,
+]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """``target = body`` at some script line."""
+
+    target: str
+    body: StatementBody
+    line: int

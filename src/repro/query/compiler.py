@@ -1,0 +1,219 @@
+"""Compile query-language ASTs into CQA plans.
+
+The interesting work is condition compilation: the language writes
+``LandID=A`` for a string equality and ``t>=4`` for a linear constraint
+with the *same* surface syntax, so identifiers are resolved against the
+schema of the referenced relation — a bare identifier that names a string
+attribute makes the comparison a string predicate, and a bare identifier
+that names nothing is a string *constant* (the ``A`` in the paper's Query
+1).  Everything else must be a rational linear expression.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..algebra.plan import Join, PlanNode, Project, Rename, Scan, Select, Union
+from ..algebra.plan import Difference as DifferenceNode
+from ..algebra.predicates import Predicate, StringPredicate
+from ..constraints import LinearExpression, eq, ge, gt, le, lt
+from ..errors import QueryError
+from ..model.schema import Schema
+from ..model.types import DataType
+from ..spatial.plan_nodes import BufferJoinNode, KNearestNode
+from .ast import (
+    BinaryOp,
+    BufferJoinStmt,
+    Comparison,
+    CrossStmt,
+    DiffStmt,
+    ExprAST,
+    Identifier,
+    IntersectStmt,
+    JoinStmt,
+    KNearestStmt,
+    Negate,
+    NumberLit,
+    ProjectStmt,
+    RenameStmt,
+    SelectStmt,
+    StatementBody,
+    StringLit,
+    UnionStmt,
+)
+
+_SchemaMap = Mapping[str, Schema]
+
+
+def _schema_for(schemas: _SchemaMap, name: str) -> Schema:
+    try:
+        return schemas[name]
+    except KeyError:
+        known = ", ".join(sorted(schemas)) or "(none)"
+        raise QueryError(f"unknown relation {name!r}; known relations: {known}") from None
+
+
+def compile_statement(body: StatementBody, schemas: _SchemaMap) -> PlanNode:
+    """Compile one statement body into a plan over :class:`Scan` leaves."""
+    if isinstance(body, SelectStmt):
+        schema = _schema_for(schemas, body.source)
+        predicates = compile_conditions(body.conditions, schema)
+        return Select(Scan(body.source), predicates)
+    if isinstance(body, ProjectStmt):
+        _schema_for(schemas, body.source)
+        return Project(Scan(body.source), body.attributes)
+    if isinstance(body, JoinStmt):
+        _schema_for(schemas, body.left)
+        _schema_for(schemas, body.right)
+        return Join(Scan(body.left), Scan(body.right))
+    if isinstance(body, IntersectStmt):
+        # ∩ is natural join over union-compatible schemas (§2.4 remark);
+        # verify compatibility at compile time so a typo fails loudly.
+        _schema_for(schemas, body.left).union_compatible(_schema_for(schemas, body.right))
+        return Join(Scan(body.left), Scan(body.right))
+    if isinstance(body, CrossStmt):
+        left_schema = _schema_for(schemas, body.left)
+        right_schema = _schema_for(schemas, body.right)
+        shared = left_schema.shared_names(right_schema)
+        if shared:
+            raise QueryError(
+                f"cross requires disjoint schemas; shared attributes {list(shared)} "
+                "(rename them first, or use join)"
+            )
+        return Join(Scan(body.left), Scan(body.right))
+    if isinstance(body, UnionStmt):
+        _schema_for(schemas, body.left)
+        _schema_for(schemas, body.right)
+        return Union(Scan(body.left), Scan(body.right))
+    if isinstance(body, DiffStmt):
+        _schema_for(schemas, body.left)
+        _schema_for(schemas, body.right)
+        return DifferenceNode(Scan(body.left), Scan(body.right))
+    if isinstance(body, RenameStmt):
+        _schema_for(schemas, body.source)
+        return Rename(Scan(body.source), body.old, body.new)
+    if isinstance(body, BufferJoinStmt):
+        _schema_for(schemas, body.left)
+        _schema_for(schemas, body.right)
+        return BufferJoinNode(
+            Scan(body.left), Scan(body.right), body.distance, body.left_attr, body.right_attr
+        )
+    if isinstance(body, KNearestStmt):
+        _schema_for(schemas, body.source)
+        query_child = None
+        if body.query_source is not None:
+            _schema_for(schemas, body.query_source)
+            query_child = Scan(body.query_source)
+        return KNearestNode(
+            Scan(body.source), body.query_fid, body.k, query_child=query_child
+        )
+    raise QueryError(f"unsupported statement body {body!r}")
+
+
+def compile_conditions(
+    conditions: tuple[Comparison, ...], schema: Schema
+) -> list[Predicate]:
+    return [_compile_comparison(comparison, schema) for comparison in conditions]
+
+
+def _is_string_side(expr: ExprAST, schema: Schema) -> bool:
+    if isinstance(expr, StringLit):
+        return True
+    if isinstance(expr, Identifier):
+        name = expr.name
+        return name in schema and schema[name].data_type is DataType.STRING
+    return False
+
+
+def _compile_comparison(comparison: Comparison, schema: Schema) -> Predicate:
+    left_string = _is_string_side(comparison.left, schema)
+    right_string = _is_string_side(comparison.right, schema)
+    if left_string or right_string:
+        return _compile_string_predicate(comparison, schema)
+    left = _compile_linear(comparison.left, schema)
+    right = _compile_linear(comparison.right, schema)
+    op = comparison.op
+    if op == "<=":
+        return le(left, right)
+    if op == "<":
+        return lt(left, right)
+    if op == ">=":
+        return ge(left, right)
+    if op == ">":
+        return gt(left, right)
+    if op == "=":
+        return eq(left, right)
+    raise QueryError(
+        "'!=' over rational attributes is not a conjunctive linear constraint; "
+        "express it as the union of a '<' and a '>' selection (section 2.4)"
+    )
+
+
+def _compile_string_predicate(comparison: Comparison, schema: Schema) -> StringPredicate:
+    if comparison.op not in ("=", "!="):
+        raise QueryError(
+            f"string attributes support only '=' and '!=', not {comparison.op!r}"
+        )
+    negated = comparison.op == "!="
+
+    def classify(expr: ExprAST) -> tuple[str, str]:
+        """Classify one side: ('attr', name) or ('const', value)."""
+        if isinstance(expr, StringLit):
+            return ("const", expr.value)
+        if isinstance(expr, Identifier):
+            if expr.name in schema:
+                attr = schema[expr.name]
+                if attr.data_type is DataType.STRING:
+                    return ("attr", expr.name)
+                raise QueryError(
+                    f"cannot compare string and rational: {expr.name!r} is a "
+                    f"{attr.data_type.value} attribute"
+                )
+            # A bare identifier that names no attribute is a string constant
+            # (the paper writes `select LandID=A from Landownership`).
+            return ("const", expr.name)
+        raise QueryError("string comparisons take an attribute, a quoted string, or a bare word")
+
+    left_kind, left_value = classify(comparison.left)
+    right_kind, right_value = classify(comparison.right)
+    if left_kind == "attr" and right_kind == "attr":
+        return StringPredicate(left_value, right_value, negated, is_attribute=True)
+    if left_kind == "attr":
+        return StringPredicate(left_value, right_value, negated)
+    if right_kind == "attr":
+        return StringPredicate(right_value, left_value, negated)
+    raise QueryError(
+        f"string comparison {left_value!r} {comparison.op} {right_value!r} references "
+        "no attribute of the relation"
+    )
+
+
+def _compile_linear(expr: ExprAST, schema: Schema) -> LinearExpression:
+    if isinstance(expr, NumberLit):
+        return LinearExpression.constant_expr(expr.value)
+    if isinstance(expr, StringLit):
+        raise QueryError(f"string literal {expr.value!r} in a numeric expression")
+    if isinstance(expr, Identifier):
+        if expr.name not in schema:
+            raise QueryError(
+                f"unknown attribute {expr.name!r} (schema: {', '.join(schema.names)})"
+            )
+        attr = schema[expr.name]
+        if attr.data_type is not DataType.RATIONAL:
+            raise QueryError(f"string attribute {expr.name!r} in a numeric expression")
+        return LinearExpression.variable(expr.name)
+    if isinstance(expr, Negate):
+        return -_compile_linear(expr.operand, schema)
+    if isinstance(expr, BinaryOp):
+        left = _compile_linear(expr.left, schema)
+        right = _compile_linear(expr.right, schema)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right  # ConstraintError if both are non-constant
+        if not right.is_constant:
+            raise QueryError("division by a variable expression is non-linear")
+        return left / right.constant
+    raise QueryError(f"unsupported expression {expr!r}")

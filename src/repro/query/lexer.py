@@ -1,0 +1,90 @@
+"""Tokenizer for the CQA/CDB ASCII query language.
+
+The paper runs its queries in a portable ASCII form ("we use their English
+equivalents … This allows queries to be representable in ASCII"), e.g.::
+
+    R0 = select t>=4, t<=9 from Hurricane
+    R1 = project R0 on landID
+
+Tokens: identifiers, numbers (``10``, ``2.5``, ``1/3``), double-quoted
+strings, comparison and arithmetic operators, commas and parentheses.
+Keywords are recognised case-insensitively at parse time, not here, so an
+attribute may shadow a keyword anywhere a keyword is not expected.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+(?:\.\d+)?(?:/\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<op><=|>=|==|!=|[-+*/()<>=,])
+  | (?P<ws>[ \t]+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "ident" | "string" | "op" | "end"
+    text: str
+    line: int
+    column: int
+
+    def matches_keyword(self, keyword: str) -> bool:
+        return self.kind == "ident" and self.text.lower() == keyword
+
+
+def tokenize_line(text: str, line_no: int = 1) -> list[Token]:
+    """Tokenize one statement line; appends an ``end`` token."""
+    tokens: list[Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        if kind == "bad":
+            raise ParseError(
+                f"unexpected character {match.group()!r}", line_no, match.start() + 1
+            )
+        value = match.group()
+        if kind == "string":
+            value = _unescape(value, line_no, match.start() + 1)
+        tokens.append(Token(kind, value, line_no, match.start() + 1))
+    tokens.append(Token("end", "", line_no, len(text) + 1))
+    return tokens
+
+
+def _unescape(literal: str, line: int, column: int) -> str:
+    body = literal[1:-1]
+    chunks: list[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            if i + 1 >= len(body):
+                raise ParseError("dangling escape in string literal", line, column)
+            chunks.append(body[i + 1])
+            i += 2
+        else:
+            chunks.append(ch)
+            i += 1
+    return "".join(chunks)
+
+
+def split_statements(script: str) -> Iterator[tuple[int, str]]:
+    """Yield ``(line number, statement text)`` for each non-empty,
+    non-comment line of a query script."""
+    for line_no, raw in enumerate(script.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#") or stripped.startswith("--"):
+            continue
+        yield line_no, stripped

@@ -1,0 +1,292 @@
+"""Parser for the ASCII query language.
+
+Grammar (one statement per line; keywords case-insensitive)::
+
+    statement  := NAME '=' body
+    body       := 'select' conditions 'from' NAME
+                | 'project' NAME 'on' attrs
+                | 'join' NAME 'and' NAME
+                | 'union' NAME 'and' NAME
+                | 'diff' NAME 'and' NAME
+                | 'rename' NAME 'to' NAME 'in' NAME
+                | 'bufferjoin' NAME 'and' NAME 'within' NUMBER
+                      ['as' NAME ',' NAME]
+                | 'knearest' NUMBER 'near' (NAME | STRING) 'in' NAME
+    conditions := comparison (',' comparison)*
+    comparison := expr (CMP expr)+          -- chains expand pairwise
+    expr       := term (('+'|'-') term)*
+    term       := factor (('*'|'/') factor)*
+    factor     := NUMBER | NAME | STRING | '-' factor | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..errors import ParseError
+from .ast import (
+    BinaryOp,
+    BufferJoinStmt,
+    Comparison,
+    CrossStmt,
+    DiffStmt,
+    ExprAST,
+    Identifier,
+    IntersectStmt,
+    JoinStmt,
+    KNearestStmt,
+    Negate,
+    NumberLit,
+    ProjectStmt,
+    RenameStmt,
+    SelectStmt,
+    Statement,
+    StringLit,
+    UnionStmt,
+)
+from .lexer import Token, split_statements, tokenize_line
+
+_COMPARATORS = {"<=", "<", ">=", ">", "=", "==", "!="}
+
+
+class _StatementParser:
+    def __init__(self, tokens: list[Token], line: int):
+        self._tokens = tokens
+        self._pos = 0
+        self._line = line
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(message, self._line, token.column)
+
+    def _expect_ident(self, what: str) -> str:
+        token = self._advance()
+        if token.kind != "ident":
+            raise self._error(f"expected {what}, found {token.text or 'end of line'!r}", token)
+        return token.text
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._advance()
+        if not token.matches_keyword(keyword):
+            raise self._error(
+                f"expected {keyword!r}, found {token.text or 'end of line'!r}", token
+            )
+
+    def _expect_op(self, op: str) -> None:
+        token = self._advance()
+        if token.kind != "op" or token.text != op:
+            raise self._error(f"expected {op!r}, found {token.text or 'end of line'!r}", token)
+
+    def _expect_number(self, what: str) -> Fraction:
+        token = self._advance()
+        negative = token.kind == "op" and token.text == "-"
+        if negative:
+            token = self._advance()
+        if token.kind != "number":
+            raise self._error(f"expected {what}, found {token.text or 'end of line'!r}", token)
+        value = Fraction(token.text)
+        return -value if negative else value
+
+    def _at_end(self) -> bool:
+        return self._peek().kind == "end"
+
+    def _finish(self) -> None:
+        if not self._at_end():
+            raise self._error(f"trailing input {self._peek().text!r}")
+
+    # -- grammar -------------------------------------------------------------
+
+    def statement(self) -> Statement:
+        target = self._expect_ident("a result name")
+        self._expect_op("=")
+        keyword_token = self._peek()
+        if keyword_token.kind != "ident":
+            raise self._error("expected an operation keyword")
+        keyword = keyword_token.text.lower()
+        handler = {
+            "select": self._select,
+            "project": self._project,
+            "join": self._join,
+            "intersect": self._intersect,
+            "cross": self._cross,
+            "union": self._union,
+            "diff": self._diff,
+            "difference": self._diff,
+            "rename": self._rename,
+            "bufferjoin": self._bufferjoin,
+            "knearest": self._knearest,
+        }.get(keyword)
+        if handler is None:
+            raise self._error(
+                f"unknown operation {keyword_token.text!r} (expected select, project, "
+                "join, intersect, cross, union, diff, rename, bufferjoin or knearest)"
+            )
+        self._advance()
+        body = handler()
+        self._finish()
+        return Statement(target, body, self._line)
+
+    def _select(self) -> SelectStmt:
+        conditions = self._conditions()
+        self._expect_keyword("from")
+        source = self._expect_ident("a relation name")
+        return SelectStmt(tuple(conditions), source)
+
+    def _project(self) -> ProjectStmt:
+        source = self._expect_ident("a relation name")
+        self._expect_keyword("on")
+        attributes = [self._expect_ident("an attribute name")]
+        while self._peek().text == ",":
+            self._advance()
+            attributes.append(self._expect_ident("an attribute name"))
+        return ProjectStmt(source, tuple(attributes))
+
+    def _join(self) -> JoinStmt:
+        left = self._expect_ident("a relation name")
+        self._expect_keyword("and")
+        right = self._expect_ident("a relation name")
+        return JoinStmt(left, right)
+
+    def _intersect(self) -> IntersectStmt:
+        left = self._expect_ident("a relation name")
+        self._expect_keyword("and")
+        right = self._expect_ident("a relation name")
+        return IntersectStmt(left, right)
+
+    def _cross(self) -> CrossStmt:
+        left = self._expect_ident("a relation name")
+        self._expect_keyword("and")
+        right = self._expect_ident("a relation name")
+        return CrossStmt(left, right)
+
+    def _union(self) -> UnionStmt:
+        left = self._expect_ident("a relation name")
+        self._expect_keyword("and")
+        right = self._expect_ident("a relation name")
+        return UnionStmt(left, right)
+
+    def _diff(self) -> DiffStmt:
+        left = self._expect_ident("a relation name")
+        self._expect_keyword("and")
+        right = self._expect_ident("a relation name")
+        return DiffStmt(left, right)
+
+    def _rename(self) -> RenameStmt:
+        old = self._expect_ident("an attribute name")
+        self._expect_keyword("to")
+        new = self._expect_ident("an attribute name")
+        self._expect_keyword("in")
+        source = self._expect_ident("a relation name")
+        return RenameStmt(old, new, source)
+
+    def _bufferjoin(self) -> BufferJoinStmt:
+        left = self._expect_ident("a relation name")
+        self._expect_keyword("and")
+        right = self._expect_ident("a relation name")
+        self._expect_keyword("within")
+        distance = self._expect_number("a distance")
+        left_attr, right_attr = "fid1", "fid2"
+        if self._peek().matches_keyword("as"):
+            self._advance()
+            left_attr = self._expect_ident("an attribute name")
+            self._expect_op(",")
+            right_attr = self._expect_ident("an attribute name")
+        return BufferJoinStmt(left, right, distance, left_attr, right_attr)
+
+    def _knearest(self) -> KNearestStmt:
+        k_value = self._expect_number("a neighbour count")
+        if k_value.denominator != 1 or k_value < 1:
+            raise self._error(f"k must be a positive integer, got {k_value}")
+        self._expect_keyword("near")
+        token = self._advance()
+        if token.kind not in ("ident", "string"):
+            raise self._error("expected a feature id", token)
+        query_source = None
+        if self._peek().matches_keyword("of"):
+            self._advance()
+            query_source = self._expect_ident("a relation name")
+        self._expect_keyword("in")
+        source = self._expect_ident("a relation name")
+        return KNearestStmt(int(k_value), token.text, source, query_source)
+
+    # -- conditions ------------------------------------------------------------
+
+    def _conditions(self) -> list[Comparison]:
+        conditions = self._comparison_chain()
+        while self._peek().text == ",":
+            self._advance()
+            conditions.extend(self._comparison_chain())
+        return conditions
+
+    def _comparison_chain(self) -> list[Comparison]:
+        left = self._expression()
+        token = self._peek()
+        if token.kind != "op" or token.text not in _COMPARATORS:
+            raise self._error("expected a comparison operator")
+        comparisons: list[Comparison] = []
+        while self._peek().kind == "op" and self._peek().text in _COMPARATORS:
+            op = self._advance().text
+            if op == "==":
+                op = "="
+            right = self._expression()
+            comparisons.append(Comparison(left, op, right))
+            left = right
+        return comparisons
+
+    def _expression(self) -> ExprAST:
+        result = self._term()
+        while self._peek().kind == "op" and self._peek().text in {"+", "-"}:
+            op = self._advance().text
+            result = BinaryOp(op, result, self._term())
+        return result
+
+    def _term(self) -> ExprAST:
+        result = self._factor()
+        while self._peek().kind == "op" and self._peek().text in {"*", "/"}:
+            op = self._advance().text
+            result = BinaryOp(op, result, self._factor())
+        return result
+
+    def _factor(self) -> ExprAST:
+        token = self._advance()
+        if token.kind == "number":
+            return NumberLit(Fraction(token.text))
+        if token.kind == "ident":
+            return Identifier(token.text)
+        if token.kind == "string":
+            return StringLit(token.text)
+        if token.kind == "op" and token.text == "-":
+            return Negate(self._factor())
+        if token.kind == "op" and token.text == "+":
+            return self._factor()
+        if token.kind == "op" and token.text == "(":
+            inner = self._expression()
+            self._expect_op(")")
+            return inner
+        raise self._error(
+            f"expected a value or attribute, found {token.text or 'end of line'!r}", token
+        )
+
+
+def parse_statement(text: str, line: int = 1) -> Statement:
+    """Parse one ``NAME = operation`` statement."""
+    return _StatementParser(tokenize_line(text, line), line).statement()
+
+
+def parse_script(script: str) -> list[Statement]:
+    """Parse a multi-step query script (one statement per line; ``#`` and
+    ``--`` start comments)."""
+    statements = [parse_statement(text, line) for line, text in split_statements(script)]
+    if not statements:
+        raise ParseError("empty query script")
+    return statements

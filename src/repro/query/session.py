@@ -1,0 +1,112 @@
+"""Multi-step query sessions.
+
+CQA/CDB queries "are broken up into multiple steps … the last step of the
+query produces the query output" (section 3.3).  A :class:`QuerySession`
+executes a script statement by statement against a database: each
+statement compiles to a plan, (optionally) passes through the optimizer,
+is evaluated, and its result is bound to the statement's target name for
+later steps to reference.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..algebra.optimizer import Optimizer
+from ..algebra.plan import EvaluationContext, Metrics, PlanNode, evaluate
+from ..errors import QueryError
+from ..model.database import Database
+from ..model.relation import ConstraintRelation
+from ..model.schema import Schema
+from .ast import Statement
+from .compiler import compile_statement
+from .parser import parse_script, parse_statement
+
+
+class QuerySession:
+    """Executes multi-step ASCII queries against a database.
+
+    ``indexes`` has the evaluator's index-catalog shape
+    (relation name → {attribute set → index strategy}); with
+    ``use_optimizer=True`` (the default) selections over indexed base
+    relations become index scans.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        indexes: Mapping[str, Mapping[frozenset[str], object]] | None = None,
+        use_optimizer: bool = True,
+    ):
+        self._workspace = Database({name: database[name] for name in database})
+        self._indexes = {k: dict(v) for k, v in (indexes or {}).items()}
+        self._use_optimizer = use_optimizer
+        self._context = EvaluationContext(self._workspace, self._indexes)
+        self._results: dict[str, ConstraintRelation] = {}
+        self._last: ConstraintRelation | None = None
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self, text: str) -> ConstraintRelation:
+        """Execute one statement line, bind and return its result."""
+        return self._run(parse_statement(text))
+
+    def run_script(self, script: str) -> ConstraintRelation:
+        """Execute a whole script; returns the last statement's result."""
+        result: ConstraintRelation | None = None
+        for statement in parse_script(script):
+            result = self._run(statement)
+        assert result is not None  # parse_script rejects empty scripts
+        return result
+
+    def _run(self, statement: Statement) -> ConstraintRelation:
+        schemas = self._schemas()
+        plan = compile_statement(statement.body, schemas)
+        plan = self.plan_for(plan)
+        result = evaluate(plan, self._context).with_name(statement.target)
+        self._workspace.add(statement.target, result, replace=True)
+        self._results[statement.target] = result
+        self._last = result
+        return result
+
+    def plan_for(self, plan: PlanNode) -> PlanNode:
+        """The plan as it would actually run (after optimization)."""
+        if self._use_optimizer:
+            plan = Optimizer(self._workspace, self._indexes).optimize(plan)
+        return plan
+
+    def explain(self, text: str) -> str:
+        """The optimized plan for one statement, without executing it."""
+        statement = parse_statement(text)
+        plan = compile_statement(statement.body, self._schemas())
+        return self.plan_for(plan).pretty()
+
+    # -- results ---------------------------------------------------------------
+
+    def _schemas(self) -> dict[str, Schema]:
+        return {name: self._workspace[name].schema for name in self._workspace}
+
+    def __getitem__(self, name: str) -> ConstraintRelation:
+        try:
+            return self._workspace[name]
+        except Exception:
+            raise QueryError(f"no result or relation named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._workspace
+
+    @property
+    def last(self) -> ConstraintRelation:
+        if self._last is None:
+            raise QueryError("no statement has been executed yet")
+        return self._last
+
+    @property
+    def results(self) -> Mapping[str, ConstraintRelation]:
+        """All intermediate results bound so far, by target name."""
+        return dict(self._results)
+
+    @property
+    def metrics(self) -> Metrics:
+        """Evaluation metrics accumulated across the session."""
+        return self._context.metrics

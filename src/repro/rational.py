@@ -1,0 +1,87 @@
+"""Exact rational arithmetic helpers.
+
+CQA/CDB is a *rational linear* constraint database: all constraint
+coefficients and constants are rational numbers, and query evaluation is
+exact ("there is no approximation involved in evaluating CQA/CDB queries").
+This module centralises conversion into :class:`fractions.Fraction` and
+human-readable formatting back out.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from .errors import ConstraintError
+
+#: Types accepted wherever the library expects a rational number.
+RationalLike = Union[int, Fraction, str, float]
+
+
+def to_rational(value: RationalLike) -> Fraction:
+    """Convert ``value`` to an exact :class:`Fraction`.
+
+    Accepted inputs:
+
+    * ``int`` and ``Fraction`` — taken as-is.
+    * ``str`` — decimal (``"2.5"``) or ratio (``"1/3"``) notation, parsed
+      exactly.
+    * ``float`` — converted via its decimal repr (``2.5`` becomes ``5/2``,
+      not the exact binary expansion), because users writing ``0.1`` mean
+      the decimal one tenth.
+
+    Raises :class:`ConstraintError` for anything else (including ``bool``,
+    which is deliberately rejected despite being an ``int`` subclass, and
+    non-finite floats).
+    """
+    if isinstance(value, bool):
+        raise ConstraintError(f"cannot interpret {value!r} as a rational number")
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ConstraintError(f"cannot interpret {value!r} as a rational number")
+        return Fraction(repr(value))
+    if isinstance(value, str):
+        try:
+            return Fraction(value.strip())
+        except (ValueError, ZeroDivisionError) as exc:
+            raise ConstraintError(f"cannot parse {value!r} as a rational number") from exc
+    raise ConstraintError(f"cannot interpret {value!r} as a rational number")
+
+
+def format_rational(value: Fraction) -> str:
+    """Render a :class:`Fraction` compactly.
+
+    Integers render without a denominator; fractions with a power-of-ten
+    denominator render as decimals (``5/2`` → ``"2.5"``); everything else
+    renders as ``"p/q"``.
+    """
+    if value.denominator == 1:
+        return str(value.numerator)
+    # Detect denominators of the form 2^a * 5^b, which have exact decimal
+    # expansions of length max(a, b).
+    den = value.denominator
+    twos = 0
+    while den % 2 == 0:
+        den //= 2
+        twos += 1
+    fives = 0
+    while den % 5 == 0:
+        den //= 5
+        fives += 1
+    if den == 1:
+        digits = max(twos, fives)
+        scaled = value * Fraction(10) ** digits
+        text = f"{scaled.numerator:0{digits + 1}d}" if scaled >= 0 else f"-{-scaled.numerator:0{digits + 1}d}"
+        sign = "-" if text.startswith("-") else ""
+        body = text.lstrip("-")
+        whole, frac = body[:-digits] or "0", body[-digits:]
+        return f"{sign}{whole}.{frac}"
+    return f"{value.numerator}/{value.denominator}"
+
+
+ZERO = Fraction(0)
+ONE = Fraction(1)

@@ -1,0 +1,76 @@
+"""Spatial layer: geometry, features, whole-feature operators, vector model.
+
+Public surface:
+
+* :class:`Point`, :class:`Segment`, :class:`BoundingBox` — exact 2-D
+  primitives.
+* :class:`ConvexPolygon` — constraint ⇄ vertex conversion, intersection,
+  distance.
+* :class:`Feature`, :class:`FeatureSet` — whole features and spatial
+  constraint relations (section 4.2).
+* :func:`buffer_join`, :func:`k_nearest` (+ plan nodes) — the safe
+  whole-feature operators of section 4.
+* :class:`PolylineFeature`, :class:`RegionFeature`,
+  :class:`RepresentationCost`, :func:`digitize` — the vector model of
+  section 6.
+"""
+
+from .buffer_join import BufferJoinStatistics, buffer_join, buffer_join_bruteforce
+from .export import (
+    feature_set_to_geojson,
+    feature_to_geojson,
+    polygon_to_geometry,
+    relation_to_geojson,
+    save_geojson,
+)
+from .features import Feature, FeatureSet, default_spatial_schema
+from .geometry import BoundingBox, Point, Segment, cross
+from .k_nearest import (
+    KNearestStatistics,
+    k_nearest,
+    k_nearest_bruteforce,
+    k_nearest_features,
+)
+from .plan_nodes import BufferJoinNode, KNearestNode
+from .polygon import ConvexPolygon
+from .vector import (
+    PolylineFeature,
+    RegionFeature,
+    RepresentationCost,
+    digitize,
+    simplify_points,
+    simplify_polyline,
+    simplify_region,
+)
+
+__all__ = [
+    "BoundingBox",
+    "BufferJoinNode",
+    "BufferJoinStatistics",
+    "ConvexPolygon",
+    "Feature",
+    "FeatureSet",
+    "KNearestNode",
+    "KNearestStatistics",
+    "Point",
+    "PolylineFeature",
+    "RegionFeature",
+    "RepresentationCost",
+    "Segment",
+    "buffer_join",
+    "buffer_join_bruteforce",
+    "cross",
+    "default_spatial_schema",
+    "digitize",
+    "feature_set_to_geojson",
+    "feature_to_geojson",
+    "k_nearest",
+    "k_nearest_bruteforce",
+    "k_nearest_features",
+    "polygon_to_geometry",
+    "relation_to_geojson",
+    "save_geojson",
+    "simplify_points",
+    "simplify_polyline",
+    "simplify_region",
+]

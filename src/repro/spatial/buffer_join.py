@@ -1,0 +1,107 @@
+"""Buffer-Join: the first whole-feature operator of section 4.
+
+``BufferJoin(R, S, d)`` pairs every feature of R with every feature of S
+whose Euclidean distance is at most ``d``.  The output is a relation over
+two *relational* feature-ID attributes — no distance value ever appears in
+the output, which is exactly why the operator is **safe** (the raw
+``distance`` operator is not: its output would leave the linear constraint
+class).
+
+Evaluation is the classic two-step spatial join (Brinkhoff et al.):
+
+1. *filter* — search the S-side R*-tree with each R feature's bounding box
+   expanded by ``d`` (an MBR-distance lower bound);
+2. *refine* — compute the exact convex-part distance for the survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+from ..indexing.mbr import MBR
+from ..model.relation import ConstraintRelation
+from ..model.schema import Schema, relational
+from ..model.tuples import HTuple
+from ..rational import RationalLike, to_rational
+from .features import FeatureSet
+
+
+@dataclass
+class BufferJoinStatistics:
+    """Filter/refine effectiveness counters for one run."""
+
+    candidate_pairs: int = 0
+    result_pairs: int = 0
+    index_accesses: int = 0
+
+    @property
+    def refinement_rate(self) -> float:
+        return self.result_pairs / self.candidate_pairs if self.candidate_pairs else 0.0
+
+
+def buffer_join(
+    left: FeatureSet,
+    right: FeatureSet,
+    distance: RationalLike,
+    left_attr: str = "fid1",
+    right_attr: str = "fid2",
+    statistics: BufferJoinStatistics | None = None,
+) -> ConstraintRelation:
+    """All pairs ``(left feature, right feature)`` within ``distance``.
+
+    Returns a relation over two string relational attributes, keyed by
+    feature IDs (section 4's whole-feature contract).  Joining a feature
+    set with itself pairs distinct features only (a feature is trivially
+    within any distance of itself).
+    """
+    d = to_rational(distance)
+    if d < 0:
+        raise GeometryError(f"buffer distance must be non-negative, got {d}")
+    if left_attr == right_attr:
+        raise GeometryError("output attributes must have distinct names")
+    schema = Schema([relational(left_attr), relational(right_attr)])
+    stats = statistics if statistics is not None else BufferJoinStatistics()
+    index = right.index()
+    d_float = float(d)
+    tuples: list[HTuple] = []
+    self_join = left is right
+    for feature in left:
+        box = feature.bounding_box().expand(d)
+        query = MBR(
+            (float(box.min_x), float(box.min_y)), (float(box.max_x), float(box.max_y))
+        )
+        before = index.search_accesses
+        candidates = index.search(query)
+        stats.index_accesses += index.search_accesses - before
+        for fid in candidates:
+            if self_join and fid == feature.fid:
+                continue
+            stats.candidate_pairs += 1
+            if feature.distance(right[fid]) <= d_float:
+                stats.result_pairs += 1
+                tuples.append(
+                    HTuple(schema, {left_attr: feature.fid, right_attr: fid})
+                )
+    return ConstraintRelation(schema, tuples)
+
+
+def buffer_join_bruteforce(
+    left: FeatureSet,
+    right: FeatureSet,
+    distance: RationalLike,
+    left_attr: str = "fid1",
+    right_attr: str = "fid2",
+) -> ConstraintRelation:
+    """Reference implementation without the index filter step (used by the
+    tests and as the baseline in ``benchmarks/bench_spatial_operators.py``)."""
+    d = float(to_rational(distance))
+    schema = Schema([relational(left_attr), relational(right_attr)])
+    self_join = left is right
+    tuples = [
+        HTuple(schema, {left_attr: a.fid, right_attr: b.fid})
+        for a in left
+        for b in right
+        if not (self_join and a.fid == b.fid) and a.distance(b) <= d
+    ]
+    return ConstraintRelation(schema, tuples)

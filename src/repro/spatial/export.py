@@ -1,0 +1,104 @@
+"""GeoJSON export: the visual-output conversion of section 6.2.
+
+"When displaying a feature as part of data visualization or query output,
+the reverse conversion must take place.  In order to display a feature,
+its boundary points have to be computed from the constraints."  This
+module is that conversion's last mile: features (or spatial constraint
+relations, via vertex enumeration) to RFC 7946 GeoJSON dictionaries that
+any GIS viewer renders directly.
+
+Coordinates are emitted as floats (display precision); the exact rational
+data stays in the database.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import GeometryError
+from ..model.relation import ConstraintRelation
+from .features import Feature, FeatureSet
+from .polygon import ConvexPolygon
+
+
+def _ring(polygon: ConvexPolygon) -> list[list[float]]:
+    """A closed CCW ring (GeoJSON wants the first point repeated last)."""
+    coordinates = [[float(v.x), float(v.y)] for v in polygon.vertices]
+    coordinates.append(list(coordinates[0]))
+    return coordinates
+
+
+def polygon_to_geometry(polygon: ConvexPolygon) -> dict[str, Any]:
+    """One convex part as a GeoJSON geometry (Point / LineString /
+    Polygon, by degeneracy)."""
+    vertices = polygon.vertices
+    if len(vertices) == 1:
+        return {"type": "Point", "coordinates": [float(vertices[0].x), float(vertices[0].y)]}
+    if len(vertices) == 2:
+        return {
+            "type": "LineString",
+            "coordinates": [[float(v.x), float(v.y)] for v in vertices],
+        }
+    return {"type": "Polygon", "coordinates": [_ring(polygon)]}
+
+
+def feature_to_geojson(feature: Feature, properties: dict[str, Any] | None = None) -> dict[str, Any]:
+    """A GeoJSON Feature.  Homogeneous multi-part geometries collapse to
+    MultiPoint/MultiLineString/MultiPolygon; mixed ones use a
+    GeometryCollection."""
+    geometries = [polygon_to_geometry(part) for part in feature.parts]
+    kinds = {g["type"] for g in geometries}
+    geometry: dict[str, Any]
+    if len(geometries) == 1:
+        geometry = geometries[0]
+    elif kinds == {"Polygon"}:
+        geometry = {
+            "type": "MultiPolygon",
+            "coordinates": [g["coordinates"] for g in geometries],
+        }
+    elif kinds == {"LineString"}:
+        geometry = {
+            "type": "MultiLineString",
+            "coordinates": [g["coordinates"] for g in geometries],
+        }
+    elif kinds == {"Point"}:
+        geometry = {
+            "type": "MultiPoint",
+            "coordinates": [g["coordinates"] for g in geometries],
+        }
+    else:
+        geometry = {"type": "GeometryCollection", "geometries": geometries}
+    return {
+        "type": "Feature",
+        "id": feature.fid,
+        "geometry": geometry,
+        "properties": {"fid": feature.fid, **(properties or {})},
+    }
+
+
+def feature_set_to_geojson(features: FeatureSet) -> dict[str, Any]:
+    """A GeoJSON FeatureCollection (features in insertion order)."""
+    return {
+        "type": "FeatureCollection",
+        "features": [feature_to_geojson(f) for f in features],
+    }
+
+
+def relation_to_geojson(
+    relation: ConstraintRelation,
+    fid_attr: str = "fid",
+    x: str = "x",
+    y: str = "y",
+) -> dict[str, Any]:
+    """A spatial constraint relation straight to GeoJSON — vertex
+    enumeration per tuple, grouped by feature ID (the full §6.2 display
+    pipeline in one call)."""
+    return feature_set_to_geojson(FeatureSet.from_relation(relation, fid_attr, x, y))
+
+
+def save_geojson(obj: dict[str, Any], path: str | Path, indent: int | None = 2) -> None:
+    if obj.get("type") not in ("FeatureCollection", "Feature"):
+        raise GeometryError(f"not a GeoJSON Feature/FeatureCollection: {obj.get('type')!r}")
+    Path(path).write_text(json.dumps(obj, indent=indent), encoding="utf-8")

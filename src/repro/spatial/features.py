@@ -1,0 +1,185 @@
+"""Spatial features and spatial constraint relations (section 4.2).
+
+A *spatial constraint relation* has "the feature ID [as] the only
+non-spatial attribute": one feature (a road, a land parcel, a hurricane
+path) is stored as several constraint tuples — one convex part each —
+sharing a feature ID.  :class:`Feature` is the whole-feature view (the unit
+the section 4 operators work on); :class:`FeatureSet` converts between the
+relation form and the feature form and maintains the R*-tree over feature
+bounding boxes that Buffer-Join and k-Nearest search.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..constraints import Conjunction
+from ..errors import GeometryError, SchemaError
+from ..indexing.mbr import MBR
+from ..indexing.rstar import RStarTree
+from ..model.relation import ConstraintRelation
+from ..model.schema import Schema, constraint, relational
+from ..model.tuples import HTuple
+from ..model.types import DataType, Null
+from .geometry import BoundingBox, Point
+from .polygon import ConvexPolygon
+
+
+class Feature:
+    """A named spatial feature: a union of convex parts."""
+
+    __slots__ = ("fid", "parts")
+
+    def __init__(self, fid: str, parts: Iterable[ConvexPolygon]):
+        if not fid or not isinstance(fid, str):
+            raise GeometryError(f"feature ids must be non-empty strings, got {fid!r}")
+        self.fid = fid
+        self.parts: tuple[ConvexPolygon, ...] = tuple(parts)
+        if not self.parts:
+            raise GeometryError(f"feature {fid!r} has no parts")
+
+    def bounding_box(self) -> BoundingBox:
+        box = self.parts[0].bounding_box()
+        for part in self.parts[1:]:
+            box = box.union(part.bounding_box())
+        return box
+
+    def contains_point(self, point: Point) -> bool:
+        return any(part.contains_point(point) for part in self.parts)
+
+    def intersects(self, other: "Feature") -> bool:
+        return any(
+            mine.intersects(theirs) for mine in self.parts for theirs in other.parts
+        )
+
+    def distance(self, other: "Feature") -> float:
+        """Euclidean minimum distance between the two features (0 when they
+        touch)."""
+        return min(
+            mine.distance(theirs) for mine in self.parts for theirs in other.parts
+        )
+
+    def __repr__(self) -> str:
+        return f"<Feature {self.fid}: {len(self.parts)} convex parts>"
+
+
+def default_spatial_schema(fid_attr: str = "fid", x: str = "x", y: str = "y") -> Schema:
+    """The canonical spatial constraint relation schema of section 4.2."""
+    return Schema([relational(fid_attr), constraint(x), constraint(y)])
+
+
+class FeatureSet:
+    """A collection of features with relation ⇄ feature conversion and an
+    R*-tree over feature bounding boxes."""
+
+    def __init__(
+        self,
+        features: Iterable[Feature],
+        fid_attr: str = "fid",
+        x: str = "x",
+        y: str = "y",
+    ):
+        self.fid_attr = fid_attr
+        self.x = x
+        self.y = y
+        self._features: dict[str, Feature] = {}
+        for feature in features:
+            if feature.fid in self._features:
+                raise GeometryError(f"duplicate feature id {feature.fid!r}")
+            self._features[feature.fid] = feature
+        self._index: RStarTree | None = None
+
+    # -- conversion ----------------------------------------------------------
+
+    @classmethod
+    def from_relation(
+        cls,
+        relation: ConstraintRelation,
+        fid_attr: str = "fid",
+        x: str = "x",
+        y: str = "y",
+    ) -> "FeatureSet":
+        """Group tuples by feature ID and enumerate each tuple's convex
+        part.  The relation must have ``fid_attr`` as a string relational
+        attribute and ``x``/``y`` as constraint attributes; this is the
+        costly constraint→geometry conversion of section 6.2."""
+        schema = relation.schema
+        fid_def = schema[fid_attr]
+        if not fid_def.is_relational or fid_def.data_type is not DataType.STRING:
+            raise SchemaError(f"{fid_attr!r} must be a string relational attribute")
+        for spatial in (x, y):
+            if not schema[spatial].is_constraint:
+                raise SchemaError(f"{spatial!r} must be a constraint attribute")
+        grouped: dict[str, list[ConvexPolygon]] = {}
+        for t in relation:
+            fid = t.value(fid_attr)
+            if isinstance(fid, Null):
+                raise SchemaError("a spatial tuple has a NULL feature id")
+            polygon = ConvexPolygon.from_conjunction(t.formula.project((x, y)), x, y)
+            grouped.setdefault(fid, []).append(polygon)
+        return cls(
+            (Feature(fid, parts) for fid, parts in grouped.items()),
+            fid_attr=fid_attr,
+            x=x,
+            y=y,
+        )
+
+    def to_relation(self, name: str | None = None) -> ConstraintRelation:
+        """The spatial constraint relation form: one tuple per convex part
+        (the geometry→constraint conversion)."""
+        schema = default_spatial_schema(self.fid_attr, self.x, self.y)
+        tuples = []
+        for feature in self:
+            for part in feature.parts:
+                formula: Conjunction = part.to_conjunction(self.x, self.y)
+                tuples.append(HTuple(schema, {self.fid_attr: feature.fid}, formula))
+        return ConstraintRelation(schema, tuples, name)
+
+    # -- access ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Feature]:
+        return iter(self._features.values())
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def __contains__(self, fid: object) -> bool:
+        return fid in self._features
+
+    def __getitem__(self, fid: str) -> Feature:
+        try:
+            return self._features[fid]
+        except KeyError:
+            raise GeometryError(f"no feature named {fid!r}") from None
+
+    @property
+    def features(self) -> Mapping[str, Feature]:
+        return dict(self._features)
+
+    # -- indexing ----------------------------------------------------------------
+
+    def index(self) -> RStarTree:
+        """The (lazily built) R*-tree over feature bounding boxes; payloads
+        are feature ids."""
+        if self._index is None:
+            tree = RStarTree(dimensions=2, max_entries=16)
+            for feature in self:
+                box = feature.bounding_box()
+                tree.insert(
+                    MBR(
+                        (float(box.min_x), float(box.min_y)),
+                        (float(box.max_x), float(box.max_y)),
+                    ),
+                    feature.fid,
+                )
+            self._index = tree
+        return self._index
+
+    def feature_mbr(self, fid: str) -> MBR:
+        box = self[fid].bounding_box()
+        return MBR(
+            (float(box.min_x), float(box.min_y)), (float(box.max_x), float(box.max_y))
+        )
+
+    def __repr__(self) -> str:
+        return f"<FeatureSet: {len(self)} features over ({self.x}, {self.y})>"

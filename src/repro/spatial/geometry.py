@@ -1,0 +1,162 @@
+"""Exact 2-D geometric primitives.
+
+Points carry rational coordinates so that orientation tests and
+constraint⇄vertex conversions are exact; *distances* are Euclidean floats
+(they involve square roots, which is precisely why raw distance is not a
+safe constraint-query operator — section 4 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..errors import GeometryError
+from ..rational import RationalLike, to_rational
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point with exact rational coordinates."""
+
+    x: Fraction
+    y: Fraction
+
+    def __init__(self, x: RationalLike, y: RationalLike):
+        object.__setattr__(self, "x", to_rational(x))
+        object.__setattr__(self, "y", to_rational(y))
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(float(self.x - other.x), float(self.y - other.y))
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y})"
+
+
+def cross(o: Point, a: Point, b: Point) -> Fraction:
+    """The z-component of (a−o) × (b−o): positive for a left turn,
+    negative for a right turn, zero for collinear points — exact."""
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A closed line segment between two rational points."""
+
+    start: Point
+    end: Point
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.start, Point) or not isinstance(self.end, Point):
+            raise GeometryError("segments require Point endpoints")
+
+    @property
+    def is_degenerate(self) -> bool:
+        return self.start == self.end
+
+    def length(self) -> float:
+        return self.start.distance_to(self.end)
+
+    def distance_to_point(self, p: Point) -> float:
+        """Euclidean distance from ``p`` to the closest point of the
+        segment (projection clamped to the endpoints)."""
+        dx = float(self.end.x - self.start.x)
+        dy = float(self.end.y - self.start.y)
+        px = float(p.x - self.start.x)
+        py = float(p.y - self.start.y)
+        length_sq = dx * dx + dy * dy
+        if length_sq == 0.0:
+            return math.hypot(px, py)
+        t = max(0.0, min(1.0, (px * dx + py * dy) / length_sq))
+        return math.hypot(px - t * dx, py - t * dy)
+
+    def intersects(self, other: "Segment") -> bool:
+        """Whether the closed segments share a point (exact predicate)."""
+        d1 = cross(other.start, other.end, self.start)
+        d2 = cross(other.start, other.end, self.end)
+        d3 = cross(self.start, self.end, other.start)
+        d4 = cross(self.start, self.end, other.end)
+        if ((d1 > 0) != (d2 > 0) and d1 != 0 and d2 != 0) and (
+            (d3 > 0) != (d4 > 0) and d3 != 0 and d4 != 0
+        ):
+            return True
+        return (
+            (d1 == 0 and _on_segment(other, self.start))
+            or (d2 == 0 and _on_segment(other, self.end))
+            or (d3 == 0 and _on_segment(self, other.start))
+            or (d4 == 0 and _on_segment(self, other.end))
+        )
+
+    def distance_to_segment(self, other: "Segment") -> float:
+        """Minimum distance between two closed segments (0 when they
+        intersect)."""
+        if self.intersects(other):
+            return 0.0
+        return min(
+            self.distance_to_point(other.start),
+            self.distance_to_point(other.end),
+            other.distance_to_point(self.start),
+            other.distance_to_point(self.end),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.start} -> {self.end}"
+
+
+def _on_segment(segment: Segment, p: Point) -> bool:
+    """Whether a point known to be collinear with ``segment`` lies on it."""
+    return (
+        min(segment.start.x, segment.end.x) <= p.x <= max(segment.start.x, segment.end.x)
+        and min(segment.start.y, segment.end.y) <= p.y <= max(segment.start.y, segment.end.y)
+    )
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rational rectangle."""
+
+    min_x: Fraction
+    min_y: Fraction
+    max_x: Fraction
+    max_y: Fraction
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise GeometryError(f"empty bounding box: {self}")
+
+    @classmethod
+    def of_points(cls, points: list[Point]) -> "BoundingBox":
+        if not points:
+            raise GeometryError("bounding box of zero points")
+        return cls(
+            min(p.x for p in points),
+            min(p.y for p in points),
+            max(p.x for p in points),
+            max(p.y for p in points),
+        )
+
+    def expand(self, margin: RationalLike) -> "BoundingBox":
+        m = to_rational(margin)
+        if m < 0:
+            raise GeometryError(f"cannot expand by a negative margin {m}")
+        return BoundingBox(self.min_x - m, self.min_y - m, self.max_x + m, self.max_y + m)
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def __str__(self) -> str:
+        return f"[{self.min_x}, {self.max_x}] x [{self.min_y}, {self.max_y}]"

@@ -1,0 +1,161 @@
+"""Plan nodes for the whole-feature operators.
+
+These let Buffer-Join and k-Nearest participate in CQA plans (and in the
+ASCII query language) alongside the six primitives.  Both nodes are *safe*
+(their outputs are purely relational), in contrast to
+:class:`repro.algebra.safety.UnsafeDistance`.
+"""
+
+from __future__ import annotations
+
+from ..algebra.plan import EvaluationContext, PlanNode
+from ..errors import AlgebraError
+from ..model.database import Database
+from ..model.relation import ConstraintRelation
+from ..model.schema import Schema, relational
+from ..model.types import DataType
+from ..rational import RationalLike, format_rational, to_rational
+from .buffer_join import buffer_join
+from .features import FeatureSet
+from .k_nearest import k_nearest
+
+
+def _spatial_attrs(relation: ConstraintRelation) -> tuple[str, str, str]:
+    """Infer (fid, x, y) for a spatial constraint relation: the single
+    string relational attribute and the two constraint attributes."""
+    schema = relation.schema
+    fids = [a.name for a in schema if a.is_relational and a.data_type is DataType.STRING]
+    spatial = [a.name for a in schema if a.is_constraint]
+    if len(fids) != 1 or len(spatial) != 2:
+        raise AlgebraError(
+            "whole-feature operators need a spatial constraint relation: one "
+            f"string feature-id attribute and two constraint attributes; got "
+            f"({', '.join(str(a) for a in schema)})"
+        )
+    return fids[0], spatial[0], spatial[1]
+
+
+class BufferJoinNode(PlanNode):
+    """``BufferJoin(left, right, d)`` as a plan node (section 4)."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        distance: RationalLike,
+        left_attr: str = "fid1",
+        right_attr: str = "fid2",
+    ):
+        self.left = left
+        self.right = right
+        self.distance = to_rational(distance)
+        self.left_attr = left_attr
+        self.right_attr = right_attr
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children):
+        left, right = children
+        return BufferJoinNode(left, right, self.distance, self.left_attr, self.right_attr)
+
+    def infer_schema(self, database: Database) -> Schema:
+        return Schema([relational(self.left_attr), relational(self.right_attr)])
+
+    def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+        left_rel = self.left.evaluate(context)
+        right_rel = self.right.evaluate(context)
+        left_set = FeatureSet.from_relation(left_rel, *_spatial_attrs(left_rel))
+        if left_rel == right_rel:
+            # Self-join: reuse the left set so buffer_join's identity-based
+            # self-pair exclusion applies (a feature is trivially within
+            # any distance of itself).
+            right_set = left_set
+        else:
+            right_set = FeatureSet.from_relation(right_rel, *_spatial_attrs(right_rel))
+        result = buffer_join(
+            left_set, right_set, self.distance, self.left_attr, self.right_attr
+        )
+        context.metrics.count("buffer_join", len(result))
+        return result
+
+    def describe(self) -> str:
+        return f"BufferJoin(d={format_rational(self.distance)})"
+
+
+class KNearestNode(PlanNode):
+    """``KNearest(child, query-feature-id, k)`` as a plan node.
+
+    The query feature is named by id and looked up in ``query_child`` when
+    given ("the 3 shelters nearest to parcel A": child = Shelters,
+    query_child = Parcels), otherwise in the evaluated child relation
+    itself (nearest neighbours *within* one layer).
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        query_fid: str,
+        k: int,
+        fid_attr: str = "fid",
+        rank_attr: str = "rank",
+        query_child: PlanNode | None = None,
+    ):
+        if k < 1:
+            raise AlgebraError(f"k must be >= 1, got {k}")
+        self.child = child
+        self.query_fid = query_fid
+        self.k = k
+        self.fid_attr = fid_attr
+        self.rank_attr = rank_attr
+        self.query_child = query_child
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        if self.query_child is None:
+            return (self.child,)
+        return (self.child, self.query_child)
+
+    def with_children(self, children):
+        if len(children) == 1:
+            (child,) = children
+            query_child = None
+        else:
+            child, query_child = children
+        return KNearestNode(
+            child, self.query_fid, self.k, self.fid_attr, self.rank_attr, query_child
+        )
+
+    def infer_schema(self, database: Database) -> Schema:
+        return Schema(
+            [relational(self.fid_attr), relational(self.rank_attr, DataType.RATIONAL)]
+        )
+
+    def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+        relation = self.child.evaluate(context)
+        feature_set = FeatureSet.from_relation(relation, *_spatial_attrs(relation))
+        if self.query_child is not None:
+            query_relation = self.query_child.evaluate(context)
+            query_set = FeatureSet.from_relation(
+                query_relation, *_spatial_attrs(query_relation)
+            )
+            if self.query_fid not in query_set:
+                raise AlgebraError(
+                    f"k-nearest query feature {self.query_fid!r} is not in the "
+                    "query relation"
+                )
+            query = query_set[self.query_fid]
+        else:
+            if self.query_fid not in feature_set:
+                raise AlgebraError(
+                    f"k-nearest query feature {self.query_fid!r} is not in the "
+                    "input relation"
+                )
+            query = feature_set[self.query_fid]
+        result = k_nearest(feature_set, query, self.k, self.fid_attr, self.rank_attr)
+        context.metrics.count("k_nearest", len(result))
+        return result
+
+    def describe(self) -> str:
+        return f"KNearest(query={self.query_fid}, k={self.k})"

@@ -1,0 +1,249 @@
+"""Convex polygons with exact constraint ⇄ vertex conversion.
+
+A constraint tuple over two spatial attributes describes a convex region
+(section 4.2: spatial constraint relations are unions of convex polyhedra,
+one per tuple).  :class:`ConvexPolygon` is the geometric view of one such
+tuple: it can be *enumerated* from a satisfiable bounded
+:class:`~repro.constraints.Conjunction` and *converted back* to one —
+the two costly conversions the paper discusses in section 6.2.
+
+Degenerate regions are first-class: one vertex is a point, two vertices a
+segment.  Vertices are stored in counter-clockwise order with exact
+rational coordinates.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+from ..constraints import Comparator, Conjunction, LinearConstraint, LinearExpression, eq, ge, le
+from ..errors import GeometryError
+from .geometry import BoundingBox, Point, Segment, cross
+
+
+def _convex_hull(points: Sequence[Point]) -> list[Point]:
+    """Andrew's monotone chain over exact rational points; collinear
+    points on the hull boundary are dropped.  Handles 0/1/2-point and
+    fully-collinear inputs by returning the extreme points."""
+    unique = sorted(set(points), key=lambda p: (p.x, p.y))
+    if len(unique) <= 2:
+        return unique
+    lower: list[Point] = []
+    for p in unique:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list[Point] = []
+    for p in reversed(unique):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) <= 1:  # all collinear: keep the two extremes
+        return [unique[0], unique[-1]]
+    return hull
+
+
+def _solve_lines(
+    a1: Fraction, b1: Fraction, c1: Fraction, a2: Fraction, b2: Fraction, c2: Fraction
+) -> Point | None:
+    """Intersection of a1·x + b1·y + c1 = 0 and a2·x + b2·y + c2 = 0."""
+    det = a1 * b2 - a2 * b1
+    if det == 0:
+        return None
+    x = (b1 * c2 - b2 * c1) / det
+    y = (a2 * c1 - a1 * c2) / det
+    return Point(x, y)
+
+
+class ConvexPolygon:
+    """An immutable convex region given by CCW vertices (1 = point,
+    2 = segment, >= 3 = polygon)."""
+
+    __slots__ = ("vertices",)
+
+    def __init__(self, vertices: Sequence[Point]):
+        hull = _convex_hull(list(vertices))
+        if not hull:
+            raise GeometryError("a polygon needs at least one vertex")
+        self.vertices: tuple[Point, ...] = tuple(hull)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_conjunction(
+        cls, formula: Conjunction, x: str = "x", y: str = "y"
+    ) -> "ConvexPolygon":
+        """Vertex enumeration of the region a constraint tuple describes.
+
+        The formula must mention only ``x``/``y``, be satisfiable and
+        bounded.  Strict inequalities are closed (the topological closure is
+        taken): spatial extents in the paper's data model are closed
+        regions, and closure does not change area or distance.
+        """
+        stray = formula.variables - {x, y}
+        if stray:
+            raise GeometryError(f"formula mentions non-spatial variables {sorted(stray)}")
+        if not formula.is_satisfiable():
+            raise GeometryError("cannot enumerate an unsatisfiable region")
+        for variable in (x, y):
+            lower, _, upper, _ = formula.bounds(variable)
+            if lower is None or upper is None:
+                raise GeometryError(
+                    f"region is unbounded in {variable!r}; only bounded spatial "
+                    "extents have a vertex representation"
+                )
+        lines: list[tuple[Fraction, Fraction, Fraction]] = []
+        closed_atoms: list[LinearConstraint] = []
+        for atom in formula:
+            expr = atom.expression
+            a, b = expr.coefficient(x), expr.coefficient(y)
+            lines.append((a, b, expr.constant))
+            closed = atom if atom.comparator is not Comparator.LT else LinearConstraint(
+                expr, Comparator.LE
+            )
+            closed_atoms.append(closed)
+        candidates: list[Point] = []
+        for i in range(len(lines)):
+            for j in range(i + 1, len(lines)):
+                point = _solve_lines(*lines[i], *lines[j])
+                if point is None:
+                    continue
+                assignment = {x: point.x, y: point.y}
+                if all(c.satisfied_by(assignment) for c in closed_atoms):
+                    candidates.append(point)
+        if not candidates:
+            raise GeometryError(
+                "no boundary vertices found; the region is degenerate beyond "
+                "representation (this should not happen for bounded regions)"
+            )
+        return cls(candidates)
+
+    @classmethod
+    def box(cls, min_x, min_y, max_x, max_y) -> "ConvexPolygon":
+        return cls(
+            [Point(min_x, min_y), Point(max_x, min_y), Point(max_x, max_y), Point(min_x, max_y)]
+        )
+
+    # -- conversion back to constraints -------------------------------------
+
+    def to_conjunction(self, x: str = "x", y: str = "y") -> Conjunction:
+        """The constraint-tuple formula of this region: one half-plane atom
+        per edge (a point yields two equalities; a segment yields the
+        collinear-line equality plus endpoint bounds — the "three
+        constraints per segment" of section 6.2)."""
+        ex = LinearExpression.variable(x)
+        ey = LinearExpression.variable(y)
+        if len(self.vertices) == 1:
+            p = self.vertices[0]
+            return Conjunction([eq(ex, p.x), eq(ey, p.y)])
+        if len(self.vertices) == 2:
+            p, q = self.vertices
+            line = (q.y - p.y) * ex - (q.x - p.x) * ey
+            offset = (q.y - p.y) * p.x - (q.x - p.x) * p.y
+            atoms = [eq(line, offset)]
+            if p.x != q.x:
+                atoms.append(ge(ex, min(p.x, q.x)))
+                atoms.append(le(ex, max(p.x, q.x)))
+            else:
+                atoms.append(ge(ey, min(p.y, q.y)))
+                atoms.append(le(ey, max(p.y, q.y)))
+            return Conjunction(atoms)
+        atoms = []
+        for p, q in self._vertex_pairs():
+            # Interior lies to the left of each CCW edge pq:
+            # (q.x - p.x)(y - p.y) - (q.y - p.y)(x - p.x) >= 0.
+            expr = (q.x - p.x) * (ey - p.y) - (q.y - p.y) * (ex - p.x)
+            atoms.append(ge(expr, 0))
+        return Conjunction(atoms)
+
+    # -- geometry ------------------------------------------------------------
+
+    def _vertex_pairs(self) -> Iterator[tuple[Point, Point]]:
+        n = len(self.vertices)
+        for i in range(n):
+            yield self.vertices[i], self.vertices[(i + 1) % n]
+
+    def edges(self) -> list[Segment]:
+        """Boundary segments (a point has one degenerate segment)."""
+        if len(self.vertices) == 1:
+            p = self.vertices[0]
+            return [Segment(p, p)]
+        if len(self.vertices) == 2:
+            return [Segment(self.vertices[0], self.vertices[1])]
+        return [Segment(p, q) for p, q in self._vertex_pairs()]
+
+    def area(self) -> Fraction:
+        """Exact area (shoelace); 0 for degenerate regions."""
+        if len(self.vertices) < 3:
+            return Fraction(0)
+        total = Fraction(0)
+        for p, q in self._vertex_pairs():
+            total += p.x * q.y - q.x * p.y
+        return total / 2
+
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox.of_points(list(self.vertices))
+
+    def centroid(self) -> Point:
+        n = len(self.vertices)
+        return Point(
+            sum((v.x for v in self.vertices), Fraction(0)) / n,
+            sum((v.y for v in self.vertices), Fraction(0)) / n,
+        )
+
+    def contains_point(self, point: Point) -> bool:
+        """Closed containment (boundary included), exact."""
+        if len(self.vertices) == 1:
+            return self.vertices[0] == point
+        if len(self.vertices) == 2:
+            segment = Segment(self.vertices[0], self.vertices[1])
+            if cross(segment.start, segment.end, point) != 0:
+                return False
+            return (
+                min(segment.start.x, segment.end.x) <= point.x <= max(segment.start.x, segment.end.x)
+                and min(segment.start.y, segment.end.y) <= point.y <= max(segment.start.y, segment.end.y)
+            )
+        return all(cross(p, q, point) >= 0 for p, q in self._vertex_pairs())
+
+    def intersects(self, other: "ConvexPolygon") -> bool:
+        """Whether the closed regions share a point (exact)."""
+        if not self.bounding_box().intersects(other.bounding_box()):
+            return False
+        if any(self.contains_point(v) for v in other.vertices):
+            return True
+        if any(other.contains_point(v) for v in self.vertices):
+            return True
+        return any(
+            mine.intersects(theirs) for mine in self.edges() for theirs in other.edges()
+        )
+
+    def distance(self, other: "ConvexPolygon") -> float:
+        """Euclidean minimum distance between the closed regions (0 when
+        they intersect).  For disjoint convex regions the minimum is
+        attained between boundary segments."""
+        if self.intersects(other):
+            return 0.0
+        return min(
+            mine.distance_to_segment(theirs)
+            for mine in self.edges()
+            for theirs in other.edges()
+        )
+
+    # -- value semantics -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConvexPolygon):
+            return NotImplemented
+        if len(self.vertices) != len(other.vertices):
+            return False
+        if set(self.vertices) != set(other.vertices):
+            return False
+        return True  # same vertex set and both CCW-canonical
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.vertices))
+
+    def __repr__(self) -> str:
+        return f"ConvexPolygon({', '.join(str(v) for v in self.vertices)})"

@@ -1,0 +1,344 @@
+"""The vector data model (section 6): geometry instead of constraints.
+
+Section 6 argues that the CDB framework's middle layer is
+representation-neutral, and that for spatial data a vector representation
+— linear features as point sequences, regions as outlines — avoids two
+redundancies of the constraint representation:
+
+1. non-spatial attributes duplicated across the constraint tuples of one
+   feature, and
+2. boundary constraints duplicated between neighbouring segments/polyhedra.
+
+This module provides the vector types (:class:`PolylineFeature`,
+:class:`RegionFeature`), exact ear-clipping convex decomposition (the
+vector→constraint conversion for concave regions), Example 8's direct
+projection, and :class:`RepresentationCost` accounting used by
+``benchmarks/bench_representation.py`` to quantify the redundancy argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from ..errors import GeometryError
+from .features import Feature
+from .geometry import Point, cross
+from .polygon import ConvexPolygon
+
+
+@dataclass(frozen=True)
+class RepresentationCost:
+    """Size accounting for one feature under one representation.
+
+    ``tuples`` — constraint tuples (or 1 for a vector feature);
+    ``constraints`` — constraint atoms stored;
+    ``coordinates`` — rational numbers stored (2 per vector point; counted
+    per atom as coefficients+constant for constraints);
+    ``duplicated_attributes`` — copies of the non-spatial attributes beyond
+    the first (redundancy 1);
+    ``shared_boundary_constraints`` — atoms describing a boundary that a
+    neighbouring tuple also stores (redundancy 2).
+    """
+
+    tuples: int
+    constraints: int
+    coordinates: int
+    duplicated_attributes: int
+    shared_boundary_constraints: int
+
+    def __add__(self, other: "RepresentationCost") -> "RepresentationCost":
+        return RepresentationCost(
+            self.tuples + other.tuples,
+            self.constraints + other.constraints,
+            self.coordinates + other.coordinates,
+            self.duplicated_attributes + other.duplicated_attributes,
+            self.shared_boundary_constraints + other.shared_boundary_constraints,
+        )
+
+
+class PolylineFeature:
+    """A linear feature (road, river, hurricane path) as a point sequence."""
+
+    __slots__ = ("fid", "points")
+
+    def __init__(self, fid: str, points: Sequence[Point]):
+        points = tuple(points)
+        if len(points) < 2:
+            raise GeometryError(f"polyline {fid!r} needs at least 2 points")
+        for a, b in zip(points, points[1:]):
+            if a == b:
+                raise GeometryError(f"polyline {fid!r} has a zero-length segment at {a}")
+        self.fid = fid
+        self.points = points
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.points) - 1
+
+    def to_feature(self) -> Feature:
+        """The constraint-model view: one degenerate convex part (a
+        segment) per polyline segment — "one [tuple] for every segment"."""
+        parts = [
+            ConvexPolygon([a, b]) for a, b in zip(self.points, self.points[1:])
+        ]
+        return Feature(self.fid, parts)
+
+    def project(self, axis: str = "x") -> tuple[Fraction, Fraction]:
+        """Example 8: projection by taking coordinate extrema directly."""
+        values = [p.x if axis == "x" else p.y for p in self.points]
+        return min(values), max(values)
+
+    def vector_cost(self, extra_attributes: int = 0) -> RepresentationCost:
+        """Stored size in the vector model: the points, once; non-spatial
+        attributes stored once (no duplication)."""
+        return RepresentationCost(
+            tuples=1,
+            constraints=0,
+            coordinates=2 * len(self.points),
+            duplicated_attributes=0,
+            shared_boundary_constraints=0,
+        )
+
+    def constraint_cost(self, extra_attributes: int = 0) -> RepresentationCost:
+        """Stored size in the constraint model (section 6.2): one tuple per
+        segment, three constraints each (the collinear line and the two
+        endpoint bounds); interior endpoints are stored by both adjacent
+        segments."""
+        tuples = self.segment_count
+        constraints = 3 * tuples
+        coordinates = sum(
+            len(atom.expression.coefficients) + 1
+            for part in self.to_feature().parts
+            for atom in part.to_conjunction()
+        )
+        return RepresentationCost(
+            tuples=tuples,
+            constraints=constraints,
+            coordinates=coordinates,
+            duplicated_attributes=extra_attributes * (tuples - 1),
+            shared_boundary_constraints=2 * (tuples - 1),
+        )
+
+    def __repr__(self) -> str:
+        return f"<PolylineFeature {self.fid}: {len(self.points)} points>"
+
+
+class RegionFeature:
+    """A (possibly concave) region as a simple-polygon outline."""
+
+    __slots__ = ("fid", "outline")
+
+    def __init__(self, fid: str, outline: Sequence[Point]):
+        outline = list(outline)
+        if len(outline) >= 2 and outline[0] == outline[-1]:
+            outline = outline[:-1]  # accept explicitly closed rings
+        if len(outline) < 3:
+            raise GeometryError(f"region {fid!r} needs at least 3 distinct outline points")
+        if len(set(outline)) != len(outline):
+            raise GeometryError(f"region {fid!r} repeats an outline point")
+        if _signed_area2(outline) == 0:
+            raise GeometryError(f"region {fid!r} outline is degenerate (zero area)")
+        if _signed_area2(outline) < 0:
+            outline.reverse()  # normalise to counter-clockwise
+        self.fid = fid
+        self.outline: tuple[Point, ...] = tuple(outline)
+
+    def area(self) -> Fraction:
+        return _signed_area2(self.outline) / 2
+
+    @property
+    def is_convex(self) -> bool:
+        n = len(self.outline)
+        return all(
+            cross(self.outline[i], self.outline[(i + 1) % n], self.outline[(i + 2) % n]) >= 0
+            for i in range(n)
+        )
+
+    def project(self, axis: str = "x") -> tuple[Fraction, Fraction]:
+        """Example 8: projection via coordinate extrema of the outline."""
+        values = [p.x if axis == "x" else p.y for p in self.outline]
+        return min(values), max(values)
+
+    def triangulate(self) -> list[ConvexPolygon]:
+        """Exact ear-clipping decomposition into triangles — the union of
+        convex polyhedra the constraint model requires for concave
+        features.  Convex regions return themselves as a single part."""
+        if self.is_convex:
+            return [ConvexPolygon(self.outline)]
+        remaining = list(self.outline)
+        triangles: list[ConvexPolygon] = []
+        guard = 0
+        while len(remaining) > 3:
+            guard += 1
+            if guard > 4 * len(self.outline) ** 2:
+                raise GeometryError(
+                    f"ear clipping failed for region {self.fid!r}; is the outline simple?"
+                )
+            n = len(remaining)
+            clipped = False
+            for i in range(n):
+                prev_p, cur, next_p = (
+                    remaining[i - 1],
+                    remaining[i],
+                    remaining[(i + 1) % n],
+                )
+                turn = cross(prev_p, cur, next_p)
+                if turn == 0:  # collinear vertex: drop it outright
+                    del remaining[i]
+                    clipped = True
+                    break
+                if turn < 0:  # reflex vertex: not an ear
+                    continue
+                if any(
+                    _point_in_triangle(prev_p, cur, next_p, other)
+                    for j, other in enumerate(remaining)
+                    if j not in (i - 1 if i > 0 else n - 1, i, (i + 1) % n)
+                ):
+                    continue
+                triangles.append(ConvexPolygon([prev_p, cur, next_p]))
+                del remaining[i]
+                clipped = True
+                break
+            if not clipped:
+                raise GeometryError(
+                    f"no ear found for region {self.fid!r}; the outline is not a "
+                    "simple polygon"
+                )
+        triangles.append(ConvexPolygon(remaining))
+        return triangles
+
+    def to_feature(self) -> Feature:
+        return Feature(self.fid, self.triangulate())
+
+    def vector_cost(self, extra_attributes: int = 0) -> RepresentationCost:
+        return RepresentationCost(
+            tuples=1,
+            constraints=0,
+            coordinates=2 * len(self.outline),
+            duplicated_attributes=0,
+            shared_boundary_constraints=0,
+        )
+
+    def constraint_cost(self, extra_attributes: int = 0) -> RepresentationCost:
+        """Stored size as a union of convex polyhedra: one tuple per part,
+        one atom per edge; edges introduced by the decomposition are stored
+        by both parts sharing them (redundancy 2)."""
+        parts = self.triangulate()
+        constraints = 0
+        coordinates = 0
+        edge_count: dict[frozenset[Point], int] = {}
+        for part in parts:
+            atoms = part.to_conjunction()
+            constraints += len(atoms)
+            coordinates += sum(len(a.expression.coefficients) + 1 for a in atoms)
+            for edge in part.edges():
+                key = frozenset((edge.start, edge.end))
+                edge_count[key] = edge_count.get(key, 0) + 1
+        shared = sum(count for count in edge_count.values() if count > 1)
+        return RepresentationCost(
+            tuples=len(parts),
+            constraints=constraints,
+            coordinates=coordinates,
+            duplicated_attributes=extra_attributes * (len(parts) - 1),
+            shared_boundary_constraints=shared,
+        )
+
+    def __repr__(self) -> str:
+        return f"<RegionFeature {self.fid}: {len(self.outline)} outline points>"
+
+
+def _signed_area2(points: Sequence[Point]) -> Fraction:
+    """Twice the signed area (positive for counter-clockwise outlines)."""
+    total = Fraction(0)
+    n = len(points)
+    for i in range(n):
+        p, q = points[i], points[(i + 1) % n]
+        total += p.x * q.y - q.x * p.y
+    return total
+
+
+def _point_in_triangle(a: Point, b: Point, c: Point, p: Point) -> bool:
+    """Closed containment of ``p`` in CCW triangle ``abc`` (exact)."""
+    return cross(a, b, p) >= 0 and cross(b, c, p) >= 0 and cross(c, a, p) >= 0
+
+
+def simplify_points(points: Sequence[Point], tolerance: float) -> list[Point]:
+    """Douglas–Peucker line simplification.
+
+    Returns a subsequence of ``points`` (endpoints always kept) whose
+    maximum deviation from the original chain is at most ``tolerance`` —
+    the approximation step the paper attributes to MLPQ/GIS-style
+    "approximation and conversion modules", and the practical way to
+    shorten digitised features before constraint conversion ("a data model
+    based on linear constraints can approximate any spatial extent to an
+    arbitrary accuracy, by making line segments shorter" — and coarser
+    when accuracy allows).
+    """
+    from .geometry import Segment
+
+    if tolerance < 0:
+        raise GeometryError(f"tolerance must be non-negative, got {tolerance}")
+    if len(points) <= 2:
+        return list(points)
+    chord = Segment(points[0], points[-1])
+    worst_index = 0
+    worst_distance = -1.0
+    for i in range(1, len(points) - 1):
+        d = chord.distance_to_point(points[i])
+        if d > worst_distance:
+            worst_distance = d
+            worst_index = i
+    if worst_distance <= tolerance:
+        return [points[0], points[-1]]
+    left = simplify_points(points[: worst_index + 1], tolerance)
+    right = simplify_points(points[worst_index:], tolerance)
+    return left[:-1] + right
+
+
+def simplify_polyline(feature: PolylineFeature, tolerance: float) -> PolylineFeature:
+    """A simplified copy of a polyline (same id)."""
+    return PolylineFeature(feature.fid, simplify_points(feature.points, tolerance))
+
+
+def simplify_region(feature: RegionFeature, tolerance: float) -> RegionFeature:
+    """A simplified copy of a region outline.
+
+    The ring is opened at its two mutually-farthest vertices (anchors that
+    Douglas–Peucker will never drop), each half simplified independently,
+    and the halves rejoined.  Raises if simplification collapses the
+    region below three vertices.
+    """
+    outline = feature.outline
+    n = len(outline)
+    best = (0, n // 2)
+    best_distance = -1.0
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = outline[i].distance_to(outline[j])
+            if d > best_distance:
+                best_distance = d
+                best = (i, j)
+    i, j = best
+    first_arc = list(outline[i : j + 1])
+    second_arc = list(outline[j:]) + list(outline[: i + 1])
+    kept_first = simplify_points(first_arc, tolerance)
+    kept_second = simplify_points(second_arc, tolerance)
+    ring = kept_first[:-1] + kept_second[:-1]
+    if len(ring) < 3:
+        raise GeometryError(
+            f"tolerance {tolerance} collapses region {feature.fid!r} below 3 vertices"
+        )
+    return RegionFeature(feature.fid, ring)
+
+
+def digitize(points: Iterable[tuple], fid: str, kind: str = "polyline") -> PolylineFeature | RegionFeature:
+    """Simulate GIS digitization (section 6.2): turn a raw stream of
+    coordinate pairs into a vector feature."""
+    materialised = [Point(x, y) for x, y in points]
+    if kind == "polyline":
+        return PolylineFeature(fid, materialised)
+    if kind == "region":
+        return RegionFeature(fid, materialised)
+    raise GeometryError(f"unknown feature kind {kind!r} (use 'polyline' or 'region')")

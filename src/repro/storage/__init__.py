@@ -1,0 +1,28 @@
+"""Simulated paged storage: the substrate behind the "disk access" metric.
+
+Public surface:
+
+* :class:`PageConfig`, :class:`PageStatistics` — page sizing and counters.
+* :class:`BufferPool` — LRU page cache with hit/miss statistics.
+* :class:`HeapFile` — paged unindexed relation storage (full-scan baseline).
+* :func:`save_database` / :func:`load_database` / :func:`dumps` /
+  :func:`loads` — the ``.cdb`` text format.
+"""
+
+from .buffer_pool import BufferPool, BufferPoolStatistics
+from .heapfile import HeapFile
+from .pages import PageConfig, PageStatistics
+from .serialization import dumps, load_database, loads, save_database, serialize_tuple
+
+__all__ = [
+    "BufferPool",
+    "BufferPoolStatistics",
+    "HeapFile",
+    "PageConfig",
+    "PageStatistics",
+    "dumps",
+    "load_database",
+    "loads",
+    "save_database",
+    "serialize_tuple",
+]

@@ -1,0 +1,77 @@
+"""An LRU buffer pool over simulated pages.
+
+The paper's access counts are *logical* node accesses.  Real systems sit a
+buffer pool between the index and the disk; this module lets experiments
+report both logical accesses (every request) and *physical* accesses
+(misses only), and is exercised by the page-size ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import StorageError
+
+
+@dataclass
+class BufferPoolStatistics:
+    requests: int = 0
+    hits: int = 0
+    evictions: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.requests - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.hits = 0
+        self.evictions = 0
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of page identifiers.
+
+    Pages are opaque hashable identifiers (e.g. ``(tree_id, node_id)``).
+    ``access`` returns True on a hit, False on a miss (a simulated disk
+    read); misses beyond capacity evict the least recently used page.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise StorageError(f"buffer pool capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._pages: OrderedDict[object, None] = OrderedDict()
+        self.stats = BufferPoolStatistics()
+
+    def access(self, page_id: object) -> bool:
+        self.stats.requests += 1
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self.stats.hits += 1
+            return True
+        self._pages[page_id] = None
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        return False
+
+    def __contains__(self, page_id: object) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<BufferPool {len(self._pages)}/{self.capacity} pages, "
+            f"hit rate {self.stats.hit_rate:.1%}>"
+        )

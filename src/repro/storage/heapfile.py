@@ -1,0 +1,65 @@
+"""Heap files: unindexed paged storage for relations.
+
+A heap file assigns serialized tuples to fixed-size pages; a full scan
+reads every page.  This gives the experiments a *full-scan* disk-access
+baseline against which index strategies are compared (e.g. experiment 3,
+where the separate-index strategy degrades toward scan-like linear cost).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..model.relation import ConstraintRelation
+from ..model.tuples import HTuple
+from .pages import PageConfig, PageStatistics
+from .serialization import serialize_tuple
+
+
+class HeapFile:
+    """A read-only paged layout of one relation.
+
+    Tuples are packed greedily into pages by serialized size.  ``scan``
+    yields tuples while counting one read per page touched;
+    ``page_count`` is the file's size in pages.
+    """
+
+    def __init__(self, relation: ConstraintRelation, config: PageConfig | None = None):
+        self.config = config or PageConfig()
+        self.stats = PageStatistics()
+        self._pages: list[list[HTuple]] = []
+        current: list[HTuple] = []
+        used = 0
+        for t in relation:
+            size = len(serialize_tuple(t).encode("utf-8")) + 1
+            if current and used + size > self.config.page_size:
+                self._pages.append(current)
+                current = []
+                used = 0
+            current.append(t)
+            used += size
+        if current:
+            self._pages.append(current)
+        self._relation = relation
+
+    @property
+    def relation(self) -> ConstraintRelation:
+        return self._relation
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def __len__(self) -> int:
+        return len(self._relation)
+
+    def scan(self) -> Iterator[HTuple]:
+        """Yield all tuples, reading each page exactly once."""
+        for page in self._pages:
+            self.stats.reads += 1
+            yield from page
+
+    def read_page(self, index: int) -> list[HTuple]:
+        """Tuples of one page (one read)."""
+        self.stats.reads += 1
+        return list(self._pages[index])

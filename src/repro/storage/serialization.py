@@ -1,0 +1,274 @@
+"""Textual serialization of constraint databases (the ``.cdb`` format).
+
+A human-readable, diff-friendly line format::
+
+    # comment
+    relation Land
+    attribute landId string relational
+    attribute x rational constraint
+    attribute y rational constraint
+    tuple landId="A" | 2 <= x, x <= 6, 5 <= y, y <= 7
+    end
+
+* ``tuple`` lines have a relational-value part and, after ``|``, a
+  constraint part parsed by :func:`repro.constraints.parse_constraints`
+  (omitted or empty = the true formula).
+* String values are double-quoted with backslash escapes; rationals are
+  written exactly (``2.5`` or ``1/3``); ``NULL`` is the bare keyword.
+
+Round-tripping is exact: load(save(db)) reproduces the same relations.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from fractions import Fraction
+from pathlib import Path
+from typing import TextIO
+
+from ..constraints import Conjunction, parse_constraints
+from ..errors import StorageError
+from ..model.database import Database
+from ..model.relation import ConstraintRelation
+from ..model.schema import Attribute, Schema
+from ..model.tuples import HTuple
+from ..model.types import NULL, AttributeKind, DataType, Null, Value
+from ..rational import format_rational
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _format_value(value: Value) -> str:
+    if isinstance(value, Null):
+        return "NULL"
+    if isinstance(value, Fraction):
+        return format_rational(value)
+    return _quote(value)
+
+
+def serialize_tuple(t: HTuple) -> str:
+    """One ``tuple`` line (without the trailing newline)."""
+    parts = []
+    for name in t.schema.relational_names:
+        parts.append(f"{name}={_format_value(t.values[name])}")
+    values = ", ".join(parts)
+    formula = "" if t.formula.is_true else str(_formula_text(t.formula))
+    if formula:
+        return f"tuple {values} | {formula}" if values else f"tuple | {formula}"
+    return f"tuple {values}" if values else "tuple"
+
+
+def _formula_text(formula: Conjunction) -> str:
+    # Atom str() is already parseable by parse_constraints ("x + y <= 5");
+    # join conjuncts with commas.
+    return ", ".join(str(atom) for atom in formula)
+
+
+def save_relation(relation: ConstraintRelation, out: TextIO, name: str | None = None) -> None:
+    name = name or relation.name
+    if not name or not _NAME_RE.match(name):
+        raise StorageError(f"relation needs a valid identifier name to serialize, got {name!r}")
+    out.write(f"relation {name}\n")
+    for attr in relation.schema:
+        out.write(f"attribute {attr.name} {attr.data_type.value} {attr.kind.value}\n")
+    for t in relation:
+        out.write(serialize_tuple(t) + "\n")
+    out.write("end\n")
+
+
+def save_database(database: Database, path: str | Path) -> None:
+    """Write every relation of the database to ``path``."""
+    with open(path, "w", encoding="utf-8") as out:
+        out.write("# CQA/CDB database file\n")
+        for name in database:
+            save_relation(database[name], out, name)
+            out.write("\n")
+
+
+def dumps(database: Database) -> str:
+    buffer = io.StringIO()
+    buffer.write("# CQA/CDB database file\n")
+    for name in database:
+        save_relation(database[name], buffer, name)
+        buffer.write("\n")
+    return buffer.getvalue()
+
+
+class _TupleLineParser:
+    """Parses the value part of a ``tuple`` line."""
+
+    def __init__(self, text: str, line_no: int):
+        self._text = text
+        self._pos = 0
+        self._line_no = line_no
+
+    def error(self, message: str) -> StorageError:
+        return StorageError(f"line {self._line_no}: {message} (in {self._text!r})")
+
+    def _skip_ws(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos] in " \t":
+            self._pos += 1
+
+    def at_end(self) -> bool:
+        self._skip_ws()
+        return self._pos >= len(self._text)
+
+    def parse_pairs(self) -> dict[str, object]:
+        values: dict[str, object] = {}
+        first = True
+        while not self.at_end():
+            if not first:
+                if self._text[self._pos] != ",":
+                    raise self.error("expected ',' between values")
+                self._pos += 1
+                self._skip_ws()
+            first = False
+            match = _NAME_RE.match(self._text[self._pos :].split("=")[0].strip())
+            eq_at = self._text.find("=", self._pos)
+            if eq_at < 0 or match is None:
+                raise self.error("expected name=value")
+            name = self._text[self._pos : eq_at].strip()
+            if not _NAME_RE.match(name):
+                raise self.error(f"invalid attribute name {name!r}")
+            self._pos = eq_at + 1
+            self._skip_ws()
+            values[name] = self._parse_value()
+        return values
+
+    def _parse_value(self) -> object:
+        text = self._text
+        if self._pos >= len(text):
+            raise self.error("missing value")
+        if text[self._pos] == '"':
+            self._pos += 1
+            chunks: list[str] = []
+            while self._pos < len(text):
+                ch = text[self._pos]
+                if ch == "\\":
+                    if self._pos + 1 >= len(text):
+                        raise self.error("dangling escape")
+                    chunks.append(text[self._pos + 1])
+                    self._pos += 2
+                    continue
+                if ch == '"':
+                    self._pos += 1
+                    return "".join(chunks)
+                chunks.append(ch)
+                self._pos += 1
+            raise self.error("unterminated string")
+        # Bare token: NULL or a rational literal.
+        end = self._pos
+        while end < len(text) and text[end] not in ",":
+            end += 1
+        token = text[self._pos : end].strip()
+        self._pos = end
+        if not token:
+            raise self.error("missing value")
+        if token == "NULL":
+            return NULL
+        try:
+            return Fraction(token)
+        except (ValueError, ZeroDivisionError):
+            raise self.error(f"cannot parse value {token!r}") from None
+
+
+def _split_tuple_line(text: str, line_no: int) -> tuple[str, str]:
+    """Split a tuple line at the first ``|`` *outside* quoted strings
+    (string values may legitimately contain the separator character)."""
+    in_string = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_string:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == '"':
+                in_string = False
+        elif ch == '"':
+            in_string = True
+        elif ch == "|":
+            return text[:i], text[i + 1 :]
+        i += 1
+    if in_string:
+        raise StorageError(f"line {line_no}: unterminated string (in {text!r})")
+    return text, ""
+
+
+def load_database(source: str | Path | TextIO) -> Database:
+    """Read a ``.cdb`` file (path, file object, or literal text containing a
+    newline) into a fresh :class:`Database`."""
+    if isinstance(source, (str, Path)):
+        text = str(source)
+        if isinstance(source, Path) or "\n" not in text:
+            with open(source, "r", encoding="utf-8") as handle:
+                return _load(handle)
+        return _load(io.StringIO(text))
+    return _load(source)
+
+
+def loads(text: str) -> Database:
+    return _load(io.StringIO(text))
+
+
+def _load(handle: TextIO) -> Database:
+    database = Database()
+    name: str | None = None
+    attributes: list[Attribute] = []
+    tuples: list[tuple[dict[str, object], Conjunction, int]] = []
+    for line_no, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        keyword, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if keyword == "relation":
+            if name is not None:
+                raise StorageError(f"line {line_no}: nested relation (missing 'end')")
+            if not _NAME_RE.match(rest):
+                raise StorageError(f"line {line_no}: invalid relation name {rest!r}")
+            name = rest
+            attributes = []
+            tuples = []
+        elif keyword == "attribute":
+            if name is None:
+                raise StorageError(f"line {line_no}: attribute outside a relation")
+            fields = rest.split()
+            if len(fields) != 3:
+                raise StorageError(f"line {line_no}: expected 'attribute NAME TYPE KIND'")
+            attr_name, type_name, kind_name = fields
+            try:
+                attributes.append(
+                    Attribute(attr_name, DataType(type_name), AttributeKind(kind_name))
+                )
+            except ValueError as exc:
+                raise StorageError(f"line {line_no}: {exc}") from None
+        elif keyword == "tuple" or line == "tuple":
+            if name is None:
+                raise StorageError(f"line {line_no}: tuple outside a relation")
+            value_part, formula_part = _split_tuple_line(rest, line_no)
+            values = _TupleLineParser(value_part.strip(), line_no).parse_pairs()
+            formula_part = formula_part.strip()
+            formula = (
+                Conjunction(parse_constraints(formula_part)) if formula_part else Conjunction.true()
+            )
+            tuples.append((values, formula, line_no))
+        elif keyword == "end" or line == "end":
+            if name is None:
+                raise StorageError(f"line {line_no}: 'end' outside a relation")
+            schema = Schema(attributes)
+            materialised = [
+                HTuple(schema, values, formula) for values, formula, _ in tuples
+            ]
+            database.add(name, ConstraintRelation(schema, materialised, name))
+            name = None
+        else:
+            raise StorageError(f"line {line_no}: unknown directive {keyword!r}")
+    if name is not None:
+        raise StorageError(f"unterminated relation {name!r} (missing 'end')")
+    return database

@@ -1,0 +1,68 @@
+"""Workload generators for the paper's experiments and case studies.
+
+* :mod:`~repro.workloads.rectangles` — the section 5.4 random-rectangle
+  data and query files.
+* :mod:`~repro.workloads.hurricane` — the Figure 2 Hurricane database,
+  the five section 3.3 query scripts, and a scalable generator.
+* :mod:`~repro.workloads.gis` — synthetic town maps for the whole-feature
+  operators.
+"""
+
+from .gis import GisScenario, generate_gis_scenario
+from .hurricane import (
+    figure2_database,
+    generate_hurricane_database,
+    hurricane_schema,
+    land_schema,
+    landownership_schema,
+    paper_queries,
+    path_segment_tuple,
+)
+from .rectangles import (
+    COORDINATE_RANGE,
+    DATA_SIZE,
+    EXTENT_RANGE,
+    QUERY_COUNT,
+    QUERY_COUNT_EXPT3,
+    Rect,
+    brute_force_matches,
+    build_constraint_relation,
+    build_relational_relation,
+    constraint_schema,
+    generate_correlated_data,
+    generate_data,
+    generate_queries,
+    halfopen_queries,
+    query_box_one_attribute,
+    query_box_two_attributes,
+    relational_schema,
+)
+
+__all__ = [
+    "COORDINATE_RANGE",
+    "DATA_SIZE",
+    "EXTENT_RANGE",
+    "GisScenario",
+    "QUERY_COUNT",
+    "QUERY_COUNT_EXPT3",
+    "Rect",
+    "brute_force_matches",
+    "build_constraint_relation",
+    "build_relational_relation",
+    "constraint_schema",
+    "figure2_database",
+    "generate_correlated_data",
+    "generate_data",
+    "generate_gis_scenario",
+    "generate_hurricane_database",
+    "generate_queries",
+    "halfopen_queries",
+    "hurricane_schema",
+    "land_schema",
+    "landownership_schema",
+    "paper_queries",
+    "path_segment_tuple",
+    "query_box_one_attribute",
+    "query_box_two_attributes",
+    "relational_schema",
+]

@@ -1,0 +1,102 @@
+"""Synthetic GIS scenarios for the whole-feature operators.
+
+The paper motivates Buffer-Join and k-Nearest with GIS workloads (parcels
+near a road, the closest shelters).  This generator builds a town map as
+feature sets / spatial constraint relations:
+
+* ``parcels`` — a jittered grid of rectangular land parcels;
+* ``roads`` — monotone polylines crossing the map (as unions of degenerate
+  convex parts, the section 6.2 trajectory representation);
+* ``shelters`` — small square features scattered across the map.
+
+Everything is seeded; coordinates are kept as exact rationals with limited
+denominators so constraint conversions stay small.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..model.database import Database
+from ..spatial.features import Feature, FeatureSet
+from ..spatial.geometry import Point
+from ..spatial.polygon import ConvexPolygon
+from ..spatial.vector import PolylineFeature
+
+
+@dataclass
+class GisScenario:
+    """A generated town map."""
+
+    parcels: FeatureSet
+    roads: FeatureSet
+    shelters: FeatureSet
+    map_size: Fraction
+
+    def to_database(self) -> Database:
+        """The spatial constraint relation form of every layer."""
+        return Database(
+            {
+                "Parcels": self.parcels.to_relation("Parcels"),
+                "Roads": self.roads.to_relation("Roads"),
+                "Shelters": self.shelters.to_relation("Shelters"),
+            }
+        )
+
+
+def _jitter(rng: random.Random, magnitude: int) -> Fraction:
+    return Fraction(rng.randint(-magnitude, magnitude), 10)
+
+
+def generate_gis_scenario(
+    parcels_per_side: int = 8,
+    roads: int = 4,
+    shelters: int = 12,
+    seed: int = 99,
+) -> GisScenario:
+    """Build a scenario; all feature sets share one coordinate frame."""
+    rng = random.Random(seed)
+    cell = Fraction(10)
+    map_size = parcels_per_side * cell
+
+    parcel_features = []
+    for row in range(parcels_per_side):
+        for col in range(parcels_per_side):
+            x0 = col * cell + Fraction(1) + _jitter(rng, 5)
+            y0 = row * cell + Fraction(1) + _jitter(rng, 5)
+            width = cell - Fraction(2) + _jitter(rng, 8)
+            height = cell - Fraction(2) + _jitter(rng, 8)
+            parcel_features.append(
+                Feature(
+                    f"parcel_{row}_{col}",
+                    [ConvexPolygon.box(x0, y0, x0 + width, y0 + height)],
+                )
+            )
+
+    road_features = []
+    for i in range(roads):
+        y = Fraction(rng.randint(0, int(map_size)))
+        points = [Point(Fraction(0), y)]
+        x = Fraction(0)
+        while x < map_size:
+            x = min(map_size, x + rng.randint(5, 15))
+            y = max(Fraction(0), min(map_size, y + rng.randint(-8, 8)))
+            points.append(Point(x, y))
+        road_features.append(PolylineFeature(f"road_{i}", points).to_feature())
+
+    shelter_features = []
+    for i in range(shelters):
+        x0 = Fraction(rng.randint(0, int(map_size) - 2))
+        y0 = Fraction(rng.randint(0, int(map_size) - 2))
+        shelter_features.append(
+            Feature(f"shelter_{i}", [ConvexPolygon.box(x0, y0, x0 + 1, y0 + 1)])
+        )
+
+    return GisScenario(
+        parcels=FeatureSet(parcel_features),
+        roads=FeatureSet(road_features),
+        shelters=FeatureSet(shelter_features),
+        map_size=map_size,
+    )

@@ -1,0 +1,249 @@
+"""The Hurricane database: the paper's heterogeneous case study (§3.3).
+
+Three relations::
+
+    Land          [landId: string, relational; x, y: rational, constraint]
+    Landownership [name: string, relational; t: rational, constraint;
+                   landID: string, relational]
+    Hurricane     [t, x, y: rational, constraint]
+
+:func:`figure2_database` builds a concrete instance in the spirit of
+Figure 2: four rectangular land parcels, a cadastral history, and a
+piecewise-linear hurricane path whose position is a linear function of
+time within each segment (so ``t``, ``x`` and ``y`` are tied by rational
+linear constraints — the canonical spatiotemporal constraint data).
+
+:func:`paper_queries` returns the five CQA scripts of section 3.3 (queries
+1–3 verbatim from the paper; 4 and 5 reconstructed in the same style, as
+the surviving text names five queries but prints three).
+
+:func:`generate_hurricane_database` scales the same shape up for
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from ..constraints import Conjunction, LinearExpression, eq, ge, le
+from ..model.database import Database
+from ..model.relation import ConstraintRelation
+from ..model.schema import Schema, constraint, relational
+from ..model.tuples import HTuple
+from ..rational import to_rational
+
+
+def land_schema() -> Schema:
+    return Schema([relational("landId"), constraint("x"), constraint("y")])
+
+
+def landownership_schema() -> Schema:
+    # The paper's schema prints the attribute as "landID" here and "landId"
+    # in Land; natural join matches attributes *by name*, and Query 3 joins
+    # the two relations on it, so we normalise both to "landId".
+    return Schema([relational("name"), constraint("t"), relational("landId")])
+
+
+def hurricane_schema() -> Schema:
+    return Schema([constraint("t"), constraint("x"), constraint("y")])
+
+
+def _box_tuple(schema: Schema, land_id: str, x0, x1, y0, y1) -> HTuple:
+    x = LinearExpression.variable("x")
+    y = LinearExpression.variable("y")
+    formula = Conjunction([ge(x, x0), le(x, x1), ge(y, y0), le(y, y1)])
+    return HTuple(schema, {"landId": land_id}, formula)
+
+
+def _ownership_tuple(schema: Schema, name: str, land_id: str, t0=None, t1=None) -> HTuple:
+    t = LinearExpression.variable("t")
+    atoms = []
+    if t0 is not None:
+        atoms.append(ge(t, t0))
+    if t1 is not None:
+        atoms.append(le(t, t1))
+    return HTuple(schema, {"name": name, "landId": land_id}, Conjunction(atoms))
+
+
+def path_segment_tuple(
+    schema: Schema,
+    t0,
+    t1,
+    start: tuple,
+    end: tuple,
+) -> HTuple:
+    """One hurricane path segment: for t in [t0, t1] the position moves
+    linearly from ``start`` to ``end`` — three-variable linear equalities,
+    exactly the constraint tuples of section 6.2's trajectory discussion."""
+    t0f, t1f = to_rational(t0), to_rational(t1)
+    if t1f <= t0f:
+        raise ValueError(f"segment needs t1 > t0, got [{t0}, {t1}]")
+    (x0, y0) = (to_rational(start[0]), to_rational(start[1]))
+    (x1, y1) = (to_rational(end[0]), to_rational(end[1]))
+    duration = t1f - t0f
+    t = LinearExpression.variable("t")
+    x = LinearExpression.variable("x")
+    y = LinearExpression.variable("y")
+    # x = x0 + (x1-x0) * (t-t0)/duration  ==  duration*x - (x1-x0)*t = duration*x0 - (x1-x0)*t0
+    formula = Conjunction(
+        [
+            eq(duration * x - (x1 - x0) * t, duration * x0 - (x1 - x0) * t0f),
+            eq(duration * y - (y1 - y0) * t, duration * y0 - (y1 - y0) * t0f),
+            ge(t, t0f),
+            le(t, t1f),
+        ]
+    )
+    return HTuple(schema, {}, formula)
+
+
+def figure2_database() -> Database:
+    """The Figure 2 instance: parcels A–D in a 2×2 layout on [0,10]²,
+    a three-owner cadastral history, and a hurricane crossing the map
+    between t=0 and t=12."""
+    land = ConstraintRelation(
+        land_schema(),
+        [
+            _box_tuple(land_schema(), "A", 0, 4, 6, 10),
+            _box_tuple(land_schema(), "B", 5, 9, 6, 10),
+            _box_tuple(land_schema(), "C", 0, 4, 0, 5),
+            _box_tuple(land_schema(), "D", 5, 9, 0, 5),
+        ],
+        "Land",
+    )
+    ownership = ConstraintRelation(
+        landownership_schema(),
+        [
+            _ownership_tuple(landownership_schema(), "Smith", "A", 0, 10),
+            _ownership_tuple(landownership_schema(), "Jones", "A", 10, None),
+            _ownership_tuple(landownership_schema(), "Lee", "B", 0, None),
+            _ownership_tuple(landownership_schema(), "Garcia", "C", 0, 6),
+            _ownership_tuple(landownership_schema(), "Chen", "C", 6, None),
+            _ownership_tuple(landownership_schema(), "Patel", "D", 2, None),
+        ],
+        "Landownership",
+    )
+    hurricane = ConstraintRelation(
+        hurricane_schema(),
+        [
+            # The hurricane enters at the south-west, sweeps through C,
+            # clips B, and exits north-east missing A and D — so the case
+            # study exercises both hit and missed parcels.
+            path_segment_tuple(hurricane_schema(), 0, 4, (0, 1), (3, 4)),
+            path_segment_tuple(hurricane_schema(), 4, 8, (3, 4), (6, 8)),
+            path_segment_tuple(hurricane_schema(), 8, 12, (6, 8), (10, 10)),
+        ],
+        "Hurricane",
+    )
+    return Database({"Land": land, "Landownership": ownership, "Hurricane": hurricane})
+
+
+def paper_queries() -> dict[str, str]:
+    """The five section 3.3 queries as multi-step ASCII scripts."""
+    return {
+        # Query 1: who owned Land A and when (verbatim structure).
+        "q1_owners_of_A": (
+            "R0 = select landId=A from Landownership\n"
+            "R1 = project R0 on name, t\n"
+        ),
+        # Query 2: all landIDs that the hurricane passed.
+        "q2_lands_hit": (
+            "R0 = join Hurricane and Land\n"
+            "R1 = project R0 on landId\n"
+        ),
+        # Query 3: names of those whose land was hit between time 4 and 9.
+        # Joining ownership to parcels ties each owner to a region; the
+        # join with Hurricane shares t, x and y, so it asks for a hurricane
+        # position inside the parcel *during* the ownership period; the
+        # time selection restricts to [4, 9].
+        "q3_names_hit_4_9": (
+            "R0 = join Landownership and Land\n"
+            "R1 = select t>=4, t<=9 from R0\n"
+            "R2 = join R1 and Hurricane\n"
+            "R3 = project R2 on name\n"
+        ),
+        # Query 4 (reconstructed): when did the hurricane cross each parcel.
+        "q4_crossing_times": (
+            "R0 = join Hurricane and Land\n"
+            "R1 = project R0 on landId, t\n"
+        ),
+        # Query 5 (reconstructed): parcels the hurricane never touched.
+        "q5_lands_missed": (
+            "R0 = project Land on landId\n"
+            "R1 = join Hurricane and Land\n"
+            "R2 = project R1 on landId\n"
+            "R3 = diff R0 and R2\n"
+        ),
+    }
+
+
+def generate_hurricane_database(
+    parcels_per_side: int = 10,
+    owners_per_parcel: int = 2,
+    path_segments: int = 24,
+    seed: int = 12,
+) -> Database:
+    """A scaled Hurricane database with the same schema and shape.
+
+    ``parcels_per_side``² parcels tile a square map; each parcel has a
+    chain of owners over time; the hurricane is a random monotone walk
+    across the map.
+    """
+    rng = random.Random(seed)
+    side = parcels_per_side
+    extent = Fraction(10)  # each parcel is 10x10 with a 1-unit gap
+    land_tuples = []
+    ownership_tuples = []
+    names = [f"owner{i}" for i in range(side * side * owners_per_parcel)]
+    name_index = 0
+    for row in range(side):
+        for col in range(side):
+            land_id = f"P{row}_{col}"
+            x0 = Fraction(col) * (extent + 1)
+            y0 = Fraction(row) * (extent + 1)
+            land_tuples.append(
+                _box_tuple(land_schema(), land_id, x0, x0 + extent, y0, y0 + extent)
+            )
+            boundary = Fraction(0)
+            for k in range(owners_per_parcel):
+                next_boundary = boundary + rng.randint(2, 12)
+                last = k == owners_per_parcel - 1
+                ownership_tuples.append(
+                    _ownership_tuple(
+                        landownership_schema(),
+                        names[name_index],
+                        land_id,
+                        boundary,
+                        None if last else next_boundary,
+                    )
+                )
+                boundary = next_boundary
+                name_index += 1
+    map_size = float(side * (extent + 1))
+    hurricane_tuples = []
+    t = Fraction(0)
+    x = Fraction(0)
+    y = Fraction(round(rng.uniform(0.0, map_size)))
+    step = Fraction(round(map_size)) / path_segments
+    for _ in range(path_segments):
+        nt = t + rng.randint(1, 4)
+        nx = x + step
+        ny = min(
+            Fraction(round(map_size)),
+            max(Fraction(0), y + Fraction(rng.randint(-12, 12))),
+        )
+        hurricane_tuples.append(
+            path_segment_tuple(hurricane_schema(), t, nt, (x, y), (nx, ny))
+        )
+        t, x, y = nt, nx, ny
+    return Database(
+        {
+            "Land": ConstraintRelation(land_schema(), land_tuples, "Land"),
+            "Landownership": ConstraintRelation(
+                landownership_schema(), ownership_tuples, "Landownership"
+            ),
+            "Hurricane": ConstraintRelation(
+                hurricane_schema(), hurricane_tuples, "Hurricane"
+            ),
+        }
+    )

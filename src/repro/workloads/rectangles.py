@@ -1,0 +1,239 @@
+"""The section 5.4 synthetic rectangle workload.
+
+The paper's recipe, verbatim:
+
+1. "Randomly generate 10,000 bounding boxes representing data tuples, with
+   height and width in [1,100]; store them in the data file."
+2. "Randomly generate 100 queries, which are rectangles of height and width
+   in [1,100] … For experiment 3, generate 500 queries."
+3. "All rectangles are obtained by randomly generating (a) the upper-left
+   coordinates, and (b) the height and width of each rectangle.  All
+   coordinates are between [0, 3000]."
+
+Constraint-attribute relations (experiments 1-A/2-A) store each box as a
+constraint tuple over ``x``/``y`` ranges; relational-attribute relations
+(1-B/2-B) store "a single value for any given tuple" — the box's
+upper-left corner point.  Everything is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from ..constraints import Conjunction, LinearExpression, ge, le
+from ..model.relation import ConstraintRelation
+from ..model.schema import Schema, constraint, relational
+from ..model.tuples import HTuple
+from ..model.types import DataType
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle: upper-left corner plus width/height.
+
+    Following the paper's convention, the rectangle extends right and
+    *down* from the upper-left corner: x spans [x, x+width], y spans
+    [y-height, y].
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def x_interval(self) -> tuple[float, float]:
+        return (self.x, self.x + self.width)
+
+    @property
+    def y_interval(self) -> tuple[float, float]:
+        return (self.y - self.height, self.y)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def intersects(self, other: "Rect") -> bool:
+        ax0, ax1 = self.x_interval
+        bx0, bx1 = other.x_interval
+        ay0, ay1 = self.y_interval
+        by0, by1 = other.y_interval
+        return ax0 <= bx1 and bx0 <= ax1 and ay0 <= by1 and by0 <= ay1
+
+    def intersects_x(self, other: "Rect") -> bool:
+        ax0, ax1 = self.x_interval
+        bx0, bx1 = other.x_interval
+        return ax0 <= bx1 and bx0 <= ax1
+
+    def contains_point(self, x: float, y: float) -> bool:
+        x0, x1 = self.x_interval
+        y0, y1 = self.y_interval
+        return x0 <= x <= x1 and y0 <= y <= y1
+
+    def contains_point_x(self, x: float) -> bool:
+        x0, x1 = self.x_interval
+        return x0 <= x <= x1
+
+
+COORDINATE_RANGE = (0.0, 3000.0)
+EXTENT_RANGE = (1.0, 100.0)
+DATA_SIZE = 10_000
+QUERY_COUNT = 100
+QUERY_COUNT_EXPT3 = 500
+
+
+def _random_rect(rng: random.Random) -> Rect:
+    return Rect(
+        x=rng.uniform(*COORDINATE_RANGE),
+        y=rng.uniform(*COORDINATE_RANGE),
+        width=rng.uniform(*EXTENT_RANGE),
+        height=rng.uniform(*EXTENT_RANGE),
+    )
+
+
+def generate_data(count: int = DATA_SIZE, seed: int = 54) -> list[Rect]:
+    """The data file: ``count`` random bounding boxes."""
+    rng = random.Random(seed)
+    return [_random_rect(rng) for _ in range(count)]
+
+
+def generate_queries(count: int = QUERY_COUNT, seed: int = 5403) -> list[Rect]:
+    """The query file: ``count`` random query rectangles."""
+    rng = random.Random(seed)
+    return [_random_rect(rng) for _ in range(count)]
+
+
+def generate_correlated_data(
+    count: int = DATA_SIZE, seed: int = 57, spread: float = 100.0
+) -> list[Rect]:
+    """Diagonally correlated boxes: y ≈ x ± ``spread``.
+
+    This realises the section 5.3 scenario behind experiment 3: with data
+    on the diagonal, the conjuncts ``x < a`` and ``y > b`` (for ``b``
+    comfortably above ``a``) each keep roughly half the tuples, yet almost
+    no tuple satisfies both — the conjunction selects an off-diagonal
+    corner.
+    """
+    rng = random.Random(seed)
+    low, high = COORDINATE_RANGE
+    data = []
+    for _ in range(count):
+        x = rng.uniform(low, high)
+        y = min(high, max(low, x + rng.uniform(-spread, spread)))
+        data.append(
+            Rect(
+                x=x,
+                y=y,
+                width=rng.uniform(*EXTENT_RANGE),
+                height=rng.uniform(*EXTENT_RANGE),
+            )
+        )
+    return data
+
+
+def _fraction(value: float) -> Fraction:
+    # 6 decimal places keeps the constraint coefficients small while
+    # preserving the generated geometry to far beyond query resolution.
+    return Fraction(round(value * 1_000_000), 1_000_000)
+
+
+def constraint_schema() -> Schema:
+    return Schema([constraint("x"), constraint("y")])
+
+
+def relational_schema() -> Schema:
+    return Schema(
+        [relational("x", DataType.RATIONAL), relational("y", DataType.RATIONAL)]
+    )
+
+
+def build_constraint_relation(rects: Sequence[Rect], name: str = "boxes") -> ConstraintRelation:
+    """Experiments 1-A / 2-A: both attributes are constraint attributes;
+    each tuple is the box's x/y range constraints."""
+    schema = constraint_schema()
+    x = LinearExpression.variable("x")
+    y = LinearExpression.variable("y")
+    tuples = []
+    for rect in rects:
+        x0, x1 = (_fraction(v) for v in rect.x_interval)
+        y0, y1 = (_fraction(v) for v in rect.y_interval)
+        formula = Conjunction([ge(x, x0), le(x, x1), ge(y, y0), le(y, y1)])
+        tuples.append(HTuple(schema, {}, formula))
+    return ConstraintRelation(schema, tuples, name)
+
+
+def build_relational_relation(rects: Sequence[Rect], name: str = "points") -> ConstraintRelation:
+    """Experiments 1-B / 2-B: both attributes are relational — each tuple
+    is a single point (the box's upper-left corner)."""
+    schema = relational_schema()
+    tuples = [
+        HTuple(schema, {"x": _fraction(rect.x), "y": _fraction(rect.y)})
+        for rect in rects
+    ]
+    return ConstraintRelation(schema, tuples, name)
+
+
+def query_box_two_attributes(query: Rect) -> dict[str, tuple[float, float]]:
+    """The index query box when both attributes are constrained."""
+    return {"x": query.x_interval, "y": query.y_interval}
+
+
+def query_box_one_attribute(query: Rect, attribute: str = "x") -> dict[str, tuple[float, float]]:
+    """The index query box when only one attribute is constrained; for the
+    joint index "the bound of the other attribute is set from minimum to
+    maximum" (handled inside the strategy)."""
+    interval = query.x_interval if attribute == "x" else query.y_interval
+    return {attribute: interval}
+
+
+def halfopen_queries(
+    count: int = QUERY_COUNT_EXPT3, seed: int = 5405, gap: float = 300.0
+) -> list[dict[str, tuple[float, float]]]:
+    """Experiment 3 queries: half-open conjunctions ``x < a ∧ y > b``.
+
+    ``a`` is drawn near the middle of the domain and ``b = a + gap``, so
+    each conjunct alone keeps roughly 40-55% of uniformly or diagonally
+    distributed data.  Over :func:`generate_correlated_data` (diagonal
+    data, ``spread < gap``) "very few tuples satisfy both of these
+    constraints simultaneously" — section 5.3's scenario verbatim.
+    """
+    rng = random.Random(seed)
+    low, high = COORDINATE_RANGE
+    mid = (low + high) / 2
+    queries = []
+    for _ in range(count):
+        a = rng.uniform(mid - 200.0, mid + 100.0)  # x < a keeps ~43-53%
+        b = a + gap  # y > b keeps ~37-47%
+        queries.append({"x": (low - 1.0, a), "y": (b, high + 101.0)})
+    return queries
+
+
+def brute_force_matches(
+    rects: Iterable[Rect],
+    box: dict[str, tuple[float, float]],
+    as_points: bool = False,
+) -> set[int]:
+    """Reference evaluation of an interval query against the raw data
+    (used by tests to validate both index strategies).
+
+    ``as_points=True`` evaluates against the relational representation
+    (each tuple is the box's upper-left corner point).
+    """
+    matches = set()
+    for i, rect in enumerate(rects):
+        ok = True
+        for attribute, (low, high) in box.items():
+            if as_points:
+                value = rect.x if attribute == "x" else rect.y
+                r_low = r_high = value
+            else:
+                r_low, r_high = rect.x_interval if attribute == "x" else rect.y_interval
+            if r_high < low or high < r_low:
+                ok = False
+                break
+        if ok:
+            matches.add(i)
+    return matches

@@ -1,0 +1,70 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.constraints import Comparator, Conjunction, LinearConstraint, LinearExpression
+
+
+# -- hypothesis strategies ----------------------------------------------------
+
+#: Small exact rationals: numerators/denominators kept small so Fourier-
+#: Motzkin blow-up stays cheap and failures minimise nicely.
+rationals = st.builds(
+    Fraction,
+    st.integers(min_value=-30, max_value=30),
+    st.integers(min_value=1, max_value=6),
+)
+
+variable_names = st.sampled_from(["x", "y", "z"])
+
+
+@st.composite
+def linear_expressions(draw, max_terms: int = 3):
+    terms = draw(
+        st.dictionaries(variable_names, rationals, min_size=0, max_size=max_terms)
+    )
+    constant = draw(rationals)
+    return LinearExpression(terms, constant)
+
+
+@st.composite
+def linear_atoms(draw):
+    expr = draw(linear_expressions())
+    comparator = draw(st.sampled_from(list(Comparator)))
+    return LinearConstraint(expr, comparator)
+
+
+@st.composite
+def conjunctions(draw, max_atoms: int = 4):
+    atoms = draw(st.lists(linear_atoms(), min_size=0, max_size=max_atoms))
+    return Conjunction(atoms)
+
+
+@st.composite
+def points(draw):
+    return {name: draw(rationals) for name in ["x", "y", "z"]}
+
+
+# -- fixtures -------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def hurricane_db():
+    from repro.workloads.hurricane import figure2_database
+
+    return figure2_database()
+
+
+@pytest.fixture(scope="session")
+def small_rect_workload():
+    """A small seeded §5.4 workload shared across index tests."""
+    from repro.workloads import rectangles
+
+    data = rectangles.generate_data(300, seed=11)
+    queries = rectangles.generate_queries(30, seed=12)
+    return data, queries

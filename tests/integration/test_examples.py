@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+The examples double as documentation; these tests keep them from rotting.
+The heavyweight indexing experiment runs in its fast configuration.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "active at t=7" in out
+    assert "NULL matches nothing" in out
+
+
+def test_hurricane():
+    out = run_example("hurricane.py")
+    assert "q1_owners_of_A" in out
+    assert "Smith" in out
+    assert "True" in out and "False" in out  # exact membership probes
+
+
+def test_spatial_analysis():
+    out = run_example("spatial_analysis.py")
+    assert "Buffer-Join(Parcels, Roads, 2)" in out
+    assert "SafetyError" in out
+
+
+def test_visualize_map(tmp_path):
+    out = run_example("visualize_map.py", str(tmp_path))
+    assert (tmp_path / "hurricane_map.svg").exists()
+    assert (tmp_path / "town_map.geojson").exists()
+    svg = (tmp_path / "hurricane_map.svg").read_text()
+    assert svg.count("<polygon") == 4  # the four parcels
+
+
+@pytest.mark.slow
+def test_indexing_experiment_fast_scale():
+    out = run_example("indexing_experiment.py")
+    assert "figure-4" in out
+    assert "advantage" in out
+    assert "index groups" in out

@@ -1,0 +1,118 @@
+"""Integration tests: scaled-down experiment runs assert the paper's shapes.
+
+The absolute numbers depend on the simulated page size, but the *shape*
+claims of section 5.4 must hold at any reasonable scale:
+
+* Figure 4 — joint beats separate for two-attribute queries (both
+  variants), joint is flatter in query area, and the advantage is larger
+  for constraint attributes at small areas;
+* Figure 5 — separate beats (or matches) joint for one-attribute queries,
+  by less than the Figure 4 margin;
+* Experiment 3 — separate grows linearly with data size, joint stays
+  polylogarithmic.
+"""
+
+import pytest
+
+from repro.experiments import expt3, fig4, fig5
+from repro.storage import PageConfig
+
+CONFIG = PageConfig(page_size=1024)  # smaller pages: deeper trees at small n
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return fig4.run(data_size=1500, query_count=60, config=CONFIG)
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return fig5.run(data_size=1500, query_count=60, config=CONFIG)
+
+
+class TestFigure4:
+    def test_joint_wins_for_both_variants(self, fig4_result):
+        for series in fig4_result.series:
+            assert series.mean_joint < series.mean_separate, series.label
+
+    def test_constraint_advantage_at_least_relational(self, fig4_result):
+        constraint_series, relational_series = fig4_result.series
+        assert "1-A" in constraint_series.label
+        assert constraint_series.joint_advantage >= relational_series.joint_advantage * 0.9
+
+    def test_joint_flatter_in_query_area(self, fig4_result):
+        """'The disk access count depends on query selectivity (query
+        area) a lot less in the case of joint than … separate indices.'"""
+        for series in fig4_result.series:
+            rows = series.binned(4)
+            assert len(rows) >= 2
+            joint_spread = max(r[1] for r in rows) - min(r[1] for r in rows)
+            separate_spread = max(r[2] for r in rows) - min(r[2] for r in rows)
+            assert joint_spread <= separate_spread + 1e-9, series.label
+
+    def test_full_measurement_count(self, fig4_result):
+        for series in fig4_result.series:
+            assert len(series.measurements) == 60
+
+    def test_table_renders(self, fig4_result):
+        text = fig4_result.format_table()
+        assert "figure-4" in text and "advantage" in text
+
+
+class TestFigure5:
+    def test_separate_wins_or_ties_for_single_attribute(self, fig5_result):
+        for series in fig5_result.series:
+            assert series.mean_separate <= series.mean_joint, series.label
+
+    def test_figure5_margin_smaller_than_figure4(self, fig4_result, fig5_result):
+        """'this advantage is not as significant as the advantage of
+        joint indices when queries use both attributes.'"""
+        fig4_margin = max(s.joint_advantage for s in fig4_result.series)
+        fig5_margin = max(
+            s.mean_joint / s.mean_separate for s in fig5_result.series
+        )
+        assert fig5_margin < fig4_margin
+
+
+class TestExperiment3:
+    def test_separate_linear_joint_sublinear(self):
+        result = expt3.run(
+            data_sizes=(500, 1000, 2000, 4000), query_count=60, config=CONFIG
+        )
+        (series,) = result.series
+        points = {int(m.x_value): m for m in series.measurements}
+        small, large = points[500], points[4000]
+        separate_growth = large.separate_accesses / max(1, small.separate_accesses)
+        joint_growth = large.joint_accesses / max(1, small.joint_accesses)
+        # Data grew 8x: separate accesses grow near-linearly (>4x), joint
+        # stays well below (the paper's linear vs logarithmic contrast).
+        assert separate_growth > 4.0
+        assert joint_growth < separate_growth / 2
+        assert large.joint_accesses < large.separate_accesses / 4
+
+    def test_notes_mention_selectivity(self):
+        result = expt3.run(data_sizes=(500,), query_count=20, config=CONFIG)
+        assert "selectivity" in result.notes
+
+
+class TestRepresentationExperiment:
+    def test_costs_grow_and_vector_wins(self):
+        from repro.experiments import representation
+
+        rows = representation.run(
+            polyline_sizes=(4, 16), region_spikes=(4, 8), extra_attributes=3
+        )
+        assert len(rows) == 4
+        for row in rows:
+            assert row.constraint.coordinates > row.vector.coordinates
+            assert row.constraint.duplicated_attributes > 0
+            assert row.constraint.shared_boundary_constraints > 0
+        polylines = [r for r in rows if r.kind == "polyline"]
+        assert polylines[1].coordinate_ratio >= polylines[0].coordinate_ratio * 0.9
+
+    def test_table_renders(self):
+        from repro.experiments import representation
+
+        rows = representation.run(polyline_sizes=(4,), region_spikes=(4,))
+        text = representation.format_table(rows)
+        assert "ratio" in text

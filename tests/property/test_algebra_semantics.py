@@ -1,0 +1,188 @@
+"""Property-based tests: the semantic closure principle (section 2.5).
+
+Each CQA operator is checked against its *point-set* definition from
+section 2.4: for random heterogeneous relations and random points, the
+operator's finite-representation output contains exactly the points the
+infinite-semantics definition prescribes.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import difference, natural_join, project, rename, select, union
+from repro.constraints import Conjunction, simplex
+from repro.model import ConstraintRelation, DataType, HTuple, Schema, constraint, relational
+from tests.conftest import rationals
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+# Schemas: id (string relational), v (rational relational), x, y (constraint).
+SCHEMA = Schema(
+    [
+        relational("id"),
+        relational("v", DataType.RATIONAL),
+        constraint("x"),
+        constraint("y"),
+    ]
+)
+
+ids = st.sampled_from(["a", "b"])
+small_rationals = st.integers(min_value=-3, max_value=3).map(Fraction)
+
+
+@st.composite
+def box_formulas(draw):
+    """Small axis-aligned (possibly degenerate/empty) formulas."""
+    atoms = []
+    for var in ("x", "y"):
+        if draw(st.booleans()):
+            low = draw(small_rationals)
+            high = draw(small_rationals)
+            from repro.constraints import ge, le, var as v
+
+            atoms.append(ge(v(var), low))
+            atoms.append(le(v(var), high))
+    return Conjunction(atoms)
+
+
+@st.composite
+def h_tuples(draw):
+    values = {}
+    if draw(st.booleans()):
+        values["id"] = draw(ids)
+    if draw(st.booleans()):
+        values["v"] = draw(small_rationals)
+    return HTuple(SCHEMA, values, draw(box_formulas()))
+
+
+@st.composite
+def relations(draw, max_tuples: int = 3):
+    return ConstraintRelation(
+        SCHEMA, draw(st.lists(h_tuples(), min_size=0, max_size=max_tuples))
+    )
+
+
+@st.composite
+def sample_points(draw):
+    return {
+        "id": draw(ids),
+        "v": draw(small_rationals),
+        "x": draw(small_rationals),
+        "y": draw(small_rationals),
+    }
+
+
+class TestSelectSemantics:
+    @SETTINGS
+    @given(relations(), sample_points(), small_rationals)
+    def test_constraint_select(self, r, point, bound):
+        from repro.constraints import le, var
+
+        predicate = le(var("x"), bound)
+        result = select(r, [predicate])
+        expected = r.contains_point(point) and point["x"] <= bound
+        assert result.contains_point(point) == expected
+
+    @SETTINGS
+    @given(relations(), sample_points(), small_rationals)
+    def test_relational_rational_select(self, r, point, bound):
+        from repro.constraints import ge, var
+
+        result = select(r, [ge(var("v"), bound)])
+        expected = r.contains_point(point) and point["v"] >= bound
+        assert result.contains_point(point) == expected
+
+    @SETTINGS
+    @given(relations(), sample_points())
+    def test_string_select(self, r, point):
+        from repro.algebra import StringPredicate
+
+        result = select(r, [StringPredicate("id", "a")])
+        expected = r.contains_point(point) and point["id"] == "a"
+        assert result.contains_point(point) == expected
+
+
+class TestProjectSemantics:
+    @SETTINGS
+    @given(relations(max_tuples=2), sample_points())
+    def test_exists_semantics(self, r, point):
+        """t[X] ∈ π_X(R) ⇔ ∃ a tuple matching t[X] whose constraint
+        formula admits the kept coordinates.
+
+        Note the SQL-compatible treatment of dropped relational
+        attributes: a NULL in a *dropped* attribute does not erase the row
+        (upward compatibility — relational projections keep rows with
+        NULLs in unprojected columns), so the oracle below only checks the
+        kept attributes.
+        """
+        from repro.model.types import Null
+
+        kept = ["id", "x"]
+        result = project(r, kept)
+        restricted = {"id": point["id"], "x": point["x"]}
+        lhs = result.contains_point(restricted)
+        rhs = False
+        for t in r:
+            id_value = t.values["id"]
+            if isinstance(id_value, Null) or id_value != point["id"]:
+                continue  # narrow semantics on the kept relational attribute
+            pinned = t.formula.conjoin(Conjunction.point({"x": point["x"]}))
+            if simplex.is_satisfiable(pinned.atoms):
+                rhs = True
+                break
+        assert lhs == rhs
+
+
+class TestJoinSemantics:
+    @SETTINGS
+    @given(relations(max_tuples=2), relations(max_tuples=2), sample_points())
+    def test_join_is_pointwise_conjunction(self, r1, r2, point):
+        """Same-schema natural join: E(t) ⇔ R₁(t) ∧ R₂(t) (intersection)."""
+        joined = natural_join(r1, r2)
+        assert joined.contains_point(point) == (
+            r1.contains_point(point) and r2.contains_point(point)
+        )
+
+
+class TestSetSemantics:
+    @SETTINGS
+    @given(relations(max_tuples=2), relations(max_tuples=2), sample_points())
+    def test_union(self, r1, r2, point):
+        assert union(r1, r2).contains_point(point) == (
+            r1.contains_point(point) or r2.contains_point(point)
+        )
+
+    @SETTINGS
+    @given(relations(max_tuples=2), relations(max_tuples=2), sample_points())
+    def test_difference(self, r1, r2, point):
+        assert difference(r1, r2).contains_point(point) == (
+            r1.contains_point(point) and not r2.contains_point(point)
+        )
+
+    @SETTINGS
+    @given(relations(max_tuples=2), relations(max_tuples=2), relations(max_tuples=2))
+    def test_union_difference_algebraic_identity(self, r1, r2, r3):
+        """(R₁ ∪ R₂) − R₂ ⊆ R₁, as relations (checked semantically)."""
+        lhs = difference(union(r1, r2), r2)
+        # every group formula of lhs is entailed by r1's
+        lhs_groups = lhs.groups()
+        r1_groups = r1.groups()
+        for key, formula in lhs_groups.items():
+            assert key in r1_groups
+            assert formula.entails(r1_groups[key])
+
+
+class TestRenameSemantics:
+    @SETTINGS
+    @given(relations(max_tuples=2), sample_points())
+    def test_rename_is_relabeling(self, r, point):
+        renamed = rename(r, "x", "q")
+        relabeled = {("q" if k == "x" else k): v for k, v in point.items()}
+        assert renamed.contains_point(relabeled) == r.contains_point(point)
+
+    @SETTINGS
+    @given(relations(max_tuples=2))
+    def test_rename_roundtrip_identity(self, r):
+        assert rename(rename(r, "x", "q"), "q", "x") == r

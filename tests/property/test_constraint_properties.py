@@ -1,0 +1,137 @@
+"""Property-based tests for the constraint layer.
+
+The two independent decision procedures (Fourier–Motzkin elimination and
+exact simplex) must agree on satisfiability; projection must have exact
+∃-semantics; negation and canonicalisation must respect point semantics.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.constraints import Conjunction, DNFFormula, LinearConstraint
+from repro.constraints import elimination, simplex
+from tests.conftest import conjunctions, linear_atoms, points, rationals
+
+SETTINGS = settings(max_examples=120, deadline=None)
+
+
+class TestSolverAgreement:
+    @SETTINGS
+    @given(conjunctions())
+    def test_fm_and_simplex_agree(self, conj: Conjunction):
+        fm = elimination.is_satisfiable(conj.atoms)
+        sx = simplex.is_satisfiable(conj.atoms)
+        assert fm == sx
+
+    @SETTINGS
+    @given(conjunctions())
+    def test_simplex_witness_satisfies(self, conj: Conjunction):
+        result = simplex.find_rational_solution(conj.atoms)
+        if result.feasible:
+            witness = dict(result.witness)
+            for v in conj.variables:
+                witness.setdefault(v, Fraction(0))
+            assert conj.satisfied_by(witness)
+
+
+class TestPointSemantics:
+    @SETTINGS
+    @given(conjunctions(), points())
+    def test_satisfying_point_implies_satisfiable(self, conj, point):
+        if conj.satisfied_by(point):
+            assert conj.is_satisfiable()
+
+    @SETTINGS
+    @given(linear_atoms(), points())
+    def test_negation_is_complement(self, atom: LinearConstraint, point):
+        if atom.is_trivial:
+            return
+        satisfied = atom.satisfied_by(point)
+        negated = any(d.satisfied_by(point) for d in atom.negate())
+        assert satisfied != negated
+
+    @SETTINGS
+    @given(linear_atoms(), points(), rationals)
+    def test_canonicalisation_invariant_under_scaling(self, atom, point, scale):
+        if atom.is_trivial or scale <= 0:
+            return
+        scaled = LinearConstraint(atom.expression * scale, atom.comparator)
+        assert scaled == atom
+        assert scaled.satisfied_by(point) == atom.satisfied_by(point)
+
+    @SETTINGS
+    @given(linear_atoms(), points())
+    def test_split_equality_preserves_semantics(self, atom, point):
+        if atom.is_trivial:
+            return
+        split = atom.split_equality()
+        assert atom.satisfied_by(point) == all(p.satisfied_by(point) for p in split)
+
+
+class TestProjection:
+    @SETTINGS
+    @given(conjunctions(), points())
+    def test_projection_exact_exists_semantics(self, conj: Conjunction, point):
+        """p ⊨ π_x(C)  ⇔  C ∧ (x = p.x) is satisfiable — the defining
+        property of geometric projection, checked with the independent
+        simplex oracle."""
+        keep = "x"
+        projected = conj.project([keep])
+        restricted = {keep: point[keep]}
+        lhs = projected.satisfied_by(restricted)
+        pinned = conj.conjoin(Conjunction.point(restricted))
+        rhs = simplex.is_satisfiable(pinned.atoms)
+        assert lhs == rhs
+
+    @SETTINGS
+    @given(conjunctions())
+    def test_projection_preserves_satisfiability(self, conj: Conjunction):
+        assert conj.project(["x"]).is_satisfiable() == conj.is_satisfiable()
+
+    @SETTINGS
+    @given(conjunctions(), points())
+    def test_satisfying_point_projects_into_projection(self, conj, point):
+        if conj.satisfied_by(point):
+            assert conj.project(["x", "y"]).satisfied_by({"x": point["x"], "y": point["y"]})
+
+
+class TestSimplification:
+    @SETTINGS
+    @given(conjunctions(), points())
+    def test_simplify_preserves_point_semantics(self, conj, point):
+        assert conj.simplify().satisfied_by(point) == conj.satisfied_by(point) or (
+            not conj.is_satisfiable()
+        )
+
+    @SETTINGS
+    @given(conjunctions())
+    def test_simplify_equivalent(self, conj):
+        assert conj.simplify().equivalent(conj)
+
+
+class TestDNFProperties:
+    @SETTINGS
+    @given(conjunctions(max_atoms=2), conjunctions(max_atoms=2), points())
+    def test_union_conjoin_semantics(self, a, b, point):
+        fa, fb = DNFFormula([a]), DNFFormula([b])
+        assert fa.union(fb).satisfied_by(point) == (
+            a.satisfied_by(point) or b.satisfied_by(point)
+        )
+        assert fa.conjoin(fb).satisfied_by(point) == (
+            a.satisfied_by(point) and b.satisfied_by(point)
+        )
+
+    @SETTINGS
+    @given(conjunctions(max_atoms=2), points())
+    def test_complement_point_semantics(self, conj, point):
+        formula = DNFFormula([conj])
+        assert formula.complement().satisfied_by(point) != formula.satisfied_by(point)
+
+    @SETTINGS
+    @given(conjunctions(max_atoms=2), conjunctions(max_atoms=2), points())
+    def test_difference_point_semantics(self, a, b, point):
+        fa, fb = DNFFormula([a]), DNFFormula([b])
+        assert fa.difference(fb).satisfied_by(point) == (
+            a.satisfied_by(point) and not b.satisfied_by(point)
+        )

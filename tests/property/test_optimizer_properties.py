@@ -1,0 +1,143 @@
+"""Property-based test: optimization never changes query results.
+
+Random plan trees (selects, projects, renames, joins, unions, differences
+over two small base relations) are evaluated before and after the full
+rewrite pipeline; results must be identical tuple sets with identical
+schemas.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    Difference,
+    EvaluationContext,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    StringPredicate,
+    Union,
+    evaluate,
+    optimize,
+)
+from repro.algebra.optimizer import infer_schema
+from repro.constraints import ge, le, parse_constraints, var
+from repro.indexing import JointIndex
+from repro.model import ConstraintRelation, Database, HTuple, Schema, constraint, relational
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def _db() -> Database:
+    r_schema = Schema([relational("id"), constraint("t")])
+    s_schema = Schema([relational("id"), constraint("v")])
+    r = ConstraintRelation(
+        r_schema,
+        [
+            HTuple(r_schema, {"id": "a"}, parse_constraints("0 <= t, t <= 10")),
+            HTuple(r_schema, {"id": "b"}, parse_constraints("5 <= t, t <= 20")),
+            HTuple(r_schema, {}, parse_constraints("t = 7")),
+        ],
+    )
+    s = ConstraintRelation(
+        s_schema,
+        [
+            HTuple(s_schema, {"id": "a"}, parse_constraints("v = 1")),
+            HTuple(s_schema, {"id": "c"}, parse_constraints("0 <= v, v <= 3")),
+        ],
+    )
+    return Database({"R": r, "S": s})
+
+
+DB = _db()
+INDEXES = {"R": {frozenset(["t"]): JointIndex(DB["R"], ["t"], max_entries=4)}}
+
+small = st.integers(min_value=-2, max_value=22).map(Fraction)
+
+
+@st.composite
+def plans(draw, depth: int = 3):
+    """A random valid plan; schemas are tracked via infer_schema."""
+    if depth == 0 or draw(st.booleans()) and depth < 3:
+        return Scan(draw(st.sampled_from(["R", "S"])))
+    kind = draw(
+        st.sampled_from(["select", "project", "rename", "join", "union", "difference"])
+    )
+    if kind in ("join", "union", "difference"):
+        left = draw(plans(depth=depth - 1))
+        right = draw(plans(depth=depth - 1))
+        if kind == "join":
+            return Join(left, right)
+        left_schema = infer_schema(left, DB)
+        right_schema = infer_schema(right, DB)
+        try:
+            left_schema.union_compatible(right_schema)
+        except Exception:
+            return Join(left, right)  # fall back to the always-valid operator
+        return (Union if kind == "union" else Difference)(left, right)
+    child = draw(plans(depth=depth - 1))
+    schema = infer_schema(child, DB)
+    if kind == "project":
+        names = list(schema.names)
+        keep_mask = draw(
+            st.lists(st.booleans(), min_size=len(names), max_size=len(names))
+        )
+        kept = [n for n, keep in zip(names, keep_mask) if keep] or [names[0]]
+        return Project(child, kept)
+    if kind == "rename":
+        old = draw(st.sampled_from(list(schema.names)))
+        return Rename(child, old, f"{old}_rn")
+    # select
+    rational_attrs = [
+        a.name for a in schema if a.data_type.value == "rational"
+    ]
+    predicates = []
+    if rational_attrs and draw(st.booleans()):
+        attr = draw(st.sampled_from(rational_attrs))
+        bound = draw(small)
+        factory = draw(st.sampled_from([le, ge]))
+        predicates.append(factory(var(attr), bound))
+    string_attrs = [
+        a.name for a in schema if a.is_relational and a.data_type.value == "string"
+    ]
+    if string_attrs and draw(st.booleans()):
+        attr = draw(st.sampled_from(string_attrs))
+        predicates.append(
+            StringPredicate(attr, draw(st.sampled_from(["a", "b", "z"])))
+        )
+    if not predicates and rational_attrs:
+        predicates.append(le(var(rational_attrs[0]), draw(small)))
+    if not predicates:
+        return child
+    return Select(child, predicates)
+
+
+class TestOptimizerPreservesSemantics:
+    @SETTINGS
+    @given(plans())
+    def test_results_identical(self, plan):
+        base = evaluate(plan, EvaluationContext(DB))
+        optimized_plan = optimize(plan, DB)
+        rewritten = evaluate(optimized_plan, EvaluationContext(DB))
+        assert rewritten.schema == base.schema
+        assert set(rewritten.tuples) == set(base.tuples)
+
+    @SETTINGS
+    @given(plans())
+    def test_results_identical_with_indexes(self, plan):
+        base = evaluate(plan, EvaluationContext(DB))
+        optimized_plan = optimize(plan, DB, INDEXES)
+        rewritten = evaluate(optimized_plan, EvaluationContext(DB, INDEXES))
+        assert rewritten.schema == base.schema
+        assert set(rewritten.tuples) == set(base.tuples)
+
+    @SETTINGS
+    @given(plans())
+    def test_optimization_idempotent(self, plan):
+        once = optimize(plan, DB)
+        twice = optimize(once, DB)
+        assert twice is once

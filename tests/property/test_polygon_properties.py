@@ -1,0 +1,127 @@
+"""Property-based tests for convex geometry and conversions."""
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.spatial import ConvexPolygon, Point
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+small_coords = st.builds(
+    Fraction,
+    st.integers(min_value=-20, max_value=20),
+    st.integers(min_value=1, max_value=4),
+)
+
+
+@st.composite
+def points_strategy(draw):
+    return Point(draw(small_coords), draw(small_coords))
+
+
+@st.composite
+def polygons(draw, min_points: int = 1, max_points: int = 7):
+    pts = draw(st.lists(points_strategy(), min_size=min_points, max_size=max_points))
+    return ConvexPolygon(pts)
+
+
+class TestConversionRoundtrip:
+    @SETTINGS
+    @given(polygons())
+    def test_vertex_roundtrip(self, poly):
+        back = ConvexPolygon.from_conjunction(poly.to_conjunction())
+        assert set(back.vertices) == set(poly.vertices)
+
+    @SETTINGS
+    @given(polygons(), points_strategy())
+    def test_containment_matches_formula(self, poly, point):
+        formula = poly.to_conjunction()
+        geometric = poly.contains_point(point)
+        symbolic = formula.satisfied_by({"x": point.x, "y": point.y})
+        assert geometric == symbolic
+
+    @SETTINGS
+    @given(polygons())
+    def test_area_preserved(self, poly):
+        back = ConvexPolygon.from_conjunction(poly.to_conjunction())
+        assert back.area() == poly.area()
+
+
+class TestMetricProperties:
+    @SETTINGS
+    @given(polygons(), polygons())
+    def test_distance_symmetry(self, a, b):
+        assert a.distance(b) == b.distance(a)
+
+    @SETTINGS
+    @given(polygons(), polygons())
+    def test_distance_zero_iff_intersects(self, a, b):
+        if a.intersects(b):
+            assert a.distance(b) == 0.0
+        else:
+            assert a.distance(b) > 0.0
+
+    @SETTINGS
+    @given(polygons())
+    def test_self_distance_zero(self, poly):
+        assert poly.distance(poly) == 0.0
+
+    @SETTINGS
+    @given(polygons(), polygons(), polygons())
+    def test_triangle_inequality_ish(self, a, b, c):
+        """Set distance satisfies d(a,c) <= d(a,b) + diam(b) + d(b,c);
+        we check the weaker monotone fact that going through b cannot give
+        a *negative* slack beyond b's diameter."""
+        diameter = max(
+            (u.distance_to(v) for u in b.vertices for v in b.vertices), default=0.0
+        )
+        assert a.distance(c) <= a.distance(b) + diameter + b.distance(c) + 1e-9
+
+    @SETTINGS
+    @given(polygons())
+    def test_vertices_on_boundary_contained(self, poly):
+        for vertex in poly.vertices:
+            assert poly.contains_point(vertex)
+
+    @SETTINGS
+    @given(polygons(), points_strategy())
+    def test_bounding_box_contains_polygon_points(self, poly, point):
+        if poly.contains_point(point):
+            box = poly.bounding_box()
+            assert box.min_x <= point.x <= box.max_x
+            assert box.min_y <= point.y <= box.max_y
+
+
+class TestRegionTriangulation:
+    @SETTINGS
+    @given(st.integers(min_value=3, max_value=10), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_star_polygon_triangulation_preserves_area(self, spikes, seed):
+        """Random star-shaped (hence simple) polygons triangulate into
+        parts whose areas sum exactly to the outline's area."""
+        import math
+        import random
+
+        from repro.spatial import RegionFeature
+
+        rng = random.Random(seed)
+        outline = []
+        count = 2 * spikes
+        for i in range(count):
+            angle = 2 * math.pi * i / count
+            radius = rng.randint(5, 20) if i % 2 == 0 else rng.randint(1, 4)
+            outline.append(
+                Point(
+                    Fraction(round(radius * math.cos(angle) * 100), 100),
+                    Fraction(round(radius * math.sin(angle) * 100), 100),
+                )
+            )
+        try:
+            region = RegionFeature("star", outline)
+        except GeometryError:
+            assume(False)  # degenerate sample (repeated rounded points)
+            return
+        parts = region.triangulate()
+        assert sum((p.area() for p in parts), Fraction(0)) == region.area()

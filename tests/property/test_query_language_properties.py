@@ -1,0 +1,39 @@
+"""Property-based tests for the query language front end.
+
+The printed form of any constraint atom must survive the full pipeline:
+``str(atom)`` → select statement → parser → compiler → the same atom.
+This ties the three text surfaces (atom printing, the constraints parser,
+the query language) together.
+"""
+
+from hypothesis import given, settings
+
+from repro.constraints import LinearConstraint
+from repro.model import Schema, constraint
+from repro.query import parse_statement
+from repro.query.compiler import compile_conditions
+from tests.conftest import linear_atoms
+
+SETTINGS = settings(max_examples=100, deadline=None)
+
+SCHEMA = Schema([constraint("x"), constraint("y"), constraint("z")])
+
+
+class TestAtomRoundTrip:
+    @SETTINGS
+    @given(linear_atoms())
+    def test_printed_atom_compiles_back(self, atom: LinearConstraint):
+        if atom.is_trivial:
+            return
+        statement = parse_statement(f"R0 = select {atom} from R")
+        (compiled,) = compile_conditions(statement.body.conditions, SCHEMA)
+        assert compiled == atom
+
+    @SETTINGS
+    @given(linear_atoms(), linear_atoms())
+    def test_conjunction_order_preserved(self, a, b):
+        if a.is_trivial or b.is_trivial:
+            return
+        statement = parse_statement(f"R0 = select {a}, {b} from R")
+        compiled = compile_conditions(statement.body.conditions, SCHEMA)
+        assert compiled == [a, b]

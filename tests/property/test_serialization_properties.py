@@ -1,0 +1,84 @@
+"""Property-based round-trip tests for the .cdb format."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    NULL,
+    ConstraintRelation,
+    Database,
+    DataType,
+    HTuple,
+    Schema,
+    constraint,
+    relational,
+)
+from repro.storage import dumps, loads
+from tests.conftest import conjunctions
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+SCHEMA = Schema(
+    [
+        relational("name"),
+        relational("score", DataType.RATIONAL),
+        constraint("x"),
+        constraint("y"),
+        constraint("z"),
+    ]
+)
+
+#: Strings including quotes, backslashes, unicode and spaces.
+tricky_strings = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters="\n\r", categories=("L", "N", "P", "S", "Z")
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+values = st.one_of(
+    st.just(NULL),
+    tricky_strings,
+)
+scores = st.one_of(
+    st.just(NULL),
+    st.builds(Fraction, st.integers(-1000, 1000), st.integers(1, 97)),
+)
+
+
+@st.composite
+def h_tuples(draw):
+    vals = {}
+    if draw(st.booleans()):
+        vals["name"] = draw(tricky_strings)
+    if draw(st.booleans()):
+        vals["score"] = draw(scores)
+    return HTuple(SCHEMA, vals, draw(conjunctions(max_atoms=3)))
+
+
+@st.composite
+def databases(draw):
+    tuples = draw(st.lists(h_tuples(), max_size=5))
+    return Database({"R": ConstraintRelation(SCHEMA, tuples, "R")})
+
+
+class TestRoundTrip:
+    @SETTINGS
+    @given(databases())
+    def test_dumps_loads_identity(self, db):
+        restored = loads(dumps(db))
+        assert restored.names() == db.names()
+        original = db["R"]
+        loaded = restored["R"]
+        assert loaded.schema == original.schema
+        assert set(loaded.tuples) == set(original.tuples)
+
+    @SETTINGS
+    @given(databases())
+    def test_double_roundtrip_stable(self, db):
+        once = dumps(loads(dumps(db)))
+        twice = dumps(loads(once))
+        assert once == twice

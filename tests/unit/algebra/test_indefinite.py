@@ -1,0 +1,92 @@
+"""Unit tests for possible/certain selection (§3.1 indefinite semantics)."""
+
+import pytest
+
+from repro.algebra import StringPredicate, select
+from repro.algebra.indefinite import select_certain, select_possible
+from repro.constraints import parse_constraints
+from repro.model import ConstraintRelation, HTuple, Schema, constraint, relational
+
+
+def schema() -> Schema:
+    return Schema([relational("name"), constraint("age")])
+
+
+def rel(*rows) -> ConstraintRelation:
+    s = schema()
+    return ConstraintRelation(
+        s,
+        [HTuple(s, {"name": n}, parse_constraints(f) if f else ()) for n, f in rows],
+    )
+
+
+@pytest.fixture
+def people():
+    # ann's age is known exactly; bob's is known to be in [30, 50];
+    # cat's is entirely unknown (only that it is non-negative).
+    return rel(
+        ("ann", "age = 40"),
+        ("bob", "30 <= age, age <= 50"),
+        ("cat", "age >= 0"),
+    )
+
+
+class TestPossible:
+    def test_possible_is_consistency(self, people):
+        result = select_possible(people, parse_constraints("age >= 45"))
+        assert {t.value("name") for t in result} == {"bob", "cat"}
+
+    def test_possible_narrows_candidates(self, people):
+        result = select_possible(people, parse_constraints("age >= 45"))
+        bob = next(t for t in result if t.value("name") == "bob")
+        assert not bob.formula.satisfied_by({"age": 40})
+        assert bob.formula.satisfied_by({"age": 47})
+
+    def test_possible_equals_ordinary_select(self, people):
+        """Syntactically, possible selection *is* CQA selection — the two
+        semantics diverge only in reading, exactly as §3.1 says."""
+        condition = parse_constraints("age >= 45")
+        assert select_possible(people, condition).equivalent(select(people, condition))
+
+
+class TestCertain:
+    def test_certain_is_entailment(self, people):
+        result = select_certain(people, parse_constraints("age >= 35"))
+        assert {t.value("name") for t in result} == {"ann"}
+
+    def test_certain_keeps_original_formula(self, people):
+        result = select_certain(people, parse_constraints("age >= 20"))
+        bob = next(t for t in result if t.value("name") == "bob")
+        assert bob.formula.satisfied_by({"age": 30})
+        assert bob.formula.satisfied_by({"age": 50})
+
+    def test_certain_subset_of_possible(self, people):
+        for condition in ("age >= 35", "age <= 45", "age = 40"):
+            predicates = parse_constraints(condition)
+            certain = {t.value("name") for t in select_certain(people, predicates)}
+            possible = {t.value("name") for t in select_possible(people, predicates)}
+            assert certain <= possible, condition
+
+    def test_definite_tuples_coincide(self):
+        definite = rel(("ann", "age = 40"), ("bob", "age = 25"))
+        predicates = parse_constraints("age >= 30")
+        certain = select_certain(definite, predicates)
+        possible = select_possible(definite, predicates)
+        assert certain.equivalent(possible)
+        assert {t.value("name") for t in certain} == {"ann"}
+
+
+class TestSharedSemantics:
+    def test_string_predicates_apply_in_both(self, people):
+        predicates = [StringPredicate("name", "bob")] + parse_constraints("age >= 0")
+        assert {t.value("name") for t in select_possible(people, predicates)} == {"bob"}
+        assert {t.value("name") for t in select_certain(people, predicates)} == {"bob"}
+
+    def test_unsatisfiable_condition(self, people):
+        predicates = parse_constraints("age < 0, age > 0")
+        assert len(select_possible(people, predicates)) == 0
+        assert len(select_certain(people, predicates)) == 0
+
+    def test_tautological_condition_keeps_everyone(self, people):
+        predicates = parse_constraints("age >= 0")
+        assert len(select_certain(people, predicates)) == 3

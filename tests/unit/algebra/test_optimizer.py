@@ -1,0 +1,193 @@
+"""Unit tests for the rule-based optimizer.
+
+Every rewrite rule is checked both structurally (the expected plan shape)
+and semantically (evaluation results unchanged).
+"""
+
+import pytest
+
+from repro.algebra import (
+    Difference,
+    EvaluationContext,
+    IndexScan,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    StringPredicate,
+    Union,
+    evaluate,
+    optimize,
+)
+from repro.algebra.optimizer import predicate_attributes, rename_predicate
+from repro.constraints import parse_constraints
+from repro.model import ConstraintRelation, Database, HTuple, Schema, constraint, relational
+
+
+@pytest.fixture
+def db():
+    left = Schema([relational("id"), constraint("t")])
+    right = Schema([relational("id"), constraint("v")])
+    r = ConstraintRelation(
+        left,
+        [
+            HTuple(left, {"id": "a"}, parse_constraints("0 <= t, t <= 10")),
+            HTuple(left, {"id": "b"}, parse_constraints("5 <= t, t <= 20")),
+        ],
+    )
+    s = ConstraintRelation(
+        right,
+        [
+            HTuple(right, {"id": "a"}, parse_constraints("v = 1")),
+            HTuple(right, {"id": "c"}, parse_constraints("v = 2")),
+        ],
+    )
+    return Database({"R": r, "S": s})
+
+
+def assert_same_result(plan, optimized, db, indexes=None):
+    base = evaluate(plan, EvaluationContext(db, indexes))
+    rewritten = evaluate(optimized, EvaluationContext(db, indexes))
+    assert set(base.tuples) == set(rewritten.tuples)
+
+
+class TestPredicateHelpers:
+    def test_predicate_attributes_linear(self):
+        (p,) = parse_constraints("t + v <= 3")
+        assert predicate_attributes(p) == {"t", "v"}
+
+    def test_predicate_attributes_string(self):
+        assert predicate_attributes(StringPredicate("id", "a")) == {"id"}
+        assert predicate_attributes(StringPredicate("id", "other", is_attribute=True)) == {
+            "id",
+            "other",
+        }
+
+    def test_rename_linear_predicate(self):
+        (p,) = parse_constraints("t <= 3")
+        assert predicate_attributes(rename_predicate(p, "t", "q")) == {"q"}
+
+    def test_rename_string_predicate(self):
+        p = rename_predicate(StringPredicate("id", "a"), "id", "key")
+        assert p.attribute == "key"
+
+
+class TestRewrites:
+    def test_merge_selects(self, db):
+        plan = Select(Select(Scan("R"), parse_constraints("t >= 0")), parse_constraints("t <= 9"))
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, Scan)
+        assert len(optimized.predicates) == 2
+        assert_same_result(plan, optimized, db)
+
+    def test_select_through_project(self, db):
+        plan = Select(Project(Scan("R"), ["t"]), parse_constraints("t <= 9"))
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, Project)
+        assert isinstance(optimized.child, Select)
+        assert_same_result(plan, optimized, db)
+
+    def test_select_through_rename(self, db):
+        plan = Select(Rename(Scan("R"), "t", "q"), parse_constraints("q <= 9"))
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, Rename)
+        inner = optimized.child
+        assert isinstance(inner, Select)
+        assert predicate_attributes(inner.predicates[0]) == {"t"}
+        assert_same_result(plan, optimized, db)
+
+    def test_select_through_union(self, db):
+        plan = Select(Union(Scan("R"), Scan("R")), parse_constraints("t <= 9"))
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, Union)
+        assert_same_result(plan, optimized, db)
+
+    def test_select_through_difference(self, db):
+        plan = Select(Difference(Scan("R"), Scan("R")), parse_constraints("t <= 9"))
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, Difference)
+        assert isinstance(optimized.left, Select)
+        assert isinstance(optimized.right, Select)
+        assert_same_result(plan, optimized, db)
+
+    def test_select_split_across_join(self, db):
+        plan = Select(
+            Join(Scan("R"), Scan("S")), parse_constraints("t <= 9, v >= 1")
+        )
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Select)
+        assert isinstance(optimized.right, Select)
+        assert_same_result(plan, optimized, db)
+
+    def test_select_on_shared_attribute_pushes_to_both_sides(self, db):
+        plan = Select(Join(Scan("R"), Scan("S")), [StringPredicate("id", "a")])
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Select)
+        assert isinstance(optimized.right, Select)
+        assert_same_result(plan, optimized, db)
+
+    def test_cross_attribute_predicate_stays_above_join(self, db):
+        plan = Select(Join(Scan("R"), Scan("S")), parse_constraints("t + v <= 3"))
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, Join)
+        assert_same_result(plan, optimized, db)
+
+    def test_merge_projects(self, db):
+        plan = Project(Project(Scan("R"), ["id", "t"]), ["id"])
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, Project)
+        assert isinstance(optimized.child, Scan)
+        assert_same_result(plan, optimized, db)
+
+    def test_fixpoint_on_deep_stack(self, db):
+        plan = Select(
+            Select(
+                Project(Project(Scan("R"), ["id", "t"]), ["id", "t"]),
+                parse_constraints("t >= 0"),
+            ),
+            parse_constraints("t <= 9"),
+        )
+        optimized = optimize(plan, db)
+        assert_same_result(plan, optimized, db)
+
+    def test_no_rules_applicable_returns_same_plan(self, db):
+        plan = Join(Scan("R"), Scan("S"))
+        assert optimize(plan, db) is plan
+
+
+class TestIndexSelection:
+    def _indexes(self, db):
+        from repro.indexing import JointIndex
+
+        return {"R": {frozenset(["t"]): JointIndex(db["R"], ["t"], max_entries=4)}}
+
+    def test_select_scan_becomes_index_scan(self, db):
+        indexes = self._indexes(db)
+        plan = Select(Scan("R"), parse_constraints("t >= 15"))
+        optimized = optimize(plan, db, indexes)
+        assert isinstance(optimized, IndexScan)
+        assert optimized.index_attributes == frozenset(["t"])
+        assert_same_result(plan, optimized, db, indexes)
+
+    def test_no_index_no_rewrite(self, db):
+        plan = Select(Scan("S"), parse_constraints("v >= 1"))
+        optimized = optimize(plan, db, self._indexes(db))
+        assert isinstance(optimized, Select)
+
+    def test_string_only_predicates_do_not_use_index(self, db):
+        plan = Select(Scan("R"), [StringPredicate("id", "a")])
+        optimized = optimize(plan, db, self._indexes(db))
+        assert isinstance(optimized, Select)
+
+    def test_index_scan_counts_accesses(self, db):
+        indexes = self._indexes(db)
+        plan = optimize(Select(Scan("R"), parse_constraints("t >= 15")), db, indexes)
+        ctx = EvaluationContext(db, indexes)
+        result = evaluate(plan, ctx)
+        assert [t.value("id") for t in result] == ["b"]
+        assert ctx.metrics.index_node_accesses >= 1

@@ -1,0 +1,109 @@
+"""Unit tests for plan nodes, evaluation metrics and the safety checker."""
+
+import pytest
+
+from repro.algebra import (
+    Difference,
+    EvaluationContext,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    UnsafeDistance,
+    check_safe,
+    evaluate,
+    is_safe,
+)
+from repro.constraints import parse_constraints
+from repro.errors import SafetyError, SchemaError
+from repro.model import ConstraintRelation, Database, HTuple, Schema, constraint, relational
+
+
+@pytest.fixture
+def db():
+    s = Schema([relational("id"), constraint("t")])
+    r = ConstraintRelation(
+        s,
+        [
+            HTuple(s, {"id": "a"}, parse_constraints("0 <= t, t <= 10")),
+            HTuple(s, {"id": "b"}, parse_constraints("5 <= t, t <= 20")),
+        ],
+    )
+    return Database({"R": r, "S": r.with_name("S")})
+
+
+class TestEvaluation:
+    def test_scan(self, db):
+        result = evaluate(Scan("R"), EvaluationContext(db))
+        assert len(result) == 2
+
+    def test_scan_missing_relation(self, db):
+        with pytest.raises(SchemaError):
+            evaluate(Scan("missing"), EvaluationContext(db))
+
+    def test_nested_plan(self, db):
+        plan = Project(Select(Scan("R"), parse_constraints("t >= 15")), ["id"])
+        result = evaluate(plan, EvaluationContext(db))
+        assert [t.value("id") for t in result] == ["b"]
+
+    def test_join_union_difference_rename(self, db):
+        ctx = EvaluationContext(db)
+        assert len(evaluate(Join(Scan("R"), Scan("S")), ctx)) >= 2
+        assert len(evaluate(Union(Scan("R"), Scan("S")), ctx)) == 2
+        assert len(evaluate(Difference(Scan("R"), Scan("S")), ctx)) == 0
+        renamed = evaluate(Rename(Scan("R"), "t", "q"), ctx)
+        assert renamed.schema.names == ("id", "q")
+
+    def test_metrics_accumulate(self, db):
+        ctx = EvaluationContext(db)
+        evaluate(Select(Scan("R"), parse_constraints("t >= 0")), ctx)
+        assert ctx.metrics.operator_calls["scan"] == 1
+        assert ctx.metrics.operator_calls["select"] == 1
+        assert ctx.metrics.tuples_produced >= 2
+
+    def test_with_children_rebuilds(self, db):
+        plan = Select(Scan("R"), parse_constraints("t >= 15"))
+        rebuilt = plan.with_children([Scan("S")])
+        assert isinstance(rebuilt, Select)
+        assert rebuilt.child.relation_name == "S"
+        assert rebuilt.predicates == plan.predicates
+
+    def test_pretty_renders_tree(self, db):
+        plan = Project(Select(Scan("R"), parse_constraints("t >= 15")), ["id"])
+        text = plan.pretty()
+        assert "Project(id)" in text and "Scan(R)" in text
+
+
+class TestSafety:
+    def test_primitives_are_safe(self, db):
+        plan = Project(Select(Scan("R"), parse_constraints("t >= 0")), ["id"])
+        check_safe(plan)  # no raise
+        assert is_safe(plan)
+
+    def test_unsafe_distance_rejected_by_checker(self, db):
+        plan = UnsafeDistance(Scan("R"), Scan("S"))
+        with pytest.raises(SafetyError, match="closed form"):
+            check_safe(plan)
+        assert not is_safe(plan)
+
+    def test_unsafe_node_nested_anywhere_is_detected(self, db):
+        plan = Project(UnsafeDistance(Scan("R"), Scan("S")), ["id"])
+        assert not is_safe(plan)
+
+    def test_evaluate_refuses_unsafe_plan(self, db):
+        with pytest.raises(SafetyError):
+            evaluate(UnsafeDistance(Scan("R"), Scan("S")), EvaluationContext(db))
+
+    def test_unsafe_node_evaluation_is_impossible_by_construction(self, db):
+        # Even bypassing the top-level check, the node itself refuses.
+        with pytest.raises(SafetyError, match="Buffer-Join"):
+            UnsafeDistance(Scan("R"), Scan("S")).evaluate(EvaluationContext(db))
+
+    def test_whole_feature_operators_are_safe(self):
+        from repro.spatial import BufferJoinNode, KNearestNode
+
+        plan = BufferJoinNode(Scan("A"), Scan("B"), 5)
+        assert is_safe(plan)
+        assert is_safe(KNearestNode(Scan("A"), "f1", 3))

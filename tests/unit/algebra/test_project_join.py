@@ -1,0 +1,154 @@
+"""Unit tests for π (project) and ⋈ (natural join)."""
+
+import pytest
+
+from repro.algebra import cross_product, intersection, natural_join, project
+from repro.constraints import parse_constraints
+from repro.errors import AlgebraError
+from repro.model import (
+    ConstraintRelation,
+    DataType,
+    HTuple,
+    Schema,
+    constraint,
+    relational,
+)
+
+
+class TestProject:
+    def setup_method(self):
+        self.schema = Schema([relational("id"), constraint("x"), constraint("y")])
+        self.rel = ConstraintRelation(
+            self.schema,
+            [
+                HTuple(
+                    self.schema, {"id": "a"}, parse_constraints("x = y, 0 <= y, y <= 2")
+                )
+            ],
+        )
+
+    def test_projection_eliminates_variables(self):
+        result = project(self.rel, ["id", "x"])
+        assert result.schema.names == ("id", "x")
+        (t,) = result.tuples
+        assert t.formula.satisfied_by({"x": 2})
+        assert not t.formula.satisfied_by({"x": 3})
+
+    def test_projection_merges_duplicates(self):
+        rel = ConstraintRelation(
+            self.schema,
+            [
+                HTuple(self.schema, {"id": "a"}, parse_constraints("0 <= x, x <= 1, y = 1")),
+                HTuple(self.schema, {"id": "a"}, parse_constraints("0 <= x, x <= 1, y = 2")),
+            ],
+        )
+        result = project(rel, ["id", "x"])
+        assert len(result) == 1  # identical after eliminating y
+
+    def test_projection_order(self):
+        assert project(self.rel, ["y", "id"]).schema.names == ("y", "id")
+
+    def test_projection_to_relational_only(self):
+        result = project(self.rel, ["id"])
+        assert len(result) == 1
+        assert result.tuples[0].formula.is_true
+
+
+class TestNaturalJoin:
+    def test_shared_constraint_attribute(self):
+        s1 = Schema([constraint("t"), constraint("x")])
+        s2 = Schema([constraint("t"), constraint("y")])
+        r1 = ConstraintRelation(s1, [HTuple(s1, {}, parse_constraints("0 <= t, t <= 5, x = t"))])
+        r2 = ConstraintRelation(s2, [HTuple(s2, {}, parse_constraints("3 <= t, t <= 9, y = 1"))])
+        joined = natural_join(r1, r2)
+        assert joined.schema.names == ("t", "x", "y")
+        (t,) = joined.tuples
+        assert t.formula.satisfied_by({"t": 4, "x": 4, "y": 1})
+        assert not t.formula.satisfied_by({"t": 2, "x": 2, "y": 1})
+
+    def test_unsatisfiable_combination_dropped(self):
+        s1 = Schema([constraint("t")])
+        s2 = Schema([constraint("t")])
+        r1 = ConstraintRelation(s1, [HTuple(s1, {}, parse_constraints("t <= 1"))])
+        r2 = ConstraintRelation(s2, [HTuple(s2, {}, parse_constraints("t >= 2"))])
+        assert len(natural_join(r1, r2)) == 0
+
+    def test_shared_relational_attribute(self):
+        s1 = Schema([relational("id"), constraint("x")])
+        s2 = Schema([relational("id"), constraint("y")])
+        r1 = ConstraintRelation(
+            s1,
+            [
+                HTuple(s1, {"id": "a"}, parse_constraints("x = 1")),
+                HTuple(s1, {"id": "b"}, parse_constraints("x = 2")),
+            ],
+        )
+        r2 = ConstraintRelation(s2, [HTuple(s2, {"id": "a"}, parse_constraints("y = 9"))])
+        joined = natural_join(r1, r2)
+        assert len(joined) == 1
+        assert joined.tuples[0].value("id") == "a"
+
+    def test_null_never_joins(self):
+        s1 = Schema([relational("id"), constraint("x")])
+        s2 = Schema([relational("id"), constraint("y")])
+        r1 = ConstraintRelation(s1, [HTuple(s1, {}, parse_constraints("x = 1"))])
+        r2 = ConstraintRelation(s2, [HTuple(s2, {}, parse_constraints("y = 1"))])
+        assert len(natural_join(r1, r2)) == 0
+
+    def test_mixed_kind_shared_attribute(self):
+        # v is relational on one side, constraint on the other: the join
+        # substitutes the concrete value into the constraint formula and
+        # the output attribute is relational.
+        s1 = Schema([relational("v", DataType.RATIONAL)])
+        s2 = Schema([constraint("v"), constraint("y")])
+        r1 = ConstraintRelation(s1, [HTuple(s1, {"v": 3})])
+        r2 = ConstraintRelation(
+            s2, [HTuple(s2, {}, parse_constraints("0 <= v, v <= 5, y = v"))]
+        )
+        joined = natural_join(r1, r2)
+        assert joined.schema["v"].is_relational
+        (t,) = joined.tuples
+        assert t.value("v") == 3
+        assert t.formula.satisfied_by({"y": 3})
+        assert not t.formula.satisfied_by({"y": 4})
+
+    def test_mixed_kind_out_of_range_dropped(self):
+        s1 = Schema([relational("v", DataType.RATIONAL)])
+        s2 = Schema([constraint("v")])
+        r1 = ConstraintRelation(s1, [HTuple(s1, {"v": 9})])
+        r2 = ConstraintRelation(s2, [HTuple(s2, {}, parse_constraints("0 <= v, v <= 5"))])
+        assert len(natural_join(r1, r2)) == 0
+
+    def test_cross_product_when_disjoint(self):
+        s1 = Schema([constraint("x")])
+        s2 = Schema([constraint("y")])
+        r1 = ConstraintRelation(s1, [HTuple(s1, {}, parse_constraints("x = 1")),
+                                     HTuple(s1, {}, parse_constraints("x = 2"))])
+        r2 = ConstraintRelation(s2, [HTuple(s2, {}, parse_constraints("y = 1")),
+                                     HTuple(s2, {}, parse_constraints("y = 2"))])
+        assert len(natural_join(r1, r2)) == 4
+
+
+class TestSpecialCases:
+    def test_intersection_same_schema(self):
+        s = Schema([constraint("x")])
+        r1 = ConstraintRelation(s, [HTuple(s, {}, parse_constraints("0 <= x, x <= 5"))])
+        r2 = ConstraintRelation(s, [HTuple(s, {}, parse_constraints("3 <= x, x <= 9"))])
+        result = intersection(r1, r2)
+        assert result.contains_point({"x": 4})
+        assert not result.contains_point({"x": 1})
+        assert not result.contains_point({"x": 8})
+
+    def test_cross_product_requires_disjoint(self):
+        s = Schema([constraint("x")])
+        r = ConstraintRelation(s, [])
+        with pytest.raises(AlgebraError):
+            cross_product(r, r)
+
+    def test_cross_product_disjoint(self):
+        s1 = Schema([constraint("x")])
+        s2 = Schema([constraint("y")])
+        r1 = ConstraintRelation(s1, [HTuple(s1, {}, parse_constraints("x = 1"))])
+        r2 = ConstraintRelation(s2, [HTuple(s2, {}, parse_constraints("y = 2"))])
+        result = cross_product(r1, r2)
+        assert result.contains_point({"x": 1, "y": 2})

@@ -1,0 +1,126 @@
+"""Unit tests for the ς (select) operator."""
+
+import pytest
+
+from repro.algebra import StringPredicate, select
+from repro.constraints import parse_constraints
+from repro.errors import SchemaError
+from repro.model import (
+    ConstraintRelation,
+    DataType,
+    HTuple,
+    Schema,
+    constraint,
+    relational,
+)
+
+
+def schema() -> Schema:
+    return Schema(
+        [relational("name"), relational("age", DataType.RATIONAL), constraint("t")]
+    )
+
+
+def rel(*tuples) -> ConstraintRelation:
+    return ConstraintRelation(schema(), tuples)
+
+
+def tup(name=None, age=None, formula=""):
+    values = {}
+    if name is not None:
+        values["name"] = name
+    if age is not None:
+        values["age"] = age
+    return HTuple(schema(), values, parse_constraints(formula) if formula else ())
+
+
+class TestConstraintPredicates:
+    def test_conjoins_onto_formula(self):
+        r = rel(tup("a", 1, "0 <= t, t <= 10"))
+        result = select(r, parse_constraints("t >= 5"))
+        assert len(result) == 1
+        assert result.tuples[0].formula.satisfied_by({"t": 7})
+        assert not result.tuples[0].formula.satisfied_by({"t": 4})
+
+    def test_drops_unsatisfiable(self):
+        r = rel(tup("a", 1, "t <= 10"))
+        assert len(select(r, parse_constraints("t >= 11"))) == 0
+
+    def test_empty_predicate_list_is_identity(self):
+        r = rel(tup("a", 1, "t <= 10"))
+        assert select(r, []) == r
+
+
+class TestRelationalRationalPredicates:
+    def test_value_substitution(self):
+        r = rel(tup("a", 30), tup("b", 40))
+        result = select(r, parse_constraints("age >= 35"))
+        assert [t.value("name") for t in result] == ["b"]
+
+    def test_null_fails_narrow(self):
+        r = rel(tup("a"), tup("b", 40))
+        result = select(r, parse_constraints("age = 40"))
+        assert [t.value("name") for t in result] == ["b"]
+
+    def test_mixed_relational_and_constraint_expression(self):
+        # age + t <= 45: substitutes age per tuple, constrains t.
+        r = rel(tup("a", 40, "0 <= t, t <= 10"), tup("b", 45, "0 <= t, t <= 10"))
+        result = select(r, parse_constraints("age + t <= 45"))
+        by_name = {t.value("name"): t for t in result}
+        assert by_name["a"].formula.satisfied_by({"t": 5})
+        assert not by_name["a"].formula.satisfied_by({"t": 6})
+        assert by_name["b"].formula.satisfied_by({"t": 0})
+        assert not by_name["b"].formula.satisfied_by({"t": 1})
+
+
+class TestStringPredicates:
+    def test_equality(self):
+        r = rel(tup("a", 1), tup("b", 2))
+        result = select(r, [StringPredicate("name", "a")])
+        assert [t.value("name") for t in result] == ["a"]
+
+    def test_inequality(self):
+        r = rel(tup("a", 1), tup("b", 2))
+        result = select(r, [StringPredicate("name", "a", negated=True)])
+        assert [t.value("name") for t in result] == ["b"]
+
+    def test_null_matches_nothing_even_negated(self):
+        r = rel(tup(None, 1))
+        assert len(select(r, [StringPredicate("name", "a")])) == 0
+        assert len(select(r, [StringPredicate("name", "a", negated=True)])) == 0
+
+    def test_attribute_to_attribute(self):
+        two_strings = Schema([relational("a"), relational("b")])
+        r = ConstraintRelation(
+            two_strings,
+            [
+                HTuple(two_strings, {"a": "x", "b": "x"}),
+                HTuple(two_strings, {"a": "x", "b": "y"}),
+            ],
+        )
+        result = select(r, [StringPredicate("a", "b", is_attribute=True)])
+        assert len(result) == 1
+
+
+class TestValidation:
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            select(rel(), parse_constraints("zzz <= 1"))
+
+    def test_string_attribute_in_linear_constraint(self):
+        from repro.constraints import le, var
+
+        with pytest.raises(SchemaError, match="string"):
+            select(rel(), [le(var("name"), 1)])
+
+    def test_string_predicate_on_rational_attribute(self):
+        with pytest.raises(SchemaError):
+            select(rel(), [StringPredicate("age", "x")])
+
+    def test_conjunction_of_predicates_all_must_hold(self):
+        r = rel(tup("a", 30, "0 <= t"), tup("a", 50, "0 <= t"))
+        result = select(
+            r, [StringPredicate("name", "a")] + parse_constraints("age <= 40, t <= 5")
+        )
+        assert len(result) == 1
+        assert result.tuples[0].value("age") == 30

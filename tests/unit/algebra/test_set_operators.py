@@ -1,0 +1,117 @@
+"""Unit tests for ∪, − and ϱ."""
+
+import pytest
+
+from repro.algebra import difference, rename, union
+from repro.constraints import parse_constraints
+from repro.errors import SchemaError
+from repro.model import ConstraintRelation, HTuple, Schema, constraint, relational
+
+
+def schema() -> Schema:
+    return Schema([relational("id"), constraint("t")])
+
+
+def rel(*pairs) -> ConstraintRelation:
+    s = schema()
+    return ConstraintRelation(
+        s,
+        [
+            HTuple(s, {"id": i} if i is not None else {}, parse_constraints(f) if f else ())
+            for i, f in pairs
+        ],
+    )
+
+
+class TestUnion:
+    def test_combines_and_deduplicates(self):
+        result = union(rel(("a", "t <= 1")), rel(("a", "t <= 1"), ("b", "")))
+        assert len(result) == 2
+
+    def test_schema_mismatch(self):
+        other = Schema([relational("id"), constraint("q")])
+        with pytest.raises(SchemaError):
+            union(rel(), ConstraintRelation(other, []))
+
+    def test_union_with_reordered_schema(self):
+        reordered = Schema([constraint("t"), relational("id")])
+        r2 = ConstraintRelation(reordered, [HTuple(reordered, {"id": "z"})])
+        result = union(rel(("a", "")), r2)
+        assert len(result) == 2
+        assert result.schema == schema()  # left operand's order wins
+
+    def test_semantics(self):
+        result = union(rel(("a", "t <= 0")), rel(("a", "t >= 5")))
+        assert result.contains_point({"id": "a", "t": -1})
+        assert result.contains_point({"id": "a", "t": 6})
+        assert not result.contains_point({"id": "a", "t": 3})
+
+
+class TestDifference:
+    def test_interval_subtraction(self):
+        result = difference(rel(("a", "0 <= t, t <= 10")), rel(("a", "3 <= t, t <= 5")))
+        assert result.contains_point({"id": "a", "t": 2})
+        assert result.contains_point({"id": "a", "t": 6})
+        assert not result.contains_point({"id": "a", "t": 4})
+        assert not result.contains_point({"id": "a", "t": 3})
+        assert not result.contains_point({"id": "a", "t": 5})
+
+    def test_different_group_untouched(self):
+        result = difference(rel(("a", "0 <= t, t <= 10")), rel(("b", "0 <= t, t <= 10")))
+        assert result.contains_point({"id": "a", "t": 5})
+
+    def test_total_subtraction(self):
+        result = difference(rel(("a", "0 <= t, t <= 1")), rel(("a", "")))
+        assert len(result) == 0
+
+    def test_multiple_subtrahend_tuples(self):
+        result = difference(
+            rel(("a", "0 <= t, t <= 10")),
+            rel(("a", "t <= 3"), ("a", "t >= 7")),
+        )
+        assert not result.contains_point({"id": "a", "t": 2})
+        assert result.contains_point({"id": "a", "t": 5})
+        assert not result.contains_point({"id": "a", "t": 8})
+
+    def test_null_groups_match_as_markers(self):
+        # SQL-style set semantics: two NULL-id tuples belong to the same
+        # group, so the subtraction applies.
+        result = difference(rel((None, "0 <= t, t <= 10")), rel((None, "")))
+        assert len(result) == 0
+
+    def test_relational_only_difference(self):
+        s = Schema([relational("id")])
+        r1 = ConstraintRelation(s, [HTuple(s, {"id": "a"}), HTuple(s, {"id": "b"})])
+        r2 = ConstraintRelation(s, [HTuple(s, {"id": "a"})])
+        result = difference(r1, r2)
+        assert [t.value("id") for t in result] == ["b"]
+
+    def test_schema_mismatch(self):
+        other = Schema([relational("id"), constraint("q")])
+        with pytest.raises(SchemaError):
+            difference(rel(), ConstraintRelation(other, []))
+
+    def test_difference_then_union_restores_subset(self):
+        a = rel(("a", "0 <= t, t <= 10"))
+        b = rel(("a", "3 <= t, t <= 5"))
+        restored = union(difference(a, b), b)
+        assert restored.equivalent(a)
+
+
+class TestRename:
+    def test_renames_constraint_attribute(self):
+        result = rename(rel(("a", "t <= 1")), "t", "time")
+        assert result.schema.names == ("id", "time")
+        assert result.contains_point({"id": "a", "time": 0})
+
+    def test_renames_relational_attribute(self):
+        result = rename(rel(("a", "")), "id", "parcel")
+        assert result.tuples[0].value("parcel") == "a"
+
+    def test_rename_collision(self):
+        with pytest.raises(SchemaError):
+            rename(rel(), "t", "id")
+
+    def test_rename_roundtrip(self):
+        r = rel(("a", "t <= 1"))
+        assert rename(rename(r, "t", "q"), "q", "t") == r

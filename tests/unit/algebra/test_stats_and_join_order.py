@@ -1,0 +1,170 @@
+"""Unit tests for statistics collection and join reordering."""
+
+import pytest
+
+from repro.algebra import EvaluationContext, Join, Project, Scan, Select, evaluate
+from repro.algebra.optimizer import Optimizer
+from repro.algebra.stats import (
+    DEFAULT_PREDICATE_SELECTIVITY,
+    collect_statistics,
+    estimate_join_size,
+)
+from repro.constraints import parse_constraints
+from repro.model import (
+    ConstraintRelation,
+    Database,
+    DataType,
+    HTuple,
+    Schema,
+    constraint,
+    relational,
+)
+
+
+def make_relation(name, schema, rows):
+    return ConstraintRelation(schema, rows, name)
+
+
+@pytest.fixture
+def db():
+    """A three-relation star: Big x Mid share `id`; Mid x Small share `t`."""
+    big_schema = Schema([relational("id"), constraint("t")])
+    mid_schema = Schema([relational("id"), relational("label")])
+    small_schema = Schema([constraint("t"), constraint("v")])
+    big = make_relation(
+        "Big",
+        big_schema,
+        [
+            HTuple(big_schema, {"id": f"k{i % 10}"}, parse_constraints(f"{i} <= t, t <= {i + 1}"))
+            for i in range(60)
+        ],
+    )
+    mid = make_relation(
+        "Mid",
+        mid_schema,
+        [HTuple(mid_schema, {"id": f"k{i}", "label": f"L{i}"}) for i in range(10)],
+    )
+    small = make_relation(
+        "Small",
+        small_schema,
+        [HTuple(small_schema, {}, parse_constraints("0 <= t, t <= 5, v = t"))],
+    )
+    return Database({"Big": big, "Mid": mid, "Small": small})
+
+
+class TestCollectStatistics:
+    def test_counts_and_distincts(self, db):
+        stats = collect_statistics(db["Big"])
+        assert stats.tuple_count == 60
+        assert stats.attributes["id"].distinct == 10
+
+    def test_constraint_attribute_interval(self, db):
+        stats = collect_statistics(db["Big"])
+        t = stats.attributes["t"]
+        assert t.low == 0.0 and t.high == 60.0
+
+    def test_nulls_counted(self):
+        schema = Schema([relational("a")])
+        r = ConstraintRelation(schema, [HTuple(schema, {}), HTuple(schema, {"a": "x"})])
+        stats = collect_statistics(r)
+        assert stats.attributes["a"].nulls == 1
+        assert stats.attributes["a"].distinct == 1
+
+    def test_rational_relational_interval(self):
+        schema = Schema([relational("v", DataType.RATIONAL)])
+        r = ConstraintRelation(schema, [HTuple(schema, {"v": 2}), HTuple(schema, {"v": 7})])
+        stats = collect_statistics(r)
+        assert (stats.attributes["v"].low, stats.attributes["v"].high) == (2.0, 7.0)
+
+
+class TestEstimateJoinSize:
+    def test_relational_shared_attribute(self, db):
+        big, mid = collect_statistics(db["Big"]), collect_statistics(db["Mid"])
+        estimate = estimate_join_size(
+            big, mid, ("id",), db["Big"].schema, db["Mid"].schema
+        )
+        # 60 * 10 / max(10, 10) = 60: each Big row matches one Mid row.
+        assert estimate == pytest.approx(60.0)
+
+    def test_disjoint_intervals_shrink_estimate(self, db):
+        big, small = collect_statistics(db["Big"]), collect_statistics(db["Small"])
+        overlap_est = estimate_join_size(
+            big, small, ("t",), db["Big"].schema, db["Small"].schema
+        )
+        assert overlap_est < big.tuple_count * small.tuple_count
+
+    def test_no_shared_attributes_is_cross_product(self, db):
+        mid, small = collect_statistics(db["Mid"]), collect_statistics(db["Small"])
+        estimate = estimate_join_size(mid, small, (), db["Mid"].schema, db["Small"].schema)
+        assert estimate == mid.tuple_count * small.tuple_count
+
+
+class TestJoinReordering:
+    def test_three_way_join_reordered_and_equivalent(self, db):
+        # Written order starts with the most expensive pair (Big x Mid is
+        # fine, but Big x Small via t-overlap is smaller); whatever the
+        # greedy picks, the result must be identical, column order included.
+        plan = Join(Join(Scan("Big"), Scan("Mid")), Scan("Small"))
+        optimized = Optimizer(db).optimize(plan)
+        base = evaluate(plan, EvaluationContext(db))
+        rewritten = evaluate(optimized, EvaluationContext(db))
+        assert base.schema == rewritten.schema
+        assert set(base.tuples) == set(rewritten.tuples)
+
+    def test_reordering_wraps_in_projection_when_order_changes(self, db):
+        # Force a bad written order: cross product first.
+        plan = Join(Join(Scan("Mid"), Scan("Small")), Scan("Big"))
+        optimized = Optimizer(db).optimize(plan)
+        assert isinstance(optimized, Project)  # order changed, schema restored
+        base = evaluate(plan, EvaluationContext(db))
+        rewritten = evaluate(optimized, EvaluationContext(db))
+        assert base.schema == rewritten.schema
+        assert set(base.tuples) == set(rewritten.tuples)
+
+    def test_cross_product_deferred(self, db):
+        plan = Join(Join(Scan("Mid"), Scan("Small")), Scan("Big"))
+        optimized = Optimizer(db).optimize(plan)
+        # The first join of the rebuilt chain must share an attribute.
+        inner = optimized
+        while isinstance(inner, (Project, Join)) and not (
+            isinstance(inner, Join) and not isinstance(inner.left, Join)
+        ):
+            inner = inner.child if isinstance(inner, Project) else inner.left
+        assert isinstance(inner, Join)
+        left_schema = inner.left.evaluate(EvaluationContext(db)).schema
+        right_schema = inner.right.evaluate(EvaluationContext(db)).schema
+        assert left_schema.shared_names(right_schema)
+
+    def test_two_way_join_untouched(self, db):
+        plan = Join(Scan("Big"), Scan("Mid"))
+        assert Optimizer(db).optimize(plan) is plan
+
+    def test_reordering_disabled(self, db):
+        plan = Join(Join(Scan("Mid"), Scan("Small")), Scan("Big"))
+        assert Optimizer(db, reorder_joins=False).optimize(plan) is plan
+
+    def test_select_scan_leaves_supported(self, db):
+        plan = Join(
+            Join(Scan("Mid"), Scan("Small")),
+            Select(Scan("Big"), parse_constraints("t <= 30")),
+        )
+        optimized = Optimizer(db).optimize(plan)
+        base = evaluate(plan, EvaluationContext(db))
+        rewritten = evaluate(optimized, EvaluationContext(db))
+        assert set(base.tuples) == set(rewritten.tuples)
+
+    def test_opaque_leaf_bails_out(self, db):
+        from repro.algebra import Union
+
+        opaque = Union(Scan("Mid"), Scan("Mid"))
+        plan = Join(Join(opaque, Scan("Small")), Scan("Big"))
+        optimized = Optimizer(db).optimize(plan)
+        base = evaluate(plan, EvaluationContext(db))
+        rewritten = evaluate(optimized, EvaluationContext(db))
+        assert set(base.tuples) == set(rewritten.tuples)
+
+    def test_idempotent(self, db):
+        plan = Join(Join(Scan("Mid"), Scan("Small")), Scan("Big"))
+        once = Optimizer(db).optimize(plan)
+        twice = Optimizer(db).optimize(once)
+        assert twice is once

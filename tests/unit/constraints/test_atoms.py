@@ -1,0 +1,146 @@
+"""Unit tests for constraint atoms: canonicalisation, negation, semantics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints import (
+    FALSE,
+    TRUE,
+    Comparator,
+    LinearConstraint,
+    LinearExpression,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    var,
+)
+from repro.errors import ConstraintError
+
+
+class TestFactories:
+    def test_le(self):
+        atom = le(var("x"), 5)
+        assert atom.comparator is Comparator.LE
+        assert atom.satisfied_by({"x": 5})
+        assert not atom.satisfied_by({"x": 6})
+
+    def test_lt_strict(self):
+        atom = lt(var("x"), 5)
+        assert not atom.satisfied_by({"x": 5})
+        assert atom.satisfied_by({"x": Fraction(49, 10)})
+
+    def test_ge_normalises_to_le(self):
+        atom = ge(var("x"), 5)
+        assert atom.comparator is Comparator.LE
+        assert atom.satisfied_by({"x": 5})
+        assert not atom.satisfied_by({"x": 4})
+
+    def test_gt_normalises_to_lt(self):
+        atom = gt(var("x"), 5)
+        assert atom.comparator is Comparator.LT
+        assert atom.satisfied_by({"x": 6})
+        assert not atom.satisfied_by({"x": 5})
+
+    def test_eq(self):
+        atom = eq(var("x") + var("y"), Fraction(5, 2))
+        assert atom.satisfied_by({"x": 1, "y": Fraction(3, 2)})
+        assert not atom.satisfied_by({"x": 1, "y": 1})
+
+    def test_constants_on_either_side(self):
+        assert le(3, var("x")).satisfied_by({"x": 3})
+        assert not le(3, var("x")).satisfied_by({"x": 2})
+
+
+class TestCanonicalisation:
+    def test_scaling_is_normalised(self):
+        assert le(2 * var("x"), 4) == le(var("x"), 2)
+
+    def test_fractional_coefficients_scaled_to_integers(self):
+        atom = le(var("x") * Fraction(1, 2) + var("y") * Fraction(1, 3), 1)
+        coeffs = atom.expression.coefficients
+        assert all(c.denominator == 1 for c in coeffs.values())
+
+    def test_equality_sign_canonical(self):
+        assert eq(var("x") - var("y"), 0) == eq(var("y") - var("x"), 0)
+
+    def test_inequality_sides_not_confused(self):
+        assert le(var("x"), 2) != le(2, var("x"))
+
+    def test_hash_consistent(self):
+        assert hash(le(2 * var("x"), 4)) == hash(le(var("x"), 2))
+
+
+class TestTrivialAtoms:
+    def test_true_and_false_constants(self):
+        assert TRUE.is_trivial and TRUE.truth_value()
+        assert FALSE.is_trivial and not FALSE.truth_value()
+
+    def test_ground_comparisons(self):
+        assert le(1, 2).truth_value()
+        assert not lt(2, 2).truth_value()
+        assert eq(2, 2).truth_value()
+
+    def test_truth_value_requires_trivial(self):
+        with pytest.raises(ConstraintError):
+            le(var("x"), 1).truth_value()
+
+
+class TestNegation:
+    def test_negate_le(self):
+        (negated,) = le(var("x"), 5).negate()
+        assert negated.comparator is Comparator.LT
+        assert negated.satisfied_by({"x": 6})
+        assert not negated.satisfied_by({"x": 5})
+
+    def test_negate_lt(self):
+        (negated,) = lt(var("x"), 5).negate()
+        assert negated.satisfied_by({"x": 5})
+        assert not negated.satisfied_by({"x": 4})
+
+    def test_negate_eq_gives_two_disjuncts(self):
+        disjuncts = eq(var("x"), 5).negate()
+        assert len(disjuncts) == 2
+        assert any(d.satisfied_by({"x": 4}) for d in disjuncts)
+        assert any(d.satisfied_by({"x": 6}) for d in disjuncts)
+        assert not any(d.satisfied_by({"x": 5}) for d in disjuncts)
+
+    def test_negation_is_involutive_semantically(self):
+        atom = le(var("x") - var("y"), 3)
+        (negated,) = atom.negate()
+        (back,) = negated.negate()
+        assert back == atom
+
+
+class TestSplitEquality:
+    def test_equality_splits_into_two_le(self):
+        parts = eq(var("x"), 5).split_equality()
+        assert len(parts) == 2
+        assert all(p.comparator is Comparator.LE for p in parts)
+        assert all(p.satisfied_by({"x": 5}) for p in parts)
+        assert not all(p.satisfied_by({"x": 4}) for p in parts)
+
+    def test_inequality_unchanged(self):
+        atom = le(var("x"), 5)
+        assert atom.split_equality() == (atom,)
+
+
+class TestTransformations:
+    def test_substitute(self):
+        atom = le(var("x") + var("y"), 5).substitute("x", 2 * var("z"))
+        assert atom.variables == {"y", "z"}
+        assert atom.satisfied_by({"z": 1, "y": 3})
+        assert not atom.satisfied_by({"z": 2, "y": 2})
+
+    def test_rename(self):
+        atom = le(var("x"), 5).rename("x", "t")
+        assert atom.variables == {"t"}
+
+    def test_str_parseable(self):
+        from repro.constraints import parse_constraints
+
+        atom = le(var("x") * 2 + var("y") * -3, Fraction(7, 2))
+        (parsed,) = parse_constraints(str(atom))
+        assert parsed == atom

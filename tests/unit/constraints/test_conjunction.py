@@ -1,0 +1,198 @@
+"""Unit tests for conjunctions (constraint-tuple formulas)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints import Conjunction, eq, ge, le, lt, parse_constraints, var
+from repro.errors import ConstraintError
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+def conj(text: str) -> Conjunction:
+    return Conjunction(parse_constraints(text))
+
+
+class TestConstruction:
+    def test_empty_is_true(self):
+        assert Conjunction.true().is_true
+        assert Conjunction.true().is_satisfiable()
+
+    def test_ground_false_collapses(self):
+        c = Conjunction([lt(1, 1)])
+        assert not c.is_satisfiable()
+        assert c == Conjunction.false()
+
+    def test_ground_true_dropped(self):
+        c = Conjunction([le(0, 1), x <= 5])
+        assert len(c) == 1
+
+    def test_duplicates_removed(self):
+        c = Conjunction([x <= 5, le(var("x"), 5), le(2 * var("x"), 10)])
+        assert len(c) == 1
+
+    def test_point(self):
+        c = Conjunction.point({"x": 1, "y": "2.5"})
+        assert c.satisfied_by({"x": 1, "y": Fraction(5, 2)})
+        assert not c.satisfied_by({"x": 1, "y": 2})
+
+    def test_box(self):
+        c = Conjunction.box({"x": (0, 4), "y": (1, 2)})
+        assert c.satisfied_by({"x": 0, "y": 2})
+        assert not c.satisfied_by({"x": 5, "y": 1})
+
+    def test_rejects_non_atoms(self):
+        with pytest.raises(ConstraintError):
+            Conjunction(["x <= 5"])  # type: ignore[list-item]
+
+
+class TestSatisfiability:
+    def test_box_is_satisfiable(self):
+        assert conj("0 <= x, x <= 1").is_satisfiable()
+
+    def test_contradiction(self):
+        assert not conj("x <= 1, x >= 2").is_satisfiable()
+
+    def test_strict_boundary_unsat(self):
+        assert not conj("x < 1, x > 1").is_satisfiable()
+        assert not conj("x < 1, x >= 1").is_satisfiable()
+
+    def test_equality_chain(self):
+        assert conj("x = y, y = z, x = 3, z = 3").is_satisfiable()
+        assert not conj("x = y, y = z, x = 3, z = 4").is_satisfiable()
+
+    def test_multivariable(self):
+        assert conj("x + y <= 1, x >= 0, y >= 0").is_satisfiable()
+        assert not conj("x + y <= 1, x >= 1, y >= 1").is_satisfiable()
+
+    def test_result_cached(self):
+        c = conj("0 <= x, x <= 1")
+        assert c.is_satisfiable() and c.is_satisfiable()
+
+
+class TestEntailmentAndEquivalence:
+    def test_entails_weaker_bound(self):
+        assert conj("x <= 1").entails(le(var("x"), 2))
+        assert not conj("x <= 2").entails(le(var("x"), 1))
+
+    def test_entails_conjunction(self):
+        assert conj("x = 2, y = 3").entails(conj("x + y = 5"))
+
+    def test_unsat_entails_everything(self):
+        assert Conjunction.false().entails(le(var("x"), -100))
+
+    def test_everything_entails_true(self):
+        assert conj("x <= 1").entails(Conjunction.true())
+
+    def test_equivalent_syntactically_different(self):
+        assert conj("x <= 2, x <= 5").equivalent(conj("x <= 2"))
+
+    def test_equality_entails_both_inequalities(self):
+        assert conj("x = 5").entails(conj("x <= 5, x >= 5"))
+        assert conj("x <= 5, x >= 5").entails(conj("x = 5"))
+
+
+class TestProjection:
+    def test_project_box(self):
+        projected = conj("0 <= x, x <= 1, 2 <= y, y <= 3").project(["x"])
+        assert projected.variables == {"x"}
+        assert projected.satisfied_by({"x": Fraction(1, 2)})
+        assert not projected.satisfied_by({"x": 2})
+
+    def test_project_diagonal(self):
+        # x = y with 0 <= y <= 1 projects to 0 <= x <= 1.
+        projected = conj("x = y, 0 <= y, y <= 1").project(["x"])
+        assert projected.satisfied_by({"x": 1})
+        assert not projected.satisfied_by({"x": 2})
+
+    def test_project_keeps_all_is_identity(self):
+        c = conj("x + y <= 1")
+        assert c.project(["x", "y"]) is c
+
+    def test_project_to_nothing(self):
+        assert conj("0 <= x").project([]).is_true
+        assert not conj("x < 0, x > 0").project([]).is_satisfiable()
+
+    def test_eliminate(self):
+        c = conj("x + y <= 4, y >= 1").eliminate(["y"])
+        assert c.variables == {"x"}
+        assert c.satisfied_by({"x": 3})
+        assert not c.satisfied_by({"x": 4})
+
+    def test_projection_preserves_strictness(self):
+        projected = conj("x < y, y < 1").project(["x"])
+        assert not projected.satisfied_by({"x": 1})
+
+
+class TestBounds:
+    def test_box_bounds(self):
+        lower, ls, upper, us = conj("0 <= x, x <= 1").bounds("x")
+        assert (lower, ls, upper, us) == (0, False, 1, False)
+
+    def test_strict_bounds(self):
+        lower, ls, upper, us = conj("0 < x, x < 1").bounds("x")
+        assert (lower, ls, upper, us) == (0, True, 1, True)
+
+    def test_unbounded_side(self):
+        lower, _, upper, _ = conj("x >= 3").bounds("x")
+        assert lower == 3 and upper is None
+
+    def test_implied_bounds_through_other_variables(self):
+        lower, _, upper, _ = conj("x = y + 1, 0 <= y, y <= 2").bounds("x")
+        assert (lower, upper) == (1, 3)
+
+    def test_equality_bounds(self):
+        lower, _, upper, _ = conj("x = 5").bounds("x")
+        assert lower == upper == 5
+
+    def test_unsat_bounds_raise(self):
+        with pytest.raises(ConstraintError):
+            Conjunction.false().bounds("x")
+
+
+class TestTransformations:
+    def test_conjoin_atom(self):
+        c = conj("x <= 5").conjoin(ge(var("x"), 1))
+        assert len(c) == 2
+
+    def test_conjoin_conjunction(self):
+        c = conj("x <= 5").conjoin(conj("y <= 2"))
+        assert c.variables == {"x", "y"}
+
+    def test_substitute(self):
+        c = conj("x + y <= 4").substitute("y", var("z") * 2)
+        assert c.variables == {"x", "z"}
+        assert c.satisfied_by({"x": 0, "z": 2})
+        assert not c.satisfied_by({"x": 1, "z": 2})
+
+    def test_rename(self):
+        c = conj("x <= 5").rename("x", "t")
+        assert c.variables == {"t"}
+
+    def test_rename_collision(self):
+        with pytest.raises(ConstraintError):
+            conj("x + y <= 5").rename("x", "y")
+
+
+class TestSimplify:
+    def test_removes_redundant_atom(self):
+        simplified = conj("x <= 2, x <= 5").simplify()
+        assert simplified.equivalent(conj("x <= 2"))
+        assert len(simplified) == 1
+
+    def test_redundant_multivariable(self):
+        simplified = conj("x <= 1, y <= 1, x + y <= 5").simplify()
+        assert len(simplified) == 2
+
+    def test_unsat_simplifies_to_false(self):
+        assert conj("x < 0, x > 1").simplify() == Conjunction.false()
+
+    def test_irredundant_untouched(self):
+        c = conj("x >= 0, x <= 1")
+        assert len(c.simplify()) == 2
+
+    def test_simplify_preserves_semantics(self):
+        c = conj("x >= 0, x <= 3, x + y <= 4, y >= 0, y <= 10, x + y <= 12")
+        s = c.simplify()
+        assert s.equivalent(c)

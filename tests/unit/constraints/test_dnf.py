@@ -1,0 +1,131 @@
+"""Unit tests for DNF formulas (φ(R)-level operations)."""
+
+from repro.constraints import Conjunction, DNFFormula, parse_constraints
+
+
+def conj(text: str) -> Conjunction:
+    return Conjunction(parse_constraints(text))
+
+
+def formula(*texts: str) -> DNFFormula:
+    return DNFFormula([conj(t) for t in texts])
+
+
+class TestConstruction:
+    def test_empty_is_false(self):
+        assert not DNFFormula.false().is_satisfiable()
+
+    def test_true(self):
+        f = DNFFormula.true()
+        assert f.is_satisfiable()
+        assert f.satisfied_by({})
+
+    def test_unsat_disjuncts_dropped(self):
+        f = DNFFormula([conj("x < 0, x > 0"), conj("x <= 1")])
+        assert len(f) == 1
+
+    def test_duplicate_disjuncts_removed(self):
+        f = formula("x <= 1", "x <= 1")
+        assert len(f) == 1
+
+
+class TestConnectives:
+    def test_union(self):
+        f = formula("x <= 0").union(formula("x >= 1"))
+        assert f.satisfied_by({"x": 0})
+        assert f.satisfied_by({"x": 1})
+        assert not f.satisfied_by({"x": "1/2"})
+
+    def test_conjoin_formula_distributes(self):
+        left = formula("x <= 0", "x >= 1")
+        right = formula("x >= 0", "x <= 1")
+        combined = left.conjoin(right)
+        # satisfiable intersections: x=0 and x=1 regions
+        assert combined.satisfied_by({"x": 0})
+        assert combined.satisfied_by({"x": 1})
+        assert not combined.satisfied_by({"x": "1/2"})
+
+    def test_conjoin_conjunction(self):
+        f = formula("x <= 5").conjoin(conj("x >= 5"))
+        assert f.satisfied_by({"x": 5})
+        assert not f.satisfied_by({"x": 4})
+
+    def test_project(self):
+        f = formula("x = y, 0 <= y, y <= 1", "x >= 5").project(["x"])
+        assert f.satisfied_by({"x": 1})
+        assert f.satisfied_by({"x": 6})
+        assert not f.satisfied_by({"x": 2})
+
+
+class TestComplement:
+    def test_complement_of_false_is_true(self):
+        assert DNFFormula.false().complement().satisfied_by({"x": 0})
+
+    def test_complement_of_true_is_false(self):
+        assert not DNFFormula.true().complement().is_satisfiable()
+
+    def test_interval_complement(self):
+        f = formula("0 <= x, x <= 1").complement()
+        assert f.satisfied_by({"x": -1})
+        assert f.satisfied_by({"x": 2})
+        assert not f.satisfied_by({"x": 0})
+        assert not f.satisfied_by({"x": "1/2"})
+
+    def test_union_complement(self):
+        f = formula("x <= 0", "x >= 1").complement()
+        assert f.satisfied_by({"x": "1/2"})
+        assert not f.satisfied_by({"x": 0})
+        assert not f.satisfied_by({"x": 2})
+
+    def test_double_complement_equivalent(self):
+        f = formula("0 <= x, x <= 1, x + y <= 3", "y >= 4")
+        assert f.complement().complement().equivalent(f)
+
+    def test_equality_complement(self):
+        f = formula("x = 1").complement()
+        assert f.satisfied_by({"x": 0})
+        assert f.satisfied_by({"x": 2})
+        assert not f.satisfied_by({"x": 1})
+
+
+class TestDifferenceEntailmentEquivalence:
+    def test_difference(self):
+        f = formula("0 <= x, x <= 10").difference(formula("3 <= x, x <= 5"))
+        assert f.satisfied_by({"x": 2})
+        assert f.satisfied_by({"x": 6})
+        assert not f.satisfied_by({"x": 4})
+        assert not f.satisfied_by({"x": 3})
+
+    def test_difference_everything(self):
+        f = formula("0 <= x, x <= 1").difference(DNFFormula.true())
+        assert not f.is_satisfiable()
+
+    def test_entails(self):
+        assert formula("x = 1").entails(formula("0 <= x, x <= 2"))
+        assert not formula("0 <= x, x <= 2").entails(formula("x = 1"))
+
+    def test_equivalent_split_interval(self):
+        whole = formula("0 <= x, x <= 2")
+        split = formula("0 <= x, x <= 1", "1 <= x, x <= 2")
+        assert whole.equivalent(split)
+
+    def test_not_equivalent_with_gap(self):
+        whole = formula("0 <= x, x <= 2")
+        gappy = formula("0 <= x, x < 1", "1 < x, x <= 2")  # misses x = 1
+        assert not whole.equivalent(gappy)
+        assert gappy.entails(whole)
+
+
+class TestSimplify:
+    def test_absorbed_disjunct_dropped(self):
+        f = formula("0 <= x, x <= 1", "0 <= x, x <= 5").simplify()
+        assert len(f) == 1
+        assert f.equivalent(formula("0 <= x, x <= 5"))
+
+    def test_equivalent_duplicates_keep_one(self):
+        f = DNFFormula([conj("x <= 1"), conj("x <= 1, x <= 7")]).simplify()
+        assert len(f) == 1
+
+    def test_simplify_preserves_semantics(self):
+        f = formula("0 <= x, x <= 2, x <= 10", "x >= 5")
+        assert f.simplify().equivalent(f)

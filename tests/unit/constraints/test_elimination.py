@@ -1,0 +1,131 @@
+"""Unit tests for Fourier–Motzkin elimination and Gaussian substitution."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints import Comparator, Conjunction, parse_constraints, var
+from repro.constraints.elimination import (
+    eliminate,
+    fourier_motzkin_step,
+    is_satisfiable,
+    solve_equality_for,
+    variable_bounds,
+)
+
+
+def atoms(text: str):
+    return parse_constraints(text)
+
+
+class TestSolveEquality:
+    def test_simple(self):
+        (atom,) = atoms("x = 2*y + 1")
+        solved = solve_equality_for(atom, "x")
+        assert solved.coefficient("y") == 2
+        assert solved.constant == 1
+
+    def test_solve_for_scaled_variable(self):
+        (atom,) = atoms("3*x + y = 6")
+        solved = solve_equality_for(atom, "x")
+        assert solved.coefficient("y") == Fraction(-1, 3)
+        assert solved.constant == 2
+
+    def test_requires_equality(self):
+        (atom,) = atoms("x <= 1")
+        with pytest.raises(ValueError):
+            solve_equality_for(atom, "x")
+
+    def test_requires_variable_presence(self):
+        (atom,) = atoms("x = 1")
+        with pytest.raises(ValueError):
+            solve_equality_for(atom, "y")
+
+
+class TestFourierMotzkinStep:
+    def test_lower_and_upper_combine(self):
+        result = fourier_motzkin_step(atoms("x >= 1, x <= y"), "x")
+        (combined,) = [a for a in result if not a.is_trivial]
+        assert combined.satisfied_by({"y": 1})
+        assert not combined.satisfied_by({"y": 0})
+
+    def test_strictness_propagates(self):
+        result = fourier_motzkin_step(atoms("x > 1, x <= y"), "x")
+        (combined,) = result
+        assert combined.comparator is Comparator.LT or not combined.satisfied_by({"y": 1})
+
+    def test_unbounded_side_vanishes(self):
+        assert fourier_motzkin_step(atoms("x >= 1"), "x") == []
+
+    def test_atoms_without_variable_pass_through(self):
+        result = fourier_motzkin_step(atoms("x >= 1, y <= 2"), "x")
+        assert len(result) == 1
+        assert result[0].variables == {"y"}
+
+    def test_equality_must_be_substituted_first(self):
+        with pytest.raises(ValueError):
+            fourier_motzkin_step(atoms("x = 1"), "x")
+
+
+class TestEliminate:
+    def test_unsat_detected(self):
+        result = eliminate(atoms("x <= 0, x >= 1"), ["x"])
+        assert len(result) == 1 and not result[0].truth_value()
+
+    def test_equality_substitution_path(self):
+        result = eliminate(atoms("x = y + 1, x <= 5"), ["x"])
+        (atom,) = result
+        assert atom.satisfied_by({"y": 4})
+        assert not atom.satisfied_by({"y": 5})
+
+    def test_multiple_variables(self):
+        # Project a 3-d simplex onto x.
+        result = eliminate(atoms("x + y + z <= 6, x >= 0, y >= 0, z >= 0"), ["y", "z"])
+        c = Conjunction(result)
+        assert c.satisfied_by({"x": 6})
+        assert not c.satisfied_by({"x": 7})
+
+    def test_variable_not_present_is_noop(self):
+        original = atoms("x <= 1")
+        assert eliminate(original, ["q"]) == original
+
+    def test_chained_equalities(self):
+        result = eliminate(atoms("x = y, y = z, 0 <= z, z <= 1"), ["x", "y"])
+        c = Conjunction(result)
+        assert c.satisfied_by({"z": 1})
+        assert not c.satisfied_by({"z": 2})
+
+
+class TestIsSatisfiable:
+    def test_empty(self):
+        assert is_satisfiable([])
+
+    def test_box(self):
+        assert is_satisfiable(atoms("0 <= x, x <= 1, 0 <= y, y <= 1"))
+
+    def test_thin_strict_region(self):
+        assert is_satisfiable(atoms("x < y, y < x + 1/100"))
+
+    def test_infeasible_triangle(self):
+        assert not is_satisfiable(atoms("x + y >= 10, x <= 4, y <= 4"))
+
+    def test_equality_boundary(self):
+        assert is_satisfiable(atoms("x + y = 10, x <= 5, y <= 5"))
+        assert not is_satisfiable(atoms("x + y = 10, x < 5, y <= 5"))
+
+
+class TestVariableBounds:
+    def test_triangle(self):
+        lower, ls, upper, us = variable_bounds(
+            atoms("x >= 0, y >= 0, x + y <= 4"), "x"
+        )
+        assert (lower, upper) == (0, 4)
+        assert not ls and not us
+
+    def test_strict_flag(self):
+        _, _, upper, strict = variable_bounds(atoms("x < 3"), "x")
+        assert upper == 3 and strict
+
+    def test_unsat_raises(self):
+        with pytest.raises(ValueError):
+            variable_bounds(atoms("x < 0, x > 0"), "x")

@@ -1,0 +1,115 @@
+"""Unit tests for variable independence (the §3.2 observation)."""
+
+import pytest
+
+from repro.constraints import Conjunction, DNFFormula, parse_constraints
+from repro.constraints.independence import (
+    decompose,
+    has_variable_independence,
+    independent_attributes,
+    is_product,
+)
+from repro.errors import ConstraintError
+
+
+def conj(text: str) -> Conjunction:
+    return Conjunction(parse_constraints(text))
+
+
+class TestIsProduct:
+    def test_box_is_product(self):
+        assert is_product(conj("0 <= x, x <= 1, 0 <= y, y <= 2"), {"x"}, {"y"})
+
+    def test_diagonal_is_not(self):
+        assert not is_product(conj("x = y, 0 <= x, x <= 1"), {"x"}, {"y"})
+
+    def test_halfplane_sum_is_not(self):
+        assert not is_product(conj("x + y <= 1, x >= 0, y >= 0"), {"x"}, {"y"})
+
+    def test_redundant_cross_atom_still_product(self):
+        # x + y <= 10 is implied by the box: the *point set* is a product
+        # even though an atom mentions both variables.
+        assert is_product(
+            conj("0 <= x, x <= 1, 0 <= y, y <= 2, x + y <= 10"), {"x"}, {"y"}
+        )
+
+    def test_unsatisfiable_is_product(self):
+        assert is_product(conj("x < 0, x > 0, y = 1"), {"x"}, {"y"})
+
+    def test_empty_conjunction(self):
+        assert is_product(Conjunction.true(), {"x"}, {"y"})
+
+    def test_block_validation(self):
+        with pytest.raises(ConstraintError, match="overlap"):
+            is_product(conj("x <= 1"), {"x"}, {"x"})
+        with pytest.raises(ConstraintError, match="neither"):
+            is_product(conj("x + y + z <= 1"), {"x"}, {"y"})
+
+    def test_multi_variable_blocks(self):
+        c = conj("x + y <= 1, 0 <= z, z <= 5")
+        assert is_product(c, {"x", "y"}, {"z"})
+        assert not is_product(conj("x + z <= 1, y = 0"), {"x", "y"}, {"z"})
+
+
+class TestDecompose:
+    def test_decomposition_recombines(self):
+        c = conj("0 <= x, x <= 1, 2 <= y, y <= 3")
+        left, right = decompose(c, {"x"}, {"y"})
+        assert left.variables <= {"x"} and right.variables <= {"y"}
+        assert left.conjoin(right).equivalent(c)
+
+    def test_entangled_returns_none(self):
+        assert decompose(conj("x = y"), {"x"}, {"y"}) is None
+
+
+class TestFormulaIndependence:
+    def test_union_of_products(self):
+        formula = DNFFormula(
+            [conj("0 <= x, x <= 1, 0 <= y, y <= 1"), conj("x >= 5, y >= 5, y <= 9")]
+        )
+        assert has_variable_independence(formula, {"x"}, {"y"})
+
+    def test_diagonal_disjunct_dependent(self):
+        formula = DNFFormula([conj("0 <= x, x <= 1, 0 <= y, y <= 1"), conj("x = y")])
+        assert not has_variable_independence(formula, {"x"}, {"y"})
+
+    def test_false_formula_independent(self):
+        assert has_variable_independence(DNFFormula.false(), {"x"}, {"y"})
+
+
+class TestRelationLevel:
+    def test_relational_attribute_automatically_independent(self):
+        """The paper's observation, verbatim: a relational attribute is
+        independent of all other attributes."""
+        from repro.model import ConstraintRelation, DataType, HTuple, Schema, constraint, relational
+
+        schema = Schema([relational("v", DataType.RATIONAL), constraint("x")])
+        relation = ConstraintRelation(
+            schema, [HTuple(schema, {"v": 3}, parse_constraints("0 <= x, x <= 1"))]
+        )
+        assert independent_attributes(relation, "v", "x")
+        assert independent_attributes(relation, "x", "v")
+
+    def test_constraint_attributes_checked_per_tuple(self):
+        from repro.model import ConstraintRelation, HTuple, Schema, constraint
+
+        schema = Schema([constraint("x"), constraint("y")])
+        box = ConstraintRelation(
+            schema, [HTuple(schema, {}, parse_constraints("0 <= x, x <= 1, 0 <= y, y <= 1"))]
+        )
+        diag = ConstraintRelation(
+            schema, [HTuple(schema, {}, parse_constraints("x = y, 0 <= x, x <= 1"))]
+        )
+        assert independent_attributes(box, "x", "y")
+        assert not independent_attributes(diag, "x", "y")
+
+    def test_other_constraint_attributes_projected_away(self):
+        from repro.model import ConstraintRelation, HTuple, Schema, constraint
+
+        schema = Schema([constraint("x"), constraint("y"), constraint("t")])
+        # x and y are tied only through t; after eliminating t they are
+        # genuinely entangled (x = y on [0, 1]).
+        relation = ConstraintRelation(
+            schema, [HTuple(schema, {}, parse_constraints("x = t, y = t, 0 <= t, t <= 1"))]
+        )
+        assert not independent_attributes(relation, "x", "y")

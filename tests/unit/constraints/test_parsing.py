@@ -1,0 +1,98 @@
+"""Unit tests for the constraint text parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints import Comparator, parse_constraints, parse_expression
+from repro.errors import ParseError
+
+
+class TestExpressions:
+    def test_simple(self):
+        e = parse_expression("x + 2*y - 1")
+        assert e.coefficient("x") == 1
+        assert e.coefficient("y") == 2
+        assert e.constant == -1
+
+    def test_decimal_and_ratio_literals(self):
+        assert parse_expression("2.5").constant == Fraction(5, 2)
+        assert parse_expression("1/3").constant == Fraction(1, 3)
+
+    def test_parentheses(self):
+        e = parse_expression("2*(x + 3)")
+        assert e.coefficient("x") == 2
+        assert e.constant == 6
+
+    def test_unary_minus(self):
+        e = parse_expression("-x + -2")
+        assert e.coefficient("x") == -1
+        assert e.constant == -2
+
+    def test_division_by_constant(self):
+        assert parse_expression("x/4").coefficient("x") == Fraction(1, 4)
+
+    def test_division_by_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1/x")
+
+    def test_nonlinear_rejected(self):
+        from repro.errors import ConstraintError
+
+        with pytest.raises((ParseError, ConstraintError)):
+            parse_expression("x*y")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("x + 1 )")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_expression("x @ 1")
+
+
+class TestConstraints:
+    def test_single(self):
+        (atom,) = parse_constraints("x <= 5")
+        assert atom.comparator is Comparator.LE
+
+    def test_all_comparators(self):
+        for text, comparator in [
+            ("x <= 1", Comparator.LE),
+            ("x < 1", Comparator.LT),
+            ("x >= 1", Comparator.LE),
+            ("x > 1", Comparator.LT),
+            ("x = 1", Comparator.EQ),
+            ("x == 1", Comparator.EQ),
+        ]:
+            (atom,) = parse_constraints(text)
+            assert atom.comparator is comparator, text
+
+    def test_comma_separated(self):
+        atoms = parse_constraints("x <= 5, y >= 2, x + y = 6")
+        assert len(atoms) == 3
+
+    def test_chained_comparison_expands(self):
+        atoms = parse_constraints("0 <= x < 10")
+        assert len(atoms) == 2
+        assert atoms[0].satisfied_by({"x": 0})
+        assert not atoms[1].satisfied_by({"x": 10})
+
+    def test_long_chain(self):
+        atoms = parse_constraints("0 <= x <= y <= 10")
+        assert len(atoms) == 3
+
+    def test_not_equal_rejected_with_hint(self):
+        with pytest.raises(ParseError, match="union"):
+            parse_constraints("x != 1")
+
+    def test_missing_comparator(self):
+        with pytest.raises(ParseError):
+            parse_constraints("x + 1")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_constraints("")
+
+    def test_whitespace_insensitive(self):
+        assert parse_constraints("x<=5") == parse_constraints(" x  <=  5 ")

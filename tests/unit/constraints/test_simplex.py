@@ -1,0 +1,100 @@
+"""Unit tests for the exact rational simplex feasibility solver."""
+
+from fractions import Fraction
+
+from repro.constraints import Conjunction, parse_constraints
+from repro.constraints.simplex import find_rational_solution, is_satisfiable
+
+
+def atoms(text: str):
+    return parse_constraints(text)
+
+
+def check_witness(text: str) -> None:
+    result = find_rational_solution(atoms(text))
+    assert result.feasible
+    assert result.witness is not None
+    assert Conjunction(atoms(text)).satisfied_by(result.witness)
+
+
+class TestFeasible:
+    def test_empty_system(self):
+        result = find_rational_solution([])
+        assert result.feasible and result.witness == {}
+
+    def test_box(self):
+        check_witness("0 <= x, x <= 1, 0 <= y, y <= 1")
+
+    def test_negative_region(self):
+        # Free variables must support negative values via the +/- split.
+        check_witness("x <= -5, x >= -10")
+
+    def test_equalities(self):
+        check_witness("x + y = 10, x - y = 4")
+        result = find_rational_solution(atoms("x + y = 10, x - y = 4"))
+        assert result.witness == {"x": 7, "y": 3}
+
+    def test_strict_inequalities(self):
+        check_witness("x > 0, x < 1")
+
+    def test_thin_strict_region(self):
+        check_witness("x < y, y < x + 1/1000")
+
+    def test_rational_coefficients(self):
+        check_witness("2/3*x + 1/5*y <= 7/2, x >= 1/7, y >= 1/9")
+
+    def test_mixed_strict_and_equality(self):
+        check_witness("x + y = 1, x > 0, y > 0")
+
+    def test_unbounded_feasible(self):
+        check_witness("x >= 1000000")
+
+
+class TestInfeasible:
+    def test_ground_false(self):
+        assert not is_satisfiable(atoms("1 <= 0"))
+
+    def test_contradictory_bounds(self):
+        assert not is_satisfiable(atoms("x <= 0, x >= 1"))
+
+    def test_strict_point(self):
+        assert not is_satisfiable(atoms("x < 1, x > 1"))
+        assert not is_satisfiable(atoms("x < 1, x >= 1"))
+
+    def test_strict_against_equality(self):
+        assert not is_satisfiable(atoms("x = 1, x < 1"))
+
+    def test_triangle_gap(self):
+        assert not is_satisfiable(atoms("x + y >= 10, x <= 4, y <= 4"))
+
+    def test_equality_system_inconsistent(self):
+        assert not is_satisfiable(atoms("x + y = 1, x + y = 2"))
+
+    def test_strict_face_of_equality(self):
+        assert not is_satisfiable(atoms("x + y = 10, x < 5, y <= 5"))
+
+
+class TestAgainstElimination:
+    """The simplex and Fourier-Motzkin must agree (fixed cases here; random
+    cross-checks live in the property suite)."""
+
+    CASES = [
+        "0 <= x, x <= 1",
+        "x < 0, x > 0",
+        "x = y, y = z, x = 3, z = 3",
+        "x = y, y = z, x = 3, z = 4",
+        "x + y <= 1, x >= 1, y >= 1",
+        "x + 2*y - z <= 4, z >= 0, x > 1, y > 1",
+        "x/2 >= 3, x <= 6",
+        "x/2 >= 3, x < 6",
+    ]
+
+    def test_agreement(self):
+        from repro.constraints.elimination import is_satisfiable as fm_sat
+
+        for case in self.CASES:
+            assert is_satisfiable(atoms(case)) == fm_sat(atoms(case)), case
+
+    def test_witness_values_are_fractions(self):
+        result = find_rational_solution(atoms("x > 1/3, x < 2/3"))
+        assert isinstance(result.witness["x"], Fraction)

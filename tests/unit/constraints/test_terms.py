@@ -1,0 +1,176 @@
+"""Unit tests for rational linear expressions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints import LinearExpression, var
+from repro.errors import ConstraintError
+
+
+class TestConstruction:
+    def test_variable(self):
+        x = LinearExpression.variable("x")
+        assert x.coefficient("x") == 1
+        assert x.constant == 0
+        assert x.variables == {"x"}
+
+    def test_constant(self):
+        c = LinearExpression.constant_expr("2.5")
+        assert c.is_constant
+        assert c.constant == Fraction(5, 2)
+
+    def test_zero_coefficients_dropped(self):
+        e = LinearExpression({"x": 0, "y": 2})
+        assert e.variables == {"y"}
+        assert e.coefficient("x") == 0
+
+    def test_invalid_variable_name(self):
+        with pytest.raises(ConstraintError):
+            LinearExpression({"": 1})
+        with pytest.raises(ConstraintError):
+            LinearExpression({3: 1})  # type: ignore[dict-item]
+
+    def test_coerce(self):
+        e = LinearExpression.coerce(7)
+        assert e.is_constant and e.constant == 7
+        x = var("x")
+        assert LinearExpression.coerce(x) is x
+
+    def test_fraction_string_coefficients(self):
+        e = LinearExpression({"x": "1/3"})
+        assert e.coefficient("x") == Fraction(1, 3)
+
+
+class TestArithmetic:
+    def test_addition_merges_terms(self):
+        e = var("x") + var("x") + 1
+        assert e.coefficient("x") == 2
+        assert e.constant == 1
+
+    def test_addition_cancels_to_constant(self):
+        e = var("x") - var("x")
+        assert e.is_constant and e.constant == 0
+
+    def test_subtraction(self):
+        e = var("x") - 2 * var("y") - 3
+        assert e.coefficient("x") == 1
+        assert e.coefficient("y") == -2
+        assert e.constant == -3
+
+    def test_scalar_multiplication(self):
+        e = (var("x") + 1) * Fraction(3, 2)
+        assert e.coefficient("x") == Fraction(3, 2)
+        assert e.constant == Fraction(3, 2)
+
+    def test_rmul(self):
+        assert (2 * var("x")).coefficient("x") == 2
+
+    def test_division(self):
+        e = (2 * var("x")) / 4
+        assert e.coefficient("x") == Fraction(1, 2)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ConstraintError):
+            var("x") / 0
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(ConstraintError):
+            var("x") * var("y")
+
+    def test_product_with_constant_expression(self):
+        e = var("x") * LinearExpression.constant_expr(3)
+        assert e.coefficient("x") == 3
+
+    def test_negation(self):
+        e = -(var("x") - 1)
+        assert e.coefficient("x") == -1
+        assert e.constant == 1
+
+    def test_rsub(self):
+        e = 5 - var("x")
+        assert e.coefficient("x") == -1
+        assert e.constant == 5
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        e = var("x") + 2 * var("y") - 1
+        assert e.evaluate({"x": 1, "y": "1/2"}) == 1
+
+    def test_evaluate_missing_variable(self):
+        with pytest.raises(ConstraintError):
+            var("x").evaluate({"y": 0})
+
+    def test_evaluate_ignores_extra_bindings(self):
+        assert var("x").evaluate({"x": 2, "z": 9}) == 2
+
+
+class TestSubstitutionAndRename:
+    def test_substitute(self):
+        e = var("x") + var("y")
+        sub = e.substitute("x", 2 * var("z") + 1)
+        assert sub.coefficient("z") == 2
+        assert sub.coefficient("y") == 1
+        assert sub.constant == 1
+        assert "x" not in sub.variables
+
+    def test_substitute_scales_by_coefficient(self):
+        e = 3 * var("x")
+        sub = e.substitute("x", var("y") + 1)
+        assert sub.coefficient("y") == 3
+        assert sub.constant == 3
+
+    def test_substitute_absent_variable_is_identity(self):
+        e = var("x")
+        assert e.substitute("q", var("y")) is e
+
+    def test_rename(self):
+        e = var("x") + var("y")
+        renamed = e.rename("x", "t")
+        assert renamed.variables == {"t", "y"}
+
+    def test_rename_collision(self):
+        with pytest.raises(ConstraintError):
+            (var("x") + var("y")).rename("x", "y")
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = var("x") + 1
+        b = LinearExpression({"x": 1}, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert var("x") != var("y")
+        assert (var("x") == 3) is False or True  # __eq__ vs atoms: see below
+
+    def test_eq_keeps_value_semantics_not_atom(self):
+        # == compares expressions; it does NOT build a constraint atom.
+        assert (var("x") == var("x")) is True
+
+    def test_str_round_trips_through_parser(self):
+        from repro.constraints import parse_expression
+
+        e = var("x") * Fraction(5, 2) - var("y") + Fraction(1, 3)
+        assert parse_expression(str(e)) == e
+
+    def test_str_of_zero(self):
+        assert str(LinearExpression({})) == "0"
+
+
+class TestComparisonOperatorsBuildAtoms:
+    def test_le_builds_atom(self):
+        from repro.constraints import Comparator, LinearConstraint
+
+        atom = var("x") + var("y") <= 5
+        assert isinstance(atom, LinearConstraint)
+        assert atom.comparator is Comparator.LE
+
+    def test_chain_of_operators(self):
+        from repro.constraints import Comparator
+
+        assert (var("x") < 5).comparator is Comparator.LT
+        assert (var("x") >= 5).satisfied_by({"x": 5})
+        assert (var("x") > 5).satisfied_by({"x": 6})

@@ -1,0 +1,61 @@
+"""Buffer pool attached to the R*-tree: logical vs physical accesses."""
+
+import random
+
+from repro.indexing import MBR, RStarTree
+from repro.storage import BufferPool
+
+
+def build_tree(n: int = 400, seed: int = 5) -> RStarTree:
+    rng = random.Random(seed)
+    tree = RStarTree(dimensions=2, max_entries=8)
+    for i in range(n):
+        x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        tree.insert(MBR((x, y), (x + 10, y + 10)), i)
+    return tree
+
+
+class TestBufferPoolIntegration:
+    def test_pool_sees_every_logical_access(self):
+        tree = build_tree()
+        pool = BufferPool(capacity=10_000)
+        tree.attach_buffer_pool(pool)
+        tree.reset_counters()
+        tree.search(MBR((0.0, 0.0), (500.0, 500.0)))
+        assert pool.stats.requests == tree.search_accesses
+
+    def test_repeated_queries_hit_the_pool(self):
+        tree = build_tree()
+        pool = BufferPool(capacity=10_000)
+        tree.attach_buffer_pool(pool)
+        query = MBR((100.0, 100.0), (300.0, 300.0))
+        tree.search(query)
+        cold_misses = pool.stats.misses
+        tree.search(query)
+        assert pool.stats.misses == cold_misses  # second pass fully cached
+        assert pool.stats.hits >= cold_misses
+
+    def test_small_pool_thrashes(self):
+        tree = build_tree()
+        large = BufferPool(capacity=10_000)
+        small = BufferPool(capacity=2)
+        queries = []
+        rng = random.Random(9)
+        for _ in range(20):
+            x, y = rng.uniform(0, 900), rng.uniform(0, 900)
+            queries.append(MBR((x, y), (x + 100, y + 100)))
+        tree.attach_buffer_pool(large)
+        for q in queries:
+            tree.search(q)
+        tree.attach_buffer_pool(small)
+        for q in queries:
+            tree.search(q)
+        assert small.stats.hit_rate < large.stats.hit_rate
+
+    def test_nearest_also_routed(self):
+        tree = build_tree()
+        pool = BufferPool(capacity=100)
+        tree.attach_buffer_pool(pool)
+        tree.reset_counters()
+        tree.nearest(MBR.point((500.0, 500.0)), k=3)
+        assert pool.stats.requests == tree.search_accesses > 0

@@ -1,0 +1,149 @@
+"""The missing-attribute inconsistency — the paper's section 3 verbatim.
+
+These tests encode Examples 2 and 3 and Proposition 1 exactly as printed:
+the same data under the two C/R interpretations yields different, and in
+the heterogeneous model *consistent*, results.
+"""
+
+from repro.algebra import natural_join, select
+from repro.constraints import parse_constraints
+from repro.model import (
+    ConstraintRelation,
+    DataType,
+    HTuple,
+    Schema,
+    constraint,
+    relational,
+)
+
+
+class TestExample2:
+    """R over {x, y} with the single tuple (x = 1), queried with y = 17."""
+
+    def test_broad_interpretation_constraint_attribute(self):
+        # With y a constraint attribute, R is equivalent to
+        # {(x = 1, -inf < y < inf)}; the query returns {(x = 1, y = 17)}.
+        schema = Schema([constraint("x"), constraint("y")])
+        r = ConstraintRelation(schema, [HTuple(schema, {}, parse_constraints("x = 1"))])
+        result = select(r, parse_constraints("y = 17"))
+        assert len(result) == 1
+        assert result.contains_point({"x": 1, "y": 17})
+        assert not result.contains_point({"x": 1, "y": 16})
+
+    def test_narrow_interpretation_relational_attribute(self):
+        # With y relational, the missing value is NULL: "if an employee's
+        # age is missing and we ask 'whose age is 40?', it would be wrong
+        # to return that employee" — the query returns the empty set.
+        schema = Schema([constraint("x"), relational("y", DataType.RATIONAL)])
+        r = ConstraintRelation(schema, [HTuple(schema, {}, parse_constraints("x = 1"))])
+        result = select(r, parse_constraints("y = 17"))
+        assert len(result) == 0
+
+    def test_proposition1_the_interpretations_disagree(self):
+        """Proposition 1: constraint semantics are inconsistent with
+        relational semantics exactly on this query."""
+        broad_schema = Schema([constraint("x"), constraint("y")])
+        narrow_schema = Schema([constraint("x"), relational("y", DataType.RATIONAL)])
+        broad = select(
+            ConstraintRelation(
+                broad_schema, [HTuple(broad_schema, {}, parse_constraints("x = 1"))]
+            ),
+            parse_constraints("y = 17"),
+        )
+        narrow = select(
+            ConstraintRelation(
+                narrow_schema, [HTuple(narrow_schema, {}, parse_constraints("x = 1"))]
+            ),
+            parse_constraints("y = 17"),
+        )
+        assert len(broad) == 1 and len(narrow) == 0
+
+
+class TestExample3:
+    """R = {(x=1), (y=1), (x=17, y=17)} with schema
+    [x: relational, y: constraint] — the asymmetric but consistent case."""
+
+    def setup_method(self):
+        self.schema = Schema([relational("x", DataType.RATIONAL), constraint("y")])
+        self.r = ConstraintRelation(
+            self.schema,
+            [
+                HTuple(self.schema, {"x": 1}, ()),
+                HTuple(self.schema, {}, parse_constraints("y = 1")),
+                HTuple(self.schema, {"x": 17}, parse_constraints("y = 17")),
+            ],
+        )
+
+    def test_select_x_17(self):
+        # ς_{x=17} R returns {(x = 17, y = 17)} only: the (y=1) tuple has
+        # x NULL (narrow) and the (x=1) tuple fails the comparison.
+        result = select(self.r, parse_constraints("x = 17"))
+        assert len(result) == 1
+        (only,) = result.tuples
+        assert only.value("x") == 17
+        assert only.formula.satisfied_by({"y": 17})
+
+    def test_select_y_17(self):
+        # ς_{y=17} R returns {(x = 1, y = 17), (x = 17, y = 17)}: the
+        # (x=1) tuple's unconstrained y is broad, so y=17 succeeds.
+        result = select(self.r, parse_constraints("y = 17"))
+        assert len(result) == 2
+        xs = sorted(t.value("x") for t in result)
+        assert xs == [1, 17]
+        assert all(t.formula.satisfied_by({"y": 17}) for t in result)
+
+    def test_inconsistency_not_restricted_to_select(self):
+        """The paper notes joins exhibit the same dual behaviour."""
+        other = ConstraintRelation(
+            Schema([constraint("y")]),
+            [
+                HTuple(Schema([constraint("y")]), {}, parse_constraints("y = 17")),
+            ],
+        )
+        joined = natural_join(self.r, other)
+        # Same two tuples as test_select_y_17, via join instead of select.
+        assert len(joined) == 2
+        assert sorted(t.value("x") for t in joined) == [1, 17]
+
+
+class TestUpwardCompatibility:
+    """The §3.2 claim: the heterogeneous data model is completely upwardly
+    compatible with the relational data model."""
+
+    def test_relational_flagged_db_behaves_relationally(self):
+        schema = Schema(
+            [relational("a", DataType.RATIONAL), relational("b", DataType.RATIONAL)]
+        )
+        r = ConstraintRelation.from_points(
+            schema, [{"a": 1, "b": 2}, {"a": 3, "b": 4}, {"a": 3}]
+        )
+        # Classic relational selection: missing b never matches.
+        result = select(r, parse_constraints("b = 4"))
+        assert len(result) == 1
+        assert result.tuples[0].value("a") == 3
+
+    def test_constraint_flagged_equalities_match_relational_output(self):
+        """For complete tuples (no missing attributes), the constraint and
+        relational representations answer identically (upward
+        compatibility on total data)."""
+        c_schema = Schema([constraint("a"), constraint("b")])
+        r_schema = Schema(
+            [relational("a", DataType.RATIONAL), relational("b", DataType.RATIONAL)]
+        )
+        points = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        constraint_rel = ConstraintRelation.from_points(c_schema, points)
+        relational_rel = ConstraintRelation.from_points(r_schema, points)
+        for query in ("a = 1", "b >= 3", "a + b <= 3"):
+            c_result = select(constraint_rel, parse_constraints(query))
+            r_result = select(relational_rel, parse_constraints(query))
+            c_points = {
+                point
+                for point in [(1, 2), (3, 4)]
+                if c_result.contains_point({"a": point[0], "b": point[1]})
+            }
+            r_points = {
+                point
+                for point in [(1, 2), (3, 4)]
+                if r_result.contains_point({"a": point[0], "b": point[1]})
+            }
+            assert c_points == r_points, query

@@ -1,0 +1,96 @@
+"""Unit tests for the nested (Dedale-style) model and nest/unnest."""
+
+import pytest
+
+from repro.constraints import parse_constraints
+from repro.errors import SchemaError
+from repro.model import ConstraintRelation, HTuple, Schema, constraint, relational
+from repro.model.nested import NestedRelation, nest, unnest
+
+
+def spatial_relation() -> ConstraintRelation:
+    """A feature stored as three convex parts plus a second feature."""
+    schema = Schema([relational("fid"), relational("zone"), constraint("x")])
+    return ConstraintRelation(
+        schema,
+        [
+            HTuple(schema, {"fid": "lake", "zone": "R1"}, parse_constraints("0 <= x, x <= 1")),
+            HTuple(schema, {"fid": "lake", "zone": "R1"}, parse_constraints("1 <= x, x <= 2")),
+            HTuple(schema, {"fid": "lake", "zone": "R1"}, parse_constraints("2 <= x, x <= 3")),
+            HTuple(schema, {"fid": "park", "zone": "R2"}, parse_constraints("9 <= x, x <= 10")),
+        ],
+    )
+
+
+class TestNest:
+    def test_one_row_per_feature(self):
+        nested = nest(spatial_relation())
+        assert len(nested) == 2
+
+    def test_nested_formula_covers_all_parts(self):
+        nested = nest(spatial_relation())
+        lake = next(row for row in nested if row.value("fid") == "lake")
+        assert len(lake.formula) == 3
+        assert lake.formula.satisfied_by({"x": "1/2"})
+        assert lake.formula.satisfied_by({"x": "5/2"})
+        assert not lake.formula.satisfied_by({"x": 5})
+
+    def test_value_lookup(self):
+        nested = nest(spatial_relation())
+        lake = next(row for row in nested if row.value("fid") == "lake")
+        assert lake.value("zone") == "R1"
+        with pytest.raises(SchemaError):
+            lake.value("nope")
+
+
+class TestUnnest:
+    def test_roundtrip_semantics(self):
+        flat = spatial_relation()
+        restored = unnest(nest(flat))
+        assert restored.equivalent(flat)
+
+    def test_roundtrip_syntactic(self):
+        flat = spatial_relation()
+        assert set(unnest(nest(flat)).tuples) == set(flat.tuples)
+
+    def test_nest_of_unnest_stable(self):
+        nested = nest(spatial_relation())
+        again = nest(unnest(nested))
+        assert len(again) == len(nested)
+
+    def test_empty(self):
+        schema = Schema([relational("fid"), constraint("x")])
+        empty = ConstraintRelation(schema, [])
+        assert len(unnest(nest(empty))) == 0
+
+
+class TestStorageCost:
+    def test_redundancy1_eliminated(self):
+        """The §6.2 claim: the nested model stores each feature's
+        non-spatial attributes once, the flat model once per part."""
+        nested = nest(spatial_relation())
+        cost = nested.storage_cost()
+        assert cost["rows"] == 2
+        assert cost["flat_tuples"] == 4
+        # 2 relational attributes: nested stores 2*2=4 cells, flat 4*2=8.
+        assert cost["relational_values"] == 4
+        assert cost["flat_relational_values"] == 8
+        assert cost["relational_values"] < cost["flat_relational_values"]
+
+    def test_constraint_count_unchanged(self):
+        """Nesting fixes redundancy 1 only; the shared-boundary
+        constraints (redundancy 2) remain — the paper's point that only a
+        non-constraint representation removes them."""
+        flat = spatial_relation()
+        flat_atoms = sum(len(t.formula) for t in flat)
+        assert nest(flat).storage_cost()["constraints"] == flat_atoms
+
+    def test_unsatisfiable_rows_dropped(self):
+        from repro.constraints import Conjunction, DNFFormula
+
+        schema = Schema([relational("fid"), constraint("x")])
+        nested = NestedRelation(
+            schema,
+            {(("fid", "ghost"),): DNFFormula([Conjunction(parse_constraints("x < 0, x > 0"))])},
+        )
+        assert len(nested) == 0

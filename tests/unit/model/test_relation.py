@@ -1,0 +1,176 @@
+"""Unit tests for constraint relations."""
+
+import pytest
+
+from repro.constraints import parse_constraints
+from repro.errors import SchemaError
+from repro.model import (
+    ConstraintRelation,
+    DataType,
+    HTuple,
+    Schema,
+    constraint,
+    relational,
+)
+
+
+def schema() -> Schema:
+    return Schema([relational("id"), constraint("t")])
+
+
+def tup(id_value=None, formula=""):
+    values = {"id": id_value} if id_value is not None else {}
+    atoms = parse_constraints(formula) if formula else ()
+    return HTuple(schema(), values, atoms)
+
+
+class TestConstruction:
+    def test_deduplicates(self):
+        r = ConstraintRelation(schema(), [tup("a", "t <= 1"), tup("a", "t <= 1")])
+        assert len(r) == 1
+
+    def test_drops_unsatisfiable_tuples(self):
+        r = ConstraintRelation(schema(), [tup("a", "t < 0, t > 0"), tup("b")])
+        assert len(r) == 1
+
+    def test_schema_mismatch_rejected(self):
+        other = Schema([relational("id"), constraint("q")])
+        with pytest.raises(SchemaError):
+            ConstraintRelation(other, [tup("a")])
+
+    def test_non_tuple_rejected(self):
+        with pytest.raises(SchemaError):
+            ConstraintRelation(schema(), ["nope"])  # type: ignore[list-item]
+
+    def test_from_points(self):
+        r = ConstraintRelation.from_points(
+            schema(), [{"id": "a", "t": 1}, {"id": "b", "t": 2}]
+        )
+        assert len(r) == 2
+        assert r.contains_point({"id": "a", "t": 1})
+        assert not r.contains_point({"id": "a", "t": 2})
+
+    def test_from_constraints(self):
+        r = ConstraintRelation.from_constraints(
+            schema(), [({"id": "a"}, parse_constraints("0 <= t, t <= 5"))]
+        )
+        assert r.contains_point({"id": "a", "t": 3})
+
+    def test_with_name(self):
+        r = ConstraintRelation(schema(), [tup("a")], "orig").with_name("renamed")
+        assert r.name == "renamed"
+        assert len(r) == 1
+
+
+class TestSemantics:
+    def test_contains_point_any_tuple(self):
+        r = ConstraintRelation(schema(), [tup("a", "t <= 0"), tup("a", "t >= 5")])
+        assert r.contains_point({"id": "a", "t": -1})
+        assert r.contains_point({"id": "a", "t": 6})
+        assert not r.contains_point({"id": "a", "t": 2})
+
+    def test_groups_by_relational_values(self):
+        r = ConstraintRelation(
+            schema(), [tup("a", "t <= 0"), tup("a", "t >= 5"), tup("b")]
+        )
+        groups = r.groups()
+        assert len(groups) == 2
+        key_a = (("id", "a"),)
+        assert len(groups[key_a]) == 2
+
+    def test_equivalent_split_interval(self):
+        whole = ConstraintRelation(schema(), [tup("a", "0 <= t, t <= 2")])
+        split = ConstraintRelation(
+            schema(), [tup("a", "0 <= t, t <= 1"), tup("a", "1 <= t, t <= 2")]
+        )
+        assert whole.equivalent(split)
+        assert split.equivalent(whole)
+
+    def test_not_equivalent_different_groups(self):
+        a = ConstraintRelation(schema(), [tup("a")])
+        b = ConstraintRelation(schema(), [tup("b")])
+        assert not a.equivalent(b)
+
+    def test_equivalent_requires_compatible_schema(self):
+        other = Schema([relational("id"), constraint("q")])
+        r = ConstraintRelation(schema(), [tup("a")])
+        s = ConstraintRelation(other, [HTuple(other, {"id": "a"})])
+        with pytest.raises(SchemaError):
+            r.equivalent(s)
+
+
+class TestSimplify:
+    def test_absorbs_entailed_tuples_within_group(self):
+        r = ConstraintRelation(
+            schema(), [tup("a", "0 <= t, t <= 1"), tup("a", "0 <= t, t <= 5")]
+        )
+        s = r.simplify()
+        assert len(s) == 1
+        assert s.equivalent(r)
+
+    def test_does_not_absorb_across_groups(self):
+        r = ConstraintRelation(
+            schema(), [tup("a", "0 <= t, t <= 1"), tup("b", "0 <= t, t <= 5")]
+        )
+        assert len(r.simplify()) == 2
+
+    def test_simplifies_tuple_formulas(self):
+        r = ConstraintRelation(schema(), [tup("a", "t <= 1, t <= 5, t <= 9")])
+        (only,) = r.simplify().tuples
+        assert len(only.formula) == 1
+
+
+class TestMisc:
+    def test_map_tuples(self):
+        r = ConstraintRelation(schema(), [tup("a"), tup("b")])
+        mapped = r.map_tuples(lambda t: None if t.value("id") == "a" else t)
+        assert len(mapped) == 1
+
+    def test_bool_and_iter(self):
+        r = ConstraintRelation(schema(), [tup("a")])
+        assert r
+        assert not ConstraintRelation(schema(), [])
+        assert list(r) == list(r.tuples)
+
+    def test_pretty_includes_tuples(self):
+        text = ConstraintRelation(schema(), [tup("a", "t <= 1")], "R").pretty()
+        assert "R" in text and "id=a" in text
+
+    def test_pretty_empty(self):
+        assert "(empty)" in ConstraintRelation(schema(), []).pretty()
+
+    def test_syntactic_equality_ignores_tuple_order(self):
+        r1 = ConstraintRelation(schema(), [tup("a"), tup("b")])
+        r2 = ConstraintRelation(schema(), [tup("b"), tup("a")])
+        assert r1 == r2
+
+
+class TestDatabase:
+    def test_add_get_drop(self):
+        from repro.model import Database
+
+        db = Database()
+        r = ConstraintRelation(schema(), [tup("a")])
+        db.add("R", r)
+        assert db.get("R").name == "R"
+        assert "R" in db and len(db) == 1
+        db.drop("R")
+        assert "R" not in db
+
+    def test_no_silent_overwrite(self):
+        from repro.model import Database
+
+        db = Database()
+        r = ConstraintRelation(schema(), [])
+        db.add("R", r)
+        with pytest.raises(SchemaError):
+            db.add("R", r)
+        db.add("R", r, replace=True)  # explicit replacement allowed
+
+    def test_missing_relation_error_lists_known(self):
+        from repro.model import Database
+
+        db = Database()
+        db.add("Land", ConstraintRelation(schema(), []))
+        with pytest.raises(SchemaError, match="Land"):
+            db.get("Sea")

@@ -1,0 +1,152 @@
+"""Unit tests for heterogeneous schemas (the C/R flag layer)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model import Attribute, AttributeKind, DataType, Schema, constraint, relational
+
+
+def hurricane_like() -> Schema:
+    return Schema([relational("name"), constraint("t"), relational("landId")])
+
+
+class TestAttribute:
+    def test_shorthands(self):
+        r = relational("name")
+        assert r.is_relational and r.data_type is DataType.STRING
+        c = constraint("x")
+        assert c.is_constraint and c.data_type is DataType.RATIONAL
+
+    def test_relational_rational(self):
+        a = relational("age", DataType.RATIONAL)
+        assert a.is_relational and a.data_type is DataType.RATIONAL
+
+    def test_constraint_must_be_rational(self):
+        with pytest.raises(SchemaError):
+            Attribute("bad", DataType.STRING, AttributeKind.CONSTRAINT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            relational("")
+
+    def test_str_matches_paper_style(self):
+        assert str(constraint("x")) == "x: rational, constraint"
+
+
+class TestSchemaBasics:
+    def test_names_in_order(self):
+        assert hurricane_like().names == ("name", "t", "landId")
+
+    def test_partition_by_kind(self):
+        s = hurricane_like()
+        assert s.relational_names == ("name", "landId")
+        assert s.constraint_names == ("t",)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([relational("a"), constraint("a")])
+
+    def test_lookup(self):
+        s = hurricane_like()
+        assert s["t"].is_constraint
+        assert "name" in s and "missing" not in s
+
+    def test_lookup_missing_lists_known(self):
+        with pytest.raises(SchemaError, match="name, t, landId"):
+            hurricane_like()["missing"]
+
+
+class TestProject:
+    def test_order_follows_argument(self):
+        s = hurricane_like().project(["landId", "name"])
+        assert s.names == ("landId", "name")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            hurricane_like().project(["nope"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            hurricane_like().project(["name", "name"])
+
+
+class TestRename:
+    def test_rename(self):
+        s = hurricane_like().rename("t", "time")
+        assert s.names == ("name", "time", "landId")
+        assert s["time"].is_constraint
+
+    def test_rename_to_existing(self):
+        with pytest.raises(SchemaError):
+            hurricane_like().rename("t", "name")
+
+    def test_rename_missing(self):
+        with pytest.raises(SchemaError):
+            hurricane_like().rename("zzz", "q")
+
+
+class TestUnionCompatibility:
+    def test_same_attributes_different_order_ok(self):
+        a = Schema([relational("a"), constraint("b")])
+        b = Schema([constraint("b"), relational("a")])
+        a.union_compatible(b)  # no raise
+
+    def test_different_names(self):
+        a = Schema([relational("a")])
+        b = Schema([relational("b")])
+        with pytest.raises(SchemaError):
+            a.union_compatible(b)
+
+    def test_kind_mismatch(self):
+        a = Schema([Attribute("v", DataType.RATIONAL, AttributeKind.RELATIONAL)])
+        b = Schema([constraint("v")])
+        with pytest.raises(SchemaError, match="differs"):
+            a.union_compatible(b)
+
+    def test_type_mismatch(self):
+        a = Schema([relational("v")])
+        b = Schema([relational("v", DataType.RATIONAL)])
+        with pytest.raises(SchemaError):
+            a.union_compatible(b)
+
+
+class TestJoin:
+    def test_disjoint_concatenates(self):
+        a = Schema([relational("a")])
+        b = Schema([constraint("x")])
+        assert a.join(b).names == ("a", "x")
+
+    def test_shared_same_kind(self):
+        a = Schema([relational("id"), constraint("t")])
+        b = Schema([constraint("t"), constraint("x")])
+        joined = a.join(b)
+        assert joined.names == ("id", "t", "x")
+        assert joined["t"].is_constraint
+
+    def test_shared_mixed_kind_resolves_relational(self):
+        a = Schema([Attribute("v", DataType.RATIONAL, AttributeKind.RELATIONAL)])
+        b = Schema([constraint("v")])
+        assert a.join(b)["v"].is_relational
+        assert b.join(a)["v"].is_relational
+
+    def test_shared_type_conflict(self):
+        a = Schema([relational("v")])  # string
+        b = Schema([constraint("v")])  # rational
+        with pytest.raises(SchemaError):
+            a.join(b)
+
+    def test_shared_names(self):
+        a = Schema([relational("id"), constraint("t")])
+        b = Schema([constraint("t"), constraint("x")])
+        assert a.shared_names(b) == ("t",)
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert hurricane_like() == hurricane_like()
+        assert hash(hurricane_like()) == hash(hurricane_like())
+
+    def test_order_matters_for_equality(self):
+        a = Schema([relational("a"), constraint("b")])
+        b = Schema([constraint("b"), relational("a")])
+        assert a != b

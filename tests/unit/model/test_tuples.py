@@ -1,0 +1,175 @@
+"""Unit tests for heterogeneous tuples."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints import Conjunction, parse_constraints, parse_expression
+from repro.errors import SchemaError
+from repro.model import (
+    NULL,
+    DataType,
+    HTuple,
+    Schema,
+    constraint,
+    point_tuple,
+    relational,
+)
+
+
+def schema() -> Schema:
+    return Schema(
+        [
+            relational("name"),
+            relational("age", DataType.RATIONAL),
+            constraint("x"),
+            constraint("y"),
+        ]
+    )
+
+
+def make(values=None, formula=""):
+    atoms = parse_constraints(formula) if formula else ()
+    return HTuple(schema(), values or {}, atoms)
+
+
+class TestConstruction:
+    def test_missing_relational_becomes_null(self):
+        t = make({"name": "ann"})
+        assert t.value("age") is NULL
+
+    def test_values_for_constraint_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="constraint attributes"):
+            make({"x": 3})
+
+    def test_values_for_unknown_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            make({"zzz": 3})
+
+    def test_formula_over_relational_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="non-constraint"):
+            make({}, "age <= 30")
+
+    def test_value_of_constraint_attribute_rejected(self):
+        t = make({}, "x <= 1")
+        with pytest.raises(SchemaError):
+            t.value("x")
+
+    def test_rational_coercion(self):
+        t = make({"age": "2.5"})
+        assert t.value("age") == Fraction(5, 2)
+
+
+class TestSemantics:
+    def test_contains_point(self):
+        t = make({"name": "ann", "age": 40}, "0 <= x, x <= 1")
+        point = {"name": "ann", "age": 40, "x": "1/2", "y": 99}
+        assert t.contains_point(point)
+
+    def test_broad_semantics_for_unconstrained_attribute(self):
+        # y is never mentioned: any y belongs (broad interpretation).
+        t = make({"name": "ann", "age": 40}, "x = 1")
+        assert t.contains_point({"name": "ann", "age": 40, "x": 1, "y": 12345})
+
+    def test_narrow_semantics_for_null(self):
+        # age is NULL: the tuple matches no concrete age (narrow).
+        t = make({"name": "ann"}, "x = 1")
+        assert not t.contains_point({"name": "ann", "age": 40, "x": 1, "y": 0})
+
+    def test_relational_value_mismatch(self):
+        t = make({"name": "ann", "age": 40})
+        assert not t.contains_point({"name": "bob", "age": 40, "x": 0, "y": 0})
+
+    def test_point_missing_attribute_raises(self):
+        t = make({"name": "ann", "age": 1})
+        with pytest.raises(SchemaError):
+            t.contains_point({"name": "ann", "age": 1, "x": 0})
+
+    def test_is_empty(self):
+        assert make({}, "x < 0, x > 0").is_empty()
+        assert not make({"name": "ann"}).is_empty()
+
+    def test_null_tuple_not_empty(self):
+        # NULL rows are kept (like SQL rows), though they denote no points.
+        assert not make({}).is_empty()
+
+
+class TestSubstituteRelational:
+    def test_substitutes_rational_value(self):
+        t = make({"age": 40})
+        e = t.substitute_relational(parse_expression("age + x"))
+        assert e.variables == {"x"}
+        assert e.constant == 40
+
+    def test_null_returns_none(self):
+        t = make({})
+        assert t.substitute_relational(parse_expression("age + x")) is None
+
+    def test_string_attribute_rejected(self):
+        t = make({"name": "ann"})
+        with pytest.raises(SchemaError):
+            t.substitute_relational(parse_expression("name + 1"))
+
+    def test_constraint_attributes_untouched(self):
+        t = make({"age": 1})
+        e = t.substitute_relational(parse_expression("x + y"))
+        assert e.variables == {"x", "y"}
+
+
+class TestTransformations:
+    def test_project_drops_values_and_eliminates(self):
+        t = make({"name": "ann", "age": 40}, "x = y, 0 <= y, y <= 2")
+        p = t.project(["name", "x"])
+        assert p.schema.names == ("name", "x")
+        assert p.values == {"name": "ann"}
+        assert p.formula.satisfied_by({"x": 2})
+        assert not p.formula.satisfied_by({"x": 3})
+
+    def test_rename_relational(self):
+        t = make({"name": "ann"}).rename("name", "owner")
+        assert t.value("owner") == "ann"
+
+    def test_rename_constraint(self):
+        t = make({}, "x <= 1").rename("x", "t")
+        assert "t" in t.formula.variables
+
+    def test_conjoin(self):
+        t = make({}, "x <= 5").conjoin(parse_constraints("x >= 0"))
+        assert len(t.formula) == 2
+
+    def test_cast_to_reordered_schema(self):
+        reordered = Schema(
+            [
+                constraint("y"),
+                constraint("x"),
+                relational("age", DataType.RATIONAL),
+                relational("name"),
+            ]
+        )
+        t = make({"name": "ann"}, "x <= 1").cast(reordered)
+        assert t.schema == reordered
+        assert t.value("name") == "ann"
+
+
+class TestValueSemanticsAndDisplay:
+    def test_equality(self):
+        assert make({"name": "a"}, "x <= 1") == make({"name": "a"}, "x <= 1")
+        assert make({"name": "a"}) != make({"name": "b"})
+
+    def test_hashable(self):
+        assert len({make({"name": "a"}), make({"name": "a"})}) == 1
+
+    def test_str_shows_values_and_formula(self):
+        text = str(make({"name": "ann"}, "x <= 1"))
+        assert "name=ann" in text and "x <= 1" in text
+
+
+class TestPointTuple:
+    def test_constraint_attributes_become_equalities(self):
+        t = point_tuple(schema(), {"name": "ann", "age": 3, "x": 1, "y": 2})
+        assert t.contains_point({"name": "ann", "age": 3, "x": 1, "y": 2})
+        assert not t.contains_point({"name": "ann", "age": 3, "x": 1, "y": 3})
+
+    def test_missing_constraint_attribute_is_broad(self):
+        t = point_tuple(schema(), {"name": "ann", "age": 3, "x": 1})
+        assert t.contains_point({"name": "ann", "age": 3, "x": 1, "y": 77})

@@ -1,0 +1,74 @@
+"""Unit tests for attribute kinds, data types and NULL."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model import NULL, AttributeKind, DataType, Null, coerce_value, format_value
+
+
+class TestNull:
+    def test_singleton(self):
+        assert Null() is NULL
+        assert Null() is Null()
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_distinct_from_values(self):
+        assert NULL != 0
+        assert NULL != ""
+        assert NULL != Fraction(0)
+
+
+class TestCoerceValue:
+    def test_string(self):
+        assert coerce_value("hello", DataType.STRING) == "hello"
+
+    def test_string_rejects_number(self):
+        with pytest.raises(SchemaError):
+            coerce_value(3, DataType.STRING)
+
+    def test_rational_from_int(self):
+        assert coerce_value(3, DataType.RATIONAL) == Fraction(3)
+
+    def test_rational_from_decimal_string(self):
+        assert coerce_value("2.5", DataType.RATIONAL) == Fraction(5, 2)
+
+    def test_rational_from_float_uses_decimal_repr(self):
+        assert coerce_value(0.1, DataType.RATIONAL) == Fraction(1, 10)
+
+    def test_rational_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            coerce_value(True, DataType.RATIONAL)
+
+    def test_null_passes_through_either_type(self):
+        assert coerce_value(NULL, DataType.STRING) is NULL
+        assert coerce_value(NULL, DataType.RATIONAL) is NULL
+
+
+class TestFormatValue:
+    def test_null(self):
+        assert format_value(NULL) == "NULL"
+
+    def test_string(self):
+        assert format_value("abc") == "abc"
+
+    def test_fraction(self):
+        assert format_value(Fraction(5, 2)) == "2.5"
+        assert format_value(Fraction(1, 3)) == "1/3"
+        assert format_value(Fraction(4)) == "4"
+
+
+class TestEnums:
+    def test_kind_values(self):
+        assert AttributeKind("relational") is AttributeKind.RELATIONAL
+        assert AttributeKind("constraint") is AttributeKind.CONSTRAINT
+
+    def test_type_values(self):
+        assert DataType("string") is DataType.STRING
+        assert DataType("rational") is DataType.RATIONAL

@@ -1,0 +1,58 @@
+"""Unit tests for the intersect/cross query-language operations."""
+
+import pytest
+
+from repro.constraints import parse_constraints
+from repro.errors import QueryError
+from repro.model import ConstraintRelation, Database, HTuple, Schema, constraint, relational
+from repro.query import QuerySession
+from repro.query.ast import CrossStmt, IntersectStmt
+from repro.query.parser import parse_statement
+
+
+@pytest.fixture
+def db():
+    s = Schema([constraint("x")])
+    other = Schema([constraint("y")])
+    a = ConstraintRelation(s, [HTuple(s, {}, parse_constraints("0 <= x, x <= 5"))])
+    b = ConstraintRelation(s, [HTuple(s, {}, parse_constraints("3 <= x, x <= 9"))])
+    c = ConstraintRelation(other, [HTuple(other, {}, parse_constraints("y = 1"))])
+    return Database({"A": a, "B": b, "C": c})
+
+
+class TestParsing:
+    def test_intersect(self):
+        assert parse_statement("X = intersect A and B").body == IntersectStmt("A", "B")
+
+    def test_cross(self):
+        assert parse_statement("X = cross A and C").body == CrossStmt("A", "C")
+
+
+class TestExecution:
+    def test_intersect_semantics(self, db):
+        result = QuerySession(db).execute("X = intersect A and B")
+        assert result.contains_point({"x": 4})
+        assert not result.contains_point({"x": 1})
+        assert not result.contains_point({"x": 8})
+
+    def test_intersect_requires_compatible_schemas(self, db):
+        with pytest.raises(Exception) as exc_info:
+            QuerySession(db).execute("X = intersect A and C")
+        assert "union-compatible" in str(exc_info.value) or "not union" in str(exc_info.value)
+
+    def test_cross_semantics(self, db):
+        result = QuerySession(db).execute("X = cross A and C")
+        assert result.schema.names == ("x", "y")
+        assert result.contains_point({"x": 2, "y": 1})
+        assert not result.contains_point({"x": 2, "y": 2})
+
+    def test_cross_requires_disjoint_schemas(self, db):
+        with pytest.raises(QueryError, match="disjoint"):
+            QuerySession(db).execute("X = cross A and B")
+
+    def test_intersect_equals_operator_function(self, db):
+        from repro.algebra import intersection
+
+        via_language = QuerySession(db).execute("X = intersect A and B")
+        via_function = intersection(db["A"], db["B"])
+        assert via_language.equivalent(via_function)

@@ -1,0 +1,155 @@
+"""Unit tests for the query-language lexer and parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.ast import (
+    BufferJoinStmt,
+    Comparison,
+    DiffStmt,
+    Identifier,
+    JoinStmt,
+    KNearestStmt,
+    NumberLit,
+    ProjectStmt,
+    RenameStmt,
+    SelectStmt,
+    StringLit,
+    UnionStmt,
+)
+from repro.query.lexer import split_statements, tokenize_line
+from repro.query.parser import parse_script, parse_statement
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize_line('R0 = select t >= 4, name = "A B" from R')
+        kinds = [t.kind for t in tokens]
+        assert kinds[-1] == "end"
+        assert "string" in kinds and "number" in kinds
+
+    def test_string_unescaping(self):
+        (token, _) = tokenize_line(r'"a\"b\\c"')
+        assert token.text == 'a"b\\c'
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize_line("R0 = select @ from R")
+
+    def test_split_statements_skips_comments_and_blanks(self):
+        script = "\n# comment\n  -- another\nR0 = join A and B\n\nR1 = project R0 on x\n"
+        statements = list(split_statements(script))
+        assert [line for line, _ in statements] == [4, 6]
+
+
+class TestStatementParsing:
+    def test_select(self):
+        stmt = parse_statement("R0 = select t>=4, t<=9 from Hurricane")
+        assert stmt.target == "R0"
+        body = stmt.body
+        assert isinstance(body, SelectStmt)
+        assert body.source == "Hurricane"
+        assert len(body.conditions) == 2
+        assert body.conditions[0].op == ">="
+
+    def test_select_string_condition(self):
+        stmt = parse_statement("R0 = select landId=A from Landownership")
+        (condition,) = stmt.body.conditions
+        assert condition.left == Identifier("landId")
+        assert condition.right == Identifier("A")
+
+    def test_select_quoted_string(self):
+        stmt = parse_statement('R0 = select name = "Del Rio" from R')
+        (condition,) = stmt.body.conditions
+        assert condition.right == StringLit("Del Rio")
+
+    def test_chained_comparison(self):
+        stmt = parse_statement("R0 = select 4 <= t <= 9 from H")
+        assert len(stmt.body.conditions) == 2
+
+    def test_project(self):
+        stmt = parse_statement("R1 = project R0 on name, t")
+        assert stmt.body == ProjectStmt("R0", ("name", "t"))
+
+    def test_join_union_diff(self):
+        assert parse_statement("X = join A and B").body == JoinStmt("A", "B")
+        assert parse_statement("X = union A and B").body == UnionStmt("A", "B")
+        assert parse_statement("X = diff A and B").body == DiffStmt("A", "B")
+        assert parse_statement("X = difference A and B").body == DiffStmt("A", "B")
+
+    def test_rename(self):
+        assert parse_statement("X = rename t to time in R").body == RenameStmt(
+            "t", "time", "R"
+        )
+
+    def test_bufferjoin(self):
+        body = parse_statement("X = bufferjoin Land and Roads within 2.5").body
+        assert isinstance(body, BufferJoinStmt)
+        assert body.distance == Fraction(5, 2)
+        assert (body.left_attr, body.right_attr) == ("fid1", "fid2")
+
+    def test_bufferjoin_with_output_names(self):
+        body = parse_statement(
+            "X = bufferjoin Land and Roads within 5 as parcel, road"
+        ).body
+        assert (body.left_attr, body.right_attr) == ("parcel", "road")
+
+    def test_knearest(self):
+        body = parse_statement("X = knearest 3 near A in Shelters").body
+        assert body == KNearestStmt(3, "A", "Shelters")
+
+    def test_knearest_quoted_fid(self):
+        body = parse_statement('X = knearest 3 near "shelter 1" in Shelters').body
+        assert body.query_fid == "shelter 1"
+
+    def test_knearest_cross_layer(self):
+        body = parse_statement("X = knearest 3 near A of Parcels in Shelters").body
+        assert body.query_source == "Parcels"
+        assert body.source == "Shelters"
+
+    def test_knearest_without_of_defaults_to_source(self):
+        body = parse_statement("X = knearest 3 near A in Shelters").body
+        assert body.query_source is None
+
+    def test_keywords_case_insensitive(self):
+        stmt = parse_statement("R0 = SELECT t >= 1 FROM H")
+        assert isinstance(stmt.body, SelectStmt)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "R0 select x from R",  # missing '='
+            "R0 = frobnicate A and B",  # unknown op
+            "R0 = select from R",  # empty condition
+            "R0 = select x >= 1",  # missing from
+            "R0 = project R on",  # missing attrs
+            "R0 = join A",  # missing 'and B'
+            "R0 = rename t to in R",  # missing new name
+            "R0 = knearest 0 near A in S",  # k < 1
+            "R0 = knearest 2.5 near A in S",  # non-integer k
+            "R0 = select x >= 1 from R trailing",  # trailing tokens
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_statement(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError, match="line 3"):
+            parse_script("R0 = join A and B\n\nR1 = wat A and B")
+
+    def test_empty_script(self):
+        with pytest.raises(ParseError):
+            parse_script("# nothing but comments\n")
+
+
+class TestScript:
+    def test_multi_step(self):
+        script = "R0 = select landId=A from Landownership\nR1 = project R0 on name, t\n"
+        statements = parse_script(script)
+        assert [s.target for s in statements] == ["R0", "R1"]
+        assert statements[1].line == 2

@@ -1,0 +1,153 @@
+"""Unit tests for GeoJSON export and Douglas–Peucker simplification."""
+
+import json
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.spatial import (
+    ConvexPolygon,
+    Feature,
+    FeatureSet,
+    Point,
+    PolylineFeature,
+    RegionFeature,
+    feature_set_to_geojson,
+    feature_to_geojson,
+    polygon_to_geometry,
+    relation_to_geojson,
+    save_geojson,
+    simplify_points,
+    simplify_polyline,
+    simplify_region,
+)
+
+
+def pts(*pairs):
+    return [Point(x, y) for x, y in pairs]
+
+
+class TestGeometryConversion:
+    def test_polygon(self):
+        g = polygon_to_geometry(ConvexPolygon.box(0, 0, 2, 1))
+        assert g["type"] == "Polygon"
+        ring = g["coordinates"][0]
+        assert ring[0] == ring[-1]  # closed
+        assert len(ring) == 5
+
+    def test_segment_is_linestring(self):
+        g = polygon_to_geometry(ConvexPolygon(pts((0, 0), (3, 4))))
+        assert g["type"] == "LineString"
+        assert len(g["coordinates"]) == 2
+
+    def test_point(self):
+        g = polygon_to_geometry(ConvexPolygon(pts((1, 2))))
+        assert g == {"type": "Point", "coordinates": [1.0, 2.0]}
+
+
+class TestFeatureExport:
+    def test_single_part(self):
+        f = feature_to_geojson(Feature("a", [ConvexPolygon.box(0, 0, 1, 1)]))
+        assert f["type"] == "Feature" and f["id"] == "a"
+        assert f["geometry"]["type"] == "Polygon"
+        assert f["properties"]["fid"] == "a"
+
+    def test_homogeneous_multipolygon(self):
+        f = feature_to_geojson(
+            Feature("a", [ConvexPolygon.box(0, 0, 1, 1), ConvexPolygon.box(2, 0, 3, 1)])
+        )
+        assert f["geometry"]["type"] == "MultiPolygon"
+        assert len(f["geometry"]["coordinates"]) == 2
+
+    def test_polyline_multilinestring(self):
+        road = PolylineFeature("r", pts((0, 0), (1, 1), (2, 0))).to_feature()
+        f = feature_to_geojson(road)
+        assert f["geometry"]["type"] == "MultiLineString"
+
+    def test_mixed_geometry_collection(self):
+        f = feature_to_geojson(
+            Feature("m", [ConvexPolygon.box(0, 0, 1, 1), ConvexPolygon(pts((5, 5)))])
+        )
+        assert f["geometry"]["type"] == "GeometryCollection"
+
+    def test_extra_properties(self):
+        f = feature_to_geojson(Feature("a", [ConvexPolygon.box(0, 0, 1, 1)]), {"zone": "R1"})
+        assert f["properties"]["zone"] == "R1"
+
+    def test_collection_and_relation_paths_agree(self):
+        fs = FeatureSet(
+            [Feature("a", [ConvexPolygon.box(0, 0, 1, 1)]),
+             Feature("b", [ConvexPolygon.box(5, 5, 6, 6)])]
+        )
+        direct = feature_set_to_geojson(fs)
+        via_relation = relation_to_geojson(fs.to_relation())
+        assert direct == via_relation
+        assert direct["type"] == "FeatureCollection"
+        assert {f["id"] for f in direct["features"]} == {"a", "b"}
+
+    def test_save_and_valid_json(self, tmp_path):
+        fs = FeatureSet([Feature("a", [ConvexPolygon.box(0, 0, 1, 1)])])
+        path = tmp_path / "out.geojson"
+        save_geojson(feature_set_to_geojson(fs), path)
+        parsed = json.loads(path.read_text())
+        assert parsed["type"] == "FeatureCollection"
+
+    def test_save_rejects_non_geojson(self, tmp_path):
+        with pytest.raises(GeometryError):
+            save_geojson({"type": "Nope"}, tmp_path / "x.json")
+
+
+class TestSimplification:
+    def test_collinear_chain_collapses(self):
+        chain = pts((0, 0), (1, 0), (2, 0), (3, 0))
+        assert simplify_points(chain, 0.0) == pts((0, 0), (3, 0))
+
+    def test_significant_vertex_kept(self):
+        chain = pts((0, 0), (5, 3), (10, 0))
+        assert simplify_points(chain, 1.0) == chain
+        assert simplify_points(chain, 5.0) == pts((0, 0), (10, 0))
+
+    def test_deviation_bounded(self):
+        from repro.spatial import Segment
+
+        chain = pts((0, 0), (1, "0.4"), (2, "-0.3"), (3, "0.2"), (4, 0), (5, 1), (6, 0))
+        tolerance = 0.5
+        kept = simplify_points(chain, tolerance)
+        # Every dropped point is within tolerance of the kept chain.
+        for p in chain:
+            d = min(
+                Segment(a, b).distance_to_point(p)
+                for a, b in zip(kept, kept[1:])
+            )
+            assert d <= tolerance + 1e-9
+
+    def test_endpoints_always_kept(self):
+        chain = pts((0, 0), (1, 100), (2, 0))
+        kept = simplify_points(chain, 1e9)
+        assert kept[0] == chain[0] and kept[-1] == chain[-1]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(GeometryError):
+            simplify_points(pts((0, 0), (1, 1), (2, 2)), -1)
+
+    def test_simplify_polyline_reduces_constraint_cost(self):
+        wiggly = PolylineFeature(
+            "road",
+            pts(*[(i, (i % 2) * 0.05) for i in range(20)]),
+        )
+        simplified = simplify_polyline(wiggly, 0.1)
+        assert simplified.segment_count < wiggly.segment_count
+        assert simplified.constraint_cost().constraints < wiggly.constraint_cost().constraints
+
+    def test_simplify_region_keeps_shape(self):
+        # A square with a tiny nick on one edge.
+        outline = pts((0, 0), (5, 0), (10, 0), (10, 10), (5, "10.05"), (0, 10))
+        region = RegionFeature("r", outline)
+        simplified = simplify_region(region, 0.2)
+        assert len(simplified.outline) == 4
+        assert abs(float(simplified.area() - region.area())) < 1.0
+
+    def test_simplify_region_refuses_collapse(self):
+        region = RegionFeature("r", pts((0, 0), (10, "0.01"), (20, 0), (10, "0.02")))
+        with pytest.raises(GeometryError, match="collapses"):
+            simplify_region(region, 10.0)

@@ -1,0 +1,148 @@
+"""Unit tests for features, feature sets and spatial relations (§4.2)."""
+
+import pytest
+
+from repro.constraints import parse_constraints
+from repro.errors import GeometryError, SchemaError
+from repro.model import ConstraintRelation, HTuple, Schema, constraint, relational
+from repro.spatial import ConvexPolygon, Feature, FeatureSet, Point, default_spatial_schema
+
+
+def box(x0, y0, x1, y1) -> ConvexPolygon:
+    return ConvexPolygon.box(x0, y0, x1, y1)
+
+
+class TestFeature:
+    def test_requires_parts(self):
+        with pytest.raises(GeometryError):
+            Feature("f", [])
+
+    def test_requires_fid(self):
+        with pytest.raises(GeometryError):
+            Feature("", [box(0, 0, 1, 1)])
+
+    def test_bounding_box_spans_parts(self):
+        f = Feature("f", [box(0, 0, 1, 1), box(5, 5, 6, 6)])
+        bb = f.bounding_box()
+        assert (bb.min_x, bb.max_x) == (0, 6)
+
+    def test_contains_point_any_part(self):
+        f = Feature("f", [box(0, 0, 1, 1), box(5, 5, 6, 6)])
+        assert f.contains_point(Point(5.5, 5.5))
+        assert not f.contains_point(Point(3, 3))
+
+    def test_distance_between_multipart_features(self):
+        f = Feature("f", [box(0, 0, 1, 1), box(10, 0, 11, 1)])
+        g = Feature("g", [box(12, 0, 13, 1)])
+        assert f.distance(g) == 1.0  # nearest part pair
+
+    def test_intersects(self):
+        f = Feature("f", [box(0, 0, 2, 2)])
+        g = Feature("g", [box(1, 1, 3, 3)])
+        assert f.intersects(g)
+        assert f.distance(g) == 0.0
+
+
+class TestFeatureSet:
+    def make_set(self):
+        return FeatureSet(
+            [
+                Feature("a", [box(0, 0, 1, 1)]),
+                Feature("b", [box(5, 0, 6, 1), box(6, 0, 7, 1)]),
+            ]
+        )
+
+    def test_lookup(self):
+        fs = self.make_set()
+        assert "a" in fs and "zzz" not in fs
+        assert fs["b"].fid == "b"
+        assert len(fs) == 2
+
+    def test_missing_feature(self):
+        with pytest.raises(GeometryError):
+            self.make_set()["zzz"]
+
+    def test_duplicate_fid_rejected(self):
+        with pytest.raises(GeometryError):
+            FeatureSet([Feature("a", [box(0, 0, 1, 1)]), Feature("a", [box(2, 2, 3, 3)])])
+
+    def test_index_over_feature_mbrs(self):
+        fs = self.make_set()
+        tree = fs.index()
+        assert len(tree) == 2
+        assert fs.index() is tree  # cached
+
+
+class TestRelationConversion:
+    def test_to_relation_one_tuple_per_part(self):
+        fs = FeatureSet(
+            [Feature("a", [box(0, 0, 1, 1)]), Feature("b", [box(5, 0, 6, 1), box(6, 0, 7, 1)])]
+        )
+        relation = fs.to_relation("R")
+        assert relation.schema == default_spatial_schema()
+        assert len(relation) == 3
+        assert relation.contains_point({"fid": "b", "x": 6.5, "y": 0.5})
+        assert not relation.contains_point({"fid": "a", "x": 6.5, "y": 0.5})
+
+    def test_from_relation_groups_by_fid(self):
+        schema = default_spatial_schema()
+        relation = ConstraintRelation(
+            schema,
+            [
+                HTuple(schema, {"fid": "a"}, parse_constraints("0 <= x, x <= 1, 0 <= y, y <= 1")),
+                HTuple(schema, {"fid": "b"}, parse_constraints("5 <= x, x <= 6, 0 <= y, y <= 1")),
+                HTuple(schema, {"fid": "b"}, parse_constraints("6 <= x, x <= 7, 0 <= y, y <= 1")),
+            ],
+        )
+        fs = FeatureSet.from_relation(relation)
+        assert len(fs) == 2
+        assert len(fs["b"].parts) == 2
+
+    def test_roundtrip_preserves_geometry(self):
+        original = FeatureSet(
+            [Feature("a", [box(0, 0, 1, 1)]), Feature("b", [box(5, 5, 6, 6)])]
+        )
+        back = FeatureSet.from_relation(original.to_relation())
+        assert set(back.features) == {"a", "b"}
+        for fid in ("a", "b"):
+            assert back[fid].parts[0].area() == original[fid].parts[0].area()
+
+    def test_from_relation_validates_schema(self):
+        bad = Schema([relational("fid"), constraint("x")])  # missing y
+        with pytest.raises(SchemaError):
+            FeatureSet.from_relation(ConstraintRelation(bad, []))
+
+    def test_from_relation_requires_constraint_spatial_attrs(self):
+        from repro.model import DataType
+
+        bad = Schema(
+            [relational("fid"), relational("x", DataType.RATIONAL), constraint("y")]
+        )
+        with pytest.raises(SchemaError):
+            FeatureSet.from_relation(ConstraintRelation(bad, []))
+
+    def test_from_relation_rejects_null_fid(self):
+        schema = default_spatial_schema()
+        relation = ConstraintRelation(
+            schema,
+            [HTuple(schema, {}, parse_constraints("0 <= x, x <= 1, 0 <= y, y <= 1"))],
+        )
+        with pytest.raises(SchemaError, match="NULL"):
+            FeatureSet.from_relation(relation)
+
+    def test_custom_attribute_names(self):
+        schema = Schema([relational("road"), constraint("lon"), constraint("lat")])
+        relation = ConstraintRelation(
+            schema,
+            [
+                HTuple(
+                    schema,
+                    {"road": "r1"},
+                    parse_constraints("0 <= lon, lon <= 1, 0 <= lat, lat <= 1"),
+                )
+            ],
+        )
+        fs = FeatureSet.from_relation(relation, fid_attr="road", x="lon", y="lat")
+        assert "r1" in fs
+        back = fs.to_relation()
+        assert back.schema.names == ("road", "lon", "lat")

@@ -1,0 +1,125 @@
+"""Unit tests for exact 2-D geometric primitives."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.spatial import BoundingBox, Point, Segment, cross
+
+
+class TestPoint:
+    def test_exact_coordinates(self):
+        p = Point("0.1", "1/3")
+        assert p.x == Fraction(1, 10) and p.y == Fraction(1, 3)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_equality(self):
+        assert Point(1, 2) == Point("1", "2.0")
+
+
+class TestCross:
+    def test_left_turn_positive(self):
+        assert cross(Point(0, 0), Point(1, 0), Point(1, 1)) > 0
+
+    def test_right_turn_negative(self):
+        assert cross(Point(0, 0), Point(1, 0), Point(1, -1)) < 0
+
+    def test_collinear_zero(self):
+        assert cross(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    def test_exactness_with_tiny_fractions(self):
+        # A float implementation would round this to zero.
+        tiny = Fraction(1, 10**30)
+        assert cross(Point(0, 0), Point(1, 0), Point(1, tiny)) > 0
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length() == 5.0
+
+    def test_distance_to_point_interior(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(5, 3)) == 3.0
+
+    def test_distance_to_point_clamped_to_endpoint(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(13, 4)) == 5.0
+
+    def test_degenerate_segment_distance(self):
+        s = Segment(Point(1, 1), Point(1, 1))
+        assert s.is_degenerate
+        assert s.distance_to_point(Point(4, 5)) == 5.0
+
+    def test_crossing_segments_intersect(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(0, 2), Point(2, 0))
+        assert a.intersects(b)
+
+    def test_touching_at_endpoint(self):
+        a = Segment(Point(0, 0), Point(1, 1))
+        b = Segment(Point(1, 1), Point(2, 0))
+        assert a.intersects(b)
+
+    def test_collinear_overlapping(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(1, 0), Point(3, 0))
+        assert a.intersects(b)
+
+    def test_collinear_disjoint(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(2, 0), Point(3, 0))
+        assert not a.intersects(b)
+
+    def test_parallel_non_intersecting(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(0, 1), Point(2, 1))
+        assert not a.intersects(b)
+
+    def test_distance_between_segments(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(0, 1), Point(2, 1))
+        assert a.distance_to_segment(b) == 1.0
+
+    def test_distance_zero_when_crossing(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(0, 2), Point(2, 0))
+        assert a.distance_to_segment(b) == 0.0
+
+    def test_skew_distance(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(2, 1), Point(3, 2))
+        assert a.distance_to_segment(b) == pytest.approx(math.hypot(1, 1))
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        box = BoundingBox.of_points([Point(1, 5), Point(3, 2)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (1, 2, 3, 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.of_points([])
+        with pytest.raises(GeometryError):
+            BoundingBox(2, 0, 1, 0)
+
+    def test_expand(self):
+        box = BoundingBox(0, 0, 1, 1).expand("0.5")
+        assert box.min_x == Fraction(-1, 2) and box.max_y == Fraction(3, 2)
+
+    def test_expand_negative_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(0, 0, 1, 1).expand(-1)
+
+    def test_union_and_intersects(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(2, 2, 3, 3)
+        assert not a.intersects(b)
+        u = a.union(b)
+        assert u.intersects(a) and u.intersects(b)
+
+    def test_touching_boxes_intersect(self):
+        assert BoundingBox(0, 0, 1, 1).intersects(BoundingBox(1, 1, 2, 2))

@@ -1,0 +1,110 @@
+"""Unit tests for the spatial plan nodes (Buffer-Join / k-Nearest in CQA)."""
+
+import pytest
+
+from repro.algebra import EvaluationContext, Scan, evaluate
+from repro.errors import AlgebraError
+from repro.model import Database, Schema, constraint, relational
+from repro.spatial import BufferJoinNode, ConvexPolygon, Feature, FeatureSet, KNearestNode
+
+
+@pytest.fixture
+def db():
+    parcels = FeatureSet(
+        [
+            Feature("a", [ConvexPolygon.box(0, 0, 1, 1)]),
+            Feature("b", [ConvexPolygon.box(3, 0, 4, 1)]),
+            Feature("c", [ConvexPolygon.box(10, 0, 11, 1)]),
+        ]
+    )
+    return Database({"Parcels": parcels.to_relation("Parcels")})
+
+
+class TestBufferJoinNode:
+    def test_evaluates(self, db):
+        plan = BufferJoinNode(Scan("Parcels"), Scan("Parcels"), 2)
+        result = evaluate(plan, EvaluationContext(db))
+        pairs = {(t.value("fid1"), t.value("fid2")) for t in result}
+        assert pairs == {("a", "b"), ("b", "a")}
+
+    def test_infer_schema(self, db):
+        plan = BufferJoinNode(Scan("Parcels"), Scan("Parcels"), 2, "p", "q")
+        schema = plan.infer_schema(db)
+        assert schema.names == ("p", "q")
+
+    def test_metrics(self, db):
+        ctx = EvaluationContext(db)
+        evaluate(BufferJoinNode(Scan("Parcels"), Scan("Parcels"), 2), ctx)
+        assert ctx.metrics.operator_calls["buffer_join"] == 1
+
+    def test_with_children(self, db):
+        plan = BufferJoinNode(Scan("Parcels"), Scan("Parcels"), 2)
+        rebuilt = plan.with_children([Scan("Parcels"), Scan("Parcels")])
+        assert isinstance(rebuilt, BufferJoinNode)
+        assert rebuilt.distance == plan.distance
+
+    def test_non_spatial_input_rejected(self, db):
+        other = Schema([relational("id"), relational("name")])
+        from repro.model import ConstraintRelation
+
+        db.add("Flat", ConstraintRelation(other, []))
+        plan = BufferJoinNode(Scan("Flat"), Scan("Parcels"), 2)
+        with pytest.raises(AlgebraError, match="spatial constraint relation"):
+            evaluate(plan, EvaluationContext(db))
+
+
+class TestKNearestNode:
+    def test_evaluates(self, db):
+        plan = KNearestNode(Scan("Parcels"), "a", 2)
+        result = evaluate(plan, EvaluationContext(db))
+        ranked = sorted((t.value("rank"), t.value("fid")) for t in result)
+        assert ranked == [(1, "b"), (2, "c")]
+
+    def test_missing_query_feature(self, db):
+        plan = KNearestNode(Scan("Parcels"), "zzz", 1)
+        with pytest.raises(AlgebraError, match="zzz"):
+            evaluate(plan, EvaluationContext(db))
+
+    def test_invalid_k_at_construction(self):
+        with pytest.raises(AlgebraError):
+            KNearestNode(Scan("Parcels"), "a", 0)
+
+    def test_cross_layer_query_child(self, db):
+        from repro.spatial import ConvexPolygon, Feature, FeatureSet
+
+        probes = FeatureSet([Feature("p", [ConvexPolygon.box(9, 0, 9.5, 1)])])
+        db.add("Probes", probes.to_relation("Probes"))
+        plan = KNearestNode(Scan("Parcels"), "p", 1, query_child=Scan("Probes"))
+        result = evaluate(plan, EvaluationContext(db))
+        assert [t.value("fid") for t in result] == ["c"]
+
+    def test_cross_layer_missing_feature(self, db):
+        from repro.spatial import ConvexPolygon, Feature, FeatureSet
+
+        probes = FeatureSet([Feature("p", [ConvexPolygon.box(9, 0, 9.5, 1)])])
+        db.add("Probes2", probes.to_relation("Probes2"))
+        plan = KNearestNode(Scan("Parcels"), "zzz", 1, query_child=Scan("Probes2"))
+        with pytest.raises(AlgebraError, match="query relation"):
+            evaluate(plan, EvaluationContext(db))
+
+    def test_with_children_preserves_query_child(self, db):
+        plan = KNearestNode(Scan("Parcels"), "p", 1, query_child=Scan("Parcels"))
+        rebuilt = plan.with_children([Scan("Parcels"), Scan("Parcels")])
+        assert rebuilt.query_child is not None
+        assert len(plan.children) == 2
+
+    def test_via_query_language(self, db):
+        from repro.query import QuerySession
+
+        session = QuerySession(db)
+        result = session.run_script(
+            "R0 = knearest 1 near a in Parcels\nR1 = project R0 on fid\n"
+        )
+        assert [t.value("fid") for t in result] == ["b"]
+
+    def test_bufferjoin_via_query_language(self, db):
+        from repro.query import QuerySession
+
+        session = QuerySession(db)
+        result = session.execute("R0 = bufferjoin Parcels and Parcels within 2 as p, q")
+        assert {(t.value("p"), t.value("q")) for t in result} == {("a", "b"), ("b", "a")}

@@ -1,0 +1,188 @@
+"""Unit tests for convex polygons and constraint ⇄ vertex conversion."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints import Conjunction, DNFFormula, parse_constraints
+from repro.errors import GeometryError
+from repro.spatial import ConvexPolygon, Point
+
+
+def conj(text: str) -> Conjunction:
+    return Conjunction(parse_constraints(text))
+
+
+def equivalent(a: Conjunction, b: Conjunction) -> bool:
+    return DNFFormula([a]).equivalent(DNFFormula([b]))
+
+
+class TestFromConjunction:
+    def test_box(self):
+        poly = ConvexPolygon.from_conjunction(conj("0 <= x, x <= 4, 0 <= y, y <= 3"))
+        assert len(poly.vertices) == 4
+        assert poly.area() == 12
+
+    def test_clipped_box(self):
+        poly = ConvexPolygon.from_conjunction(
+            conj("0 <= x, x <= 4, 0 <= y, y <= 3, x + y <= 6")
+        )
+        assert len(poly.vertices) == 5
+        assert poly.area() == Fraction(23, 2)
+
+    def test_triangle(self):
+        poly = ConvexPolygon.from_conjunction(conj("x >= 0, y >= 0, x + y <= 1"))
+        assert set(poly.vertices) == {Point(0, 0), Point(1, 0), Point(0, 1)}
+
+    def test_point_region(self):
+        poly = ConvexPolygon.from_conjunction(conj("x = 1, y = 2"))
+        assert poly.vertices == (Point(1, 2),)
+
+    def test_segment_region(self):
+        poly = ConvexPolygon.from_conjunction(conj("x = 1, 0 <= y, y <= 5"))
+        assert set(poly.vertices) == {Point(1, 0), Point(1, 5)}
+
+    def test_redundant_constraints_ignored(self):
+        poly = ConvexPolygon.from_conjunction(
+            conj("0 <= x, x <= 1, 0 <= y, y <= 1, x + y <= 10")
+        )
+        assert poly.area() == 1
+
+    def test_strict_atoms_closed(self):
+        poly = ConvexPolygon.from_conjunction(conj("0 < x, x < 1, 0 < y, y < 1"))
+        assert poly.area() == 1
+
+    def test_unbounded_rejected(self):
+        with pytest.raises(GeometryError, match="unbounded"):
+            ConvexPolygon.from_conjunction(conj("x >= 0, y >= 0"))
+
+    def test_unsatisfiable_rejected(self):
+        with pytest.raises(GeometryError):
+            ConvexPolygon.from_conjunction(conj("x < 0, x > 0, y = 0"))
+
+    def test_extra_variables_rejected(self):
+        with pytest.raises(GeometryError):
+            ConvexPolygon.from_conjunction(conj("x + y + z <= 1, x >= 0, y >= 0, z >= 0"))
+
+    def test_custom_variable_names(self):
+        poly = ConvexPolygon.from_conjunction(
+            Conjunction(parse_constraints("0 <= lon, lon <= 1, 0 <= lat, lat <= 1")),
+            x="lon",
+            y="lat",
+        )
+        assert poly.area() == 1
+
+
+class TestToConjunction:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "0 <= x, x <= 4, 0 <= y, y <= 3",
+            "x >= 0, y >= 0, x + y <= 1",
+            "0 <= x, x <= 4, 0 <= y, y <= 3, x + y <= 6",
+            "x = 1, y = 2",
+            "x = 1, 0 <= y, y <= 5",
+            "y = x, 0 <= x, x <= 3",  # diagonal segment
+        ],
+    )
+    def test_roundtrip_equivalence(self, text):
+        original = conj(text)
+        poly = ConvexPolygon.from_conjunction(original)
+        back = poly.to_conjunction()
+        assert equivalent(original, back), text
+
+    def test_roundtrip_with_renamed_attributes(self):
+        original = conj("0 <= x, x <= 1, 0 <= y, y <= 1")
+        poly = ConvexPolygon.from_conjunction(original)
+        renamed = poly.to_conjunction("a", "b")
+        assert renamed.variables == {"a", "b"}
+
+
+class TestGeometry:
+    def test_contains_point(self):
+        poly = ConvexPolygon.box(0, 0, 2, 2)
+        assert poly.contains_point(Point(1, 1))
+        assert poly.contains_point(Point(0, 0))  # boundary closed
+        assert not poly.contains_point(Point(3, 1))
+
+    def test_segment_contains_point(self):
+        seg = ConvexPolygon([Point(0, 0), Point(2, 2)])
+        assert seg.contains_point(Point(1, 1))
+        assert not seg.contains_point(Point(1, 0))
+        assert not seg.contains_point(Point(3, 3))
+
+    def test_point_polygon_contains(self):
+        pt = ConvexPolygon([Point(1, 1)])
+        assert pt.contains_point(Point(1, 1))
+        assert not pt.contains_point(Point(1, 2))
+
+    def test_intersects_overlap(self):
+        assert ConvexPolygon.box(0, 0, 2, 2).intersects(ConvexPolygon.box(1, 1, 3, 3))
+
+    def test_intersects_containment(self):
+        outer = ConvexPolygon.box(0, 0, 10, 10)
+        inner = ConvexPolygon.box(4, 4, 5, 5)
+        assert outer.intersects(inner)
+        assert inner.intersects(outer)
+
+    def test_intersects_touching_edge(self):
+        assert ConvexPolygon.box(0, 0, 1, 1).intersects(ConvexPolygon.box(1, 0, 2, 1))
+
+    def test_disjoint(self):
+        assert not ConvexPolygon.box(0, 0, 1, 1).intersects(ConvexPolygon.box(5, 5, 6, 6))
+
+    def test_cross_shape_no_vertex_containment(self):
+        # A horizontal and a vertical bar crossing: neither contains a
+        # vertex of the other, only edges cross.
+        horizontal = ConvexPolygon.box(-3, -1, 3, 1)
+        vertical = ConvexPolygon.box(-1, -3, 1, 3)
+        assert horizontal.intersects(vertical)
+
+    def test_distance_axis(self):
+        assert ConvexPolygon.box(0, 0, 1, 1).distance(ConvexPolygon.box(3, 0, 4, 1)) == 2.0
+
+    def test_distance_diagonal(self):
+        d = ConvexPolygon.box(0, 0, 1, 1).distance(ConvexPolygon.box(2, 2, 3, 3))
+        assert d == pytest.approx(2**0.5)
+
+    def test_distance_zero_on_touch(self):
+        assert ConvexPolygon.box(0, 0, 1, 1).distance(ConvexPolygon.box(1, 1, 2, 2)) == 0.0
+
+    def test_distance_point_to_polygon(self):
+        pt = ConvexPolygon([Point(5, 0)])
+        box = ConvexPolygon.box(0, 0, 1, 1)
+        assert pt.distance(box) == 4.0
+
+    def test_bounding_box(self):
+        box = ConvexPolygon.from_conjunction(conj("x >= 0, y >= 0, x + y <= 1")).bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 1, 1)
+
+    def test_centroid_inside(self):
+        poly = ConvexPolygon.box(0, 0, 2, 2)
+        assert poly.contains_point(poly.centroid())
+
+
+class TestHullCanonicalisation:
+    def test_collinear_input_vertices_dropped(self):
+        poly = ConvexPolygon(
+            [Point(0, 0), Point(1, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        )
+        assert len(poly.vertices) == 4
+
+    def test_duplicate_vertices_dropped(self):
+        poly = ConvexPolygon([Point(0, 0), Point(0, 0), Point(1, 0), Point(0, 1)])
+        assert len(poly.vertices) == 3
+
+    def test_equality_ignores_rotation(self):
+        a = ConvexPolygon([Point(0, 0), Point(1, 0), Point(1, 1)])
+        b = ConvexPolygon([Point(1, 1), Point(0, 0), Point(1, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_ccw_orientation(self):
+        from repro.spatial import cross
+
+        poly = ConvexPolygon([Point(0, 0), Point(0, 2), Point(2, 2), Point(2, 0)])
+        v = poly.vertices
+        n = len(v)
+        assert all(cross(v[i], v[(i + 1) % n], v[(i + 2) % n]) > 0 for i in range(n))

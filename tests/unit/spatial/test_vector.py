@@ -1,0 +1,141 @@
+"""Unit tests for the vector model (section 6)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.spatial import Point, PolylineFeature, RegionFeature, digitize
+
+
+def pts(*pairs):
+    return [Point(x, y) for x, y in pairs]
+
+
+class TestPolyline:
+    def test_requires_two_points(self):
+        with pytest.raises(GeometryError):
+            PolylineFeature("p", pts((0, 0)))
+
+    def test_zero_length_segment_rejected(self):
+        with pytest.raises(GeometryError):
+            PolylineFeature("p", pts((0, 0), (0, 0), (1, 1)))
+
+    def test_segment_count(self):
+        p = PolylineFeature("p", pts((0, 0), (1, 1), (2, 0)))
+        assert p.segment_count == 2
+
+    def test_to_feature_one_part_per_segment(self):
+        p = PolylineFeature("p", pts((0, 0), (1, 1), (2, 0)))
+        feature = p.to_feature()
+        assert len(feature.parts) == 2
+        assert feature.contains_point(Point("0.5", "0.5"))
+        assert not feature.contains_point(Point("0.5", "0.6"))
+
+    def test_project_extrema(self):
+        p = PolylineFeature("p", pts((0, 3), (5, 1), (2, 7)))
+        assert p.project("x") == (0, 5)
+        assert p.project("y") == (1, 7)
+
+    def test_constraint_cost_three_per_segment(self):
+        p = PolylineFeature("p", pts((0, 0), (1, 1), (2, 0), (3, 2)))
+        cost = p.constraint_cost(extra_attributes=2)
+        assert cost.tuples == 3
+        assert cost.constraints == 9  # "three constraints" per segment
+        assert cost.duplicated_attributes == 2 * (3 - 1)
+        assert cost.shared_boundary_constraints == 2 * (3 - 1)
+
+    def test_vector_cost(self):
+        p = PolylineFeature("p", pts((0, 0), (1, 1), (2, 0), (3, 2)))
+        cost = p.vector_cost()
+        assert cost.tuples == 1
+        assert cost.coordinates == 8
+        assert cost.duplicated_attributes == 0
+
+    def test_cost_addition(self):
+        p = PolylineFeature("p", pts((0, 0), (1, 1)))
+        total = p.vector_cost() + p.vector_cost()
+        assert total.coordinates == 8
+
+
+class TestRegion:
+    def test_requires_three_points(self):
+        with pytest.raises(GeometryError):
+            RegionFeature("r", pts((0, 0), (1, 0)))
+
+    def test_closed_ring_accepted(self):
+        r = RegionFeature("r", pts((0, 0), (4, 0), (4, 4), (0, 0)))
+        assert len(r.outline) == 3
+
+    def test_repeated_point_rejected(self):
+        with pytest.raises(GeometryError):
+            RegionFeature("r", pts((0, 0), (4, 0), (0, 0), (4, 4)))
+
+    def test_degenerate_outline_rejected(self):
+        with pytest.raises(GeometryError):
+            RegionFeature("r", pts((0, 0), (1, 1), (2, 2)))
+
+    def test_orientation_normalised_to_ccw(self):
+        cw = RegionFeature("r", pts((0, 0), (0, 4), (4, 4), (4, 0)))
+        assert cw.area() > 0
+
+    def test_convex_region_single_part(self):
+        r = RegionFeature("r", pts((0, 0), (4, 0), (4, 4), (0, 4)))
+        assert r.is_convex
+        assert len(r.triangulate()) == 1
+
+    def test_concave_region_triangulated(self):
+        r = RegionFeature("r", pts((0, 0), (4, 0), (4, 4), (2, 1), (0, 4)))
+        assert not r.is_convex
+        parts = r.triangulate()
+        assert len(parts) >= 2
+        assert sum((p.area() for p in parts), Fraction(0)) == r.area()
+
+    def test_collinear_outline_vertex_handled(self):
+        r = RegionFeature("r", pts((0, 0), (2, 0), (4, 0), (4, 4), (2, 1), (0, 4)))
+        parts = r.triangulate()
+        assert sum((p.area() for p in parts), Fraction(0)) == r.area()
+
+    def test_spiky_star_triangulates(self):
+        # An 8-vertex star with four reflex vertices.
+        outline = pts((0, 3), (1, 1), (3, 0), (1, -1), (0, -3), (-1, -1), (-3, 0), (-1, 1))
+        r = RegionFeature("star", outline)
+        parts = r.triangulate()
+        assert sum((p.area() for p in parts), Fraction(0)) == r.area()
+
+    def test_to_feature_covers_region(self):
+        r = RegionFeature("r", pts((0, 0), (4, 0), (4, 4), (2, 1), (0, 4)))
+        feature = r.to_feature()
+        assert feature.contains_point(Point(1, "0.5"))
+        assert feature.contains_point(Point("3.5", 3))
+        assert not feature.contains_point(Point(2, 3))  # inside the notch
+
+    def test_project(self):
+        r = RegionFeature("r", pts((0, 0), (4, 0), (4, 4), (2, 1), (0, 4)))
+        assert r.project("x") == (0, 4)
+        assert r.project("y") == (0, 4)
+
+    def test_constraint_cost_counts_shared_edges(self):
+        r = RegionFeature("r", pts((0, 0), (4, 0), (4, 4), (2, 1), (0, 4)))
+        cost = r.constraint_cost(extra_attributes=1)
+        assert cost.tuples == len(r.triangulate())
+        assert cost.shared_boundary_constraints > 0
+        assert cost.duplicated_attributes == cost.tuples - 1
+
+    def test_vector_vs_constraint_cost_gap_grows(self):
+        small = RegionFeature("s", pts((0, 0), (4, 0), (4, 4), (2, 1), (0, 4)))
+        assert small.constraint_cost().coordinates > small.vector_cost().coordinates
+
+
+class TestDigitize:
+    def test_polyline(self):
+        f = digitize([(0, 0), (1, 1)], "road", "polyline")
+        assert isinstance(f, PolylineFeature)
+
+    def test_region(self):
+        f = digitize([(0, 0), (4, 0), (2, 3)], "lake", "region")
+        assert isinstance(f, RegionFeature)
+
+    def test_unknown_kind(self):
+        with pytest.raises(GeometryError):
+            digitize([(0, 0), (1, 1)], "x", "raster")

@@ -1,0 +1,162 @@
+"""Unit tests for Buffer-Join and k-Nearest (section 4)."""
+
+import random
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.model import DataType
+from repro.spatial import (
+    BufferJoinStatistics,
+    ConvexPolygon,
+    Feature,
+    FeatureSet,
+    KNearestStatistics,
+    Point,
+    buffer_join,
+    buffer_join_bruteforce,
+    k_nearest,
+    k_nearest_bruteforce,
+    k_nearest_features,
+)
+
+
+def box(x0, y0, x1, y1):
+    return ConvexPolygon.box(x0, y0, x1, y1)
+
+
+def row_of_features(count: int, gap: float = 3.0) -> FeatureSet:
+    """Unit squares spaced ``gap`` apart along the x axis."""
+    return FeatureSet(
+        [Feature(f"f{i}", [box(i * (1 + gap), 0, i * (1 + gap) + 1, 1)]) for i in range(count)]
+    )
+
+
+@pytest.fixture(scope="module")
+def random_features():
+    rng = random.Random(31)
+    features = []
+    for i in range(50):
+        x0, y0 = rng.uniform(0, 80), rng.uniform(0, 80)
+        features.append(Feature(f"f{i}", [box(x0, y0, x0 + rng.uniform(1, 6), y0 + rng.uniform(1, 6))]))
+    return FeatureSet(features)
+
+
+class TestBufferJoin:
+    def test_adjacent_within_distance(self):
+        fs = row_of_features(4, gap=3.0)
+        result = buffer_join(fs, fs, 3)
+        pairs = {(t.value("fid1"), t.value("fid2")) for t in result}
+        assert ("f0", "f1") in pairs and ("f1", "f0") in pairs
+        assert ("f0", "f2") not in pairs
+
+    def test_distance_zero_pairs_only_touching(self):
+        fs = FeatureSet([Feature("a", [box(0, 0, 1, 1)]), Feature("b", [box(1, 0, 2, 1)]),
+                         Feature("c", [box(5, 5, 6, 6)])])
+        result = buffer_join(fs, fs, 0)
+        pairs = {(t.value("fid1"), t.value("fid2")) for t in result}
+        assert pairs == {("a", "b"), ("b", "a")}
+
+    def test_self_pairs_excluded_on_self_join(self):
+        fs = row_of_features(3)
+        result = buffer_join(fs, fs, 100)
+        assert all(t.value("fid1") != t.value("fid2") for t in result)
+
+    def test_two_distinct_sets_keep_self_named_pairs(self):
+        a = FeatureSet([Feature("same", [box(0, 0, 1, 1)])])
+        b = FeatureSet([Feature("same", [box(0, 0, 1, 1)])])
+        result = buffer_join(a, b, 1)
+        assert len(result) == 1  # not a self-join: identity is by set, not fid
+
+    def test_output_schema_is_relational(self):
+        fs = row_of_features(2)
+        result = buffer_join(fs, fs, 100, left_attr="a", right_attr="b")
+        assert result.schema.names == ("a", "b")
+        assert all(attr.is_relational for attr in result.schema)
+
+    def test_negative_distance_rejected(self):
+        fs = row_of_features(2)
+        with pytest.raises(GeometryError):
+            buffer_join(fs, fs, -1)
+
+    def test_same_output_names_rejected(self):
+        fs = row_of_features(2)
+        with pytest.raises(GeometryError):
+            buffer_join(fs, fs, 1, left_attr="f", right_attr="f")
+
+    def test_matches_bruteforce(self, random_features):
+        for d in (0, 2, 5, 20):
+            indexed = buffer_join(random_features, random_features, d)
+            brute = buffer_join_bruteforce(random_features, random_features, d)
+            assert set(indexed.tuples) == set(brute.tuples), d
+
+    def test_statistics_filter_refine(self, random_features):
+        stats = BufferJoinStatistics()
+        buffer_join(random_features, random_features, 2, statistics=stats)
+        assert stats.candidate_pairs >= stats.result_pairs
+        assert stats.index_accesses > 0
+        assert 0 <= stats.refinement_rate <= 1
+
+
+class TestKNearest:
+    def test_nearest_ordering(self):
+        fs = row_of_features(5, gap=3.0)
+        results = k_nearest_features(fs, fs["f0"], 3)
+        assert [f.fid for f, _ in results] == ["f1", "f2", "f3"]
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+
+    def test_query_feature_excluded(self):
+        fs = row_of_features(3)
+        results = k_nearest_features(fs, fs["f1"], 3)
+        assert all(f.fid != "f1" for f, _ in results)
+        assert len(results) == 2  # only two others exist
+
+    def test_k_larger_than_set(self):
+        fs = row_of_features(3)
+        assert len(k_nearest_features(fs, fs["f0"], 99)) == 2
+
+    def test_external_query_feature(self):
+        fs = row_of_features(3)
+        probe = Feature("probe", [box(100, 0, 101, 1)])
+        results = k_nearest_features(fs, probe, 1)
+        assert results[0][0].fid == "f2"
+
+    def test_matches_bruteforce(self, random_features):
+        for fid in ("f0", "f7", "f23"):
+            query = random_features[fid]
+            fast = k_nearest_features(random_features, query, 5)
+            brute = k_nearest_bruteforce(random_features, query, 5)
+            assert [round(d, 9) for _, d in fast] == [round(d, 9) for _, d in brute]
+
+    def test_relation_output_safe_schema(self):
+        fs = row_of_features(4)
+        result = k_nearest(fs, fs["f0"], 2)
+        assert result.schema.names == ("fid", "rank")
+        assert result.schema["rank"].data_type is DataType.RATIONAL
+        ranked = sorted((t.value("rank"), t.value("fid")) for t in result)
+        assert ranked == [(1, "f1"), (2, "f2")]
+
+    def test_invalid_k(self):
+        fs = row_of_features(2)
+        with pytest.raises(GeometryError):
+            k_nearest_features(fs, fs["f0"], 0)
+
+    def test_statistics(self, random_features):
+        stats = KNearestStatistics()
+        k_nearest_features(random_features, random_features["f0"], 3, statistics=stats)
+        assert stats.candidates_refined >= 3
+        assert stats.index_accesses > 0
+
+    def test_refinement_does_not_stop_early_on_mbr_order(self):
+        # A feature whose MBR is close but whose exact shape is far: a thin
+        # diagonal sliver vs a small box.  MBR mindist says the sliver is
+        # nearer; exact distance says otherwise.
+        # Diagonal segment from (2,2) to (10,10): its MBR covers [2,10]^2
+        # but the geometry stays on the diagonal.
+        sliver = Feature("sliver", [ConvexPolygon([Point(2, 2), Point(10, 10)])])
+        corner_box = Feature("corner", [box(9, 0, 10, 1)])
+        probe = Feature("probe", [box(9.4, 0.2, 9.6, 0.4)])
+        fs = FeatureSet([sliver, corner_box])
+        results = k_nearest_features(fs, probe, 1)
+        assert results[0][0].fid == "corner"

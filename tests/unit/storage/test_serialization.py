@@ -1,0 +1,134 @@
+"""Unit tests for the .cdb text serialization format."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints import parse_constraints
+from repro.errors import StorageError
+from repro.model import (
+    NULL,
+    ConstraintRelation,
+    Database,
+    DataType,
+    HTuple,
+    Schema,
+    constraint,
+    relational,
+)
+from repro.storage import dumps, load_database, loads, save_database, serialize_tuple
+
+
+def sample_database() -> Database:
+    schema = Schema(
+        [relational("name"), relational("age", DataType.RATIONAL), constraint("t")]
+    )
+    relation = ConstraintRelation(
+        schema,
+        [
+            HTuple(schema, {"name": "ann", "age": "2.5"}, parse_constraints("0 <= t, t <= 10")),
+            HTuple(schema, {"name": 'quo"te\\y', "age": NULL}),
+            HTuple(schema, {}, parse_constraints("t = 1/3")),
+        ],
+        "People",
+    )
+    return Database({"People": relation})
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self):
+        db = sample_database()
+        restored = loads(dumps(db))
+        assert restored.names() == ("People",)
+        original = db["People"]
+        loaded = restored["People"]
+        assert loaded.schema == original.schema
+        assert set(loaded.tuples) == set(original.tuples)
+
+    def test_file_roundtrip(self, tmp_path):
+        db = sample_database()
+        path = tmp_path / "people.cdb"
+        save_database(db, path)
+        restored = load_database(path)
+        assert set(restored["People"].tuples) == set(db["People"].tuples)
+
+    def test_hurricane_roundtrip(self, hurricane_db):
+        restored = loads(dumps(hurricane_db))
+        assert set(restored.names()) == {"Hurricane", "Land", "Landownership"}
+        for name in restored.names():
+            assert set(restored[name].tuples) == set(hurricane_db[name].tuples)
+
+    def test_multiple_relations(self):
+        schema = Schema([constraint("x")])
+        db = Database(
+            {
+                "A": ConstraintRelation(schema, [HTuple(schema, {}, parse_constraints("x = 1"))]),
+                "B": ConstraintRelation(schema, [HTuple(schema, {}, parse_constraints("x = 2"))]),
+            }
+        )
+        restored = loads(dumps(db))
+        assert restored.names() == ("A", "B")
+
+
+class TestSerializeTuple:
+    def test_values_and_formula(self):
+        schema = Schema([relational("id"), constraint("t")])
+        line = serialize_tuple(HTuple(schema, {"id": "a"}, parse_constraints("t <= 1")))
+        assert line.startswith("tuple ")
+        assert 'id="a"' in line and "|" in line
+
+    def test_null_rendering(self):
+        schema = Schema([relational("id")])
+        assert "id=NULL" in serialize_tuple(HTuple(schema, {}))
+
+    def test_rational_rendering(self):
+        schema = Schema([relational("v", DataType.RATIONAL)])
+        assert "v=1/3" in serialize_tuple(HTuple(schema, {"v": "1/3"}))
+
+
+class TestFormatErrors:
+    def test_unknown_directive(self):
+        with pytest.raises(StorageError, match="unknown directive"):
+            loads("relation R\nbogus line here\nend\n")
+
+    def test_attribute_outside_relation(self):
+        with pytest.raises(StorageError):
+            loads("attribute x rational constraint\n")
+
+    def test_tuple_outside_relation(self):
+        with pytest.raises(StorageError):
+            loads("tuple x=1\n")
+
+    def test_unterminated_relation(self):
+        with pytest.raises(StorageError, match="unterminated"):
+            loads("relation R\nattribute x rational constraint\n")
+
+    def test_nested_relation(self):
+        with pytest.raises(StorageError, match="nested"):
+            loads("relation R\nrelation S\nend\n")
+
+    def test_bad_attribute_line(self):
+        with pytest.raises(StorageError):
+            loads("relation R\nattribute x rational\nend\n")
+
+    def test_bad_kind(self):
+        with pytest.raises(StorageError):
+            loads("relation R\nattribute x rational wibble\nend\n")
+
+    def test_unterminated_string(self):
+        with pytest.raises(StorageError, match="unterminated"):
+            loads('relation R\nattribute a string relational\ntuple a="oops\nend\n')
+
+    def test_bad_value(self):
+        with pytest.raises(StorageError):
+            loads(
+                "relation R\nattribute v rational relational\ntuple v=notanumber\nend\n"
+            )
+
+    def test_invalid_relation_name(self):
+        with pytest.raises(StorageError):
+            loads("relation 9bad\nend\n")
+
+    def test_comments_and_blanks_ignored(self):
+        db = loads("# header\n\nrelation R\nattribute x rational constraint\n\nend\n")
+        assert "R" in db

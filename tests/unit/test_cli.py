@@ -1,0 +1,138 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.model import Database
+from repro.storage import load_database, save_database
+from repro.workloads import figure2_database
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "hurricane.cdb"
+    save_database(figure2_database(), path)
+    return path
+
+
+class TestQueryCommand:
+    def test_inline_expression(self, db_file, capsys):
+        code = main(
+            ["query", str(db_file), "-e", "R0 = select landId=A from Landownership"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Smith" in out and "Jones" in out
+
+    def test_multiple_inline_statements(self, db_file, capsys):
+        code = main(
+            [
+                "query",
+                str(db_file),
+                "-e",
+                "R0 = join Hurricane and Land",
+                "-e",
+                "R1 = project R0 on landId",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "landId=B" in out and "landId=C" in out
+
+    def test_script_file(self, db_file, tmp_path, capsys):
+        script = tmp_path / "query.cqa"
+        script.write_text(
+            "R0 = join Hurricane and Land\nR1 = project R0 on landId\n",
+            encoding="utf-8",
+        )
+        assert main(["query", str(db_file), str(script)]) == 0
+        assert "landId=C" in capsys.readouterr().out
+
+    def test_save_results(self, db_file, tmp_path, capsys):
+        out_path = tmp_path / "out.cdb"
+        code = main(
+            [
+                "query",
+                str(db_file),
+                "-e",
+                "R0 = project Land on landId",
+                "--save",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        saved = load_database(out_path)
+        assert "R0" in saved
+        assert len(saved["R0"]) == 4
+
+    def test_simplify_and_limit_flags(self, db_file, capsys):
+        code = main(
+            ["query", str(db_file), "--simplify", "--limit", "2",
+             "-e", "R0 = select t >= 0 from Landownership"]
+        )
+        assert code == 0
+        assert "more)" in capsys.readouterr().out  # limit reached
+
+    def test_missing_script_and_expression(self, db_file, capsys):
+        assert main(["query", str(db_file)]) == 2
+        assert "script" in capsys.readouterr().err
+
+    def test_explain_prints_plans_without_results(self, db_file, capsys):
+        code = main(
+            [
+                "query",
+                str(db_file),
+                "--explain",
+                "-e",
+                "R0 = join Hurricane and Land",
+                "-e",
+                "R1 = project R0 on landId",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scan(Hurricane)" in out and "Project(landId)" in out
+        assert "landId=C" not in out  # plans only, no result tuples
+
+    def test_shipped_sample_database(self, capsys):
+        from pathlib import Path
+
+        sample = Path(__file__).resolve().parents[2] / "examples" / "data"
+        code = main(
+            ["query", str(sample / "hurricane.cdb"), str(sample / "owners_hit.cqa")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Lee" in out and "Garcia" in out
+
+    def test_query_error_reported(self, db_file, capsys):
+        code = main(["query", str(db_file), "-e", "R0 = project Nope on x"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_database_file(self, tmp_path, capsys):
+        code = main(["query", str(tmp_path / "none.cdb"), "-e", "R0 = project X on y"])
+        assert code == 1
+
+
+class TestShowCommand:
+    def test_show_all(self, db_file, capsys):
+        assert main(["show", str(db_file)]) == 0
+        out = capsys.readouterr().out
+        for name in ("Hurricane", "Land", "Landownership"):
+            assert name in out
+
+    def test_show_one(self, db_file, capsys):
+        assert main(["show", str(db_file), "Land"]) == 0
+        out = capsys.readouterr().out
+        assert "Land" in out and "Hurricane" not in out
+
+    def test_show_unknown_relation(self, db_file, capsys):
+        assert main(["show", str(db_file), "Nope"]) == 1
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "q1_owners_of_A" in out

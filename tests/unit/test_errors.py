@@ -1,0 +1,67 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AlgebraError,
+    ConstraintError,
+    GeometryError,
+    IndexError_,
+    NonLinearError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SafetyError,
+    SchemaError,
+    StorageError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            AlgebraError,
+            ConstraintError,
+            GeometryError,
+            IndexError_,
+            NonLinearError,
+            ParseError,
+            QueryError,
+            SafetyError,
+            SchemaError,
+            StorageError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_safety_is_algebra_error(self):
+        assert issubclass(SafetyError, AlgebraError)
+
+    def test_parse_is_query_error(self):
+        assert issubclass(ParseError, QueryError)
+
+    def test_nonlinear_is_constraint_error(self):
+        assert issubclass(NonLinearError, ConstraintError)
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert not issubclass(IndexError_, IndexError)
+
+
+class TestParseErrorLocation:
+    def test_message_only(self):
+        assert str(ParseError("bad token")) == "bad token"
+
+    def test_line(self):
+        err = ParseError("bad token", line=3)
+        assert "line 3" in str(err)
+        assert err.line == 3 and err.column is None
+
+    def test_line_and_column(self):
+        err = ParseError("bad token", line=3, column=7)
+        assert "line 3, column 7" in str(err)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ParseError("x", 1, 2)

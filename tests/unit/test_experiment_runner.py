@@ -1,0 +1,78 @@
+"""Unit tests for the experiment plumbing (series, binning, tables)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentSeries,
+    QueryMeasurement,
+    check_consistency,
+)
+
+
+def series_with(xs_and_accesses):
+    s = ExperimentSeries("test", x_label="x")
+    for x, joint, separate in xs_and_accesses:
+        s.measurements.append(QueryMeasurement(x, joint, separate, result_count=0))
+    return s
+
+
+class TestSeries:
+    def test_means(self):
+        s = series_with([(1, 2, 4), (2, 4, 8)])
+        assert s.mean_joint == 3
+        assert s.mean_separate == 6
+        assert s.joint_advantage == 2.0
+
+    def test_advantage_with_zero_joint(self):
+        s = series_with([(1, 0, 4)])
+        assert s.joint_advantage == float("inf")
+
+    def test_binned_groups_by_x(self):
+        s = series_with([(0, 1, 1), (1, 3, 3), (10, 5, 5)])
+        rows = s.binned(bins=2)
+        assert len(rows) == 2
+        # first bin holds x=0 and x=1, second holds x=10
+        assert rows[0][3] == 2 and rows[1][3] == 1
+
+    def test_binned_single_x(self):
+        s = series_with([(5, 1, 2), (5, 3, 4)])
+        rows = s.binned()
+        assert rows == [(5, 2.0, 3.0, 2)]
+
+    def test_binned_empty(self):
+        assert ExperimentSeries("e", "x").binned() == []
+
+    def test_singleton_bin_reports_exact_x(self):
+        s = series_with([(500, 1, 10), (4000, 1, 51)])
+        rows = s.binned(bins=2)
+        assert rows[0][0] == 500
+        assert rows[1][0] == 4000
+
+    def test_every_measurement_lands_in_exactly_one_bin(self):
+        s = series_with([(float(i), i, i) for i in range(17)])
+        rows = s.binned(bins=5)
+        assert sum(r[3] for r in rows) == 17
+
+
+class TestResultTable:
+    def test_format_contains_all_sections(self):
+        result = ExperimentResult(
+            "fig-x",
+            "a title",
+            [series_with([(1, 2, 3), (2, 2, 3)])],
+            notes="some notes",
+        )
+        text = result.format_table()
+        assert "fig-x" in text and "a title" in text and "some notes" in text
+        assert "joint" in text and "separate" in text
+        assert "advantage" in text
+
+
+class TestConsistency:
+    def test_matching_sets_pass(self):
+        check_consistency({1, 2}, [2, 1])
+
+    def test_mismatch_raises(self):
+        with pytest.raises(AssertionError, match="disagreement"):
+            check_consistency({1}, {1, 2})

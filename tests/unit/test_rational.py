@@ -1,0 +1,70 @@
+"""Unit tests for exact rational conversion and formatting."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.rational import format_rational, to_rational
+
+
+class TestToRational:
+    def test_int(self):
+        assert to_rational(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(5, 7)
+        assert to_rational(f) is f
+
+    def test_decimal_string(self):
+        assert to_rational("2.5") == Fraction(5, 2)
+        assert to_rational(" -0.125 ") == Fraction(-1, 8)
+
+    def test_ratio_string(self):
+        assert to_rational("22/7") == Fraction(22, 7)
+
+    def test_float_uses_decimal_repr(self):
+        # 0.1 is not exactly representable in binary; users mean 1/10.
+        assert to_rational(0.1) == Fraction(1, 10)
+        assert to_rational(2.5) == Fraction(5, 2)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConstraintError):
+            to_rational(True)
+
+    def test_non_finite_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConstraintError):
+                to_rational(bad)
+
+    def test_garbage_string(self):
+        with pytest.raises(ConstraintError):
+            to_rational("not-a-number")
+
+    def test_zero_denominator_string(self):
+        with pytest.raises(ConstraintError):
+            to_rational("1/0")
+
+    def test_unsupported_type(self):
+        with pytest.raises(ConstraintError):
+            to_rational([1])  # type: ignore[arg-type]
+
+
+class TestFormatRational:
+    def test_integers_bare(self):
+        assert format_rational(Fraction(42)) == "42"
+        assert format_rational(Fraction(-3)) == "-3"
+
+    def test_decimal_denominators(self):
+        assert format_rational(Fraction(5, 2)) == "2.5"
+        assert format_rational(Fraction(1, 8)) == "0.125"
+        assert format_rational(Fraction(-1, 10)) == "-0.1"
+        assert format_rational(Fraction(3, 20)) == "0.15"
+
+    def test_non_decimal_denominators_as_ratio(self):
+        assert format_rational(Fraction(1, 3)) == "1/3"
+        assert format_rational(Fraction(-22, 7)) == "-22/7"
+
+    def test_roundtrip(self):
+        for f in (Fraction(5, 2), Fraction(1, 3), Fraction(-7, 40), Fraction(0), Fraction(123, 1)):
+            assert to_rational(format_rational(f)) == f

@@ -1,0 +1,173 @@
+"""Unit tests for the workload generators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.workloads import (
+    Rect,
+    brute_force_matches,
+    build_constraint_relation,
+    build_relational_relation,
+    figure2_database,
+    generate_data,
+    generate_gis_scenario,
+    generate_hurricane_database,
+    generate_queries,
+    halfopen_queries,
+    paper_queries,
+)
+
+
+class TestRect:
+    def test_intervals(self):
+        r = Rect(x=10, y=20, width=5, height=3)
+        assert r.x_interval == (10, 15)
+        assert r.y_interval == (17, 20)  # extends downward from upper-left
+        assert r.area == 15
+
+    def test_intersections(self):
+        a = Rect(0, 10, 10, 10)
+        b = Rect(5, 10, 10, 10)
+        c = Rect(100, 10, 1, 1)
+        assert a.intersects(b) and not a.intersects(c)
+        assert a.intersects_x(b) and not a.intersects_x(c)
+
+    def test_contains_point(self):
+        r = Rect(0, 10, 10, 10)
+        assert r.contains_point(5, 5)
+        assert not r.contains_point(5, 11)
+        assert r.contains_point_x(5) and not r.contains_point_x(11)
+
+
+class TestGenerators:
+    def test_paper_parameters(self):
+        data = generate_data(100, seed=1)
+        assert len(data) == 100
+        for rect in data:
+            assert 0 <= rect.x <= 3000 and 0 <= rect.y <= 3000
+            assert 1 <= rect.width <= 100 and 1 <= rect.height <= 100
+
+    def test_seeded_reproducibility(self):
+        assert generate_data(50, seed=9) == generate_data(50, seed=9)
+        assert generate_data(50, seed=9) != generate_data(50, seed=10)
+
+    def test_query_generator(self):
+        queries = generate_queries(20, seed=2)
+        assert len(queries) == 20
+
+    def test_halfopen_queries_shape(self):
+        queries = halfopen_queries(50, seed=3)
+        assert len(queries) == 50
+        for box in queries:
+            assert box["x"][0] < 0  # half-open on the left
+            assert box["y"][1] > 3000  # half-open on the right
+
+    def test_halfopen_selectivity_profile_uniform(self):
+        """Per-attribute selectivity ~35-55% over uniform data."""
+        data = generate_data(2000, seed=4)
+        x_rates, y_rates = [], []
+        for box in halfopen_queries(30, seed=5):
+            x_rates.append(len(brute_force_matches(data, {"x": box["x"]})) / len(data))
+            y_rates.append(len(brute_force_matches(data, {"y": box["y"]})) / len(data))
+        avg = lambda xs: sum(xs) / len(xs)
+        assert 0.35 <= avg(x_rates) <= 0.6
+        assert 0.3 <= avg(y_rates) <= 0.55
+
+    def test_halfopen_over_correlated_data_joint_selectivity_tiny(self):
+        """The §5.3 scenario: each conjunct keeps ~half of the diagonal
+        data, but 'very few tuples satisfy both'."""
+        from repro.workloads import generate_correlated_data
+
+        data = generate_correlated_data(2000, seed=4)
+        x_rates, joint_rates = [], []
+        for box in halfopen_queries(30, seed=5):
+            x_rates.append(len(brute_force_matches(data, {"x": box["x"]})) / len(data))
+            joint_rates.append(len(brute_force_matches(data, box)) / len(data))
+        avg = lambda xs: sum(xs) / len(xs)
+        assert 0.35 <= avg(x_rates) <= 0.6
+        assert avg(joint_rates) < 0.01
+
+    def test_correlated_data_on_diagonal(self):
+        from repro.workloads import generate_correlated_data
+
+        for rect in generate_correlated_data(200, seed=6, spread=50.0):
+            assert abs(rect.y - rect.x) <= 50.0 or rect.y in (0.0, 3000.0)
+
+
+class TestRelationBuilders:
+    def test_constraint_relation_semantics(self):
+        data = [Rect(0, 10, 10, 10)]
+        relation = build_constraint_relation(data)
+        assert relation.contains_point({"x": 5, "y": 5})
+        assert not relation.contains_point({"x": 11, "y": 5})
+
+    def test_relational_relation_is_points(self):
+        data = [Rect(0, 10, 10, 10)]
+        relation = build_relational_relation(data)
+        (t,) = relation.tuples
+        assert t.value("x") == 0 and t.value("y") == 10
+
+    def test_brute_force_matches_modes(self):
+        data = [Rect(0, 10, 10, 10), Rect(100, 10, 10, 10)]
+        box = {"x": (5.0, 20.0)}
+        assert brute_force_matches(data, box) == {0}
+        assert brute_force_matches(data, {"x": (0.0, 0.0)}, as_points=True) == {0}
+
+
+class TestHurricaneWorkload:
+    def test_figure2_shape(self, hurricane_db):
+        assert set(hurricane_db.names()) == {"Hurricane", "Land", "Landownership"}
+        assert len(hurricane_db["Land"]) == 4
+        assert len(hurricane_db["Hurricane"]) == 3
+
+    def test_hurricane_path_is_functional_in_t(self, hurricane_db):
+        # At t=2 the hurricane is midway through segment 1: (1.5, 2.5).
+        assert hurricane_db["Hurricane"].contains_point({"t": 2, "x": 1.5, "y": 2.5})
+        assert not hurricane_db["Hurricane"].contains_point({"t": 2, "x": 2, "y": 2.5})
+
+    def test_paper_queries_parse(self, hurricane_db):
+        from repro.query import parse_script
+
+        for name, script in paper_queries().items():
+            assert parse_script(script), name
+
+    def test_generated_database_scales(self):
+        db = generate_hurricane_database(parcels_per_side=3, owners_per_parcel=2, path_segments=5)
+        assert len(db["Land"]) == 9
+        assert len(db["Landownership"]) == 18
+        assert len(db["Hurricane"]) == 5
+
+    def test_generated_reproducible(self):
+        a = generate_hurricane_database(parcels_per_side=2, seed=5)
+        b = generate_hurricane_database(parcels_per_side=2, seed=5)
+        assert set(a["Hurricane"].tuples) == set(b["Hurricane"].tuples)
+
+    def test_segment_validation(self):
+        from repro.workloads import hurricane_schema, path_segment_tuple
+
+        with pytest.raises(ValueError):
+            path_segment_tuple(hurricane_schema(), 5, 5, (0, 0), (1, 1))
+
+
+class TestGisWorkload:
+    def test_layers(self):
+        scenario = generate_gis_scenario(parcels_per_side=3, roads=2, shelters=4, seed=1)
+        assert len(scenario.parcels) == 9
+        assert len(scenario.roads) == 2
+        assert len(scenario.shelters) == 4
+
+    def test_to_database_spatial_relations(self):
+        scenario = generate_gis_scenario(parcels_per_side=2, roads=1, shelters=2, seed=1)
+        db = scenario.to_database()
+        assert set(db.names()) == {"Parcels", "Roads", "Shelters"}
+        parcels = db["Parcels"]
+        assert parcels.schema.names == ("fid", "x", "y")
+
+    def test_roundtrip_through_features(self):
+        from repro.spatial import FeatureSet
+
+        scenario = generate_gis_scenario(parcels_per_side=2, roads=1, shelters=1, seed=2)
+        relation = scenario.parcels.to_relation()
+        back = FeatureSet.from_relation(relation)
+        assert set(back.features) == set(scenario.parcels.features)
