@@ -19,22 +19,34 @@ from typing import Mapping, Sequence
 from ..errors import AlgebraError
 from ..model.database import Database
 from ..model.relation import ConstraintRelation
+from ..obs import LOGICAL_NODE_ACCESSES, TUPLES_PRODUCED, MetricsRegistry
 from . import operators
 from .predicates import Predicate
 
 
 @dataclass
 class Metrics:
-    """Counters accumulated during plan evaluation."""
+    """Counters accumulated during plan evaluation.
+
+    A thin per-context view kept for backwards compatibility; every count
+    is mirrored into the context's :class:`~repro.obs.MetricsRegistry`
+    (``operator.<name>.calls`` / ``operator.<name>.rows``), which is the
+    authoritative store new consumers should read.
+    """
 
     operator_calls: dict[str, int] = field(default_factory=dict)
     tuples_produced: int = 0
     index_node_accesses: int = 0
     index_candidates: int = 0
+    registry: MetricsRegistry | None = None
 
     def count(self, operator: str, produced: int) -> None:
         self.operator_calls[operator] = self.operator_calls.get(operator, 0) + 1
         self.tuples_produced += produced
+        if self.registry is not None:
+            self.registry.add(f"operator.{operator}.calls")
+            self.registry.add(f"operator.{operator}.rows", produced)
+            self.registry.add(TUPLES_PRODUCED, produced)
 
 
 class EvaluationContext:
@@ -42,17 +54,26 @@ class EvaluationContext:
 
     ``indexes`` maps relation name → {frozenset(attribute names) → index
     strategy} (see :mod:`repro.indexing.strategy`); plans produced by the
-    optimizer's index-selection rule consult it.
+    optimizer's index-selection rule consult it.  Every strategy in the
+    catalog is bound to the context's metrics ``registry`` so node
+    accesses are attributable with scoped counters.
     """
 
     def __init__(
         self,
         database: Database,
         indexes: Mapping[str, Mapping[frozenset[str], object]] | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.database = database
         self.indexes = {k: dict(v) for k, v in (indexes or {}).items()}
-        self.metrics = Metrics()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.metrics = Metrics(registry=self.registry)
+        for strategies in self.indexes.values():
+            for strategy in strategies.values():
+                bind = getattr(strategy, "bind_registry", None)
+                if bind is not None:
+                    bind(self.registry)
 
 
 class PlanNode:
@@ -62,6 +83,11 @@ class PlanNode:
     system's constraint class (section 2.4's closed-form requirement); the
     safety checker (:mod:`repro.algebra.safety`) rejects plans containing
     unsafe nodes before evaluation.
+
+    :meth:`evaluate` is a template method: it opens a tracing span on the
+    context's registry (wall-clock via ``perf_counter``, scoped counter
+    capture, output row count) around the operator logic in
+    :meth:`_evaluate`, which is what subclasses implement.
     """
 
     safe: bool = True
@@ -71,6 +97,15 @@ class PlanNode:
         return ()
 
     def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+        """Evaluate under a span named after the operator; the nested span
+        tree of one top-level call is ``registry.last_trace`` afterwards
+        (what ``EXPLAIN ANALYZE`` renders)."""
+        with context.registry.trace(self.describe(), kind=type(self).__name__) as span:
+            result = self._evaluate(context)
+            span.rows = len(result)
+            return result
+
+    def _evaluate(self, context: EvaluationContext) -> ConstraintRelation:
         raise NotImplementedError
 
     def with_children(self, children: Sequence["PlanNode"]) -> "PlanNode":
@@ -96,7 +131,7 @@ class Scan(PlanNode):
     def __init__(self, relation_name: str):
         self.relation_name = relation_name
 
-    def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+    def _evaluate(self, context: EvaluationContext) -> ConstraintRelation:
         relation = context.database.get(self.relation_name)
         context.metrics.count("scan", len(relation))
         return relation
@@ -120,7 +155,7 @@ class Select(PlanNode):
         (child,) = children
         return Select(child, self.predicates)
 
-    def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+    def _evaluate(self, context: EvaluationContext) -> ConstraintRelation:
         result = operators.select(self.child.evaluate(context), self.predicates)
         context.metrics.count("select", len(result))
         return result
@@ -144,7 +179,7 @@ class Project(PlanNode):
         (child,) = children
         return Project(child, self.attributes)
 
-    def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+    def _evaluate(self, context: EvaluationContext) -> ConstraintRelation:
         result = operators.project(self.child.evaluate(context), self.attributes)
         context.metrics.count("project", len(result))
         return result
@@ -168,7 +203,7 @@ class Join(PlanNode):
         left, right = children
         return Join(left, right)
 
-    def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+    def _evaluate(self, context: EvaluationContext) -> ConstraintRelation:
         result = operators.natural_join(
             self.left.evaluate(context), self.right.evaluate(context)
         )
@@ -191,7 +226,7 @@ class Union(PlanNode):
         left, right = children
         return Union(left, right)
 
-    def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+    def _evaluate(self, context: EvaluationContext) -> ConstraintRelation:
         result = operators.union(self.left.evaluate(context), self.right.evaluate(context))
         context.metrics.count("union", len(result))
         return result
@@ -212,7 +247,7 @@ class Difference(PlanNode):
         left, right = children
         return Difference(left, right)
 
-    def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+    def _evaluate(self, context: EvaluationContext) -> ConstraintRelation:
         result = operators.difference(
             self.left.evaluate(context), self.right.evaluate(context)
         )
@@ -236,7 +271,7 @@ class Rename(PlanNode):
         (child,) = children
         return Rename(child, self.old, self.new)
 
-    def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+    def _evaluate(self, context: EvaluationContext) -> ConstraintRelation:
         result = operators.rename(self.child.evaluate(context), self.old, self.new)
         context.metrics.count("rename", len(result))
         return result
@@ -264,7 +299,7 @@ class IndexScan(PlanNode):
         self.predicates = tuple(predicates)
         self.index_attributes = index_attributes
 
-    def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+    def _evaluate(self, context: EvaluationContext) -> ConstraintRelation:
         from ..indexing.strategy import query_box_for_predicates
 
         strategies = context.indexes.get(self.relation_name, {})
@@ -276,9 +311,15 @@ class IndexScan(PlanNode):
             )
         relation = context.database.get(self.relation_name)
         box = query_box_for_predicates(self.predicates, self.index_attributes)
-        before = strategy.accesses
-        candidate_ids = strategy.query(box)
-        context.metrics.index_node_accesses += strategy.accesses - before
+        # Scoped attribution: capture only the node accesses this query
+        # makes, even when other operators in the plan share the index (a
+        # delta-read of ``strategy.accesses`` cannot tell them apart).
+        bind = getattr(strategy, "bind_registry", None)
+        if bind is not None:
+            bind(context.registry)
+        with context.registry.scope("index_scan") as scoped:
+            candidate_ids = strategy.query(box)
+        context.metrics.index_node_accesses += scoped.get(LOGICAL_NODE_ACCESSES, 0)
         context.metrics.index_candidates += len(candidate_ids)
         candidates = ConstraintRelation(
             relation.schema, (relation.tuples[i] for i in sorted(candidate_ids))

@@ -45,7 +45,7 @@ class UnsafeDistance(PlanNode):
         left, right = children
         return UnsafeDistance(left, right, self.output_attribute)
 
-    def evaluate(self, context: EvaluationContext):
+    def _evaluate(self, context: EvaluationContext):
         raise SafetyError(
             f"operator {self.describe()} is unsafe: Euclidean distance is not "
             "representable with rational linear constraints (section 4); use "

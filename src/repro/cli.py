@@ -41,7 +41,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(session.explain(statement))
             session.execute(statement)  # later steps need earlier bindings
         return 0
-    result = session.run_script(script)
+    if args.profile:
+        result = None
+        for _, statement in _statement_lines(script):
+            report = session.explain_analyze(statement)
+            result = report.result
+            print(report, file=sys.stderr)
+            print(file=sys.stderr)
+        if result is None:
+            print("error: empty script", file=sys.stderr)
+            return 2
+        print("-- session metrics --", file=sys.stderr)
+        print(session.registry.report(), file=sys.stderr)
+    else:
+        result = session.run_script(script)
     shown = result.simplify() if args.simplify else result
     print(shown.pretty(limit=args.limit))
     if args.save:
@@ -92,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-optimizer", action="store_true", help="evaluate plans as written")
     query.add_argument(
         "--explain", action="store_true", help="print each statement's optimized plan"
+    )
+    query.add_argument(
+        "--profile",
+        action="store_true",
+        help="EXPLAIN ANALYZE each statement: per-operator rows/accesses/timings "
+        "on stderr, plus a session metrics report",
     )
     query.set_defaults(handler=_cmd_query)
 

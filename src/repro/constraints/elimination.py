@@ -17,6 +17,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+from ..obs import ELIMINATE_CALLS, FOURIER_MOTZKIN_STEPS, SATISFIABILITY_CHECKS, record
 from .atoms import Comparator, LinearConstraint, le, lt
 from .terms import LinearExpression
 
@@ -58,6 +59,7 @@ def fourier_motzkin_step(atoms: Sequence[LinearConstraint], variable: str) -> li
     The returned system may contain ground atoms — callers should
     :func:`_clean` it.
     """
+    record(FOURIER_MOTZKIN_STEPS)
     lowers: list[tuple[LinearExpression, bool]] = []  # (bound, strict): variable >(=) bound
     uppers: list[tuple[LinearExpression, bool]] = []  # (bound, strict): variable <(=) bound
     others: list[LinearConstraint] = []
@@ -95,6 +97,7 @@ def eliminate(
     not mention any eliminated variable.  An unsatisfiable input yields the
     single ground-false atom ``[0 < 0]``.
     """
+    record(ELIMINATE_CALLS)
     current = _clean(atoms)
     if current is None:
         return [_FALSE]
@@ -133,6 +136,7 @@ def eliminate(
 
 def is_satisfiable(atoms: Iterable[LinearConstraint]) -> bool:
     """Whether the conjunction of ``atoms`` has a rational solution."""
+    record(SATISFIABILITY_CHECKS)
     atoms = list(atoms)
     variables: set[str] = set()
     for atom in atoms:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Mapping, Sequence
 
+from ..obs import SIMPLEX_CALLS, record
 from .atoms import Comparator, LinearConstraint
 
 _ZERO = Fraction(0)
@@ -144,6 +145,7 @@ def find_rational_solution(atoms: Iterable[LinearConstraint]) -> FeasibilityResu
     Ground atoms are decided directly; an unsatisfiable ground atom makes
     the whole system infeasible regardless of the rest.
     """
+    record(SIMPLEX_CALLS)
     materialised: list[LinearConstraint] = []
     for atom in atoms:
         if atom.is_trivial:

@@ -22,9 +22,16 @@ from __future__ import annotations
 from statistics import mean
 
 from ..indexing.strategy import JointIndex, SeparateIndexes
+from ..obs import MetricsRegistry
 from ..storage.pages import PageConfig
 from ..workloads import rectangles
-from .runner import ExperimentResult, ExperimentSeries, QueryMeasurement, check_consistency
+from .runner import (
+    ExperimentResult,
+    ExperimentSeries,
+    QueryMeasurement,
+    check_consistency,
+    measured_query,
+)
 
 
 def run(
@@ -38,6 +45,7 @@ def run(
     """Sweep data sizes; x-axis is the data size, y the mean accesses over
     the 500 half-open queries."""
     config = config or PageConfig()
+    registry = MetricsRegistry()
     fanout = config.index_fanout(2) if equal_fanout else None
     queries = rectangles.halfopen_queries(query_count, query_seed)
     series = ExperimentSeries("expt 3 (x < a and y > b)", x_label="data size")
@@ -48,17 +56,21 @@ def run(
         relation = rectangles.build_constraint_relation(data)
         joint = JointIndex(relation, ["x", "y"], config=config, max_entries=fanout)
         separate = SeparateIndexes(relation, ["x", "y"], config=config, max_entries=fanout)
+        joint.bind_registry(registry)
+        separate.bind_registry(registry)
         joint_counts = []
         separate_counts = []
         result_counts = []
         for box in queries:
             joint.reset_counters()
             separate.reset_counters()
-            joint_hits = joint.query(box)
-            separate_hits = separate.query(box)
+            joint_hits, joint_accesses = measured_query(registry, "joint", joint, box)
+            separate_hits, separate_accesses = measured_query(
+                registry, "separate", separate, box
+            )
             check_consistency(joint_hits, separate_hits)
-            joint_counts.append(joint.accesses)
-            separate_counts.append(separate.accesses)
+            joint_counts.append(joint_accesses)
+            separate_counts.append(separate_accesses)
             result_counts.append(len(joint_hits))
         series.measurements.append(
             QueryMeasurement(
@@ -87,6 +99,7 @@ def run(
             f"selectivity {mean(selectivities):.3%} of tuples vs per-attribute "
             f"selectivity {mean(per_attribute):.1%}"
         ),
+        metrics=registry.snapshot(),
     )
 
 

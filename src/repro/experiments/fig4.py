@@ -15,9 +15,16 @@ from __future__ import annotations
 
 from ..indexing.strategy import JointIndex, SeparateIndexes
 from ..model.relation import ConstraintRelation
+from ..obs import MetricsRegistry
 from ..storage.pages import PageConfig
 from ..workloads import rectangles
-from .runner import ExperimentResult, ExperimentSeries, QueryMeasurement, check_consistency
+from .runner import (
+    ExperimentResult,
+    ExperimentSeries,
+    QueryMeasurement,
+    check_consistency,
+    measured_query,
+)
 
 
 def _measure_variant(
@@ -26,6 +33,7 @@ def _measure_variant(
     queries: list[rectangles.Rect],
     config: PageConfig,
     equal_fanout: bool,
+    registry: MetricsRegistry,
 ) -> ExperimentSeries:
     # The paper's trees share one branching factor; byte-packed pages would
     # give the 1-D trees ~70% more fanout, overstating the separate
@@ -33,22 +41,30 @@ def _measure_variant(
     fanout = config.index_fanout(2) if equal_fanout else None
     joint = JointIndex(relation, ["x", "y"], config=config, max_entries=fanout)
     separate = SeparateIndexes(relation, ["x", "y"], config=config, max_entries=fanout)
+    # Per-query accesses come from the registry's scoped counters — the
+    # observability layer the paper's figures now read — with the trees'
+    # own counters reset per query under the cascading reset contract.
+    joint.bind_registry(registry)
+    separate.bind_registry(registry)
     series = ExperimentSeries(label, x_label="query area")
-    for query in queries:
-        box = rectangles.query_box_two_attributes(query)
-        joint.reset_counters()
-        separate.reset_counters()
-        joint_hits = joint.query(box)
-        separate_hits = separate.query(box)
-        check_consistency(joint_hits, separate_hits)
-        series.measurements.append(
-            QueryMeasurement(
-                x_value=query.area,
-                joint_accesses=joint.accesses,
-                separate_accesses=separate.accesses,
-                result_count=len(joint_hits),
+    with registry.timed(f"experiments.fig4.{label}"):
+        for query in queries:
+            box = rectangles.query_box_two_attributes(query)
+            joint.reset_counters()
+            separate.reset_counters()
+            joint_hits, joint_accesses = measured_query(registry, "joint", joint, box)
+            separate_hits, separate_accesses = measured_query(
+                registry, "separate", separate, box
             )
-        )
+            check_consistency(joint_hits, separate_hits)
+            series.measurements.append(
+                QueryMeasurement(
+                    x_value=query.area,
+                    joint_accesses=joint_accesses,
+                    separate_accesses=separate_accesses,
+                    result_count=len(joint_hits),
+                )
+            )
     return series
 
 
@@ -62,6 +78,7 @@ def run(
 ) -> ExperimentResult:
     """Run both Figure 4 panels and return the measured series."""
     config = config or PageConfig()
+    registry = MetricsRegistry()
     data = rectangles.generate_data(data_size, data_seed)
     queries = rectangles.generate_queries(query_count, query_seed)
     constraint_rel = rectangles.build_constraint_relation(data)
@@ -71,10 +88,20 @@ def run(
         title="Querying both attributes: disk accesses vs query area",
         series=[
             _measure_variant(
-                "expt 1-A (constraint attributes)", constraint_rel, queries, config, equal_fanout
+                "expt 1-A (constraint attributes)",
+                constraint_rel,
+                queries,
+                config,
+                equal_fanout,
+                registry,
             ),
             _measure_variant(
-                "expt 1-B (relational attributes)", relational_rel, queries, config, equal_fanout
+                "expt 1-B (relational attributes)",
+                relational_rel,
+                queries,
+                config,
+                equal_fanout,
+                registry,
             ),
         ],
         notes=(
@@ -82,6 +109,7 @@ def run(
             f"page size {config.page_size}B, fanout {config.index_fanout(2)}"
             + ("" if equal_fanout else f" (2-D) / {config.index_fanout(1)} (1-D)")
         ),
+        metrics=registry.snapshot(),
     )
 
 

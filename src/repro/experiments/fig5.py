@@ -15,9 +15,16 @@ from __future__ import annotations
 
 from ..indexing.strategy import JointIndex, SeparateIndexes
 from ..model.relation import ConstraintRelation
+from ..obs import MetricsRegistry
 from ..storage.pages import PageConfig
 from ..workloads import rectangles
-from .runner import ExperimentResult, ExperimentSeries, QueryMeasurement, check_consistency
+from .runner import (
+    ExperimentResult,
+    ExperimentSeries,
+    QueryMeasurement,
+    check_consistency,
+    measured_query,
+)
 
 
 def _measure_variant(
@@ -27,27 +34,33 @@ def _measure_variant(
     config: PageConfig,
     attribute: str,
     equal_fanout: bool,
+    registry: MetricsRegistry,
 ) -> ExperimentSeries:
     fanout = config.index_fanout(2) if equal_fanout else None
     joint = JointIndex(relation, ["x", "y"], config=config, max_entries=fanout)
     separate = SeparateIndexes(relation, ["x", "y"], config=config, max_entries=fanout)
+    joint.bind_registry(registry)
+    separate.bind_registry(registry)
     series = ExperimentSeries(label, x_label="query length")
-    for query in queries:
-        box = rectangles.query_box_one_attribute(query, attribute)
-        joint.reset_counters()
-        separate.reset_counters()
-        joint_hits = joint.query(box)
-        separate_hits = separate.query(box)
-        check_consistency(joint_hits, separate_hits)
-        length = query.width if attribute == "x" else query.height
-        series.measurements.append(
-            QueryMeasurement(
-                x_value=length,
-                joint_accesses=joint.accesses,
-                separate_accesses=separate.accesses,
-                result_count=len(joint_hits),
+    with registry.timed(f"experiments.fig5.{label}"):
+        for query in queries:
+            box = rectangles.query_box_one_attribute(query, attribute)
+            joint.reset_counters()
+            separate.reset_counters()
+            joint_hits, joint_accesses = measured_query(registry, "joint", joint, box)
+            separate_hits, separate_accesses = measured_query(
+                registry, "separate", separate, box
             )
-        )
+            check_consistency(joint_hits, separate_hits)
+            length = query.width if attribute == "x" else query.height
+            series.measurements.append(
+                QueryMeasurement(
+                    x_value=length,
+                    joint_accesses=joint_accesses,
+                    separate_accesses=separate_accesses,
+                    result_count=len(joint_hits),
+                )
+            )
     return series
 
 
@@ -62,6 +75,7 @@ def run(
 ) -> ExperimentResult:
     """Run both Figure 5 panels and return the measured series."""
     config = config or PageConfig()
+    registry = MetricsRegistry()
     data = rectangles.generate_data(data_size, data_seed)
     queries = rectangles.generate_queries(query_count, query_seed)
     constraint_rel = rectangles.build_constraint_relation(data)
@@ -77,6 +91,7 @@ def run(
                 config,
                 attribute,
                 equal_fanout,
+                registry,
             ),
             _measure_variant(
                 "expt 2-B (relational attributes)",
@@ -85,12 +100,14 @@ def run(
                 config,
                 attribute,
                 equal_fanout,
+                registry,
             ),
         ],
         notes=(
             f"{data_size} data boxes, {query_count} single-attribute ({attribute}) queries; "
             f"page size {config.page_size}B"
         ),
+        metrics=registry.snapshot(),
     )
 
 

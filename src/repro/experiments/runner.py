@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import Sequence
+from typing import Mapping, Sequence
+
+from ..obs import LOGICAL_NODE_ACCESSES, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -94,6 +96,9 @@ class ExperimentResult:
     title: str
     series: list[ExperimentSeries]
     notes: str = ""
+    #: Registry snapshot taken when the experiment finished (totals across
+    #: every query of every series) — the same counters the figures plot.
+    metrics: Mapping[str, float] | None = None
 
     def format_table(self, bins: int = 8) -> str:
         lines = [f"{self.experiment_id}: {self.title}"]
@@ -114,11 +119,36 @@ class ExperimentResult:
                 f"separate={series.mean_separate:.1f}  "
                 f"advantage(sep/joint)={series.joint_advantage:.2f}x"
             )
+        if self.metrics:
+            interesting = {
+                name: value for name, value in self.metrics.items() if value
+            }
+            if interesting:
+                lines.append("\n  registry totals:")
+                for name, value in interesting.items():
+                    shown = f"{value:.3f}" if isinstance(value, float) and not value.is_integer() else f"{int(value)}"
+                    lines.append(f"    {name} = {shown}")
         return "\n".join(lines)
 
 
 def print_result(result: ExperimentResult, bins: int = 8) -> None:
     print(result.format_table(bins))
+
+
+def measured_query(
+    registry: MetricsRegistry, label: str, strategy, box
+) -> tuple[set[int], int]:
+    """Run one strategy query under a scoped counter.
+
+    Returns ``(candidate ids, logical node accesses attributed to exactly
+    this query)``.  The strategy must be bound to ``registry``
+    (``strategy.bind_registry``); the scoped capture replaces the
+    reset-then-read-``.accesses`` pattern and stays correct even when
+    several strategies (or queries) share the registry.
+    """
+    with registry.scope(label) as scoped:
+        hits = strategy.query(box)
+    return hits, scoped.get(LOGICAL_NODE_ACCESSES, 0)
 
 
 def check_consistency(

@@ -23,12 +23,28 @@ the y-axis of the paper's Figures 4 and 5.  (Node = disk page; see
 from __future__ import annotations
 
 import heapq
+import itertools
 from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
 
 from ..errors import IndexError_
+from ..obs import (
+    LOGICAL_NODE_ACCESSES,
+    PHYSICAL_NODE_ACCESSES,
+    WRITE_NODE_ACCESSES,
+    MetricsRegistry,
+)
 from .mbr import MBR
+
+#: Stable monotonic ids.  ``id(node)`` is NOT a usable page identity:
+#: CPython recycles addresses as soon as a node is garbage-collected
+#: (condense discards underfull nodes, reinserts drop and rebuild), so an
+#: ``id()``-keyed buffer pool records phantom hits against pages that no
+#: longer exist.  Node ids are process-global and never reused; page keys
+#: are ``(tree_id, node_id)`` so pools can be shared across trees.
+_NODE_IDS = itertools.count()
+_TREE_IDS = itertools.count()
 
 
 class _Entry:
@@ -45,11 +61,12 @@ class _Entry:
 class _Node:
     """A tree node; ``level`` 0 is the leaf level."""
 
-    __slots__ = ("level", "entries")
+    __slots__ = ("level", "entries", "node_id")
 
     def __init__(self, level: int, entries: list[_Entry] | None = None):
         self.level = level
         self.entries = entries if entries is not None else []
+        self.node_id = next(_NODE_IDS)
 
     @property
     def is_leaf(self) -> bool:
@@ -92,6 +109,8 @@ class RStarTree:
         self.reinsert_fraction = reinsert_fraction
         self._root = _Node(level=0)
         self._size = 0
+        #: Stable identity used in buffer-pool page keys ``(tree_id, node_id)``.
+        self.tree_id = next(_TREE_IDS)
         #: Node visits accumulated by search/nearest; reset with reset_counters().
         self.search_accesses = 0
         #: Node visits accumulated by insert/delete (write I/O model).
@@ -100,17 +119,39 @@ class RStarTree:
         #: recorded against it, separating logical accesses (this counter)
         #: from simulated physical reads (pool misses).
         self._buffer_pool = None
+        #: Optional metrics registry; when bound, every visit is also
+        #: reported as ``index.node_accesses.*`` so scoped consumers can
+        #: attribute work without delta-reading ``search_accesses``.
+        self._registry: MetricsRegistry | None = None
 
     def attach_buffer_pool(self, pool) -> None:
         """Route node visits through a :class:`repro.storage.BufferPool`
         so experiments can report physical (miss) I/O alongside the
-        logical node-access counts the paper's figures use."""
+        logical node-access counts the paper's figures use.  Pages are
+        keyed ``(tree_id, node_id)``, so one pool may serve many trees."""
         self._buffer_pool = pool
+
+    def bind_registry(self, registry: MetricsRegistry | None) -> None:
+        """Report node accesses to ``registry`` (None detaches)."""
+        self._registry = registry
 
     def _visit(self, node: "_Node") -> None:
         self.search_accesses += 1
+        registry = self._registry
+        if registry is not None:
+            registry.add(LOGICAL_NODE_ACCESSES)
         if self._buffer_pool is not None:
-            self._buffer_pool.access(id(node))
+            hit = self._buffer_pool.access((self.tree_id, node.node_id))
+            if registry is not None and not hit:
+                registry.add(PHYSICAL_NODE_ACCESSES)
+        elif registry is not None:
+            # No pool: the simulation has no cache, every read hits "disk".
+            registry.add(PHYSICAL_NODE_ACCESSES)
+
+    def _count_writes(self, n: int) -> None:
+        self.write_accesses += n
+        if self._registry is not None:
+            self._registry.add(WRITE_NODE_ACCESSES, n)
 
     # -- public API ---------------------------------------------------------
 
@@ -126,8 +167,17 @@ class RStarTree:
         return sum(1 for _ in self._iter_nodes())
 
     def reset_counters(self) -> None:
+        """Zero the access counters.
+
+        Reset contract: cascades to the attached buffer pool's statistics
+        (the pool's *cached pages* stay resident — only the accounting is
+        zeroed), so a reset always leaves every counter a consumer can
+        observe at zero.  Conversely ``BufferPool.clear()`` drops pages
+        *and* zeroes its stats."""
         self.search_accesses = 0
         self.write_accesses = 0
+        if self._buffer_pool is not None:
+            self._buffer_pool.stats.reset()
 
     def insert(self, mbr: MBR, payload: Any) -> None:
         """Insert one entry; ``payload`` is opaque to the tree."""
@@ -270,7 +320,7 @@ class RStarTree:
         path = self._choose_path(entry.mbr, level)
         node = path[-1]
         node.entries.append(entry)
-        self.write_accesses += len(path)
+        self._count_writes(len(path))
         self._handle_overflow(path, reinserted_levels)
 
     def _choose_path(self, mbr: MBR, level: int) -> list[_Node]:
@@ -359,7 +409,7 @@ class RStarTree:
                     self._root = new_root
                     return
                 path[depth - 1].entries.append(_Entry(split_node.mbr(), child=split_node))
-                self.write_accesses += 2
+                self._count_writes(2)
             if depth > 0:
                 parent = path[depth - 1]
                 for entry in parent.entries:

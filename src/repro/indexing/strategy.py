@@ -26,6 +26,7 @@ from typing import Iterable, Mapping, Sequence
 
 from ..constraints import Comparator, Conjunction, LinearConstraint
 from ..errors import IndexError_, SchemaError
+from ..obs import MetricsRegistry
 from ..model.relation import ConstraintRelation
 from ..model.tuples import HTuple
 from ..model.types import DataType, Null
@@ -110,6 +111,19 @@ class IndexStrategy:
         raise NotImplementedError
 
     def reset_counters(self) -> None:
+        """Zero access counters; cascades to any attached buffer pools
+        (the tree-level reset contract)."""
+        raise NotImplementedError
+
+    def bind_registry(self, registry: MetricsRegistry | None) -> None:
+        """Report the underlying trees' node accesses to ``registry`` so
+        consumers can use scoped counters instead of delta-reading
+        :attr:`accesses`."""
+        raise NotImplementedError
+
+    def attach_buffer_pool(self, pool) -> None:
+        """Route every tree's node visits through one shared buffer pool
+        (page keys are ``(tree_id, node_id)``, so sharing is safe)."""
         raise NotImplementedError
 
     def query(self, box: Mapping[str, tuple[float, float]] | None) -> set[int]:
@@ -152,6 +166,12 @@ class JointIndex(IndexStrategy):
 
     def reset_counters(self) -> None:
         self.tree.reset_counters()
+
+    def bind_registry(self, registry: MetricsRegistry | None) -> None:
+        self.tree.bind_registry(registry)
+
+    def attach_buffer_pool(self, pool) -> None:
+        self.tree.attach_buffer_pool(pool)
 
     def query(self, box: Mapping[str, tuple[float, float]] | None) -> set[int]:
         if box is None:
@@ -201,6 +221,14 @@ class SeparateIndexes(IndexStrategy):
     def reset_counters(self) -> None:
         for tree in self.trees.values():
             tree.reset_counters()
+
+    def bind_registry(self, registry: MetricsRegistry | None) -> None:
+        for tree in self.trees.values():
+            tree.bind_registry(registry)
+
+    def attach_buffer_pool(self, pool) -> None:
+        for tree in self.trees.values():
+            tree.attach_buffer_pool(pool)
 
     def query(self, box: Mapping[str, tuple[float, float]] | None) -> set[int]:
         if box is None:

@@ -1,0 +1,53 @@
+"""Observability: the unified metrics/tracing layer.
+
+Every counter the paper's experiments report — index node accesses
+(logical vs physical), buffer-pool hits/misses/evictions, solver calls,
+per-operator tuple counts and timings — flows through one
+:class:`MetricsRegistry` instead of scattered per-object tallies.  See
+:mod:`repro.obs.registry` for the design and
+:mod:`repro.obs.span` for the ``EXPLAIN ANALYZE`` span tree.
+"""
+
+from .registry import (
+    ELIMINATE_CALLS,
+    FOURIER_MOTZKIN_STEPS,
+    LOGICAL_NODE_ACCESSES,
+    PHYSICAL_NODE_ACCESSES,
+    POOL_EVICTIONS,
+    POOL_HITS,
+    POOL_MISSES,
+    POOL_REQUESTS,
+    SATISFIABILITY_CHECKS,
+    SIMPLEX_CALLS,
+    TUPLES_PRODUCED,
+    WRITE_NODE_ACCESSES,
+    Counter,
+    MetricsRegistry,
+    Timer,
+    current_registry,
+    default_registry,
+    record,
+)
+from .span import Span
+
+__all__ = [
+    "Counter",
+    "ELIMINATE_CALLS",
+    "FOURIER_MOTZKIN_STEPS",
+    "LOGICAL_NODE_ACCESSES",
+    "MetricsRegistry",
+    "PHYSICAL_NODE_ACCESSES",
+    "POOL_EVICTIONS",
+    "POOL_HITS",
+    "POOL_MISSES",
+    "POOL_REQUESTS",
+    "SATISFIABILITY_CHECKS",
+    "SIMPLEX_CALLS",
+    "Span",
+    "TUPLES_PRODUCED",
+    "Timer",
+    "WRITE_NODE_ACCESSES",
+    "current_registry",
+    "default_registry",
+    "record",
+]

@@ -1,0 +1,72 @@
+"""Span-style tracing for nested plan-node timing.
+
+A :class:`Span` is one timed region — typically one plan operator's
+``evaluate`` call — carrying the wall-clock time (``time.perf_counter``)
+and every counter increment observed through the owning
+:class:`~repro.obs.MetricsRegistry` while the span was open, plus its
+child spans.  Counter capture is *inclusive*: whatever a child records is
+also recorded by its ancestors, so ``span.get(name)`` answers "what did
+this subtree cost" and :meth:`Span.exclusive` answers "what did this
+operator itself cost".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+
+@dataclass
+class Span:
+    """One traced region: name, kind, row count, time, counters, children."""
+
+    name: str
+    kind: str = ""
+    #: Output cardinality of the traced operator (None when not applicable).
+    rows: int | None = None
+    #: Inclusive wall-clock seconds (children included).
+    elapsed: float = 0.0
+    #: Inclusive counter deltas observed while the span was open.
+    counters: dict[str, int] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def get(self, counter: str, default: int = 0) -> int:
+        """Inclusive value of ``counter`` over this span's subtree."""
+        return self.counters.get(counter, default)
+
+    def exclusive(self, counter: str) -> int:
+        """This span's own share of ``counter``: inclusive minus children."""
+        return self.get(counter) - sum(c.get(counter) for c in self.children)
+
+    @property
+    def elapsed_exclusive(self) -> float:
+        """Wall-clock seconds spent in this span outside its children."""
+        return self.elapsed - sum(c.elapsed for c in self.children)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, kind: str) -> list["Span"]:
+        """All spans in the subtree whose ``kind`` matches."""
+        return [s for s in self.walk() if s.kind == kind]
+
+    def pretty(self, counters: Sequence[tuple[str, str]] = (), indent: int = 0) -> str:
+        """An annotated tree, one line per span.
+
+        ``counters`` lists ``(label, counter name)`` pairs to print per
+        node; counter values shown are *exclusive* (per-operator), while
+        ``rows`` and time are the node's own output and inclusive time.
+        """
+        parts = [("  " * indent) + self.name]
+        if self.rows is not None:
+            parts.append(f"rows={self.rows}")
+        for label, counter in counters:
+            parts.append(f"{label}={self.exclusive(counter)}")
+        parts.append(f"time={self.elapsed * 1000:.3f}ms")
+        lines = ["  ".join(parts)]
+        for child in self.children:
+            lines.append(child.pretty(counters, indent + 1))
+        return "\n".join(lines)

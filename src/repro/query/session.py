@@ -10,6 +10,7 @@ later steps to reference.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping
 
 from ..algebra.optimizer import Optimizer
@@ -18,9 +19,62 @@ from ..errors import QueryError
 from ..model.database import Database
 from ..model.relation import ConstraintRelation
 from ..model.schema import Schema
+from ..obs import (
+    LOGICAL_NODE_ACCESSES,
+    PHYSICAL_NODE_ACCESSES,
+    MetricsRegistry,
+    Span,
+)
 from .ast import Statement
 from .compiler import compile_statement
 from .parser import parse_script, parse_statement
+
+#: Per-node annotations shown by ``explain_analyze`` (label, counter).
+_EXPLAIN_COUNTERS = (
+    ("accesses", LOGICAL_NODE_ACCESSES),
+    ("physical", PHYSICAL_NODE_ACCESSES),
+)
+
+
+@dataclass
+class ExplainAnalyzeReport:
+    """The outcome of executing one statement under tracing.
+
+    ``root`` is the plan's span tree: one :class:`~repro.obs.Span` per
+    operator, annotated with output ``rows``, captured counters (node
+    accesses, solver calls, …) and inclusive wall-clock time.  Rendered
+    counter values are per-operator (exclusive); :meth:`total` answers
+    whole-statement questions — e.g. ``total(LOGICAL_NODE_ACCESSES)``
+    equals the sum of the underlying trees' ``search_accesses`` deltas.
+    """
+
+    statement: str
+    target: str
+    result: ConstraintRelation
+    root: Span
+
+    def total(self, counter: str) -> int:
+        """Whole-statement (root-inclusive) value of ``counter``."""
+        return self.root.get(counter)
+
+    @property
+    def elapsed(self) -> float:
+        """Whole-statement wall-clock seconds."""
+        return self.root.elapsed
+
+    def format(self) -> str:
+        lines = [f"EXPLAIN ANALYZE {self.statement}"]
+        lines.append(self.root.pretty(_EXPLAIN_COUNTERS))
+        lines.append(
+            f"total: rows={len(self.result)}  "
+            f"accesses={self.total(LOGICAL_NODE_ACCESSES)}  "
+            f"physical={self.total(PHYSICAL_NODE_ACCESSES)}  "
+            f"time={self.elapsed * 1000:.3f}ms"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
 
 
 class QuerySession:
@@ -37,11 +91,12 @@ class QuerySession:
         database: Database,
         indexes: Mapping[str, Mapping[frozenset[str], object]] | None = None,
         use_optimizer: bool = True,
+        registry: MetricsRegistry | None = None,
     ):
         self._workspace = Database({name: database[name] for name in database})
         self._indexes = {k: dict(v) for k, v in (indexes or {}).items()}
         self._use_optimizer = use_optimizer
-        self._context = EvaluationContext(self._workspace, self._indexes)
+        self._context = EvaluationContext(self._workspace, self._indexes, registry)
         self._results: dict[str, ConstraintRelation] = {}
         self._last: ConstraintRelation | None = None
 
@@ -68,6 +123,23 @@ class QuerySession:
         self._results[statement.target] = result
         self._last = result
         return result
+
+    def explain_analyze(self, text: str) -> ExplainAnalyzeReport:
+        """Execute one statement and report its per-operator span tree.
+
+        The statement *runs for real* (its result is bound for later
+        steps, exactly like :meth:`execute`); the report carries the
+        result plus per-operator rows, node accesses and timings."""
+        statement = parse_statement(text)
+        result = self._run(statement)
+        root = self._context.registry.last_trace
+        assert root is not None  # _run always opens a root span
+        return ExplainAnalyzeReport(
+            statement=text.strip(),
+            target=statement.target,
+            result=result,
+            root=root,
+        )
 
     def plan_for(self, plan: PlanNode) -> PlanNode:
         """The plan as it would actually run (after optimization)."""
@@ -110,3 +182,8 @@ class QuerySession:
     def metrics(self) -> Metrics:
         """Evaluation metrics accumulated across the session."""
         return self._context.metrics
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The session's metrics registry (counters, timers, last trace)."""
+        return self._context.registry

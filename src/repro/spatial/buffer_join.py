@@ -23,6 +23,7 @@ from ..indexing.mbr import MBR
 from ..model.relation import ConstraintRelation
 from ..model.schema import Schema, relational
 from ..model.tuples import HTuple
+from ..obs import LOGICAL_NODE_ACCESSES, MetricsRegistry, current_registry
 from ..rational import RationalLike, to_rational
 from .features import FeatureSet
 
@@ -47,6 +48,7 @@ def buffer_join(
     left_attr: str = "fid1",
     right_attr: str = "fid2",
     statistics: BufferJoinStatistics | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> ConstraintRelation:
     """All pairs ``(left feature, right feature)`` within ``distance``.
 
@@ -54,6 +56,12 @@ def buffer_join(
     feature IDs (section 4's whole-feature contract).  Joining a feature
     set with itself pairs distinct features only (a feature is trivially
     within any distance of itself).
+
+    Index accesses are attributed through a scoped counter on ``registry``
+    (the active registry when not given), so ``stats.index_accesses`` is
+    exactly this call's work even when the index is shared with other
+    operators in one plan — a delta-read of ``index.search_accesses``
+    cannot make that distinction.
     """
     d = to_rational(distance)
     if d < 0:
@@ -62,27 +70,29 @@ def buffer_join(
         raise GeometryError("output attributes must have distinct names")
     schema = Schema([relational(left_attr), relational(right_attr)])
     stats = statistics if statistics is not None else BufferJoinStatistics()
+    reg = registry if registry is not None else current_registry()
     index = right.index()
+    index.bind_registry(reg)
     d_float = float(d)
     tuples: list[HTuple] = []
     self_join = left is right
-    for feature in left:
-        box = feature.bounding_box().expand(d)
-        query = MBR(
-            (float(box.min_x), float(box.min_y)), (float(box.max_x), float(box.max_y))
-        )
-        before = index.search_accesses
-        candidates = index.search(query)
-        stats.index_accesses += index.search_accesses - before
-        for fid in candidates:
-            if self_join and fid == feature.fid:
-                continue
-            stats.candidate_pairs += 1
-            if feature.distance(right[fid]) <= d_float:
-                stats.result_pairs += 1
-                tuples.append(
-                    HTuple(schema, {left_attr: feature.fid, right_attr: fid})
-                )
+    with reg.scope("buffer_join") as scoped:
+        for feature in left:
+            box = feature.bounding_box().expand(d)
+            query = MBR(
+                (float(box.min_x), float(box.min_y)), (float(box.max_x), float(box.max_y))
+            )
+            candidates = index.search(query)
+            for fid in candidates:
+                if self_join and fid == feature.fid:
+                    continue
+                stats.candidate_pairs += 1
+                if feature.distance(right[fid]) <= d_float:
+                    stats.result_pairs += 1
+                    tuples.append(
+                        HTuple(schema, {left_attr: feature.fid, right_attr: fid})
+                    )
+    stats.index_accesses += scoped.get(LOGICAL_NODE_ACCESSES, 0)
     return ConstraintRelation(schema, tuples)
 
 

@@ -23,6 +23,7 @@ from ..model.relation import ConstraintRelation
 from ..model.schema import Schema, relational
 from ..model.tuples import HTuple
 from ..model.types import DataType
+from ..obs import LOGICAL_NODE_ACCESSES, MetricsRegistry, current_registry
 from .features import Feature, FeatureSet
 
 
@@ -37,15 +38,22 @@ def k_nearest_features(
     query: Feature,
     k: int,
     statistics: KNearestStatistics | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> list[tuple[Feature, float]]:
     """The ``k`` nearest features with their exact distances, nearest
     first; the returned list is sorted by (distance, feature id), and the
     candidate stream is deterministic, so results are reproducible.  The
-    query feature itself is excluded when it belongs to the set."""
+    query feature itself is excluded when it belongs to the set.
+
+    ``stats.index_accesses`` is attributed with a scoped counter on
+    ``registry`` (the active registry when not given): only this call's
+    node visits count, even when the index is shared within one plan."""
     if k < 1:
         raise GeometryError(f"k must be >= 1, got {k}")
     stats = statistics if statistics is not None else KNearestStatistics()
+    reg = registry if registry is not None else current_registry()
     index = features.index()
+    index.bind_registry(reg)
     target_box = query.bounding_box()
     from ..indexing.mbr import MBR
 
@@ -55,20 +63,20 @@ def k_nearest_features(
     )
     # Max-heap (negated distances) of the best k exact results so far.
     best: list[tuple[float, str]] = []
-    before = index.search_accesses
-    for mindist, fid in index.nearest_iter(target):
-        if fid == query.fid and fid in features and features[fid] is query:
-            continue
-        if len(best) == k and mindist > -best[0][0]:
-            break  # no remaining candidate can beat the current k-th
-        exact = query.distance(features[fid])
-        stats.candidates_refined += 1
-        entry = (-exact, fid)
-        if len(best) < k:
-            heapq.heappush(best, entry)
-        elif entry > best[0]:  # smaller distance, or equal with smaller fid
-            heapq.heapreplace(best, entry)
-    stats.index_accesses += index.search_accesses - before
+    with reg.scope("k_nearest") as scoped:
+        for mindist, fid in index.nearest_iter(target):
+            if fid == query.fid and fid in features and features[fid] is query:
+                continue
+            if len(best) == k and mindist > -best[0][0]:
+                break  # no remaining candidate can beat the current k-th
+            exact = query.distance(features[fid])
+            stats.candidates_refined += 1
+            entry = (-exact, fid)
+            if len(best) < k:
+                heapq.heappush(best, entry)
+            elif entry > best[0]:  # smaller distance, or equal with smaller fid
+                heapq.heapreplace(best, entry)
+    stats.index_accesses += scoped.get(LOGICAL_NODE_ACCESSES, 0)
     ordered = sorted(((-negated, fid) for negated, fid in best))
     return [(features[fid], distance) for distance, fid in ordered]
 
@@ -80,6 +88,7 @@ def k_nearest(
     fid_attr: str = "fid",
     rank_attr: str = "rank",
     statistics: KNearestStatistics | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> ConstraintRelation:
     """The whole-feature operator: a relation of ``(feature id, rank)``
     rows, rank 1 = nearest.  Both attributes are relational, so the query
@@ -87,7 +96,7 @@ def k_nearest(
     if fid_attr == rank_attr:
         raise GeometryError("output attributes must have distinct names")
     schema = Schema([relational(fid_attr), relational(rank_attr, DataType.RATIONAL)])
-    results = k_nearest_features(features, query, k, statistics)
+    results = k_nearest_features(features, query, k, statistics, registry)
     tuples = [
         HTuple(schema, {fid_attr: feature.fid, rank_attr: rank})
         for rank, (feature, _) in enumerate(results, start=1)

@@ -15,9 +15,9 @@ from ..model.relation import ConstraintRelation
 from ..model.schema import Schema, relational
 from ..model.types import DataType
 from ..rational import RationalLike, format_rational, to_rational
-from .buffer_join import buffer_join
+from .buffer_join import BufferJoinStatistics, buffer_join
 from .features import FeatureSet
-from .k_nearest import k_nearest
+from .k_nearest import KNearestStatistics, k_nearest
 
 
 def _spatial_attrs(relation: ConstraintRelation) -> tuple[str, str, str]:
@@ -63,7 +63,7 @@ class BufferJoinNode(PlanNode):
     def infer_schema(self, database: Database) -> Schema:
         return Schema([relational(self.left_attr), relational(self.right_attr)])
 
-    def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+    def _evaluate(self, context: EvaluationContext) -> ConstraintRelation:
         left_rel = self.left.evaluate(context)
         right_rel = self.right.evaluate(context)
         left_set = FeatureSet.from_relation(left_rel, *_spatial_attrs(left_rel))
@@ -74,9 +74,18 @@ class BufferJoinNode(PlanNode):
             right_set = left_set
         else:
             right_set = FeatureSet.from_relation(right_rel, *_spatial_attrs(right_rel))
+        stats = BufferJoinStatistics()
         result = buffer_join(
-            left_set, right_set, self.distance, self.left_attr, self.right_attr
+            left_set,
+            right_set,
+            self.distance,
+            self.left_attr,
+            self.right_attr,
+            statistics=stats,
+            registry=context.registry,
         )
+        context.metrics.index_node_accesses += stats.index_accesses
+        context.metrics.index_candidates += stats.candidate_pairs
         context.metrics.count("buffer_join", len(result))
         return result
 
@@ -132,7 +141,7 @@ class KNearestNode(PlanNode):
             [relational(self.fid_attr), relational(self.rank_attr, DataType.RATIONAL)]
         )
 
-    def evaluate(self, context: EvaluationContext) -> ConstraintRelation:
+    def _evaluate(self, context: EvaluationContext) -> ConstraintRelation:
         relation = self.child.evaluate(context)
         feature_set = FeatureSet.from_relation(relation, *_spatial_attrs(relation))
         if self.query_child is not None:
@@ -153,7 +162,17 @@ class KNearestNode(PlanNode):
                     "input relation"
                 )
             query = feature_set[self.query_fid]
-        result = k_nearest(feature_set, query, self.k, self.fid_attr, self.rank_attr)
+        stats = KNearestStatistics()
+        result = k_nearest(
+            feature_set,
+            query,
+            self.k,
+            self.fid_attr,
+            self.rank_attr,
+            statistics=stats,
+            registry=context.registry,
+        )
+        context.metrics.index_node_accesses += stats.index_accesses
         context.metrics.count("k_nearest", len(result))
         return result
 

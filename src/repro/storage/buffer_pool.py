@@ -4,6 +4,16 @@ The paper's access counts are *logical* node accesses.  Real systems sit a
 buffer pool between the index and the disk; this module lets experiments
 report both logical accesses (every request) and *physical* accesses
 (misses only), and is exercised by the page-size ablation bench.
+
+Page identifiers must be **stable**: the R*-tree keys pages as
+``(tree_id, node_id)`` with monotonic never-reused ids (keying on
+``id(node)`` inflates hit rates with phantom hits once CPython recycles a
+discarded node's address).
+
+Reset contract (shared with :meth:`repro.indexing.RStarTree.reset_counters`):
+``clear()`` drops the cached pages *and* zeroes :attr:`stats`; a tree's
+``reset_counters()`` zeroes the attached pool's stats while leaving pages
+resident.  Either way, no counter survives a reset half-zeroed.
 """
 
 from __future__ import annotations
@@ -12,6 +22,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..errors import StorageError
+from ..obs import (
+    POOL_EVICTIONS,
+    POOL_HITS,
+    POOL_MISSES,
+    POOL_REQUESTS,
+    MetricsRegistry,
+)
 
 
 @dataclass
@@ -42,23 +59,37 @@ class BufferPool:
     read); misses beyond capacity evict the least recently used page.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, registry: MetricsRegistry | None = None):
         if capacity < 1:
             raise StorageError(f"buffer pool capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._pages: OrderedDict[object, None] = OrderedDict()
         self.stats = BufferPoolStatistics()
+        self._registry = registry
+
+    def bind_registry(self, registry: MetricsRegistry | None) -> None:
+        """Report requests/hits/misses/evictions to ``registry`` too."""
+        self._registry = registry
 
     def access(self, page_id: object) -> bool:
         self.stats.requests += 1
+        registry = self._registry
+        if registry is not None:
+            registry.add(POOL_REQUESTS)
         if page_id in self._pages:
             self._pages.move_to_end(page_id)
             self.stats.hits += 1
+            if registry is not None:
+                registry.add(POOL_HITS)
             return True
+        if registry is not None:
+            registry.add(POOL_MISSES)
         self._pages[page_id] = None
         if len(self._pages) > self.capacity:
             self._pages.popitem(last=False)
             self.stats.evictions += 1
+            if registry is not None:
+                registry.add(POOL_EVICTIONS)
         return False
 
     def __contains__(self, page_id: object) -> bool:
@@ -68,7 +99,10 @@ class BufferPool:
         return len(self._pages)
 
     def clear(self) -> None:
+        """Drop every cached page and zero the statistics (see the module
+        docstring for the reset contract)."""
         self._pages.clear()
+        self.stats.reset()
 
     def __repr__(self) -> str:
         return (

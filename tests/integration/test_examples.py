@@ -45,7 +45,7 @@ def test_spatial_analysis():
 
 
 def test_visualize_map(tmp_path):
-    out = run_example("visualize_map.py", str(tmp_path))
+    run_example("visualize_map.py", str(tmp_path))
     assert (tmp_path / "hurricane_map.svg").exists()
     assert (tmp_path / "town_map.geojson").exists()
     svg = (tmp_path / "hurricane_map.svg").read_text()

@@ -90,7 +90,12 @@ def plans(draw, depth: int = 3):
         return Project(child, kept)
     if kind == "rename":
         old = draw(st.sampled_from(list(schema.names)))
-        return Rename(child, old, f"{old}_rn")
+        # The obvious "{old}_rn" can collide when a renamed branch was
+        # joined with its original; keep suffixing until the name is fresh.
+        new = f"{old}_rn"
+        while new in schema.names:
+            new += "_rn"
+        return Rename(child, old, new)
     # select
     rational_attrs = [
         a.name for a in schema if a.data_type.value == "rational"

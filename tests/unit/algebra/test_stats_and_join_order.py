@@ -5,7 +5,6 @@ import pytest
 from repro.algebra import EvaluationContext, Join, Project, Scan, Select, evaluate
 from repro.algebra.optimizer import Optimizer
 from repro.algebra.stats import (
-    DEFAULT_PREDICATE_SELECTIVITY,
     collect_statistics,
     estimate_join_size,
 )

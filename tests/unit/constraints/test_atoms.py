@@ -8,8 +8,6 @@ from repro.constraints import (
     FALSE,
     TRUE,
     Comparator,
-    LinearConstraint,
-    LinearExpression,
     eq,
     ge,
     gt,

@@ -6,7 +6,6 @@ from repro.constraints import parse_constraints
 from repro.errors import SchemaError
 from repro.model import (
     ConstraintRelation,
-    DataType,
     HTuple,
     Schema,
     constraint,

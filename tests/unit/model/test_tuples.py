@@ -4,7 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.constraints import Conjunction, parse_constraints, parse_expression
+from repro.constraints import parse_constraints, parse_expression
 from repro.errors import SchemaError
 from repro.model import (
     NULL,

@@ -1,0 +1,193 @@
+"""Conservation laws tying the index, the buffer pool and the registry.
+
+Every logical node access must appear as exactly one buffer-pool request;
+every request is a hit or a miss; physical reads are exactly the misses.
+These are the invariants EXPLAIN ANALYZE and the experiment figures rely
+on, so they are asserted directly.
+"""
+
+import random
+
+from repro.indexing import MBR, RStarTree
+from repro.obs import (
+    LOGICAL_NODE_ACCESSES,
+    PHYSICAL_NODE_ACCESSES,
+    POOL_EVICTIONS,
+    POOL_HITS,
+    POOL_MISSES,
+    POOL_REQUESTS,
+    MetricsRegistry,
+)
+from repro.storage import BufferPool
+
+
+def build_tree(n: int = 300, seed: int = 7) -> RStarTree:
+    rng = random.Random(seed)
+    tree = RStarTree(dimensions=2, max_entries=8)
+    for i in range(n):
+        x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        tree.insert(MBR((x, y), (x + 10, y + 10)), i)
+    return tree
+
+
+def queries(count: int = 15, seed: int = 3) -> list[MBR]:
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        x, y = rng.uniform(0, 800), rng.uniform(0, 800)
+        out.append(MBR((x, y), (x + 150, y + 150)))
+    return out
+
+
+class TestConservation:
+    def test_logical_accesses_equal_pool_requests(self):
+        registry = MetricsRegistry()
+        tree = build_tree()
+        pool = BufferPool(capacity=64, registry=registry)
+        tree.attach_buffer_pool(pool)
+        tree.bind_registry(registry)
+        for q in queries():
+            tree.search(q)
+        assert registry.value(LOGICAL_NODE_ACCESSES) > 0
+        assert registry.value(LOGICAL_NODE_ACCESSES) == registry.value(POOL_REQUESTS)
+        assert registry.value(POOL_REQUESTS) == pool.stats.requests
+
+    def test_hits_plus_misses_equal_requests(self):
+        registry = MetricsRegistry()
+        tree = build_tree()
+        pool = BufferPool(capacity=16, registry=registry)
+        tree.attach_buffer_pool(pool)
+        tree.bind_registry(registry)
+        for q in queries():
+            tree.search(q)
+        assert (
+            registry.value(POOL_HITS) + registry.value(POOL_MISSES)
+            == registry.value(POOL_REQUESTS)
+        )
+        assert pool.stats.hits + pool.stats.misses == pool.stats.requests
+
+    def test_physical_accesses_are_exactly_the_misses(self):
+        registry = MetricsRegistry()
+        tree = build_tree()
+        pool = BufferPool(capacity=16, registry=registry)
+        tree.attach_buffer_pool(pool)
+        tree.bind_registry(registry)
+        for q in queries():
+            tree.search(q)
+        assert registry.value(PHYSICAL_NODE_ACCESSES) == registry.value(POOL_MISSES)
+        assert registry.value(PHYSICAL_NODE_ACCESSES) == pool.stats.misses
+
+    def test_without_a_pool_physical_equals_logical(self):
+        registry = MetricsRegistry()
+        tree = build_tree()
+        tree.bind_registry(registry)
+        for q in queries():
+            tree.search(q)
+        assert registry.value(PHYSICAL_NODE_ACCESSES) == registry.value(
+            LOGICAL_NODE_ACCESSES
+        )
+
+
+class TestEvictions:
+    def test_evictions_at_the_capacity_boundary(self):
+        registry = MetricsRegistry()
+        pool = BufferPool(capacity=3, registry=registry)
+        for page in range(5):  # 5 distinct pages through a 3-page pool
+            assert pool.access(("t", page)) is False
+        assert pool.stats.evictions == 2
+        assert registry.value(POOL_EVICTIONS) == 2
+        assert len(pool) == 3
+
+    def test_exactly_at_capacity_evicts_nothing(self):
+        pool = BufferPool(capacity=3)
+        for page in range(3):
+            pool.access(("t", page))
+        assert pool.stats.evictions == 0
+        for page in range(3):  # all resident
+            assert pool.access(("t", page)) is True
+        assert pool.stats.hits == 3
+
+    def test_hit_rate_with_zero_requests(self):
+        assert BufferPool(capacity=4).stats.hit_rate == 0.0
+
+
+class TestStableIdentity:
+    def test_discarded_node_ids_are_never_reused(self):
+        # Regression: pages were keyed on id(node); CPython recycles a
+        # discarded node's address, so a *new* node could inherit a cached
+        # page and report a phantom hit.  Stable monotonic ids cannot
+        # collide by construction.
+        tree = RStarTree(dimensions=2, max_entries=4)
+        rng = random.Random(11)
+        boxes = []
+        for i in range(120):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            boxes.append((MBR((x, y), (x + 1, y + 1)), i))
+            tree.insert(*boxes[-1])
+        for _ in range(4):  # churn: deletes + inserts discard/create nodes
+            before = {node.node_id for node in tree._iter_nodes()}
+            for mbr, payload in boxes[:40]:
+                tree.delete(mbr, payload)
+            for mbr, payload in boxes[:40]:
+                tree.insert(mbr, payload)
+            after = {node.node_id for node in tree._iter_nodes()}
+            # A current id either survived the churn or is brand new —
+            # never the id of a node discarded earlier.
+            for node_id in after:
+                assert node_id in before or node_id > max(before)
+
+    def test_fresh_tree_never_phantom_hits_a_warmed_pool(self):
+        # Warm the pool with one tree, discard it, then attach a brand-new
+        # tree: its first search must be 100% misses.  Under id() keying
+        # the new tree's nodes could inherit the dead tree's recycled
+        # addresses and "hit" pages they were never read into.
+        pool = BufferPool(capacity=10_000)
+        old = build_tree(seed=13)
+        old.attach_buffer_pool(pool)
+        old.search(MBR((0.0, 0.0), (1000.0, 1000.0)))  # warm every page
+        assert pool.stats.misses > 0
+        del old
+        fresh = build_tree(seed=13)
+        fresh.attach_buffer_pool(pool)
+        pool.stats.reset()
+        fresh.search(MBR((0.0, 0.0), (1000.0, 1000.0)))
+        assert pool.stats.requests == fresh.search_accesses > 0
+        assert pool.stats.hits == 0
+
+    def test_two_trees_share_a_pool_without_key_collisions(self):
+        pool = BufferPool(capacity=10_000)
+        a, b = build_tree(seed=1), build_tree(seed=2)
+        a.attach_buffer_pool(pool)
+        b.attach_buffer_pool(pool)
+        a.search(MBR((0.0, 0.0), (1000.0, 1000.0)))
+        b.search(MBR((0.0, 0.0), (1000.0, 1000.0)))
+        # First full sweep of each tree is all misses: b's pages can never
+        # alias a's even though both trees number nodes from the same pool.
+        assert pool.stats.hits == 0
+        assert pool.stats.requests == a.search_accesses + b.search_accesses
+
+    def test_tree_ids_are_distinct(self):
+        assert build_tree(n=5).tree_id != build_tree(n=5).tree_id
+
+
+class TestResetContract:
+    def test_reset_counters_cascades_to_pool_stats(self):
+        tree = build_tree()
+        pool = BufferPool(capacity=64)
+        tree.attach_buffer_pool(pool)
+        tree.search(MBR((0.0, 0.0), (500.0, 500.0)))
+        assert pool.stats.requests > 0
+        tree.reset_counters()
+        assert tree.search_accesses == 0
+        assert tree.write_accesses == 0
+        assert pool.stats.requests == 0
+        assert len(pool) > 0  # pages stay resident — only stats reset
+
+    def test_clear_drops_pages_and_stats(self):
+        pool = BufferPool(capacity=8)
+        for page in range(12):
+            pool.access(("t", page))
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.stats.requests == 0
+        assert pool.stats.evictions == 0

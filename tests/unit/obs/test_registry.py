@@ -1,0 +1,169 @@
+"""Unit tests for the metrics registry: counters, timers, scopes, spans."""
+
+from repro.obs import (
+    LOGICAL_NODE_ACCESSES,
+    POOL_REQUESTS,
+    MetricsRegistry,
+    current_registry,
+    default_registry,
+    record,
+)
+
+
+class TestCounters:
+    def test_add_and_value(self):
+        registry = MetricsRegistry()
+        registry.add("x", 3)
+        registry.add("x")
+        assert registry.value("x") == 4
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().value("nope") == 0
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        registry.add("x", 5)
+        with registry.timed("t"):
+            pass
+        registry.reset()
+        assert registry.value("x") == 0
+        assert registry.timer("t").calls == 0
+
+    def test_snapshot_includes_timers(self):
+        registry = MetricsRegistry()
+        registry.add("x", 2)
+        with registry.timed("t"):
+            pass
+        snap = registry.snapshot()
+        assert snap["x"] == 2
+        assert snap["t.seconds"] >= 0.0
+
+    def test_report_formats_nonzero_metrics(self):
+        registry = MetricsRegistry()
+        assert registry.report() == "(no metrics recorded)"
+        registry.add("x", 7)
+        assert "x" in registry.report() and "7" in registry.report()
+
+
+class TestTimers:
+    def test_timed_accumulates(self):
+        registry = MetricsRegistry()
+        with registry.timed("t"):
+            pass
+        with registry.timed("t"):
+            pass
+        timer = registry.timer("t")
+        assert timer.calls == 2
+        assert timer.total_seconds >= 0.0
+        assert timer.mean_seconds == timer.total_seconds / 2
+
+    def test_mean_of_unused_timer(self):
+        assert MetricsRegistry().timer("t").mean_seconds == 0.0
+
+
+class TestScopes:
+    def test_scope_captures_only_its_window(self):
+        registry = MetricsRegistry()
+        registry.add("x")  # before: not captured
+        with registry.scope() as scoped:
+            registry.add("x", 2)
+        registry.add("x")  # after: not captured
+        assert scoped == {"x": 2}
+        assert registry.value("x") == 4
+
+    def test_nested_scopes_both_capture(self):
+        registry = MetricsRegistry()
+        with registry.scope() as outer:
+            registry.add("x")
+            with registry.scope() as inner:
+                registry.add("x", 2)
+        assert inner == {"x": 2}
+        assert outer == {"x": 3}
+
+    def test_equal_content_frames_pop_correctly(self):
+        # Regression: frame teardown must remove by identity — removing by
+        # equality pops the wrong (equal, e.g. both-empty) dict and the
+        # outer scope then loses its increments.
+        registry = MetricsRegistry()
+        with registry.scope() as outer:
+            with registry.scope():
+                pass  # inner == outer == {} here
+            registry.add("x")
+        assert outer == {"x": 1}
+
+    def test_sibling_scopes_do_not_leak(self):
+        registry = MetricsRegistry()
+        with registry.scope() as first:
+            registry.add("x")
+        with registry.scope() as second:
+            registry.add("x", 5)
+        assert first == {"x": 1}
+        assert second == {"x": 5}
+
+
+class TestTraces:
+    def test_trace_builds_a_span_tree(self):
+        registry = MetricsRegistry()
+        with registry.trace("root", kind="Root") as root:
+            registry.add(LOGICAL_NODE_ACCESSES)
+            with registry.trace("child", kind="Child") as child:
+                registry.add(LOGICAL_NODE_ACCESSES, 2)
+                child.rows = 7
+        assert registry.last_trace is root
+        assert root.children == [child]
+        assert child.rows == 7
+        assert child.get(LOGICAL_NODE_ACCESSES) == 2
+        assert root.get(LOGICAL_NODE_ACCESSES) == 3  # inclusive
+        assert root.exclusive(LOGICAL_NODE_ACCESSES) == 1
+        assert root.elapsed >= child.elapsed >= 0.0
+
+    def test_last_trace_set_only_at_root(self):
+        registry = MetricsRegistry()
+        with registry.trace("root"):
+            with registry.trace("child"):
+                pass
+            assert registry.last_trace is None  # root still open
+        assert registry.last_trace is not None
+        assert registry.last_trace.name == "root"
+
+    def test_walk_and_find(self):
+        registry = MetricsRegistry()
+        with registry.trace("a", kind="Join") as a:
+            with registry.trace("b", kind="Scan"):
+                pass
+            with registry.trace("c", kind="Scan"):
+                pass
+        assert [s.name for s in a.walk()] == ["a", "b", "c"]
+        assert len(a.find("Scan")) == 2
+
+    def test_pretty_renders_rows_counters_time(self):
+        registry = MetricsRegistry()
+        with registry.trace("op") as span:
+            registry.add(POOL_REQUESTS, 4)
+            span.rows = 2
+        text = span.pretty((("requests", POOL_REQUESTS),))
+        assert "op" in text and "rows=2" in text
+        assert "requests=4" in text and "time=" in text
+
+
+class TestActiveRegistryStack:
+    def test_record_defaults_to_the_default_registry(self):
+        before = default_registry().value("unbound.metric")
+        record("unbound.metric")
+        assert default_registry().value("unbound.metric") == before + 1
+
+    def test_scope_activates_its_registry(self):
+        registry = MetricsRegistry()
+        with registry.scope():
+            assert current_registry() is registry
+            record("x")
+        assert registry.value("x") == 1
+
+    def test_activate_restores_previous(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with outer.activate():
+            with inner.activate():
+                record("x")
+            record("x")
+        assert inner.value("x") == 1
+        assert outer.value("x") == 1

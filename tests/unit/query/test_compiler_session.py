@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra import IndexScan, Select, StringPredicate
+from repro.algebra import StringPredicate
 from repro.constraints import Comparator, LinearConstraint
 from repro.errors import QueryError
 from repro.model import (

@@ -1,0 +1,128 @@
+"""EXPLAIN ANALYZE: per-operator rows/accesses/timings, and conservation.
+
+The acceptance invariant: over a hurricane-workload session, the
+index-access totals reported by ``explain_analyze`` must *exactly* equal
+the underlying R*-trees' ``search_accesses`` deltas — the span tree is an
+attribution of the same events, not a second estimate.
+"""
+
+import pytest
+
+from repro.indexing import JointIndex
+from repro.model import ConstraintRelation, Database, HTuple, Schema, constraint, relational
+from repro.constraints import parse_constraints
+from repro.obs import LOGICAL_NODE_ACCESSES, PHYSICAL_NODE_ACCESSES
+from repro.query import ExplainAnalyzeReport, QuerySession
+from repro.storage import BufferPool
+from repro.workloads import figure2_database
+
+
+@pytest.fixture
+def db():
+    s = Schema([relational("id"), constraint("t")])
+    r = ConstraintRelation(
+        s,
+        [
+            HTuple(s, {"id": "a"}, parse_constraints("0 <= t, t <= 10")),
+            HTuple(s, {"id": "b"}, parse_constraints("5 <= t, t <= 20")),
+        ],
+        "R",
+    )
+    return Database({"R": r})
+
+
+class TestExplainAnalyze:
+    def test_report_carries_result_and_binds_it(self, db):
+        session = QuerySession(db)
+        report = session.explain_analyze("R0 = select t >= 15 from R")
+        assert isinstance(report, ExplainAnalyzeReport)
+        assert report.target == "R0"
+        assert len(report.result) == 1
+        assert "R0" in session  # ran for real, like execute()
+
+    def test_span_tree_mirrors_the_plan(self, db):
+        session = QuerySession(db, use_optimizer=False)
+        report = session.explain_analyze("R0 = select t >= 15 from R")
+        kinds = [span.kind for span in report.root.walk()]
+        assert kinds == ["Select", "Scan"]
+        for span in report.root.walk():
+            assert span.rows is not None
+            assert span.elapsed >= 0.0
+        assert report.root.rows == 1  # select output
+        assert report.root.children[0].rows == 2  # scan output
+
+    def test_per_operator_rows_in_formatted_output(self, db):
+        session = QuerySession(db, use_optimizer=False)
+        text = session.explain_analyze("R0 = select t >= 15 from R").format()
+        assert text.startswith("EXPLAIN ANALYZE R0 = select t >= 15 from R")
+        assert "rows=1" in text and "rows=2" in text
+        assert "accesses=" in text and "time=" in text
+        assert "total:" in text
+
+    def test_elapsed_is_root_inclusive(self, db):
+        session = QuerySession(db, use_optimizer=False)
+        report = session.explain_analyze("R0 = select t >= 15 from R")
+        assert report.elapsed == report.root.elapsed
+        assert report.elapsed >= report.root.children[0].elapsed
+
+    def test_later_statements_get_fresh_traces(self, db):
+        session = QuerySession(db)
+        first = session.explain_analyze("R0 = select t >= 15 from R")
+        second = session.explain_analyze("R1 = project R0 on id")
+        assert first.root is not second.root
+        assert second.root.kind == "Project"
+
+
+class TestHurricaneConservation:
+    """The acceptance-criteria test: hurricane workload, exact accounting."""
+
+    def _session(self):
+        database = figure2_database()
+        strategy = JointIndex(database["Landownership"], ["t"], max_entries=4)
+        indexes = {"Landownership": {frozenset(["t"]): strategy}}
+        return QuerySession(database, indexes=indexes), strategy
+
+    def test_join_report_access_totals_equal_tree_deltas(self):
+        session, strategy = self._session()
+        before = strategy.tree.search_accesses
+        reports = [
+            session.explain_analyze("R0 = select t >= 4 from Landownership"),
+            session.explain_analyze("R1 = join R0 and Land"),
+            session.explain_analyze("R2 = join R1 and Hurricane"),
+        ]
+        delta = strategy.tree.search_accesses - before
+        assert delta > 0  # the select really used the index
+        reported = sum(r.total(LOGICAL_NODE_ACCESSES) for r in reports)
+        assert reported == delta  # exact, not approximate
+
+        # Per-operator attribution: the accesses sit on the IndexScan span.
+        index_spans = reports[0].root.find("IndexScan")
+        assert len(index_spans) == 1
+        assert index_spans[0].exclusive(LOGICAL_NODE_ACCESSES) == delta
+
+        # The join reports row counts per operator and its own result size.
+        join_report = reports[2]
+        assert join_report.root.kind == "Join"
+        assert join_report.root.rows == len(join_report.result)
+        assert all(s.rows is not None for s in join_report.root.walk())
+        assert join_report.elapsed > 0.0
+
+    def test_session_metrics_agree_with_reports(self):
+        session, strategy = self._session()
+        before = strategy.tree.search_accesses
+        session.explain_analyze("R0 = select t >= 4 from Landownership")
+        assert (
+            session.metrics.index_node_accesses
+            == strategy.tree.search_accesses - before
+        )
+        assert session.registry.value(LOGICAL_NODE_ACCESSES) == (
+            strategy.tree.search_accesses - before
+        )
+
+    def test_physical_accesses_with_a_buffer_pool(self):
+        session, strategy = self._session()
+        pool = BufferPool(capacity=64)
+        strategy.attach_buffer_pool(pool)
+        report = session.explain_analyze("R0 = select t >= 4 from Landownership")
+        assert report.total(PHYSICAL_NODE_ACCESSES) == pool.stats.misses
+        assert report.total(LOGICAL_NODE_ACCESSES) == pool.stats.requests

@@ -4,7 +4,7 @@ import pytest
 
 from repro.constraints import parse_constraints
 from repro.errors import QueryError
-from repro.model import ConstraintRelation, Database, HTuple, Schema, constraint, relational
+from repro.model import ConstraintRelation, Database, HTuple, Schema, constraint
 from repro.query import QuerySession
 from repro.query.ast import CrossStmt, IntersectStmt
 from repro.query.parser import parse_statement

@@ -7,12 +7,10 @@ import pytest
 from repro.errors import ParseError
 from repro.query.ast import (
     BufferJoinStmt,
-    Comparison,
     DiffStmt,
     Identifier,
     JoinStmt,
     KNearestStmt,
-    NumberLit,
     ProjectStmt,
     RenameStmt,
     SelectStmt,

@@ -1,7 +1,5 @@
 """Unit tests for the .cdb text serialization format."""
 
-from fractions import Fraction
-
 import pytest
 
 from repro.constraints import parse_constraints

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cli import main
-from repro.model import Database
 from repro.storage import load_database, save_database
 from repro.workloads import figure2_database
 
@@ -104,6 +103,25 @@ class TestQueryCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "Lee" in out and "Garcia" in out
+
+    def test_profile_reports_per_operator_metrics(self, db_file, capsys):
+        code = main(
+            [
+                "query",
+                str(db_file),
+                "--profile",
+                "-e",
+                "R0 = join Hurricane and Land",
+                "-e",
+                "R1 = project R0 on landId",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "landId=B" in captured.out  # final result still printed
+        assert "EXPLAIN ANALYZE R0 = join Hurricane and Land" in captured.err
+        assert "rows=" in captured.err and "time=" in captured.err
+        assert "-- session metrics --" in captured.err
 
     def test_query_error_reported(self, db_file, capsys):
         code = main(["query", str(db_file), "-e", "R0 = project Nope on x"])

@@ -1,7 +1,5 @@
 """Unit tests for the workload generators."""
 
-from fractions import Fraction
-
 import pytest
 
 from repro.workloads import (
@@ -9,7 +7,6 @@ from repro.workloads import (
     brute_force_matches,
     build_constraint_relation,
     build_relational_relation,
-    figure2_database,
     generate_data,
     generate_gis_scenario,
     generate_hurricane_database,
