@@ -1,0 +1,191 @@
+"""A/B benchmark for the layered satisfiability front-end.
+
+Two join workloads, each run with the fast paths enabled and disabled
+(``solver.fast_path``):
+
+* *scattered boxes* — most pairs don't overlap, so the interval layer
+  should reject them without a full solve (and without even building the
+  combined conjunction);
+* *diagonal bands* — formulas drawn from a small pool of multi-variable
+  systems, so the same combined system recurs many times and the memo
+  cache answers the repeats.
+
+The acceptance criterion from the issue — at least a 2x reduction in
+``solver.satisfiability_checks`` (full decision-procedure solves) on a
+join workload — is asserted here, and the measured counters are written
+to ``BENCH_solver.json`` (override the path with
+``REPRO_BENCH_SOLVER_JSON``) so CI can archive them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.algebra.operators import natural_join
+from repro.constraints import Conjunction, solver, var
+from repro.constraints.atoms import ge, le
+from repro.model.relation import ConstraintRelation
+from repro.model.schema import Schema, constraint, relational
+from repro.model.tuples import HTuple
+from repro.obs import (
+    MetricsRegistry,
+    SATISFIABILITY_CHECKS,
+    SOLVER_BOX_DECIDED,
+    SOLVER_CACHE_HITS,
+    SOLVER_CACHE_MISSES,
+    SOLVER_INTERVAL_PRUNES,
+    SOLVER_JOIN_PRUNES,
+    SOLVER_REQUESTS,
+)
+
+_COUNTERS = (
+    SOLVER_REQUESTS,
+    SATISFIABILITY_CHECKS,
+    SOLVER_CACHE_HITS,
+    SOLVER_CACHE_MISSES,
+    SOLVER_INTERVAL_PRUNES,
+    SOLVER_JOIN_PRUNES,
+    SOLVER_BOX_DECIDED,
+)
+
+
+def _scattered_boxes(name: str, n: int, x: str, y: str, seed: int) -> ConstraintRelation:
+    """Small axis-aligned boxes scattered over a [0, 10n] range: joining
+    two such relations on the shared attribute leaves most pairs disjoint."""
+    rng = random.Random(seed)
+    schema = Schema([constraint(x), constraint(y)])
+    tuples = []
+    for _ in range(n):
+        lo_x, lo_y = rng.randint(0, 10 * n), rng.randint(0, 10 * n)
+        formula = Conjunction.box(
+            {x: (lo_x, lo_x + rng.randint(1, 8)), y: (lo_y, lo_y + rng.randint(1, 8))}
+        )
+        tuples.append(HTuple(schema, {}, formula))
+    return ConstraintRelation(schema, tuples, name)
+
+
+def _diagonal_bands(
+    name: str, n: int, x: str, y: str, seed: int, pool: int = 10
+) -> ConstraintRelation:
+    """Diagonal bands ``2c <= x + y <= 2c + 2`` for c drawn from a small
+    pool: the multi-variable atoms defeat the interval layer, and the
+    repeated systems exercise the memo cache instead.  A per-relation id
+    attribute keeps the tuples distinct (relations are sets) while their
+    formulas repeat."""
+    rng = random.Random(seed)
+    schema = Schema([relational(f"{name}_id"), constraint(x), constraint(y)])
+    tuples = []
+    for i in range(n):
+        c = rng.randrange(pool)
+        formula = Conjunction(
+            [
+                ge(var(x), 0),
+                le(var(x), pool),
+                ge(var(x) + var(y), 2 * c),
+                le(var(x) + var(y), 2 * c + 2),
+            ]
+        )
+        tuples.append(HTuple(schema, {f"{name}_id": f"{name}{i}"}, formula))
+    return ConstraintRelation(schema, tuples, name)
+
+
+def _measure(build_left, build_right, enabled: bool) -> tuple[int, dict[str, int]]:
+    """One join run under a fresh registry, cache and relation instances
+    (tuple formulas memoise their own verdicts, so relations must not be
+    shared between the two arms)."""
+    solver.clear_caches()
+    registry = MetricsRegistry()
+    left, right = build_left(), build_right()
+    with solver.fast_path(enabled), registry.activate():
+        result = natural_join(left, right)
+    return len(result), {name: registry.value(name) for name in _COUNTERS}
+
+
+def _ab(build_left, build_right) -> dict:
+    rows_off, off = _measure(build_left, build_right, enabled=False)
+    rows_on, on = _measure(build_left, build_right, enabled=True)
+    assert rows_on == rows_off  # the fast paths must not change results
+    return {
+        "rows": rows_on,
+        "fast_path_off": off,
+        "fast_path_on": on,
+        "full_solve_reduction": (
+            off[SATISFIABILITY_CHECKS] / on[SATISFIABILITY_CHECKS]
+            if on[SATISFIABILITY_CHECKS]
+            else float("inf")
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def solver_sizes(scale) -> tuple[int, int]:
+    """Join-side cardinalities: n x n pairs get a full solve with the fast
+    paths off, so these stay far below ``scale.data_size``."""
+    return (48, 64) if scale.name == "small" else (96, 128)
+
+
+@pytest.fixture(scope="module")
+def ab_results(solver_sizes) -> dict:
+    n_boxes, n_bands = solver_sizes
+    results = {
+        "scattered_boxes": _ab(
+            lambda: _scattered_boxes("A", n_boxes, "x", "y", seed=5),
+            lambda: _scattered_boxes("B", n_boxes, "y", "z", seed=6),
+        ),
+        "diagonal_bands": _ab(
+            lambda: _diagonal_bands("A", n_bands, "x", "y", seed=7),
+            lambda: _diagonal_bands("B", n_bands, "y", "z", seed=8),
+        ),
+    }
+    path = os.environ.get("REPRO_BENCH_SOLVER_JSON", "BENCH_solver.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    return results
+
+
+def test_interval_layer_halves_full_solves(ab_results):
+    boxes = ab_results["scattered_boxes"]
+    assert boxes["full_solve_reduction"] >= 2.0
+    on = boxes["fast_path_on"]
+    assert on[SOLVER_JOIN_PRUNES] > 0  # pairs rejected before conjoining
+
+
+def test_cache_layer_halves_full_solves(ab_results):
+    bands = ab_results["diagonal_bands"]
+    assert bands["full_solve_reduction"] >= 2.0
+    on = bands["fast_path_on"]
+    assert on[SOLVER_CACHE_HITS] > on[SOLVER_CACHE_MISSES]
+
+
+def test_join_scattered_boxes_fast_path_on(benchmark, solver_sizes):
+    n, _ = solver_sizes
+
+    def run():
+        return _measure(
+            lambda: _scattered_boxes("A", n, "x", "y", seed=5),
+            lambda: _scattered_boxes("B", n, "y", "z", seed=6),
+            enabled=True,
+        )
+
+    rows, counters = benchmark(run)
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["full_solves"] = counters[SATISFIABILITY_CHECKS]
+
+
+def test_join_scattered_boxes_fast_path_off(benchmark, solver_sizes):
+    n, _ = solver_sizes
+
+    def run():
+        return _measure(
+            lambda: _scattered_boxes("A", n, "x", "y", seed=5),
+            lambda: _scattered_boxes("B", n, "y", "z", seed=6),
+            enabled=False,
+        )
+
+    rows, counters = benchmark(run)
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["full_solves"] = counters[SATISFIABILITY_CHECKS]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from ..constraints import Conjunction, DNFFormula, LinearConstraint, LinearExpression
+from ..constraints import Conjunction, DNFFormula, LinearConstraint, LinearExpression, solver
 from ..errors import AlgebraError
 from ..model.relation import ConstraintRelation
 from ..model.schema import Schema
@@ -129,6 +129,14 @@ def _join_pair(
             values[name] = lt_.value(name)
         elif name in right_schema and right_schema[name].is_relational:
             values[name] = rt.value(name)
+    # Interval pre-filter: each side's per-variable bound summary is cached
+    # on its conjunction, so rejecting a non-overlapping pair costs O(d)
+    # comparisons — no combined conjunction is built and no full
+    # satisfiability solve runs (the dominant cost of join-heavy plans).
+    if solver.join_prunable(
+        left_formula.interval_summary(), right_formula.interval_summary()
+    ):
+        return None
     combined = left_formula.conjoin(right_formula)
     if not combined.is_satisfiable():
         return None

@@ -10,8 +10,11 @@ Public surface:
 * :func:`parse_expression`, :func:`parse_constraints` — text input.
 * :mod:`~repro.constraints.elimination` — Fourier–Motzkin projection.
 * :mod:`~repro.constraints.simplex` — independent simplex feasibility.
+* :mod:`~repro.constraints.solver` — the layered satisfiability front-end
+  (interval pruning, atom interning, memo cache, adaptive dispatch).
 """
 
+from . import solver
 from .atoms import FALSE, TRUE, Comparator, LinearConstraint, eq, ge, gt, le, lt
 from .conjunction import Conjunction
 from .dnf import DNFFormula
@@ -43,5 +46,6 @@ __all__ = [
     "lt",
     "parse_constraints",
     "parse_expression",
+    "solver",
     "var",
 ]

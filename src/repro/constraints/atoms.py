@@ -43,7 +43,7 @@ class LinearConstraint:
     the constructor with a pre-moved expression.
     """
 
-    __slots__ = ("_expression", "_comparator", "_hash")
+    __slots__ = ("_expression", "_comparator", "_hash", "_sort_key")
 
     def __init__(self, expression: LinearExpression, comparator: Comparator):
         if not isinstance(comparator, Comparator):
@@ -51,6 +51,7 @@ class LinearConstraint:
         self._expression = _canonicalise(expression, comparator)
         self._comparator = comparator
         self._hash: int | None = None
+        self._sort_key: tuple | None = None
 
     # -- inspection --------------------------------------------------------
 
@@ -127,6 +128,21 @@ class LinearConstraint:
         )
 
     # -- value semantics ---------------------------------------------------
+
+    @property
+    def sort_key(self) -> tuple:
+        """A cached, totally ordered canonical key.
+
+        Built from the canonicalised coefficient items, the constant and
+        the comparator, so sorting atoms by it is deterministic without
+        rendering strings (construction-time ``sorted(key=str)`` was pure
+        overhead on the hot path) and groups atoms over the same
+        expression together.
+        """
+        if self._sort_key is None:
+            coeffs, constant = self._expression._key()
+            self._sort_key = (coeffs, constant, self._comparator.value)
+        return self._sort_key
 
     def _key(self) -> tuple:
         return (self._expression, self._comparator)

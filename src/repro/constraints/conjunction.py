@@ -11,13 +11,16 @@ redundancy-free simplification, and per-variable bounds.
 from __future__ import annotations
 
 from fractions import Fraction
+from operator import attrgetter
 from typing import Iterable, Iterator, Mapping
 
 from ..errors import ConstraintError
 from ..rational import RationalLike
-from . import elimination
+from . import elimination, solver
 from .atoms import LinearConstraint
 from .terms import LinearExpression
+
+_SORT_KEY = attrgetter("sort_key")
 
 
 class Conjunction:
@@ -25,11 +28,14 @@ class Conjunction:
 
     The empty conjunction is *true* (the whole space).  Ground-true atoms
     are dropped at construction; a ground-false atom collapses the
-    conjunction to the canonical unsatisfiable one.  Satisfiability is
-    computed lazily and cached.
+    conjunction to the canonical unsatisfiable one.  Atoms are interned
+    (structurally equal conjunctions hold pointer-equal atom tuples) and
+    canonically ordered by :attr:`LinearConstraint.sort_key`.
+    Satisfiability routes through the layered solver front-end
+    (:mod:`repro.constraints.solver`) and is cached per instance.
     """
 
-    __slots__ = ("_atoms", "_satisfiable", "_hash")
+    __slots__ = ("_atoms", "_satisfiable", "_hash", "_variables", "_summary")
 
     def __init__(self, atoms: Iterable[LinearConstraint] = ()):
         cleaned: list[LinearConstraint] = []
@@ -43,6 +49,7 @@ class Conjunction:
                     unsat = True
                     break
                 continue
+            atom = solver.intern_atom(atom)
             if atom not in seen:
                 seen.add(atom)
                 cleaned.append(atom)
@@ -52,9 +59,12 @@ class Conjunction:
             self._atoms: tuple[LinearConstraint, ...] = (FALSE,)
             self._satisfiable: bool | None = False
         else:
-            self._atoms = tuple(sorted(cleaned, key=str))
+            cleaned.sort(key=_SORT_KEY)
+            self._atoms = tuple(cleaned)
             self._satisfiable = True if not self._atoms else None
         self._hash: int | None = None
+        self._variables: frozenset[str] | None = None
+        self._summary: solver.IntervalSummary | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -101,19 +111,31 @@ class Conjunction:
 
     @property
     def variables(self) -> frozenset[str]:
-        result: frozenset[str] = frozenset()
-        for atom in self._atoms:
-            result |= atom.variables
-        return result
+        if self._variables is None:
+            result: set[str] = set()
+            for atom in self._atoms:
+                result |= atom.variables
+            self._variables = frozenset(result)
+        return self._variables
 
     @property
     def is_true(self) -> bool:
         """Whether this is the empty (trivially true) conjunction."""
         return not self._atoms
 
+    def interval_summary(self) -> solver.IntervalSummary:
+        """The cached per-variable interval summary (one linear pass on
+        first use).  Joins compare summaries to reject non-overlapping
+        tuple pairs in O(d) without a satisfiability solve."""
+        if self._summary is None:
+            self._summary = solver.summarise(self._atoms)
+        return self._summary
+
     def is_satisfiable(self) -> bool:
         if self._satisfiable is None:
-            self._satisfiable = elimination.is_satisfiable(self._atoms)
+            self._satisfiable = solver.is_satisfiable(
+                self._atoms, summary=self.interval_summary
+            )
         return self._satisfiable
 
     def satisfied_by(self, assignment: Mapping[str, RationalLike]) -> bool:
@@ -132,7 +154,7 @@ class Conjunction:
         other_atoms = (other,) if isinstance(other, LinearConstraint) else other.atoms
         for atom in other_atoms:
             for negated in atom.negate():
-                if elimination.is_satisfiable(self._atoms + (negated,)):
+                if solver.is_satisfiable(self._atoms + (negated,)):
                     return False
         return True
 
@@ -182,22 +204,20 @@ class Conjunction:
     def simplify(self) -> "Conjunction":
         """An equivalent conjunction without redundant atoms.
 
-        An atom is redundant when the remaining atoms entail it; each check
-        is a satisfiability test, so this is O(n) eliminations — worth it
-        before storing or printing, not inside inner evaluation loops.
+        An atom is redundant when the remaining atoms entail it.  One
+        restart-free sweep suffices: removing a redundant atom preserves
+        equivalence, and an atom found irredundant stays irredundant as
+        later atoms are removed (a smaller conjunction entails less), so
+        this is O(n) entailment checks instead of the quadratic
+        restart-on-every-removal loop.
         """
         if not self.is_satisfiable():
             return Conjunction.false()
         kept = list(self._atoms)
-        changed = True
-        while changed:
-            changed = False
-            for atom in list(kept):
-                rest = [a for a in kept if a is not atom]
-                if Conjunction(rest).entails(atom):
-                    kept = rest
-                    changed = True
-                    break
+        for atom in self._atoms:
+            rest = [a for a in kept if a is not atom]
+            if Conjunction(rest).entails(atom):
+                kept = rest
         return Conjunction(kept)
 
     def bounds(self, variable: str) -> tuple[Fraction | None, bool, Fraction | None, bool]:

@@ -160,21 +160,31 @@ def variable_bounds(
         other_vars |= atom.variables
     other_vars.discard(variable)
     reduced = eliminate(atoms, sorted(other_vars))
-    if _FALSE in reduced or not is_satisfiable(reduced):
-        raise ValueError("cannot bound a variable of an unsatisfiable system")
+    # ``eliminate`` already cleans the system: the only possible trivial
+    # atom is the ground-false sentinel, and every other atom mentions
+    # exactly ``variable``.  Satisfiability of the reduced 1-D system is
+    # therefore decided right here by the bound sweep (the interval is
+    # empty iff the system is unsatisfiable) — re-running elimination on
+    # the already-reduced system would be pure redundant work.
     lower: Fraction | None = None
     lower_strict = False
     upper: Fraction | None = None
     upper_strict = False
     for atom in reduced:
         if atom.is_trivial:
+            if not atom.truth_value():
+                raise ValueError("cannot bound a variable of an unsatisfiable system")
             continue
         coeff = atom.expression.coefficient(variable)
         bound = -atom.expression.constant / coeff
         if atom.comparator is Comparator.EQ:
-            if (lower is None or bound > lower) or (lower == bound and lower_strict):
+            # An equality contributes a non-strict bound on both sides; an
+            # existing *strict* bound at the same value is tighter and must
+            # be kept (replacing it would hide the emptiness of e.g.
+            # ``x < 1 ∧ x = 1``).
+            if lower is None or bound > lower:
                 lower, lower_strict = bound, False
-            if upper is None or bound < upper or (upper == bound and upper_strict):
+            if upper is None or bound < upper:
                 upper, upper_strict = bound, False
             continue
         strict = atom.comparator.is_strict
@@ -184,4 +194,10 @@ def variable_bounds(
         else:  # lower bound
             if lower is None or bound > lower or (bound == lower and strict):
                 lower, lower_strict = bound, strict
+    if (
+        lower is not None
+        and upper is not None
+        and (lower > upper or (lower == upper and (lower_strict or upper_strict)))
+    ):
+        raise ValueError("cannot bound a variable of an unsatisfiable system")
     return lower, lower_strict, upper, upper_strict

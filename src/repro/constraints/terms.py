@@ -25,7 +25,7 @@ class LinearExpression:
     non-linear.
     """
 
-    __slots__ = ("_coefficients", "_constant", "_hash")
+    __slots__ = ("_coefficients", "_constant", "_hash", "_cached_key")
 
     def __init__(
         self,
@@ -43,6 +43,7 @@ class LinearExpression:
         self._coefficients: dict[str, Fraction] = coeffs
         self._constant: Fraction = to_rational(constant)
         self._hash: int | None = None
+        self._cached_key: tuple | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -183,7 +184,9 @@ class LinearExpression:
     # -- value semantics ---------------------------------------------------
 
     def _key(self) -> tuple:
-        return (tuple(sorted(self._coefficients.items())), self._constant)
+        if self._cached_key is None:
+            self._cached_key = (tuple(sorted(self._coefficients.items())), self._constant)
+        return self._cached_key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, LinearExpression):

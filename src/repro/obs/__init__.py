@@ -19,6 +19,15 @@ from .registry import (
     POOL_REQUESTS,
     SATISFIABILITY_CHECKS,
     SIMPLEX_CALLS,
+    SOLVER_BOX_DECIDED,
+    SOLVER_CACHE_HITS,
+    SOLVER_CACHE_MISSES,
+    SOLVER_FM_ROUTED,
+    SOLVER_INTERVAL_PRUNES,
+    SOLVER_JOIN_PRUNES,
+    SOLVER_REQUESTS,
+    SOLVER_SIMPLEX_ROUTED,
+    SPATIAL_REFINE_PRUNES,
     TUPLES_PRODUCED,
     WRITE_NODE_ACCESSES,
     Counter,
@@ -43,6 +52,15 @@ __all__ = [
     "POOL_REQUESTS",
     "SATISFIABILITY_CHECKS",
     "SIMPLEX_CALLS",
+    "SOLVER_BOX_DECIDED",
+    "SOLVER_CACHE_HITS",
+    "SOLVER_CACHE_MISSES",
+    "SOLVER_FM_ROUTED",
+    "SOLVER_INTERVAL_PRUNES",
+    "SOLVER_JOIN_PRUNES",
+    "SOLVER_REQUESTS",
+    "SOLVER_SIMPLEX_ROUTED",
+    "SPATIAL_REFINE_PRUNES",
     "Span",
     "TUPLES_PRODUCED",
     "Timer",

@@ -50,8 +50,36 @@ POOL_EVICTIONS = "buffer_pool.evictions"
 
 ELIMINATE_CALLS = "solver.eliminate_calls"
 FOURIER_MOTZKIN_STEPS = "solver.fourier_motzkin_steps"
+#: Full decision-procedure satisfiability solves (Fourier–Motzkin or
+#: simplex).  Requests answered by the layered fast paths (interval
+#: propagation, memo cache) deliberately do *not* count here, so the gap
+#: between ``solver.requests`` and this counter is the solver work saved.
 SATISFIABILITY_CHECKS = "solver.satisfiability_checks"
 SIMPLEX_CALLS = "solver.simplex_calls"
+
+#: Satisfiability requests entering the layered solver front-end
+#: (:mod:`repro.constraints.solver`).
+SOLVER_REQUESTS = "solver.requests"
+#: Requests answered from the memoized satisfiability cache.
+SOLVER_CACHE_HITS = "solver.cache.hits"
+#: Requests that missed the cache and ran a full decision procedure.
+SOLVER_CACHE_MISSES = "solver.cache.misses"
+#: Systems decided *unsatisfiable* by interval propagation alone
+#: (includes join-pair prunes, which are also counted separately below).
+SOLVER_INTERVAL_PRUNES = "solver.interval.prunes"
+#: Pure-box systems decided *satisfiable* by interval propagation alone.
+SOLVER_BOX_DECIDED = "solver.interval.box_decided"
+#: Join tuple pairs rejected by comparing the two sides' interval
+#: summaries, without ever building or solving the combined conjunction.
+SOLVER_JOIN_PRUNES = "solver.interval.join_prunes"
+#: Full checks the adaptive dispatcher routed to the simplex backend.
+SOLVER_SIMPLEX_ROUTED = "solver.dispatch.simplex"
+#: Full checks the adaptive dispatcher routed to Fourier–Motzkin.
+SOLVER_FM_ROUTED = "solver.dispatch.fourier_motzkin"
+
+#: Spatial refinement work skipped via bounding-box distance lower bounds
+#: (whole candidates in Buffer-Join, convex part pairs in exact distance).
+SPATIAL_REFINE_PRUNES = "spatial.refine.prunes"
 
 #: Total tuples produced across all plan operators.
 TUPLES_PRODUCED = "plan.tuples_produced"

@@ -53,20 +53,33 @@ class Span:
         """All spans in the subtree whose ``kind`` matches."""
         return [s for s in self.walk() if s.kind == kind]
 
-    def pretty(self, counters: Sequence[tuple[str, str]] = (), indent: int = 0) -> str:
+    def pretty(
+        self,
+        counters: Sequence[tuple[str, str]] = (),
+        indent: int = 0,
+        sparse: Sequence[tuple[str, str]] = (),
+    ) -> str:
         """An annotated tree, one line per span.
 
         ``counters`` lists ``(label, counter name)`` pairs to print per
         node; counter values shown are *exclusive* (per-operator), while
         ``rows`` and time are the node's own output and inclusive time.
+        ``sparse`` pairs render the same way but only when nonzero —
+        right for counters most operators never touch (solver fast-path
+        hits, spatial refinement prunes) that would otherwise pad every
+        line with ``=0`` noise.
         """
         parts = [("  " * indent) + self.name]
         if self.rows is not None:
             parts.append(f"rows={self.rows}")
         for label, counter in counters:
             parts.append(f"{label}={self.exclusive(counter)}")
+        for label, counter in sparse:
+            value = self.exclusive(counter)
+            if value:
+                parts.append(f"{label}={value}")
         parts.append(f"time={self.elapsed * 1000:.3f}ms")
         lines = ["  ".join(parts)]
         for child in self.children:
-            lines.append(child.pretty(counters, indent + 1))
+            lines.append(child.pretty(counters, indent + 1, sparse))
         return "\n".join(lines)

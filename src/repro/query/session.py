@@ -22,6 +22,11 @@ from ..model.schema import Schema
 from ..obs import (
     LOGICAL_NODE_ACCESSES,
     PHYSICAL_NODE_ACCESSES,
+    SATISFIABILITY_CHECKS,
+    SOLVER_BOX_DECIDED,
+    SOLVER_CACHE_HITS,
+    SOLVER_INTERVAL_PRUNES,
+    SOLVER_REQUESTS,
     MetricsRegistry,
     Span,
 )
@@ -33,6 +38,17 @@ from .parser import parse_script, parse_statement
 _EXPLAIN_COUNTERS = (
     ("accesses", LOGICAL_NODE_ACCESSES),
     ("physical", PHYSICAL_NODE_ACCESSES),
+)
+
+#: Solver fast-path annotations, printed only when nonzero: ``sat`` is the
+#: number of *full* decision-procedure solves the node paid for, while the
+#: other labels count satisfiability answers the layered front-end produced
+#: without a solve (see docs/QUERY_LANGUAGE.md, "Solver fast paths").
+_EXPLAIN_SPARSE_COUNTERS = (
+    ("sat", SATISFIABILITY_CHECKS),
+    ("sat_cached", SOLVER_CACHE_HITS),
+    ("interval_pruned", SOLVER_INTERVAL_PRUNES),
+    ("box_decided", SOLVER_BOX_DECIDED),
 )
 
 
@@ -62,15 +78,26 @@ class ExplainAnalyzeReport:
         """Whole-statement wall-clock seconds."""
         return self.root.elapsed
 
+    def solver_savings(self) -> int:
+        """Satisfiability answers produced without a full solve: requests
+        minus the full decision-procedure runs actually paid for."""
+        return self.total(SOLVER_REQUESTS) - self.total(SATISFIABILITY_CHECKS)
+
     def format(self) -> str:
         lines = [f"EXPLAIN ANALYZE {self.statement}"]
-        lines.append(self.root.pretty(_EXPLAIN_COUNTERS))
-        lines.append(
-            f"total: rows={len(self.result)}  "
-            f"accesses={self.total(LOGICAL_NODE_ACCESSES)}  "
-            f"physical={self.total(PHYSICAL_NODE_ACCESSES)}  "
-            f"time={self.elapsed * 1000:.3f}ms"
-        )
+        lines.append(self.root.pretty(_EXPLAIN_COUNTERS, sparse=_EXPLAIN_SPARSE_COUNTERS))
+        totals = [
+            f"total: rows={len(self.result)}",
+            f"accesses={self.total(LOGICAL_NODE_ACCESSES)}",
+            f"physical={self.total(PHYSICAL_NODE_ACCESSES)}",
+        ]
+        if self.total(SOLVER_REQUESTS):
+            totals.append(
+                f"sat={self.total(SATISFIABILITY_CHECKS)}/{self.total(SOLVER_REQUESTS)}"
+                f" (saved {self.solver_savings()})"
+            )
+        totals.append(f"time={self.elapsed * 1000:.3f}ms")
+        lines.append("  ".join(totals))
         return "\n".join(lines)
 
     def __str__(self) -> str:

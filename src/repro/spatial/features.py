@@ -11,6 +11,7 @@ bounding boxes that Buffer-Join and k-Nearest search.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Iterator, Mapping
 
 from ..constraints import Conjunction
@@ -21,14 +22,34 @@ from ..model.relation import ConstraintRelation
 from ..model.schema import Schema, constraint, relational
 from ..model.tuples import HTuple
 from ..model.types import DataType, Null
+from ..obs import SPATIAL_REFINE_PRUNES, record
 from .geometry import BoundingBox, Point
 from .polygon import ConvexPolygon
+
+#: A float axis-aligned box ``(min_x, min_y, max_x, max_y)`` — the
+#: interval summary of one convex part, precomputed for cheap pruning.
+FloatBox = tuple[float, float, float, float]
+
+
+def _float_box(box: BoundingBox) -> FloatBox:
+    return (float(box.min_x), float(box.min_y), float(box.max_x), float(box.max_y))
+
+
+def box_mindist(a: FloatBox, b: FloatBox) -> float:
+    """Euclidean minimum distance between two float boxes (0 on overlap).
+
+    This lower-bounds the exact distance between any two shapes the boxes
+    enclose — the same interval-pruning idea the solver layer applies to
+    join pairs, here applied to spatial refinement candidates."""
+    dx = max(b[0] - a[2], a[0] - b[2], 0.0)
+    dy = max(b[1] - a[3], a[1] - b[3], 0.0)
+    return math.hypot(dx, dy)
 
 
 class Feature:
     """A named spatial feature: a union of convex parts."""
 
-    __slots__ = ("fid", "parts")
+    __slots__ = ("fid", "parts", "_part_boxes", "_bbox")
 
     def __init__(self, fid: str, parts: Iterable[ConvexPolygon]):
         if not fid or not isinstance(fid, str):
@@ -37,12 +58,34 @@ class Feature:
         self.parts: tuple[ConvexPolygon, ...] = tuple(parts)
         if not self.parts:
             raise GeometryError(f"feature {fid!r} has no parts")
+        self._part_boxes: tuple[FloatBox, ...] | None = None
+        self._bbox: FloatBox | None = None
 
     def bounding_box(self) -> BoundingBox:
         box = self.parts[0].bounding_box()
         for part in self.parts[1:]:
             box = box.union(part.bounding_box())
         return box
+
+    def part_boxes(self) -> tuple[FloatBox, ...]:
+        """Float bounding boxes of the convex parts (computed once)."""
+        if self._part_boxes is None:
+            self._part_boxes = tuple(
+                _float_box(part.bounding_box()) for part in self.parts
+            )
+        return self._part_boxes
+
+    def float_bbox(self) -> FloatBox:
+        """The whole feature's float bounding box (computed once)."""
+        if self._bbox is None:
+            boxes = self.part_boxes()
+            self._bbox = (
+                min(b[0] for b in boxes),
+                min(b[1] for b in boxes),
+                max(b[2] for b in boxes),
+                max(b[3] for b in boxes),
+            )
+        return self._bbox
 
     def contains_point(self, point: Point) -> bool:
         return any(part.contains_point(point) for part in self.parts)
@@ -52,12 +95,38 @@ class Feature:
             mine.intersects(theirs) for mine in self.parts for theirs in other.parts
         )
 
-    def distance(self, other: "Feature") -> float:
+    def distance(self, other: "Feature", cutoff: float | None = None) -> float:
         """Euclidean minimum distance between the two features (0 when they
-        touch)."""
-        return min(
-            mine.distance(theirs) for mine in self.parts for theirs in other.parts
-        )
+        touch).
+
+        Convex-part pairs whose bounding boxes are already further apart
+        than the best distance found so far are skipped (their box
+        distance lower-bounds their exact distance).  With ``cutoff``,
+        pairs provably further apart than ``cutoff`` are skipped too: the
+        result is then exact whenever it is ``<= cutoff`` and otherwise
+        only guaranteed to exceed ``cutoff`` — sufficient for the
+        threshold comparisons Buffer-Join and k-Nearest make, and far
+        cheaper than the full exact distance.  Skipped pairs are recorded
+        as ``spatial.refine.prunes``.
+        """
+        best = math.inf
+        pruned = 0
+        my_boxes = self.part_boxes()
+        their_boxes = other.part_boxes()
+        for mine, mbox in zip(self.parts, my_boxes):
+            for theirs, tbox in zip(other.parts, their_boxes):
+                lower = box_mindist(mbox, tbox)
+                if lower >= best or (cutoff is not None and lower > cutoff):
+                    pruned += 1
+                    continue
+                exact = mine.distance(theirs)
+                if exact < best:
+                    best = exact
+            if best == 0.0:
+                break  # the features touch; no pair can do better
+        if pruned:
+            record(SPATIAL_REFINE_PRUNES, pruned)
+        return best
 
     def __repr__(self) -> str:
         return f"<Feature {self.fid}: {len(self.parts)} convex parts>"

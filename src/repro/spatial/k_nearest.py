@@ -69,7 +69,13 @@ def k_nearest_features(
                 continue
             if len(best) == k and mindist > -best[0][0]:
                 break  # no remaining candidate can beat the current k-th
-            exact = query.distance(features[fid])
+            # Once the heap is full, the current k-th distance is a cutoff:
+            # part pairs provably beyond it are skipped inside distance().
+            # A candidate truly within the cutoff still gets its exact
+            # distance; one beyond it yields some value > cutoff, which the
+            # heap comparison rejects just the same.
+            cutoff = -best[0][0] if len(best) == k else None
+            exact = query.distance(features[fid], cutoff=cutoff)
             stats.candidates_refined += 1
             entry = (-exact, fid)
             if len(best) < k:
