@@ -9,6 +9,13 @@ conjunctions — and the test suite verifies the *semantic closure principle*
 corresponding infinite point sets.
 
 All operators return new relations; inputs are never mutated.
+
+Tuple-producing loops are governed: each row boundary consults the active
+:class:`~repro.governor.Budget` (deadline + output-tuple cap) through a
+:class:`~repro.governor.ProducerGuard`, which is a single attribute test
+when no budget is active.  In ``on_exhausted="partial"`` mode exhaustion
+truncates the loop — the operator returns the tuples materialized so far —
+instead of raising.
 """
 
 from __future__ import annotations
@@ -16,7 +23,8 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..constraints import Conjunction, DNFFormula, LinearConstraint, LinearExpression, solver
-from ..errors import AlgebraError
+from ..errors import AlgebraError, ResourceExhausted
+from ..governor.budget import ProducerGuard
 from ..model.relation import ConstraintRelation
 from ..model.schema import Schema
 from ..model.tuples import HTuple
@@ -33,30 +41,46 @@ def select(relation: ConstraintRelation, predicates: Sequence[Predicate]) -> Con
     semantics).  Tuples whose augmented formula is unsatisfiable vanish.
     """
     validate_predicates(relation.schema, list(predicates))
+    guard = ProducerGuard()
     result: list[HTuple] = []
     for t in relation:
-        atoms: list[LinearConstraint] = []
-        alive = True
-        for predicate in predicates:
-            if isinstance(predicate, StringPredicate):
-                if not predicate.matches(t):
+        if not guard.start_row():
+            break
+        try:
+            atoms: list[LinearConstraint] = []
+            alive = True
+            for predicate in predicates:
+                if isinstance(predicate, StringPredicate):
+                    if not predicate.matches(t):
+                        alive = False
+                        break
+                    continue
+                substituted = t.substitute_relational(predicate.expression)
+                if substituted is None:  # a NULL relational value was mentioned
                     alive = False
                     break
+                atom = LinearConstraint(substituted, predicate.comparator)
+                if atom.is_trivial:
+                    if not atom.truth_value():
+                        alive = False
+                        break
+                    continue
+                atoms.append(atom)
+            if not alive:
                 continue
-            substituted = t.substitute_relational(predicate.expression)
-            if substituted is None:  # a NULL relational value was mentioned
-                alive = False
-                break
-            atom = LinearConstraint(substituted, predicate.comparator)
-            if atom.is_trivial:
-                if not atom.truth_value():
-                    alive = False
-                    break
+            survivor = t.conjoin(atoms) if atoms else t
+            # Decide satisfiability here, inside the guarded row, so the
+            # solve is cancellable/absorbable; the relation constructor's
+            # own emptiness check then hits the per-formula cache.
+            if survivor.is_empty():
                 continue
-            atoms.append(atom)
-        if not alive:
-            continue
-        result.append(t.conjoin(atoms) if atoms else t)
+        except ResourceExhausted as exc:
+            if not guard.absorb(exc):
+                raise
+            break
+        if not guard.produced():
+            break
+        result.append(survivor)
     return ConstraintRelation(relation.schema, result)
 
 
@@ -68,7 +92,21 @@ def project(relation: ConstraintRelation, attributes: Sequence[str]) -> Constrai
     projection of the tuple's point set.
     """
     out_schema = relation.schema.project(attributes)
-    return ConstraintRelation(out_schema, (t.project(attributes) for t in relation))
+    guard = ProducerGuard()
+    result: list[HTuple] = []
+    for t in relation:
+        if not guard.start_row():
+            break
+        try:
+            projected = t.project(attributes)
+        except ResourceExhausted as exc:
+            if not guard.absorb(exc):
+                raise
+            break
+        if not guard.produced():
+            break
+        result.append(projected)
+    return ConstraintRelation(out_schema, result)
 
 
 def natural_join(left: ConstraintRelation, right: ConstraintRelation) -> ConstraintRelation:
@@ -85,11 +123,27 @@ def natural_join(left: ConstraintRelation, right: ConstraintRelation) -> Constra
     """
     out_schema = left.schema.join(right.schema)
     shared = left.schema.shared_names(right.schema)
+    guard = ProducerGuard()
     result: list[HTuple] = []
+    stopped = False
     for lt_ in left:
+        if stopped:
+            break
         for rt in right:
-            combined = _join_pair(lt_, rt, out_schema, shared)
+            if not guard.start_row():
+                stopped = True
+                break
+            try:
+                combined = _join_pair(lt_, rt, out_schema, shared)
+            except ResourceExhausted as exc:
+                if not guard.absorb(exc):
+                    raise
+                stopped = True
+                break
             if combined is not None:
+                if not guard.produced():
+                    stopped = True
+                    break
                 result.append(combined)
     return ConstraintRelation(out_schema, result)
 
@@ -146,8 +200,20 @@ def _join_pair(
 def union(left: ConstraintRelation, right: ConstraintRelation) -> ConstraintRelation:
     """∪ — requires union-compatible schemas; α(E) = α(R₁)."""
     left.schema.union_compatible(right.schema)
-    recast = (t.cast(left.schema) for t in right)
-    return ConstraintRelation(left.schema, tuple(left) + tuple(recast))
+    guard = ProducerGuard()
+    result: list[HTuple] = []
+    stopped = False
+    for t in left:
+        if not guard.start_row() or not guard.produced():
+            stopped = True
+            break
+        result.append(t)
+    if not stopped:
+        for t in right:
+            if not guard.start_row() or not guard.produced():
+                break
+            result.append(t.cast(left.schema))
+    return ConstraintRelation(left.schema, result)
 
 
 def rename(relation: ConstraintRelation, old: str, new: str) -> ConstraintRelation:
@@ -169,15 +235,29 @@ def difference(left: ConstraintRelation, right: ConstraintRelation) -> Constrain
     for rt in right:
         key = tuple(sorted(rt.values.items(), key=lambda kv: kv[0]))
         by_group.setdefault(key, []).append(rt.formula)
+    guard = ProducerGuard()
     result: list[HTuple] = []
+    stopped = False
     for t in left:
-        key = tuple(sorted(t.values.items(), key=lambda kv: kv[0]))
-        formulas = by_group.get(key)
-        if not formulas:
-            result.append(t)
-            continue
-        remainder = DNFFormula([t.formula]).difference(DNFFormula(formulas))
+        if stopped or not guard.start_row():
+            break
+        try:
+            key = tuple(sorted(t.values.items(), key=lambda kv: kv[0]))
+            formulas = by_group.get(key)
+            if not formulas:
+                if not guard.produced():
+                    break
+                result.append(t)
+                continue
+            remainder = DNFFormula([t.formula]).difference(DNFFormula(formulas))
+        except ResourceExhausted as exc:
+            if not guard.absorb(exc):
+                raise
+            break
         for disjunct in remainder:
+            if not guard.produced():
+                stopped = True
+                break
             result.append(t.with_formula(disjunct))
     return ConstraintRelation(left.schema, result)
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..errors import AlgebraError
+from ..governor.budget import checkpoint as budget_checkpoint
 from ..model.database import Database
 from ..model.relation import ConstraintRelation
 from ..obs import LOGICAL_NODE_ACCESSES, TUPLES_PRODUCED, MetricsRegistry
@@ -100,6 +101,7 @@ class PlanNode:
         """Evaluate under a span named after the operator; the nested span
         tree of one top-level call is ``registry.last_trace`` afterwards
         (what ``EXPLAIN ANALYZE`` renders)."""
+        budget_checkpoint()  # coarse per-node cancellation point
         with context.registry.trace(self.describe(), kind=type(self).__name__) as span:
             result = self._evaluate(context)
             span.rows = len(result)

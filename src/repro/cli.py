@@ -18,11 +18,33 @@ import argparse
 import sys
 from pathlib import Path
 
-from .errors import ReproError
+from .errors import ParseError, ReproError, ResourceExhausted, StorageError
+from .governor import Budget
 from .model import Database
 from .query import QuerySession
 from .query.lexer import split_statements as _statement_lines
 from .storage import load_database, save_database
+
+#: Distinct exit codes so scripts can tell failure classes apart
+#: (argparse itself exits 2 on bad usage).
+EXIT_ERROR = 1  # any other engine error
+EXIT_USAGE = 2
+EXIT_PARSE = 3  # query text did not parse
+EXIT_BUDGET = 4  # a resource budget was exhausted
+EXIT_STORAGE = 5  # database file unreadable, corrupted, or unwritable
+
+
+def _budget_from_args(args: argparse.Namespace) -> Budget | None:
+    knobs = {
+        "deadline_seconds": args.deadline,
+        "solver_steps": args.max_solver_steps,
+        "dnf_clauses": args.max_dnf_clauses,
+        "output_tuples": args.max_output,
+        "io_accesses": args.max_io,
+    }
+    if all(value is None for value in knobs.values()):
+        return None
+    return Budget(on_exhausted=args.on_exhausted, **knobs)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -34,7 +56,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         print("error: provide a script file or -e statements", file=sys.stderr)
         return 2
-    session = QuerySession(database, use_optimizer=not args.no_optimizer)
+    session = QuerySession(
+        database, use_optimizer=not args.no_optimizer, budget=_budget_from_args(args)
+    )
     if args.explain:
         for _, statement in _statement_lines(script):
             print(f"-- {statement}")
@@ -57,6 +81,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         result = session.run_script(script)
     shown = result.simplify() if args.simplify else result
     print(shown.pretty(limit=args.limit))
+    if result.truncated:
+        print(
+            "warning: result truncated (resource budget exhausted; "
+            f"{session.budget.summary()})",
+            file=sys.stderr,
+        )
     if args.save:
         out = Database()
         for name, relation in session.results.items():
@@ -112,6 +142,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="EXPLAIN ANALYZE each statement: per-operator rows/accesses/timings "
         "on stderr, plus a session metrics report",
     )
+    limits = query.add_argument_group(
+        "resource limits", "per-statement budget (see docs/QUERY_LANGUAGE.md)"
+    )
+    limits.add_argument(
+        "--deadline", type=float, metavar="SECONDS", help="wall-clock deadline per statement"
+    )
+    limits.add_argument(
+        "--max-solver-steps", type=int, metavar="N", help="elimination/simplex step budget"
+    )
+    limits.add_argument(
+        "--max-dnf-clauses", type=int, metavar="N", help="DNF distribution/complement clause budget"
+    )
+    limits.add_argument(
+        "--max-output", type=int, metavar="N", help="materialized tuple cap (intermediates included)"
+    )
+    limits.add_argument(
+        "--max-io", type=int, metavar="N", help="simulated IO cap (index node visits + page reads)"
+    )
+    limits.add_argument(
+        "--on-exhausted",
+        choices=("raise", "partial"),
+        default="raise",
+        help="exhaustion behaviour: fail the statement, or keep the tuples "
+        "materialized so far and mark the result truncated",
+    )
     query.set_defaults(handler=_cmd_query)
 
     show = commands.add_parser("show", help="print relations of a database")
@@ -130,12 +185,21 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except ParseError as exc:
+        print(f"error[parse]: {exc}", file=sys.stderr)
+        return EXIT_PARSE
+    except ResourceExhausted as exc:
+        print(f"error[budget:{exc.resource or 'unknown'}]: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except StorageError as exc:
+        print(f"error[storage]: {exc}", file=sys.stderr)
+        return EXIT_STORAGE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        print(f"error[storage]: {exc}", file=sys.stderr)
+        return EXIT_STORAGE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
+from ..governor.budget import charge as budget_charge
+from ..governor.budget import checkpoint as budget_checkpoint
 from ..rational import RationalLike
 from .atoms import LinearConstraint
 from .conjunction import Conjunction
@@ -79,7 +81,11 @@ class DNFFormula:
     def conjoin(self, other: "DNFFormula | Conjunction | LinearConstraint") -> "DNFFormula":
         """Distribute a conjunction over the disjuncts."""
         if isinstance(other, (Conjunction, LinearConstraint)):
+            budget_charge("dnf_clauses", len(self._disjuncts))
             return DNFFormula(d.conjoin(other) for d in self._disjuncts)
+        # The distributed product is |self| × |other| clauses; charge the
+        # DNF budget before building it.
+        budget_charge("dnf_clauses", len(self._disjuncts) * len(other._disjuncts))
         return DNFFormula(
             mine.conjoin(theirs) for mine in self._disjuncts for theirs in other._disjuncts
         )
@@ -101,6 +107,11 @@ class DNFFormula:
             alternatives: list[LinearConstraint] = []
             for atom in disjunct.atoms:
                 alternatives.extend(atom.negate())
+            # Each round multiplies the open branches by the alternatives;
+            # this is the exponential frontier of complementation, so it is
+            # charged (and deadline-checked) before being built.
+            budget_checkpoint()
+            budget_charge("dnf_clauses", len(branches) * len(alternatives))
             new_branches: list[Conjunction] = []
             for branch in branches:
                 for alt in alternatives:

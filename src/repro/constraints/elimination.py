@@ -17,6 +17,8 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+from ..governor.budget import charge as budget_charge
+from ..governor.budget import checkpoint as budget_checkpoint
 from ..obs import ELIMINATE_CALLS, FOURIER_MOTZKIN_STEPS, SATISFIABILITY_CHECKS, record
 from .atoms import Comparator, LinearConstraint, le, lt
 from .terms import LinearExpression
@@ -60,6 +62,7 @@ def fourier_motzkin_step(atoms: Sequence[LinearConstraint], variable: str) -> li
     :func:`_clean` it.
     """
     record(FOURIER_MOTZKIN_STEPS)
+    budget_checkpoint()
     lowers: list[tuple[LinearExpression, bool]] = []  # (bound, strict): variable >(=) bound
     uppers: list[tuple[LinearExpression, bool]] = []  # (bound, strict): variable <(=) bound
     others: list[LinearConstraint] = []
@@ -78,6 +81,10 @@ def fourier_motzkin_step(atoms: Sequence[LinearConstraint], variable: str) -> li
             uppers.append((bound, atom.comparator.is_strict))
         else:  # v >= bound
             lowers.append((bound, atom.comparator.is_strict))
+    # The step's cost — and the source of FM's exponential worst case — is
+    # the lower×upper cross product; charge it against the solver budget
+    # *before* building it so an explosive step is cancelled up front.
+    budget_charge("solver_steps", 1 + len(lowers) * len(uppers))
     for low, low_strict in lowers:
         for up, up_strict in uppers:
             if low_strict or up_strict:
@@ -123,6 +130,7 @@ def eliminate(
         )
         if equality is not None:
             replacement = solve_equality_for(equality, variable)
+            budget_charge("solver_steps", 1 + len(current))
             substituted = [
                 a.substitute(variable, replacement) for a in current if a is not equality
             ]

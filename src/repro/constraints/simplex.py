@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Mapping, Sequence
 
+from ..governor.budget import charge as budget_charge
+from ..governor.budget import checkpoint as budget_checkpoint
 from ..obs import SIMPLEX_CALLS, record
 from .atoms import Comparator, LinearConstraint
 
@@ -102,6 +104,11 @@ class _Tableau:
             obj = [o - coeff * row[j] for j, o in enumerate(obj)]
             value -= coeff * self.rhs[i]
         while True:
+            # One simplex pivot ≈ one Fourier–Motzkin step of work: charge
+            # the same solver budget so governed queries are bounded
+            # whichever backend the adaptive dispatcher picked.
+            budget_checkpoint()
+            budget_charge("solver_steps", 1)
             entering = -1
             for col in range(self.num_cols):
                 if col in forbidden:

@@ -44,6 +44,7 @@ from fractions import Fraction
 from operator import attrgetter
 from typing import Callable, Iterable, Iterator, Mapping
 
+from ..governor.budget import checkpoint as budget_checkpoint
 from ..obs import (
     SATISFIABILITY_CHECKS,
     SOLVER_BOX_DECIDED,
@@ -293,6 +294,10 @@ def is_satisfiable(
     pass, and the pass is skipped entirely when intervals are disabled).
     """
     record(SOLVER_REQUESTS)
+    # The finest-grained cooperative cancellation point: every join pair,
+    # select survivor and complement branch asks satisfiability, so a
+    # deadline fires here within one solve of the exhaustion instant.
+    budget_checkpoint()
     atoms = tuple(atoms)
     if not atoms:
         return True

@@ -4,9 +4,24 @@ Every error raised by the library derives from :class:`ReproError`, so
 applications can catch a single base class.  Subclasses mirror the layers of
 the system (constraints, schema/model, algebra, query language, spatial,
 storage) described in DESIGN.md.
+
+Two structured sub-taxonomies matter for robustness:
+
+* :class:`ResourceExhausted` — a query ran into a limit of its
+  :class:`~repro.governor.Budget` (deadline, solver steps, DNF clauses,
+  output tuples, IO accesses).  Each instance carries the consumed-resource
+  snapshot taken when the limit fired, so callers get diagnostics instead
+  of a hung or OOM-killed process.
+* :class:`StorageError` and its :class:`TransientStorageError` /
+  :class:`CorruptPageError` children — the storage failure model.
+  Transient errors are retryable (see
+  :mod:`repro.governor.faultinject`); corruption is permanent and is
+  detected by the serialization checksum layer.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 
 class ReproError(Exception):
@@ -47,6 +62,8 @@ class ParseError(QueryError):
             location = f" at line {line}"
             if column is not None:
                 location += f", column {column}"
+        elif column is not None:
+            location = f" at column {column}"
         super().__init__(f"{message}{location}")
         self.line = line
         self.column = column
@@ -60,6 +77,71 @@ class StorageError(ReproError):
     """Errors in the simulated storage layer or serialization format."""
 
 
-class IndexError_(ReproError):
+class TransientStorageError(StorageError):
+    """A storage operation failed in a way that may succeed on retry
+    (simulated flaky read).  The retry helpers in
+    :mod:`repro.governor.faultinject` retry exactly this class; every
+    other :class:`StorageError` is permanent."""
+
+
+class CorruptPageError(StorageError):
+    """Stored data failed an integrity check (checksum/length mismatch).
+    Permanent: retrying reads the same corrupt bytes."""
+
+
+class IndexStructureError(ReproError):
     """Errors in index construction or search (named to avoid shadowing
     the builtin :class:`IndexError`)."""
+
+
+#: Deprecated alias for :class:`IndexStructureError` (the pre-rename
+#: spelling); kept so existing ``except IndexError_`` code keeps working.
+IndexError_ = IndexStructureError
+
+
+class ResourceExhausted(ReproError):
+    """A query exceeded one of its :class:`~repro.governor.Budget` limits.
+
+    ``resource`` names the exhausted budget knob, ``consumed``/``limit``
+    quantify it, and ``snapshot`` is the governor's consumed-resources
+    snapshot (including obs-registry counters) at the moment the limit
+    fired — the partial diagnostics a bounded failure should carry.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: str = "",
+        consumed: float | int | None = None,
+        limit: float | int | None = None,
+        snapshot: Mapping[str, float] | None = None,
+    ):
+        super().__init__(message)
+        self.resource = resource
+        self.consumed = consumed
+        self.limit = limit
+        self.snapshot = dict(snapshot) if snapshot is not None else {}
+
+
+class DeadlineExceeded(ResourceExhausted):
+    """The query's wall-clock deadline passed."""
+
+
+class SolverBudgetExceeded(ResourceExhausted):
+    """The solver-step / elimination-atom budget ran out (typically a
+    Fourier–Motzkin blow-up)."""
+
+
+class DNFBudgetExceeded(ResourceExhausted):
+    """The DNF clause cap was hit while distributing or complementing a
+    formula (difference/complement blow-up)."""
+
+
+class OutputLimitExceeded(ResourceExhausted):
+    """The query materialized more tuples than its output cap allows."""
+
+
+class IOBudgetExceeded(ResourceExhausted):
+    """The query performed more simulated IO (index node visits, heap
+    page reads) than its budget allows."""

@@ -1,0 +1,290 @@
+"""Deterministic fault injection for the simulated storage layer.
+
+A :class:`FaultPlan` is a *seeded, reproducible* schedule of storage
+faults.  Wrappers apply it to each layer:
+
+* :class:`FaultyHeapFile` — heap page reads fail transiently
+  (:class:`~repro.errors.TransientStorageError`) or permanently as
+  corruption (:class:`~repro.errors.CorruptPageError`);
+* :class:`FaultyBufferPool` — page misses (simulated disk reads) fail
+  transiently; hits never fail (the page is already resident);
+* :func:`corrupt_database_text` — flips bytes inside ``tuple`` lines of
+  a serialized ``.cdb`` text, which the checksum layer of
+  :mod:`repro.storage.serialization` must surface as a structured
+  :class:`~repro.errors.CorruptPageError` rather than garbage tuples.
+
+Two scheduling modes compose:
+
+* an explicit schedule — ``fail_ops={0: "transient", 3: "corrupt"}``
+  keyed by the plan's global operation counter, for tests that need
+  exact failure positions;
+* seeded rates — ``transient_rate=0.2`` draws per operation from a
+  private :class:`random.Random(seed)`, so the same seed over the same
+  operation sequence always injects the same faults.
+
+:func:`call_with_retries` is the matching recovery policy: bounded
+attempts with exponential backoff, retrying *only*
+:class:`~repro.errors.TransientStorageError` — corruption and other
+permanent errors propagate immediately.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, TypeVar
+
+from ..errors import CorruptPageError, StorageError, TransientStorageError
+from ..obs import STORAGE_FAULTS_INJECTED, STORAGE_RETRIES, record
+
+if TYPE_CHECKING:  # storage imports stay type-only: the storage layer
+    # itself imports the governor for IO charging, and a runtime import
+    # here would close that loop into a cycle.
+    from ..storage.buffer_pool import BufferPool
+    from ..storage.heapfile import HeapFile
+
+T = TypeVar("T")
+
+#: Fault kinds a plan can schedule.
+TRANSIENT = "transient"
+CORRUPT = "corrupt"
+_KINDS = (TRANSIENT, CORRUPT)
+
+
+class FaultPlan:
+    """A deterministic schedule of injected storage faults.
+
+    Every intercepted operation advances :attr:`operations`; the fault
+    decision for operation *i* depends only on the seed, the explicit
+    ``fail_ops`` schedule, and *i* — never on wall-clock or object
+    identity — so a test that replays the same operations sees the same
+    faults.
+
+    ``max_transients`` bounds rate-driven transient faults so a retry
+    loop is guaranteed to eventually see a success (explicitly scheduled
+    faults are exempt: tests own those).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        transient_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        fail_ops: dict[int, str] | None = None,
+        max_transients: int | None = None,
+    ):
+        for name, rate in (("transient_rate", transient_rate), ("corrupt_rate", corrupt_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        self._schedule = dict(fail_ops or {})
+        for op, kind in self._schedule.items():
+            if kind not in _KINDS:
+                raise ValueError(f"unknown fault kind {kind!r} for op {op}")
+        self._rng = random.Random(seed)
+        self.transient_rate = transient_rate
+        self.corrupt_rate = corrupt_rate
+        self.max_transients = max_transients
+        self.operations = 0
+        self.injected_transients = 0
+        self.injected_corruptions = 0
+
+    def next_fault(self, layer: str = "storage") -> str | None:
+        """The fault for the next operation: ``"transient"``,
+        ``"corrupt"``, or ``None``.  Advances the operation counter."""
+        op = self.operations
+        self.operations += 1
+        kind = self._schedule.get(op)
+        if kind is None:
+            # Always draw both so the stream position — hence determinism —
+            # does not depend on which rates are enabled.
+            transient_draw = self._rng.random()
+            corrupt_draw = self._rng.random()
+            if corrupt_draw < self.corrupt_rate:
+                kind = CORRUPT
+            elif transient_draw < self.transient_rate and (
+                self.max_transients is None or self.injected_transients < self.max_transients
+            ):
+                kind = TRANSIENT
+        if kind == TRANSIENT:
+            self.injected_transients += 1
+        elif kind == CORRUPT:
+            self.injected_corruptions += 1
+        if kind is not None:
+            record(STORAGE_FAULTS_INJECTED)
+        del layer  # reserved for layer-scoped schedules
+        return kind
+
+    def raise_for_next(self, layer: str, what: str) -> None:
+        """Consult the schedule and raise the scheduled fault, if any."""
+        kind = self.next_fault(layer)
+        if kind == TRANSIENT:
+            raise TransientStorageError(f"injected transient failure reading {what} ({layer})")
+        if kind == CORRUPT:
+            raise CorruptPageError(f"injected corruption reading {what} ({layer})")
+
+
+# -- layer wrappers ------------------------------------------------------------
+
+
+class FaultyHeapFile:
+    """A :class:`~repro.storage.HeapFile` whose page reads consult a
+    :class:`FaultPlan`.  Mirrors the heap file's read API; a faulted scan
+    raises mid-iteration, exactly like a real partial read."""
+
+    def __init__(self, heapfile: "HeapFile", plan: FaultPlan):
+        self._file = heapfile
+        self.plan = plan
+
+    @property
+    def page_count(self) -> int:
+        return self._file.page_count
+
+    @property
+    def stats(self):
+        return self._file.stats
+
+    def __len__(self) -> int:
+        return len(self._file)
+
+    def read_page(self, index: int) -> list:
+        self.plan.raise_for_next("heapfile", f"page {index}")
+        return self._file.read_page(index)
+
+    def scan(self) -> Iterator:
+        for index in range(self._file.page_count):
+            yield from self.read_page(index)
+
+
+class FaultyBufferPool:
+    """A :class:`~repro.storage.BufferPool` facade injecting faults on
+    *misses* only: a hit serves the resident page and cannot fail."""
+
+    def __init__(self, pool: "BufferPool", plan: FaultPlan):
+        self._pool = pool
+        self.plan = plan
+
+    @property
+    def stats(self):
+        return self._pool.stats
+
+    def bind_registry(self, registry) -> None:
+        self._pool.bind_registry(registry)
+
+    def access(self, page_id: object) -> bool:
+        if page_id in self._pool:
+            return self._pool.access(page_id)
+        self.plan.raise_for_next("buffer_pool", f"page {page_id!r}")
+        return self._pool.access(page_id)
+
+    def __contains__(self, page_id: object) -> bool:
+        return page_id in self._pool
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def clear(self) -> None:
+        self._pool.clear()
+
+
+def corrupt_database_text(text: str, plan: FaultPlan) -> str:
+    """Deterministically corrupt one serialized ``tuple`` line per
+    corruption the plan schedules (one ``next_fault`` draw per tuple
+    line).  The mutation swaps a digit inside the constraint part, the
+    kind of bit-rot only a checksum catches: the line still parses, but
+    into a different formula."""
+    lines = text.split("\n")
+    for i, line in enumerate(lines):
+        if not line.startswith("tuple"):
+            continue
+        if plan.next_fault("serialization") != CORRUPT:
+            continue
+        digits = [j for j, ch in enumerate(line) if ch.isdigit()]
+        if not digits:
+            continue
+        j = digits[len(digits) // 2]
+        flipped = "3" if line[j] != "3" else "7"
+        lines[i] = line[:j] + flipped + line[j + 1 :]
+    return "\n".join(lines)
+
+
+# -- bounded retry -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient storage errors.
+
+    ``attempts`` counts total tries (so ``attempts=3`` retries twice);
+    delays grow ``base_delay * multiplier**retry`` capped at
+    ``max_delay``.  ``sleep`` is injectable so tests run instantly and
+    can assert the exact backoff sequence.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.1
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.multiplier < 1:
+            raise ValueError("delays must be non-negative and multiplier >= 1")
+
+    def delay_for(self, retry: int) -> float:
+        return min(self.base_delay * self.multiplier**retry, self.max_delay)
+
+
+def call_with_retries(operation: Callable[[], T], policy: RetryPolicy | None = None) -> T:
+    """Run ``operation``, retrying :class:`TransientStorageError` up to
+    the policy's attempt bound with exponential backoff.  Permanent
+    :class:`StorageError`\\ s (corruption included) propagate immediately;
+    after the final attempt the last transient error propagates, so a
+    persistent "transient" fault still fails loudly rather than looping."""
+    policy = policy or RetryPolicy()
+    last: TransientStorageError | None = None
+    for retry in range(policy.attempts):
+        try:
+            return operation()
+        except TransientStorageError as exc:
+            last = exc
+            if retry + 1 < policy.attempts:
+                record(STORAGE_RETRIES)
+                policy.sleep(policy.delay_for(retry))
+    assert last is not None
+    raise last
+
+
+def scan_with_retries(
+    heapfile: "FaultyHeapFile | HeapFile", policy: RetryPolicy | None = None
+) -> list:
+    """A full heap-file scan that retries each page read independently.
+
+    The unit of retry is the page: a transient fault on page *k* re-reads
+    page *k* only, never the pages already delivered, so the result is
+    exactly one copy of every tuple (or a structured :class:`StorageError`
+    once a page fails permanently)."""
+    read_page = getattr(heapfile, "read_page")
+    out: list = []
+    for index in range(heapfile.page_count):
+        out.extend(call_with_retries(lambda: read_page(index), policy))
+    return out
+
+
+__all__ = [
+    "CORRUPT",
+    "TRANSIENT",
+    "CorruptPageError",
+    "FaultPlan",
+    "FaultyBufferPool",
+    "FaultyHeapFile",
+    "RetryPolicy",
+    "StorageError",
+    "TransientStorageError",
+    "call_with_retries",
+    "corrupt_database_text",
+    "scan_with_retries",
+]

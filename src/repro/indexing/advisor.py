@@ -30,7 +30,7 @@ from typing import Iterable, Sequence
 
 import networkx as nx
 
-from ..errors import IndexError_
+from ..errors import IndexStructureError
 
 
 @dataclass(frozen=True)
@@ -45,11 +45,11 @@ class WorkloadQuery:
 
     def __post_init__(self) -> None:
         if not self.attributes:
-            raise IndexError_("a workload query must constrain at least one attribute")
+            raise IndexStructureError("a workload query must constrain at least one attribute")
         if not 0 < self.selectivity <= 1:
-            raise IndexError_(f"selectivity must be in (0, 1], got {self.selectivity}")
+            raise IndexStructureError(f"selectivity must be in (0, 1], got {self.selectivity}")
         if self.frequency <= 0:
-            raise IndexError_(f"frequency must be positive, got {self.frequency}")
+            raise IndexStructureError(f"frequency must be positive, got {self.frequency}")
 
 
 @dataclass
@@ -147,12 +147,12 @@ def recommend_grouping(
     """Choose index groups for ``attributes`` given a query workload."""
     attributes = list(dict.fromkeys(attributes))
     if not attributes:
-        raise IndexError_("no attributes to group")
+        raise IndexStructureError("no attributes to group")
     if not workload:
-        raise IndexError_("an empty workload cannot guide grouping")
+        raise IndexStructureError("an empty workload cannot guide grouping")
     unknown = {a for q in workload for a in q.attributes} - set(attributes)
     if unknown:
-        raise IndexError_(f"workload queries unknown attributes {sorted(unknown)}")
+        raise IndexStructureError(f"workload queries unknown attributes {sorted(unknown)}")
     graph = nx.Graph()
     graph.add_nodes_from(attributes)
     for query in workload:

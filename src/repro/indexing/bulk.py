@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable, Sequence
 
-from ..errors import IndexError_
+from ..errors import IndexStructureError
 from .mbr import MBR
 from .rstar import RStarTree, _Entry, _Node
 
@@ -79,12 +79,12 @@ def str_bulk_load(
     (a fully packed node splits on its first insertion).
     """
     if not 0.25 < fill_factor <= 1.0:
-        raise IndexError_(f"fill_factor must be in (0.25, 1], got {fill_factor}")
+        raise IndexStructureError(f"fill_factor must be in (0.25, 1], got {fill_factor}")
     tree = RStarTree(dimensions, max_entries=max_entries, min_entries=min_entries)
     entries = [_Entry(mbr, payload=payload) for mbr, payload in items]
     for entry in entries:
         if entry.mbr.dimensions != dimensions:
-            raise IndexError_(
+            raise IndexStructureError(
                 f"MBR has {entry.mbr.dimensions} dimensions; expected {dimensions}"
             )
     if not entries:

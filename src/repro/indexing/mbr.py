@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from ..errors import IndexError_
+from ..errors import IndexStructureError
 
 
 class MBR:
@@ -23,10 +23,10 @@ class MBR:
         mins = tuple(float(v) for v in mins)
         maxs = tuple(float(v) for v in maxs)
         if len(mins) != len(maxs) or not mins:
-            raise IndexError_(f"malformed MBR: mins={mins}, maxs={maxs}")
+            raise IndexStructureError(f"malformed MBR: mins={mins}, maxs={maxs}")
         for low, high in zip(mins, maxs):
             if low > high:
-                raise IndexError_(f"empty MBR: {mins} > {maxs}")
+                raise IndexStructureError(f"empty MBR: {mins} > {maxs}")
         self.mins = mins
         self.maxs = maxs
 
@@ -40,7 +40,7 @@ class MBR:
     def union_all(cls, boxes: Iterable["MBR"]) -> "MBR":
         boxes = list(boxes)
         if not boxes:
-            raise IndexError_("union of zero MBRs")
+            raise IndexStructureError("union of zero MBRs")
         dims = boxes[0].dimensions
         mins = [min(b.mins[d] for b in boxes) for d in range(dims)]
         maxs = [max(b.maxs[d] for b in boxes) for d in range(dims)]

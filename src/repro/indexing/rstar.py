@@ -28,7 +28,8 @@ from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
 
-from ..errors import IndexError_
+from ..errors import IndexStructureError
+from ..governor.budget import charge_io as budget_charge_io
 from ..obs import (
     LOGICAL_NODE_ACCESSES,
     PHYSICAL_NODE_ACCESSES,
@@ -95,14 +96,14 @@ class RStarTree:
         reinsert_fraction: float = 0.3,
     ):
         if dimensions < 1:
-            raise IndexError_(f"dimensions must be >= 1, got {dimensions}")
+            raise IndexStructureError(f"dimensions must be >= 1, got {dimensions}")
         if max_entries < 4:
-            raise IndexError_(f"max_entries must be >= 4, got {max_entries}")
+            raise IndexStructureError(f"max_entries must be >= 4, got {max_entries}")
         self.dimensions = dimensions
         self.max_entries = max_entries
         self.min_entries = min_entries if min_entries is not None else max(2, int(round(0.4 * max_entries)))
         if not 2 <= self.min_entries <= max_entries // 2:
-            raise IndexError_(
+            raise IndexStructureError(
                 f"min_entries must be in [2, {max_entries // 2}], got {self.min_entries}"
             )
         self.forced_reinsert = forced_reinsert
@@ -137,6 +138,7 @@ class RStarTree:
 
     def _visit(self, node: "_Node") -> None:
         self.search_accesses += 1
+        budget_charge_io()  # one simulated disk access against the IO budget
         registry = self._registry
         if registry is not None:
             registry.add(LOGICAL_NODE_ACCESSES)
@@ -209,7 +211,7 @@ class RStarTree:
         (Hjaltason & Samet).  Distances are Euclidean."""
         self._check_dims(target)
         if k < 1:
-            raise IndexError_(f"k must be >= 1, got {k}")
+            raise IndexStructureError(f"k must be >= 1, got {k}")
         results: list[tuple[float, Any]] = []
         counter = 0  # tie-breaker so heap never compares payloads
         heap: list[tuple[float, int, bool, Any]] = [(0.0, counter, False, self._root)]
@@ -286,33 +288,33 @@ class RStarTree:
             node, parent_mbr = stack.pop()
             if node is not self._root:
                 if not self.min_entries <= len(node.entries) <= self.max_entries:
-                    raise IndexError_(
+                    raise IndexStructureError(
                         f"node at level {node.level} has {len(node.entries)} entries "
                         f"(bounds {self.min_entries}..{self.max_entries})"
                     )
             elif len(node.entries) > self.max_entries:
-                raise IndexError_(f"root has {len(node.entries)} entries (> {self.max_entries})")
+                raise IndexStructureError(f"root has {len(node.entries)} entries (> {self.max_entries})")
             if parent_mbr is not None and node.entries and not parent_mbr.contains(node.mbr()):
-                raise IndexError_(f"parent MBR does not cover node at level {node.level}")
+                raise IndexStructureError(f"parent MBR does not cover node at level {node.level}")
             for entry in node.entries:
                 if node.is_leaf:
                     counted += 1
                     if entry.child is not None:
-                        raise IndexError_("leaf entry with a child pointer")
+                        raise IndexStructureError("leaf entry with a child pointer")
                 else:
                     if entry.child is None:
-                        raise IndexError_("internal entry without a child")
+                        raise IndexStructureError("internal entry without a child")
                     if entry.child.level != node.level - 1:
-                        raise IndexError_("child level mismatch")
+                        raise IndexStructureError("child level mismatch")
                     stack.append((entry.child, entry.mbr))
         if counted != self._size:
-            raise IndexError_(f"size mismatch: counted {counted}, recorded {self._size}")
+            raise IndexStructureError(f"size mismatch: counted {counted}, recorded {self._size}")
 
     # -- insertion machinery -------------------------------------------------
 
     def _check_dims(self, mbr: MBR) -> None:
         if mbr.dimensions != self.dimensions:
-            raise IndexError_(
+            raise IndexStructureError(
                 f"MBR has {mbr.dimensions} dimensions; tree expects {self.dimensions}"
             )
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Sequence
 
 from ..constraints import Comparator, Conjunction, LinearConstraint
-from ..errors import IndexError_, SchemaError
+from ..errors import IndexStructureError, SchemaError
 from ..obs import MetricsRegistry
 from ..model.relation import ConstraintRelation
 from ..model.tuples import HTuple
@@ -100,9 +100,9 @@ class IndexStrategy:
 
     def __init__(self, attributes: Sequence[str]):
         if not attributes:
-            raise IndexError_("an index needs at least one attribute")
+            raise IndexStructureError("an index needs at least one attribute")
         if len(set(attributes)) != len(attributes):
-            raise IndexError_(f"duplicate attributes in index: {attributes}")
+            raise IndexStructureError(f"duplicate attributes in index: {attributes}")
         self.attributes = tuple(attributes)
 
     @property

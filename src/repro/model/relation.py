@@ -27,7 +27,7 @@ class ConstraintRelation:
     at construction; duplicates are removed (set semantics, Definition 2).
     """
 
-    __slots__ = ("_schema", "_tuples", "_name")
+    __slots__ = ("_schema", "_tuples", "_name", "_truncated")
 
     def __init__(
         self,
@@ -35,6 +35,7 @@ class ConstraintRelation:
         tuples: Iterable[HTuple] = (),
         name: str | None = None,
     ):
+        self._truncated = False
         materialised: list[HTuple] = []
         seen: set[HTuple] = set()
         for t in tuples:
@@ -95,6 +96,19 @@ class ConstraintRelation:
     @property
     def tuples(self) -> tuple[HTuple, ...]:
         return self._tuples
+
+    @property
+    def truncated(self) -> bool:
+        """Whether this result was cut short by a resource budget running in
+        ``on_exhausted="partial"`` mode (the tuples present are a sound
+        prefix of the full answer, not the complete answer)."""
+        return self._truncated
+
+    def with_truncated(self, truncated: bool = True) -> "ConstraintRelation":
+        """The same relation with the ``truncated`` marker set."""
+        relation = ConstraintRelation(self._schema, self._tuples, self._name)
+        relation._truncated = truncated
+        return relation
 
     def __len__(self) -> int:
         return len(self._tuples)

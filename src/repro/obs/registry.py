@@ -81,6 +81,22 @@ SOLVER_FM_ROUTED = "solver.dispatch.fourier_motzkin"
 #: (whole candidates in Buffer-Join, convex part pairs in exact distance).
 SPATIAL_REFINE_PRUNES = "spatial.refine.prunes"
 
+#: Governor budget consumption, recorded only while a budget is active so
+#: ``EXPLAIN ANALYZE`` can label per-node charges.  The IO budget is
+#: deliberately *not* mirrored here: its charge sites (R*-tree node
+#: visits, heap page reads) are the hot path, and the existing
+#: ``index.node_accesses.*`` counters already expose the same quantity.
+GOVERNOR_SOLVER_STEPS = "governor.charged.solver_steps"
+GOVERNOR_DNF_CLAUSES = "governor.charged.dnf_clauses"
+GOVERNOR_OUTPUT_TUPLES = "governor.charged.output_tuples"
+#: Producer loops cut short by partial-mode graceful degradation.
+GOVERNOR_TRUNCATIONS = "governor.truncations"
+
+#: Transient storage failures retried by the bounded-backoff helper.
+STORAGE_RETRIES = "storage.retries"
+#: Faults injected by an active :class:`~repro.governor.FaultPlan`.
+STORAGE_FAULTS_INJECTED = "storage.faults_injected"
+
 #: Total tuples produced across all plan operators.
 TUPLES_PRODUCED = "plan.tuples_produced"
 

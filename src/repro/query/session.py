@@ -16,10 +16,14 @@ from typing import Mapping
 from ..algebra.optimizer import Optimizer
 from ..algebra.plan import EvaluationContext, Metrics, PlanNode, evaluate
 from ..errors import QueryError
+from ..governor.budget import Budget
 from ..model.database import Database
 from ..model.relation import ConstraintRelation
 from ..model.schema import Schema
 from ..obs import (
+    GOVERNOR_DNF_CLAUSES,
+    GOVERNOR_OUTPUT_TUPLES,
+    GOVERNOR_SOLVER_STEPS,
     LOGICAL_NODE_ACCESSES,
     PHYSICAL_NODE_ACCESSES,
     SATISFIABILITY_CHECKS,
@@ -49,6 +53,11 @@ _EXPLAIN_SPARSE_COUNTERS = (
     ("sat_cached", SOLVER_CACHE_HITS),
     ("interval_pruned", SOLVER_INTERVAL_PRUNES),
     ("box_decided", SOLVER_BOX_DECIDED),
+    # Budget consumption mirrored at charge time; nonzero only when the
+    # statement ran under an active Budget (see repro.governor).
+    ("budget_steps", GOVERNOR_SOLVER_STEPS),
+    ("budget_dnf", GOVERNOR_DNF_CLAUSES),
+    ("budget_rows", GOVERNOR_OUTPUT_TUPLES),
 )
 
 
@@ -68,6 +77,9 @@ class ExplainAnalyzeReport:
     target: str
     result: ConstraintRelation
     root: Span
+    #: One-line consumed/limit rendering of the governing budget's window
+    #: (``None`` when the session has no budget attached).
+    budget_summary: str | None = None
 
     def total(self, counter: str) -> int:
         """Whole-statement (root-inclusive) value of ``counter``."""
@@ -96,8 +108,12 @@ class ExplainAnalyzeReport:
                 f"sat={self.total(SATISFIABILITY_CHECKS)}/{self.total(SOLVER_REQUESTS)}"
                 f" (saved {self.solver_savings()})"
             )
+        if self.result.truncated:
+            totals.append("TRUNCATED")
         totals.append(f"time={self.elapsed * 1000:.3f}ms")
         lines.append("  ".join(totals))
+        if self.budget_summary is not None:
+            lines.append(self.budget_summary)
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -111,6 +127,13 @@ class QuerySession:
     (relation name → {attribute set → index strategy}); with
     ``use_optimizer=True`` (the default) selections over indexed base
     relations become index scans.
+
+    ``budget`` attaches a :class:`~repro.governor.Budget` governing every
+    statement: each one runs in a fresh accounting window, so the session
+    stays usable after a statement is cancelled.  With the budget in
+    ``on_exhausted="partial"`` mode a statement that exhausts its budget
+    binds (and returns) the tuples materialized so far, with the result's
+    ``truncated`` flag set.
     """
 
     def __init__(
@@ -119,6 +142,7 @@ class QuerySession:
         indexes: Mapping[str, Mapping[frozenset[str], object]] | None = None,
         use_optimizer: bool = True,
         registry: MetricsRegistry | None = None,
+        budget: Budget | None = None,
     ):
         self._workspace = Database({name: database[name] for name in database})
         self._indexes = {k: dict(v) for k, v in (indexes or {}).items()}
@@ -126,6 +150,7 @@ class QuerySession:
         self._context = EvaluationContext(self._workspace, self._indexes, registry)
         self._results: dict[str, ConstraintRelation] = {}
         self._last: ConstraintRelation | None = None
+        self._budget = budget
 
     # -- execution ----------------------------------------------------------
 
@@ -145,7 +170,14 @@ class QuerySession:
         schemas = self._schemas()
         plan = compile_statement(statement.body, schemas)
         plan = self.plan_for(plan)
-        result = evaluate(plan, self._context).with_name(statement.target)
+        budget = self._budget
+        if budget is None:
+            result = evaluate(plan, self._context).with_name(statement.target)
+        else:
+            with budget.activate():
+                result = evaluate(plan, self._context).with_name(statement.target)
+            if budget.truncated:
+                result = result.with_truncated()
         self._workspace.add(statement.target, result, replace=True)
         self._results[statement.target] = result
         self._last = result
@@ -166,6 +198,7 @@ class QuerySession:
             target=statement.target,
             result=result,
             root=root,
+            budget_summary=self._budget.summary() if self._budget is not None else None,
         )
 
     def plan_for(self, plan: PlanNode) -> PlanNode:
@@ -214,3 +247,12 @@ class QuerySession:
     def registry(self) -> MetricsRegistry:
         """The session's metrics registry (counters, timers, last trace)."""
         return self._context.registry
+
+    @property
+    def budget(self) -> Budget | None:
+        """The attached resource budget, if any."""
+        return self._budget
+
+    @budget.setter
+    def budget(self, budget: Budget | None) -> None:
+        self._budget = budget

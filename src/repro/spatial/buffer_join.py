@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import GeometryError
+from ..errors import GeometryError, ResourceExhausted
+from ..governor.budget import ProducerGuard
 from ..indexing.mbr import MBR
 from ..model.relation import ConstraintRelation
 from ..model.schema import Schema, relational
@@ -87,33 +88,45 @@ def buffer_join(
     index = right.index()
     index.bind_registry(reg)
     d_float = float(d)
+    guard = ProducerGuard()
     tuples: list[HTuple] = []
     self_join = left is right
+    stopped = False
     with reg.scope("buffer_join") as scoped:
         for feature in left:
-            box = feature.bounding_box().expand(d)
-            query = MBR(
-                (float(box.min_x), float(box.min_y)), (float(box.max_x), float(box.max_y))
-            )
-            candidates = index.search(query)
-            feature_box = feature.float_bbox()
-            for fid in candidates:
-                if self_join and fid == feature.fid:
-                    continue
-                stats.candidate_pairs += 1
-                candidate = right[fid]
-                # The index filter is an L∞ test (box expanded by d on each
-                # axis); the Euclidean box distance is tighter on diagonal
-                # neighbours and still lower-bounds the exact distance.
-                if box_mindist(feature_box, candidate.float_bbox()) > d_float:
-                    stats.pruned_pairs += 1
-                    record(SPATIAL_REFINE_PRUNES)
-                    continue
-                if feature.distance(candidate, cutoff=d_float) <= d_float:
-                    stats.result_pairs += 1
-                    tuples.append(
-                        HTuple(schema, {left_attr: feature.fid, right_attr: fid})
-                    )
+            if stopped or not guard.start_row():
+                break
+            try:
+                box = feature.bounding_box().expand(d)
+                query = MBR(
+                    (float(box.min_x), float(box.min_y)), (float(box.max_x), float(box.max_y))
+                )
+                candidates = index.search(query)
+                feature_box = feature.float_bbox()
+                for fid in candidates:
+                    if self_join and fid == feature.fid:
+                        continue
+                    stats.candidate_pairs += 1
+                    candidate = right[fid]
+                    # The index filter is an L∞ test (box expanded by d on each
+                    # axis); the Euclidean box distance is tighter on diagonal
+                    # neighbours and still lower-bounds the exact distance.
+                    if box_mindist(feature_box, candidate.float_bbox()) > d_float:
+                        stats.pruned_pairs += 1
+                        record(SPATIAL_REFINE_PRUNES)
+                        continue
+                    if feature.distance(candidate, cutoff=d_float) <= d_float:
+                        if not guard.produced():
+                            stopped = True
+                            break
+                        stats.result_pairs += 1
+                        tuples.append(
+                            HTuple(schema, {left_attr: feature.fid, right_attr: fid})
+                        )
+            except ResourceExhausted as exc:
+                if not guard.absorb(exc):
+                    raise
+                break
     stats.index_accesses += scoped.get(LOGICAL_NODE_ACCESSES, 0)
     return ConstraintRelation(schema, tuples)
 

@@ -18,7 +18,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-from ..errors import GeometryError
+from ..errors import GeometryError, ResourceExhausted
+from ..governor.budget import ProducerGuard
 from ..model.relation import ConstraintRelation
 from ..model.schema import Schema, relational
 from ..model.tuples import HTuple
@@ -62,26 +63,35 @@ def k_nearest_features(
         (float(target_box.max_x), float(target_box.max_y)),
     )
     # Max-heap (negated distances) of the best k exact results so far.
+    # Exhaustion mid-search truncates to the best results found so far in
+    # partial mode — a sound (if possibly incomplete) nearest set.
     best: list[tuple[float, str]] = []
+    guard = ProducerGuard()
     with reg.scope("k_nearest") as scoped:
-        for mindist, fid in index.nearest_iter(target):
-            if fid == query.fid and fid in features and features[fid] is query:
-                continue
-            if len(best) == k and mindist > -best[0][0]:
-                break  # no remaining candidate can beat the current k-th
-            # Once the heap is full, the current k-th distance is a cutoff:
-            # part pairs provably beyond it are skipped inside distance().
-            # A candidate truly within the cutoff still gets its exact
-            # distance; one beyond it yields some value > cutoff, which the
-            # heap comparison rejects just the same.
-            cutoff = -best[0][0] if len(best) == k else None
-            exact = query.distance(features[fid], cutoff=cutoff)
-            stats.candidates_refined += 1
-            entry = (-exact, fid)
-            if len(best) < k:
-                heapq.heappush(best, entry)
-            elif entry > best[0]:  # smaller distance, or equal with smaller fid
-                heapq.heapreplace(best, entry)
+        try:
+            for mindist, fid in index.nearest_iter(target):
+                if not guard.start_row():
+                    break
+                if fid == query.fid and fid in features and features[fid] is query:
+                    continue
+                if len(best) == k and mindist > -best[0][0]:
+                    break  # no remaining candidate can beat the current k-th
+                # Once the heap is full, the current k-th distance is a cutoff:
+                # part pairs provably beyond it are skipped inside distance().
+                # A candidate truly within the cutoff still gets its exact
+                # distance; one beyond it yields some value > cutoff, which the
+                # heap comparison rejects just the same.
+                cutoff = -best[0][0] if len(best) == k else None
+                exact = query.distance(features[fid], cutoff=cutoff)
+                stats.candidates_refined += 1
+                entry = (-exact, fid)
+                if len(best) < k:
+                    heapq.heappush(best, entry)
+                elif entry > best[0]:  # smaller distance, or equal with smaller fid
+                    heapq.heapreplace(best, entry)
+        except ResourceExhausted as exc:
+            if not guard.absorb(exc):
+                raise
     stats.index_accesses += scoped.get(LOGICAL_NODE_ACCESSES, 0)
     ordered = sorted(((-negated, fid) for negated, fid in best))
     return [(features[fid], distance) for distance, fid in ordered]
@@ -103,10 +113,12 @@ def k_nearest(
         raise GeometryError("output attributes must have distinct names")
     schema = Schema([relational(fid_attr), relational(rank_attr, DataType.RATIONAL)])
     results = k_nearest_features(features, query, k, statistics, registry)
-    tuples = [
-        HTuple(schema, {fid_attr: feature.fid, rank_attr: rank})
-        for rank, (feature, _) in enumerate(results, start=1)
-    ]
+    guard = ProducerGuard()
+    tuples: list[HTuple] = []
+    for rank, (feature, _) in enumerate(results, start=1):
+        if not guard.produced():
+            break
+        tuples.append(HTuple(schema, {fid_attr: feature.fid, rank_attr: rank}))
     return ConstraintRelation(schema, tuples)
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from ..governor.budget import charge_io as budget_charge_io
 from ..model.relation import ConstraintRelation
 from ..model.tuples import HTuple
 from .pages import PageConfig, PageStatistics
@@ -57,9 +58,11 @@ class HeapFile:
         """Yield all tuples, reading each page exactly once."""
         for page in self._pages:
             self.stats.reads += 1
+            budget_charge_io()
             yield from page
 
     def read_page(self, index: int) -> list[HTuple]:
         """Tuples of one page (one read)."""
         self.stats.reads += 1
+        budget_charge_io()
         return list(self._pages[index])

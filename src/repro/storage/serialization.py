@@ -15,6 +15,12 @@ A human-readable, diff-friendly line format::
   (omitted or empty = the true formula).
 * String values are double-quoted with backslash escapes; rationals are
   written exactly (``2.5`` or ``1/3``); ``NULL`` is the bare keyword.
+* ``checksum COUNT CRC32HEX`` (written just before ``end``) records the
+  tuple count and the CRC-32 of the relation's tuple lines; the loader
+  verifies it when present and raises
+  :class:`~repro.errors.CorruptPageError` on mismatch.  Files without
+  checksum lines still load (older files stay readable), they just forgo
+  corruption detection.
 
 Round-tripping is exact: load(save(db)) reproduces the same relations.
 """
@@ -23,12 +29,13 @@ from __future__ import annotations
 
 import io
 import re
+import zlib
 from fractions import Fraction
 from pathlib import Path
 from typing import TextIO
 
 from ..constraints import Conjunction, parse_constraints
-from ..errors import StorageError
+from ..errors import CorruptPageError, StorageError
 from ..model.database import Database
 from ..model.relation import ConstraintRelation
 from ..model.schema import Attribute, Schema
@@ -69,6 +76,11 @@ def _formula_text(formula: Conjunction) -> str:
     return ", ".join(str(atom) for atom in formula)
 
 
+def _tuple_lines_checksum(lines: list[str]) -> str:
+    joined = "\n".join(lines)
+    return f"{zlib.crc32(joined.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
 def save_relation(relation: ConstraintRelation, out: TextIO, name: str | None = None) -> None:
     name = name or relation.name
     if not name or not _NAME_RE.match(name):
@@ -76,8 +88,10 @@ def save_relation(relation: ConstraintRelation, out: TextIO, name: str | None = 
     out.write(f"relation {name}\n")
     for attr in relation.schema:
         out.write(f"attribute {attr.name} {attr.data_type.value} {attr.kind.value}\n")
-    for t in relation:
-        out.write(serialize_tuple(t) + "\n")
+    lines = [serialize_tuple(t) for t in relation]
+    for line in lines:
+        out.write(line + "\n")
+    out.write(f"checksum {len(lines)} {_tuple_lines_checksum(lines)}\n")
     out.write("end\n")
 
 
@@ -221,6 +235,7 @@ def _load(handle: TextIO) -> Database:
     name: str | None = None
     attributes: list[Attribute] = []
     tuples: list[tuple[dict[str, object], Conjunction, int]] = []
+    tuple_lines: list[str] = []
     for line_no, raw in enumerate(handle, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
@@ -235,6 +250,7 @@ def _load(handle: TextIO) -> Database:
             name = rest
             attributes = []
             tuples = []
+            tuple_lines = []
         elif keyword == "attribute":
             if name is None:
                 raise StorageError(f"line {line_no}: attribute outside a relation")
@@ -258,6 +274,29 @@ def _load(handle: TextIO) -> Database:
                 Conjunction(parse_constraints(formula_part)) if formula_part else Conjunction.true()
             )
             tuples.append((values, formula, line_no))
+            tuple_lines.append(line)
+        elif keyword == "checksum":
+            if name is None:
+                raise StorageError(f"line {line_no}: checksum outside a relation")
+            fields = rest.split()
+            if len(fields) != 2:
+                raise StorageError(f"line {line_no}: expected 'checksum COUNT CRC32HEX'")
+            try:
+                expected_count = int(fields[0])
+            except ValueError:
+                raise StorageError(f"line {line_no}: invalid tuple count {fields[0]!r}") from None
+            expected_crc = fields[1].lower()
+            if expected_count != len(tuple_lines):
+                raise CorruptPageError(
+                    f"line {line_no}: relation {name!r} records {expected_count} tuples "
+                    f"but {len(tuple_lines)} were read (truncated or corrupted file)"
+                )
+            actual_crc = _tuple_lines_checksum(tuple_lines)
+            if actual_crc != expected_crc:
+                raise CorruptPageError(
+                    f"line {line_no}: relation {name!r} checksum mismatch "
+                    f"(recorded {expected_crc}, computed {actual_crc}) — tuple data corrupted"
+                )
         elif keyword == "end" or line == "end":
             if name is None:
                 raise StorageError(f"line {line_no}: 'end' outside a relation")

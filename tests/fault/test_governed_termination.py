@@ -1,0 +1,92 @@
+"""Queries engineered to blow up must terminate with a budget error.
+
+These are the acceptance tests for cooperative cancellation: each
+workload, left ungoverned, would run far past the suite's timeout ceiling
+(Fourier–Motzkin and DNF complementation are worst-case exponential).
+Under a budget they must stop *quickly* with the right
+:class:`~repro.errors.ResourceExhausted` subclass carrying a
+consumed-resources snapshot.
+"""
+
+import pytest
+
+from repro.constraints import Conjunction, DNFFormula, le
+from repro.constraints.terms import var
+from repro.errors import (
+    DeadlineExceeded,
+    DNFBudgetExceeded,
+    ResourceExhausted,
+    SolverBudgetExceeded,
+)
+from repro.governor import Budget
+
+
+def _explosive_conjunction(n: int = 12) -> Conjunction:
+    """Dense pairwise difference constraints: projecting onto one variable
+    forces Fourier–Motzkin cross products that grow exponentially."""
+    vs = [var(f"v{i}") for i in range(n)]
+    atoms = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            atoms.append(le(vs[i] - vs[j], i + j + 1))
+            atoms.append(le(vs[j] - vs[i], i + j + 2))
+    return Conjunction(atoms)
+
+
+@pytest.mark.timeout(20)
+class TestExplosiveElimination:
+    def test_solver_budget_stops_fm_blowup(self):
+        budget = Budget(solver_steps=20_000)
+        with pytest.raises(SolverBudgetExceeded) as excinfo:
+            with budget.activate():
+                _explosive_conjunction().project(("v0",))
+        err = excinfo.value
+        assert err.resource == "solver_steps"
+        assert err.consumed > err.limit == 20_000
+        assert err.snapshot["consumed.solver_steps"] == err.consumed
+        assert err.snapshot["limit.solver_steps"] == 20_000
+
+    def test_deadline_stops_fm_blowup(self):
+        budget = Budget(deadline_seconds=0.2)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            with budget.activate():
+                _explosive_conjunction().project(("v0",))
+        assert excinfo.value.snapshot["deadline.remaining_seconds"] <= 0
+
+    def test_budget_reusable_after_exhaustion(self):
+        budget = Budget(solver_steps=20_000)
+        with pytest.raises(SolverBudgetExceeded):
+            with budget.activate():
+                _explosive_conjunction().project(("v0",))
+        # A fresh window: small work fits comfortably.
+        x, y = var("x"), var("y")
+        with budget.activate():
+            Conjunction([le(x, y), le(y, 3)]).project(("x",))
+        assert budget.consumed["solver_steps"] < 100
+
+
+@pytest.mark.timeout(20)
+class TestExplosiveComplement:
+    def test_dnf_budget_stops_complement_blowup(self):
+        # Complementing a many-disjunct DNF multiplies branches per round:
+        # with 2 negatable atoms per disjunct over distinct variables every
+        # combination survives pruning, so the branch count doubles each of
+        # the 15 rounds (2^15 conjunctions if left unchecked).  Disjuncts
+        # are axis-aligned boxes, so each branch solve is an O(d) interval
+        # decision — the blow-up under test is purely the clause count.
+        vs = [var(f"w{i}") for i in range(15)]
+        formula = DNFFormula(
+            Conjunction([le(i, vs[i]), le(vs[i], i + 1)]) for i in range(15)
+        )
+        budget = Budget(dnf_clauses=10_000)
+        with pytest.raises(DNFBudgetExceeded) as excinfo:
+            with budget.activate():
+                formula.complement()
+        assert excinfo.value.resource == "dnf_clauses"
+        assert excinfo.value.consumed > excinfo.value.limit
+
+    def test_exhaustion_is_catchable_as_base_class(self):
+        budget = Budget(solver_steps=10_000)
+        with pytest.raises(ResourceExhausted):
+            with budget.activate():
+                _explosive_conjunction().project(("v0",))

@@ -1,0 +1,91 @@
+"""Property tests for the resource governor.
+
+The governor's contract is *observational transparency*: a query governed
+by a budget it never exhausts must produce byte-for-byte the same answer
+as the same query run ungoverned.  The checkpoints and charges threaded
+through elimination, DNF manipulation, the solver, and the operators may
+only *stop* work — never change it.
+"""
+
+from hypothesis import given, settings
+
+from repro.algebra.operators import natural_join, project, select
+from repro.constraints import Conjunction, solver
+from repro.errors import ResourceExhausted
+from repro.governor import Budget
+from repro.model.relation import ConstraintRelation
+from repro.model.schema import Schema, constraint
+from repro.model.tuples import HTuple
+from tests.conftest import conjunctions
+
+SETTINGS = settings(max_examples=80, deadline=None)
+
+#: Generous enough that the small generated systems never trip it; the
+#: test asserts that explicitly so a silent exhaustion can't hide a
+#: transparency violation behind a truncated result.
+_ROOMY = dict(
+    solver_steps=10_000_000,
+    dnf_clauses=10_000_000,
+    output_tuples=10_000_000,
+    io_accesses=10_000_000,
+    deadline_seconds=300.0,
+)
+
+
+def _relation(systems: list[Conjunction]) -> ConstraintRelation:
+    schema = Schema([constraint("x"), constraint("y"), constraint("z")])
+    return ConstraintRelation(schema, [HTuple(schema, {}, c) for c in systems])
+
+
+@given(conjunctions())
+@SETTINGS
+def test_governed_satisfiability_matches_ungoverned(conjunction):
+    ungoverned = solver.is_satisfiable(conjunction)
+    with Budget(**_ROOMY).activate() as budget:
+        governed = solver.is_satisfiable(conjunction)
+    assert governed == ungoverned
+    assert not budget.truncated
+
+
+@given(conjunctions())
+@SETTINGS
+def test_governed_projection_matches_ungoverned(conjunction):
+    ungoverned = conjunction.project(("x", "y"))
+    with Budget(**_ROOMY).activate() as budget:
+        governed = conjunction.project(("x", "y"))
+    assert governed == ungoverned
+    assert not budget.truncated
+
+
+@given(conjunctions(), conjunctions())
+@SETTINGS
+def test_governed_algebra_matches_ungoverned(left_system, right_system):
+    left = _relation([left_system])
+    right = _relation([right_system])
+
+    def pipeline():
+        joined = natural_join(left, right)
+        selected = select(joined, right_system)
+        return project(selected, ("x", "y"))
+
+    ungoverned = pipeline()
+    with Budget(**_ROOMY).activate() as budget:
+        governed = pipeline()
+    assert list(governed) == list(ungoverned)
+    assert not governed.truncated
+    assert not budget.truncated
+
+
+@given(conjunctions())
+@SETTINGS
+def test_partial_mode_never_raises_from_operators(conjunction):
+    # In partial mode exhaustion degrades; ResourceExhausted must not
+    # escape an operator even with a budget tight enough to truncate.
+    relation = _relation([conjunction] * 4)
+    budget = Budget(output_tuples=2, on_exhausted="partial")
+    try:
+        with budget.activate():
+            result = select(relation, conjunction)
+    except ResourceExhausted as exc:  # pragma: no cover - the failure mode
+        raise AssertionError(f"partial mode leaked {type(exc).__name__}") from exc
+    assert len(result) <= 2

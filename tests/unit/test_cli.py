@@ -130,7 +130,31 @@ class TestQueryCommand:
 
     def test_missing_database_file(self, tmp_path, capsys):
         code = main(["query", str(tmp_path / "none.cdb"), "-e", "R0 = project X on y"])
-        assert code == 1
+        assert code == 5  # storage-class failure
+        assert "error[storage]" in capsys.readouterr().err
+
+    def test_parse_error_exit_code(self, db_file, capsys):
+        code = main(["query", str(db_file), "-e", "R0 = = nonsense"])
+        assert code == 3
+        assert "error[parse]" in capsys.readouterr().err
+
+    def test_budget_exhausted_exit_code(self, db_file, capsys):
+        code = main(
+            ["query", str(db_file), "--max-output", "1",
+             "-e", "R0 = select t >= 0 from Landownership"]
+        )
+        assert code == 4
+        assert "error[budget:output_tuples]" in capsys.readouterr().err
+
+    def test_budget_partial_mode_prints_truncated_result(self, db_file, capsys):
+        code = main(
+            ["query", str(db_file), "--max-output", "1", "--on-exhausted", "partial",
+             "-e", "R0 = select t >= 0 from Landownership"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "R0" in captured.out
+        assert "truncated" in captured.err
 
 
 class TestShowCommand:

@@ -5,15 +5,24 @@ import pytest
 from repro.errors import (
     AlgebraError,
     ConstraintError,
+    CorruptPageError,
+    DeadlineExceeded,
+    DNFBudgetExceeded,
     GeometryError,
     IndexError_,
+    IndexStructureError,
+    IOBudgetExceeded,
     NonLinearError,
+    OutputLimitExceeded,
     ParseError,
     QueryError,
     ReproError,
+    ResourceExhausted,
     SafetyError,
     SchemaError,
+    SolverBudgetExceeded,
     StorageError,
+    TransientStorageError,
 )
 
 
@@ -24,10 +33,11 @@ class TestHierarchy:
             AlgebraError,
             ConstraintError,
             GeometryError,
-            IndexError_,
+            IndexStructureError,
             NonLinearError,
             ParseError,
             QueryError,
+            ResourceExhausted,
             SafetyError,
             SchemaError,
             StorageError,
@@ -46,7 +56,48 @@ class TestHierarchy:
         assert issubclass(NonLinearError, ConstraintError)
 
     def test_index_error_does_not_shadow_builtin(self):
-        assert not issubclass(IndexError_, IndexError)
+        assert not issubclass(IndexStructureError, IndexError)
+
+    def test_deprecated_alias_still_works(self):
+        # IndexError_ predates IndexStructureError; existing except clauses
+        # must keep catching the same class.
+        assert IndexError_ is IndexStructureError
+
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            DeadlineExceeded,
+            SolverBudgetExceeded,
+            DNFBudgetExceeded,
+            OutputLimitExceeded,
+            IOBudgetExceeded,
+        ],
+    )
+    def test_exhaustion_taxonomy(self, exc_type):
+        assert issubclass(exc_type, ResourceExhausted)
+
+    @pytest.mark.parametrize("exc_type", [TransientStorageError, CorruptPageError])
+    def test_storage_fault_taxonomy(self, exc_type):
+        assert issubclass(exc_type, StorageError)
+
+
+class TestResourceExhausted:
+    def test_carries_accounting(self):
+        err = SolverBudgetExceeded(
+            "over budget",
+            resource="solver_steps",
+            consumed=12,
+            limit=10,
+            snapshot={"consumed.solver_steps": 12},
+        )
+        assert err.resource == "solver_steps"
+        assert err.consumed == 12 and err.limit == 10
+        assert err.snapshot["consumed.solver_steps"] == 12
+
+    def test_defaults_are_empty(self):
+        err = ResourceExhausted("plain")
+        assert err.resource == "" and err.consumed is None
+        assert err.limit is None and err.snapshot == {}
 
 
 class TestParseErrorLocation:
@@ -61,6 +112,12 @@ class TestParseErrorLocation:
     def test_line_and_column(self):
         err = ParseError("bad token", line=3, column=7)
         assert "line 3, column 7" in str(err)
+
+    def test_column_only(self):
+        # Single-statement parsers often know the offset but not a line.
+        err = ParseError("bad token", column=7)
+        assert "column 7" in str(err)
+        assert err.line is None and err.column == 7
 
     def test_catchable_as_base(self):
         with pytest.raises(ReproError):
