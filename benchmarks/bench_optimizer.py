@@ -31,7 +31,7 @@ def _spatial_db_and_indexes(gis_scenario):
     db = gis_scenario.to_database()
     indexes = {
         "Parcels": {
-            frozenset(["x", "y"]): JointIndex(db["Parcels"], ["x", "y"], max_entries=16)
+            frozenset({"x", "y"}): JointIndex(db["Parcels"], ["x", "y"], max_entries=16)
         }
     }
     return db, indexes

@@ -183,19 +183,20 @@ class Optimizer:
             **annotated[order[0]][2].attributes,
             **annotated[order[1]][2].attributes,
         }
-        while remaining:
-            def cost(i: int) -> tuple:
-                _, schema_i, stats_i = annotated[i]
-                shared = current_schema.shared_names(schema_i)
-                return (
-                    not shared,  # defer cross products
-                    estimate_join_size(
-                        current_stats, stats_i, shared, current_schema, schema_i
-                    ),
-                    i,
-                )
+        def cost(i: int, schema, stats) -> tuple:
+            _, schema_i, stats_i = annotated[i]
+            shared = schema.shared_names(schema_i)
+            return (
+                not shared,  # defer cross products
+                estimate_join_size(stats, stats_i, shared, schema, schema_i),
+                i,
+            )
 
-            nxt = min(remaining, key=cost)
+        while remaining:
+            nxt = min(
+                remaining,
+                key=lambda i, s=current_schema, st=current_stats: cost(i, s, st),
+            )
             _, schema_n, stats_n = annotated[nxt]
             shared = current_schema.shared_names(schema_n)
             size = estimate_join_size(current_stats, stats_n, shared, current_schema, schema_n)

@@ -10,12 +10,21 @@ constraints.  The whole-feature operators Buffer-Join and k-Nearest are the
 safe alternatives: they return relations of feature IDs (relational
 attributes), never an unrepresentable quantity.
 
+:func:`find_unsafe` walks a plan and reports *which* operator is unsafe
+and *where* it sits (a root-relative path), instead of the bare boolean
+the original checker produced; :func:`check_safe` keeps its raising
+contract on top of it, and the static analyzer renders each site as a
+``CQA102`` diagnostic.
+
 :class:`UnsafeDistance` is provided deliberately so that applications (and
 tests) can demonstrate the safety check; evaluating it always fails.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from ..analysis.diagnostics import Diagnostic, diagnostic
 from ..errors import SafetyError
 from .plan import EvaluationContext, PlanNode
 
@@ -45,6 +54,13 @@ class UnsafeDistance(PlanNode):
         left, right = children
         return UnsafeDistance(left, right, self.output_attribute)
 
+    def unsafe_reason(self) -> str:
+        return (
+            f"output attribute {self.output_attribute!r} would hold a Euclidean "
+            "distance, which is not representable with rational linear "
+            "constraints (section 4)"
+        )
+
     def _evaluate(self, context: EvaluationContext):
         raise SafetyError(
             f"operator {self.describe()} is unsafe: Euclidean distance is not "
@@ -56,21 +72,63 @@ class UnsafeDistance(PlanNode):
         return f"UnsafeDistance(-> {self.output_attribute})"
 
 
-def check_safe(plan: PlanNode) -> None:
-    """Raise :class:`SafetyError` when any node of the plan is unsafe."""
-    if not plan.safe:
-        raise SafetyError(
-            f"plan contains the unsafe operator {plan.describe()}; its output is "
-            "not evaluable in closed form within the linear constraint class"
+@dataclass(frozen=True)
+class UnsafeSite:
+    """One unsafe operator found in a plan: the node, its root-relative
+    path (``plan.left.right``…), and why its output leaves the class."""
+
+    node: PlanNode
+    path: str
+    reason: str
+
+    def describe(self) -> str:
+        return f"{self.node.describe()} at {self.path}: {self.reason}"
+
+    def to_diagnostic(self) -> Diagnostic:
+        return diagnostic(
+            "CQA102",
+            f"plan operator {self.node.describe()} at {self.path} is unsafe: {self.reason}",
+            hint="use the Buffer-Join or k-Nearest whole-feature operators instead",
         )
-    for child in plan.children:
-        check_safe(child)
+
+
+def _node_reason(node: PlanNode) -> str:
+    reason = getattr(node, "unsafe_reason", None)
+    if callable(reason):
+        return str(reason())
+    return "its output is not representable within the linear constraint class"
+
+
+def find_unsafe(plan: PlanNode, path: str = "plan") -> list[UnsafeSite]:
+    """Every unsafe operator in ``plan``, with provenance paths, in
+    pre-order.  An empty list means the plan is safe."""
+    sites: list[UnsafeSite] = []
+    if not plan.safe:
+        sites.append(UnsafeSite(plan, path, _node_reason(plan)))
+    children = plan.children
+    if len(children) == 1:
+        sites.extend(find_unsafe(children[0], f"{path}.child"))
+    elif len(children) == 2:
+        sites.extend(find_unsafe(children[0], f"{path}.left"))
+        sites.extend(find_unsafe(children[1], f"{path}.right"))
+    else:
+        for i, child in enumerate(children):
+            sites.extend(find_unsafe(child, f"{path}.child[{i}]"))
+    return sites
+
+
+def check_safe(plan: PlanNode) -> None:
+    """Raise :class:`SafetyError` when any node of the plan is unsafe,
+    naming the offending operator(s) and where they sit."""
+    sites = find_unsafe(plan)
+    if sites:
+        detail = "; ".join(site.describe() for site in sites)
+        raise SafetyError(
+            f"plan contains {len(sites)} unsafe operator(s) — {detail} — so its "
+            "output is not evaluable in closed form within the linear constraint class"
+        )
 
 
 def is_safe(plan: PlanNode) -> bool:
     """Boolean form of :func:`check_safe`."""
-    try:
-        check_safe(plan)
-    except SafetyError:
-        return False
-    return True
+    return not find_unsafe(plan)

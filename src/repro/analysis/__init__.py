@@ -1,0 +1,58 @@
+"""Static query analysis: compile-time safety, schema and blow-up checks.
+
+The package has two layers:
+
+* :mod:`repro.analysis.diagnostics` — the diagnostic *types* (codes,
+  severities, source spans).  A dependency leaf imported eagerly here so
+  the query front end and the algebra safety checker can use the types.
+* :mod:`repro.analysis.analyzer` / :mod:`repro.analysis.rules` — the
+  analyzer itself, which imports the query compiler and algebra layers.
+  Exposed lazily (PEP 562) to keep ``repro.query.ast`` →
+  ``repro.analysis`` free of a cycle back into ``repro.query``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .diagnostics import (
+    CODE_CATALOG,
+    Diagnostic,
+    Diagnostics,
+    Severity,
+    SourceSpan,
+    default_severity,
+    diagnostic,
+)
+
+__all__ = [
+    "CODE_CATALOG",
+    "Diagnostic",
+    "Diagnostics",
+    "Severity",
+    "SourceSpan",
+    "default_severity",
+    "diagnostic",
+    "Analyzer",
+    "analyze_script",
+    "analyze_statements",
+    "build_environment",
+    "all_rules",
+    "Rule",
+    "rule",
+]
+
+_LAZY = {"Analyzer", "analyze_script", "analyze_statements", "build_environment"}
+_LAZY_RULES = {"all_rules", "Rule", "rule"}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY:
+        from . import analyzer
+
+        return getattr(analyzer, name)
+    if name in _LAZY_RULES:
+        from . import rules
+
+        return getattr(rules, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

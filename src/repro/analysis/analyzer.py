@@ -1,0 +1,267 @@
+"""The static analyzer: run every registered rule over a query script.
+
+The analyzer never evaluates a statement.  It walks a script in order,
+maintaining an *environment* of what each name denotes — schema, sound
+cardinality bounds, and (for base relations) the concrete relation for
+statistics — exactly the way :class:`~repro.query.QuerySession` maintains
+its workspace, so multi-step scripts analyze the same bindings they would
+execute.
+
+Per statement the pipeline is:
+
+1. parse (a :class:`~repro.errors.ParseError` becomes ``CQA001`` and the
+   analyzer moves on to the next line);
+2. resolve source names (``CQA002``; unknown targets poison their
+   dependents so one typo reports once, not once per use);
+3. compute the output schema and sound bounds (schema violations become
+   ``CQA003``);
+4. compile to a plan where possible and run every rule in
+   :func:`repro.analysis.rules.all_rules`;
+5. bind the target for subsequent statements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..errors import ParseError, QueryError, ReproError, SchemaError
+from ..governor.budget import Budget
+from ..model.database import Database
+from ..model.relation import ConstraintRelation
+from ..model.schema import Schema, relational
+from ..model.types import DataType
+from ..query.ast import (
+    BufferJoinStmt,
+    CrossStmt,
+    DiffStmt,
+    IntersectStmt,
+    JoinStmt,
+    KNearestStmt,
+    ProjectStmt,
+    RenameStmt,
+    SelectStmt,
+    Statement,
+    StatementBody,
+    UnionStmt,
+)
+from ..query.compiler import compile_statement
+from ..query.lexer import split_statements
+from ..query.parser import parse_statement
+from .cardinality import (
+    Bounds,
+    difference_bounds,
+    join_bounds,
+    knearest_bounds,
+    project_bounds,
+    rename_bounds,
+    select_bounds,
+    union_bounds,
+)
+from .diagnostics import Diagnostic, Diagnostics, SourceSpan, diagnostic
+from .rules import RelationInfo, StatementContext, all_rules
+
+Environment = dict[str, RelationInfo]
+
+
+def build_environment(
+    relations: Mapping[str, ConstraintRelation] | Database,
+) -> Environment:
+    """An analysis environment where every name is a concrete relation."""
+    names = list(relations)
+    return {
+        name: RelationInfo(
+            schema=relations[name].schema,
+            bounds=Bounds.of_relation(relations[name]),
+            relation=relations[name],
+        )
+        for name in names
+    }
+
+
+def _sources(body: StatementBody) -> tuple[str, ...]:
+    if isinstance(body, (SelectStmt, ProjectStmt, RenameStmt)):
+        return (body.source,)
+    if isinstance(body, (JoinStmt, IntersectStmt, CrossStmt, UnionStmt, DiffStmt, BufferJoinStmt)):
+        return (body.left, body.right)
+    if isinstance(body, KNearestStmt):
+        if body.query_source is not None:
+            return (body.source, body.query_source)
+        return (body.source,)
+    return ()
+
+
+def _output_schema(body: StatementBody, env: Environment) -> Schema:
+    """The statement's result schema (raises on schema violations)."""
+    if isinstance(body, SelectStmt):
+        return env[body.source].schema
+    if isinstance(body, ProjectStmt):
+        return env[body.source].schema.project(body.attributes)
+    if isinstance(body, RenameStmt):
+        return env[body.source].schema.rename(body.old, body.new)
+    if isinstance(body, (JoinStmt, IntersectStmt, CrossStmt)):
+        left = env[body.left].schema
+        right = env[body.right].schema
+        if isinstance(body, IntersectStmt):
+            left.union_compatible(right)
+        if isinstance(body, CrossStmt):
+            shared = left.shared_names(right)
+            if shared:
+                raise SchemaError(
+                    f"cross requires disjoint schemas; shared attributes {list(shared)}"
+                )
+        return left.join(right)
+    if isinstance(body, (UnionStmt, DiffStmt)):
+        left = env[body.left].schema
+        left.union_compatible(env[body.right].schema)
+        return left
+    if isinstance(body, BufferJoinStmt):
+        return Schema([relational(body.left_attr), relational(body.right_attr)])
+    if isinstance(body, KNearestStmt):
+        return Schema([relational("fid"), relational("rank", DataType.RATIONAL)])
+    raise QueryError(f"unsupported statement body {body!r}")
+
+
+def _result_bounds(body: StatementBody, env: Environment) -> Bounds:
+    """Sound cardinality bounds for the statement's result."""
+    if isinstance(body, SelectStmt):
+        return select_bounds(env[body.source].bounds)
+    if isinstance(body, ProjectStmt):
+        return project_bounds(env[body.source].bounds)
+    if isinstance(body, RenameStmt):
+        return rename_bounds(env[body.source].bounds)
+    if isinstance(body, (JoinStmt, IntersectStmt, CrossStmt, BufferJoinStmt)):
+        return join_bounds(env[body.left].bounds, env[body.right].bounds)
+    if isinstance(body, UnionStmt):
+        return union_bounds(env[body.left].bounds, env[body.right].bounds)
+    if isinstance(body, DiffStmt):
+        return difference_bounds(env[body.left].bounds, env[body.right].bounds)
+    if isinstance(body, KNearestStmt):
+        return knearest_bounds(body.k)
+    return Bounds(lo=0, hi=0)
+
+
+class Analyzer:
+    """A reusable analysis driver bound to an environment and a budget."""
+
+    def __init__(self, env: Environment, budget: Budget | None = None) -> None:
+        self._env = env
+        self._budget = budget
+        #: Targets whose statements failed to resolve; references to them
+        #: are not re-reported as unknown relations.
+        self._poisoned: set[str] = set()
+
+    @property
+    def environment(self) -> Environment:
+        return self._env
+
+    def analyze(self, statements: Iterable[Statement]) -> Diagnostics:
+        found: list[Diagnostic] = []
+        for statement in statements:
+            found.extend(self.analyze_statement(statement))
+        return Diagnostics(found)
+
+    def analyze_statement(self, statement: Statement) -> list[Diagnostic]:
+        """All diagnostics for one statement; binds its target on success."""
+        body = statement.body
+        span = getattr(body, "span", None)
+        text = statement.text
+        found: list[Diagnostic] = []
+
+        missing = [s for s in _sources(body) if s not in self._env]
+        if missing:
+            for source in missing:
+                if source in self._poisoned:
+                    continue
+                known = ", ".join(sorted(self._env)) or "(none)"
+                found.append(
+                    diagnostic(
+                        "CQA002",
+                        f"unknown relation {source!r}",
+                        span=span,
+                        statement=text,
+                        hint=f"known relations: {known}",
+                    )
+                )
+            self._poisoned.add(statement.target)
+            return found
+
+        try:
+            schema = _output_schema(body, self._env)
+        except ReproError as exc:
+            found.append(
+                diagnostic("CQA003", str(exc), span=span, statement=text)
+            )
+            self._poisoned.add(statement.target)
+            return found
+
+        bounds = _result_bounds(body, self._env)
+        plan = None
+        compile_error: ReproError | None = None
+        try:
+            plan = compile_statement(
+                body, {name: info.schema for name, info in self._env.items()}
+            )
+        except ReproError as exc:
+            compile_error = exc
+
+        ctx = StatementContext(
+            statement=statement,
+            env=self._env,
+            bounds=bounds,
+            budget=self._budget,
+            plan=plan,
+        )
+        for rule in all_rules():
+            for diag in rule.run(ctx):
+                found.append(diag.with_context(span, text))
+
+        if compile_error is not None and not any(d.code == "CQA101" for d in found):
+            # Condition-level violations the schema pass cannot see
+            # (unknown attribute in a comparison, '!=' over rationals, …).
+            # A CQA101 for the same statement subsumes its compile error.
+            found.append(
+                diagnostic("CQA003", str(compile_error), span=span, statement=text)
+            )
+
+        self._env[statement.target] = RelationInfo(schema=schema, bounds=bounds)
+        return found
+
+
+def analyze_statements(
+    statements: Iterable[Statement],
+    relations: Mapping[str, ConstraintRelation] | Database,
+    budget: Budget | None = None,
+) -> Diagnostics:
+    """Analyze already-parsed statements against concrete base relations."""
+    return Analyzer(build_environment(relations), budget).analyze(statements)
+
+
+def analyze_script(
+    script: str,
+    relations: Mapping[str, ConstraintRelation] | Database,
+    budget: Budget | None = None,
+) -> Diagnostics:
+    """Analyze a whole query script, syntax errors included.
+
+    Unlike :func:`repro.query.parse_script`, a line that fails to parse
+    does not abort the run: it becomes a ``CQA001`` diagnostic and the
+    remaining lines are still analyzed (statements referencing the failed
+    line's target then report ``CQA002``)."""
+    analyzer = Analyzer(build_environment(relations), budget)
+    found: list[Diagnostic] = []
+    for line_no, text in split_statements(script):
+        try:
+            statement = parse_statement(text, line_no)
+        except ParseError as exc:
+            column = exc.column or 1
+            found.append(
+                diagnostic(
+                    "CQA001",
+                    exc.message,
+                    span=SourceSpan(exc.line or line_no, column, column + 1),
+                    statement=text,
+                )
+            )
+            continue
+        found.extend(analyzer.analyze_statement(statement))
+    return Diagnostics(found)

@@ -1,0 +1,110 @@
+"""Static cardinality and blow-up bounds for query statements.
+
+Two kinds of number flow through the analyzer:
+
+* **Sound bounds** (:class:`Bounds`) — provable lower/upper tuple counts
+  for a statement's result, derived from base-relation sizes and operator
+  algebra.  The *charged* lower bound (:attr:`Bounds.charged_lo`) is the
+  number of ``output_tuples`` the governor's producer guards are
+  guaranteed to charge while evaluating the statement: projections emit
+  exactly one output per input and unions emit both sides, so a chain of
+  those over known-size scans has a charge the analyzer can prove before
+  running anything.  When that provable charge already exceeds the active
+  :class:`~repro.governor.Budget`'s ``output_tuples`` limit, the query
+  *cannot* finish under the budget — rule CQA402 fails it fast.
+
+* **Estimates** — the optimizer's join-size heuristics
+  (:func:`repro.algebra.stats.estimate_join_size`) and the difference
+  operator's DNF complement growth.  These are advisory only: they feed
+  the warning/info rules CQA401 and CQA403, never an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model.relation import ConstraintRelation
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Sound tuple-count bounds for one relation-valued expression.
+
+    ``lo``/``hi`` bound the result size; ``charged_lo`` bounds the
+    ``output_tuples`` charge the governor sees while the statement's own
+    operator runs (0 whenever the operator may stop early or filter).
+    """
+
+    lo: int
+    hi: int
+    charged_lo: int = 0
+
+    @classmethod
+    def exact(cls, n: int) -> "Bounds":
+        return cls(lo=n, hi=n, charged_lo=n)
+
+    @classmethod
+    def of_relation(cls, relation: ConstraintRelation) -> "Bounds":
+        return cls.exact(len(relation))
+
+
+def select_bounds(child: Bounds) -> Bounds:
+    """Selection filters: anything from nothing to everything survives."""
+    return Bounds(lo=0, hi=child.hi, charged_lo=0)
+
+
+def project_bounds(child: Bounds) -> Bounds:
+    """Projection emits exactly one output tuple per input tuple (the
+    formula is existentially quantified, never dropped), so both bounds
+    and the governor charge carry through."""
+    return Bounds(lo=child.lo, hi=child.hi, charged_lo=child.lo)
+
+
+def rename_bounds(child: Bounds) -> Bounds:
+    """Rename is a per-tuple relabelling; it materializes no new tuples
+    (no producer guard), so nothing is charged."""
+    return Bounds(lo=child.lo, hi=child.hi, charged_lo=0)
+
+
+def join_bounds(left: Bounds, right: Bounds) -> Bounds:
+    """Natural join: at worst the full cross product, at best empty."""
+    return Bounds(lo=0, hi=left.hi * right.hi, charged_lo=0)
+
+
+def union_bounds(left: Bounds, right: Bounds) -> Bounds:
+    """CQA union concatenates (no duplicate elimination across inputs is
+    guaranteed to remove tuples), so both sides are emitted and charged."""
+    return Bounds(lo=left.lo + right.lo, hi=left.hi + right.hi, charged_lo=left.lo + right.lo)
+
+
+def difference_bounds(left: Bounds, right: Bounds) -> Bounds:
+    """Difference keeps at most the left side; the complement split can
+    fragment each left tuple, so the upper bound scales with the right
+    side's clause growth — conservatively bounded elsewhere."""
+    return Bounds(lo=0, hi=left.hi * max(1, 2 ** min(right.hi, 20)), charged_lo=0)
+
+
+def knearest_bounds(k: int) -> Bounds:
+    return Bounds(lo=0, hi=k, charged_lo=0)
+
+
+def estimate_difference_dnf(left_hi: int, right: ConstraintRelation, limit: int) -> int | None:
+    """Estimated ``dnf_clauses`` charge of ``left − right``, or ``None``
+    when it provably stays under ``limit``.
+
+    Complementing the right side distributes one alternative per atom of
+    each tuple's formula: ``Π_t max(1, |formula(t)|)`` clauses, conjoined
+    once per left tuple.  The product explodes fast, so the estimate is
+    computed with an early exit (capped at ``limit + 1``) instead of in
+    full — the analyzer only needs to know *whether* the budget can hold,
+    not the exact astronomical count.
+    """
+    if limit <= 0:
+        return None
+    product = 1
+    for t in right:
+        product *= max(1, len(t.formula.atoms))
+        if product > limit:
+            break
+    total = product * max(1, left_hi)
+    return total if total > limit else None

@@ -1,0 +1,224 @@
+"""Typed diagnostics for the static query analyzer.
+
+This module is a dependency *leaf*: it imports nothing from the rest of
+the library, so any layer — the query front end (which attaches
+:class:`SourceSpan` to AST nodes), the algebra safety checker, the
+analyzer rules — can use the diagnostic types without import cycles.
+
+A :class:`Diagnostic` is one finding: a stable code (``CQA101``), a
+severity, a human message, and an optional source span plus the statement
+text it points into.  :class:`Diagnostics` is an ordered collection with
+the severity queries the enforcement knob needs (``has_errors``,
+``max_severity``) and a deterministic multi-line rendering used by the
+CLI, by golden-file tests, and by ``StaticAnalysisError``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Mapping
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severities, ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open source range: line and 1-based [column, end_column).
+
+    Spans currently stay within one line — the ASCII language is
+    one-statement-per-line — but carry the line so multi-statement
+    scripts render real positions, not the stripped-copy columns PR 3
+    left behind.
+    """
+
+    line: int
+    column: int
+    end_column: int
+
+    def __post_init__(self) -> None:
+        if self.end_column < self.column:
+            raise ValueError(f"span ends before it starts: {self!r}")
+
+    @property
+    def width(self) -> int:
+        return max(1, self.end_column - self.column)
+
+    def merge(self, other: "SourceSpan") -> "SourceSpan":
+        """The smallest span covering both (same line expected)."""
+        return SourceSpan(
+            min(self.line, other.line),
+            min(self.column, other.column) if self.line == other.line else self.column,
+            max(self.end_column, other.end_column),
+        )
+
+    def render(self) -> str:
+        return f"line {self.line}, col {self.column}-{self.end_column - 1}"
+
+
+#: Catalog of every diagnostic code the analyzer can emit.  Stable codes:
+#: tests, editors and scripts may match on them, so codes are never
+#: renumbered — retired rules leave a hole.  See docs/STATIC_ANALYSIS.md
+#: for the full catalog with examples and paper references.
+CODE_CATALOG: Mapping[str, tuple[Severity, str]] = {
+    "CQA001": (Severity.ERROR, "syntax error"),
+    "CQA002": (Severity.ERROR, "unknown relation"),
+    "CQA003": (Severity.ERROR, "schema violation"),
+    "CQA101": (Severity.ERROR, "unsafe raw distance"),
+    "CQA102": (Severity.ERROR, "unsafe plan operator"),
+    "CQA201": (Severity.WARNING, "C flag dropped by join"),
+    "CQA202": (Severity.WARNING, "provably empty: all-NULL relational attribute"),
+    "CQA301": (Severity.WARNING, "vacuous selection (statically unsatisfiable)"),
+    "CQA302": (Severity.INFO, "selection condition has no effect"),
+    "CQA401": (Severity.WARNING, "DNF clause blow-up may exceed budget"),
+    "CQA402": (Severity.ERROR, "output lower bound exceeds budget"),
+    "CQA403": (Severity.INFO, "large join fan-out"),
+}
+
+
+def default_severity(code: str) -> Severity:
+    """The catalog severity for ``code`` (ERROR for unknown codes)."""
+    return CODE_CATALOG.get(code, (Severity.ERROR, ""))[0]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: SourceSpan | None = None
+    #: Source text of the statement the span points into (one line).
+    statement: str | None = None
+    #: Optional remediation hint rendered on its own line.
+    hint: str | None = None
+
+    def with_context(self, span: SourceSpan | None, statement: str | None) -> "Diagnostic":
+        """A copy with span/statement filled in when missing."""
+        return replace(
+            self,
+            span=self.span if self.span is not None else span,
+            statement=self.statement if self.statement is not None else statement,
+        )
+
+    def render(self) -> str:
+        head = f"{self.code} {self.severity.label}"
+        if self.span is not None:
+            head += f" at {self.span.render()}"
+        lines = [f"{head}: {self.message}"]
+        if self.statement is not None:
+            lines.append(f"  | {self.statement}")
+            if self.span is not None:
+                caret = " " * (self.span.column - 1) + "^" * self.span.width
+                lines.append(f"  | {caret}")
+        if self.hint is not None:
+            lines.append(f"  = hint: {self.hint}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def diagnostic(
+    code: str,
+    message: str,
+    *,
+    span: SourceSpan | None = None,
+    statement: str | None = None,
+    hint: str | None = None,
+    severity: Severity | None = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic` with the catalog severity for ``code``."""
+    return Diagnostic(
+        code=code,
+        severity=severity if severity is not None else default_severity(code),
+        message=message,
+        span=span,
+        statement=statement,
+        hint=hint,
+    )
+
+
+class Diagnostics:
+    """An ordered, immutable-by-convention collection of diagnostics."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Diagnostic] = ()) -> None:
+        self._items: tuple[Diagnostic, ...] = tuple(items)
+
+    # -- inspection --------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def by_code(self, code: str) -> "Diagnostics":
+        return Diagnostics(d for d in self._items if d.code == code)
+
+    def at_least(self, severity: Severity) -> "Diagnostics":
+        return Diagnostics(d for d in self._items if d.severity >= severity)
+
+    @property
+    def errors(self) -> "Diagnostics":
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> "Diagnostics":
+        return Diagnostics(d for d in self._items if d.severity is Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity >= Severity.ERROR for d in self._items)
+
+    @property
+    def max_severity(self) -> Severity | None:
+        return max((d.severity for d in self._items), default=None)
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """Deterministic multi-line report (golden-file format).
+
+        One block per diagnostic in emission order, followed by a summary
+        line; a clean run renders as ``ok: no diagnostics``.
+        """
+        if not self._items:
+            return "ok: no diagnostics"
+        blocks = [d.render() for d in self._items]
+        counts = {
+            Severity.ERROR: 0,
+            Severity.WARNING: 0,
+            Severity.INFO: 0,
+        }
+        for d in self._items:
+            counts[d.severity] += 1
+        summary = ", ".join(
+            f"{n} {sev.label}{'s' if n != 1 else ''}"
+            for sev, n in counts.items()
+            if n
+        )
+        blocks.append(summary)
+        return "\n".join(blocks)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:
+        return f"Diagnostics({list(self._items)!r})"

@@ -1,0 +1,494 @@
+"""The analyzer's rule registry.
+
+Every check the static analyzer performs is a :class:`Rule`: a stable
+diagnostic code, a short name, and a pure function from a
+:class:`StatementContext` to the diagnostics it finds.  Rules never
+mutate anything and never evaluate a query — they look only at the AST,
+the schema environment, per-relation statistics, and (for the budget
+rules) the session's :class:`~repro.governor.Budget` limits.
+
+The registry order is the emission order within one statement, arranged
+so that safety errors surface before advisory schema/blow-up findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..algebra.predicates import Predicate, StringPredicate
+from ..algebra.safety import find_unsafe
+from ..algebra.stats import RelationStatistics, collect_statistics, estimate_join_size
+from ..constraints import LinearConstraint
+from ..constraints.solver import interval_is_empty, summarise
+from ..errors import ReproError
+from ..governor.budget import Budget
+from ..model.relation import ConstraintRelation
+from ..model.schema import Schema
+from ..query.ast import (
+    BinaryOp,
+    BufferJoinStmt,
+    Comparison,
+    CrossStmt,
+    DiffStmt,
+    ExprAST,
+    Identifier,
+    JoinStmt,
+    Negate,
+    SelectStmt,
+    Statement,
+    StatementBody,
+)
+from ..query.compiler import _compile_comparison, _is_string_side
+from .cardinality import Bounds, estimate_difference_dnf
+from .diagnostics import Diagnostic, SourceSpan, diagnostic
+
+#: Join fan-out above which CQA403 reports, when no budget supplies a
+#: tighter ceiling.  Purely informational — large cross products are the
+#: paper's motivation for join reordering, not an error.
+DEFAULT_FANOUT_THRESHOLD = 10_000
+
+
+@dataclass
+class RelationInfo:
+    """What the analyzer knows about one name in the environment."""
+
+    schema: Schema
+    bounds: Bounds
+    #: The concrete relation, for *base* relations only (derived results
+    #: are not evaluated at analysis time).
+    relation: ConstraintRelation | None = None
+    _stats: RelationStatistics | None = dataclass_field(default=None, repr=False)
+
+    @property
+    def stats(self) -> RelationStatistics | None:
+        """Lazily collected statistics (base relations only)."""
+        if self._stats is None and self.relation is not None:
+            self._stats = collect_statistics(self.relation)
+        return self._stats
+
+
+@dataclass
+class StatementContext:
+    """Everything one rule invocation may look at."""
+
+    statement: Statement
+    env: Mapping[str, RelationInfo]
+    #: Sound result bounds for this statement, from the cardinality pass.
+    bounds: Bounds
+    budget: Budget | None = None
+    #: The compiled plan, when compilation succeeded.
+    plan: object | None = None
+
+    @property
+    def body(self) -> StatementBody:
+        return self.statement.body
+
+    def info(self, name: str) -> RelationInfo | None:
+        return self.env.get(name)
+
+    def schema_of(self, name: str) -> Schema | None:
+        info = self.env.get(name)
+        return info.schema if info is not None else None
+
+    def span(self) -> SourceSpan | None:
+        return getattr(self.statement.body, "span", None)
+
+
+RuleCheck = Callable[[StatementContext], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered analysis rule."""
+
+    code: str
+    name: str
+    check: RuleCheck
+
+    def run(self, ctx: StatementContext) -> list[Diagnostic]:
+        return list(self.check(ctx))
+
+
+_REGISTRY: list[Rule] = []
+
+
+def rule(code: str, name: str) -> Callable[[RuleCheck], RuleCheck]:
+    """Register a rule function under ``code`` (decorator)."""
+
+    def register(fn: RuleCheck) -> RuleCheck:
+        _REGISTRY.append(Rule(code, name, fn))
+        return fn
+
+    return register
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """The registered rules, in emission order."""
+    return tuple(_REGISTRY)
+
+
+# -- shared helpers ----------------------------------------------------------
+
+
+def _walk_expr(expr: ExprAST) -> Iterator[ExprAST]:
+    yield expr
+    if isinstance(expr, BinaryOp):
+        yield from _walk_expr(expr.left)
+        yield from _walk_expr(expr.right)
+    elif isinstance(expr, Negate):
+        yield from _walk_expr(expr.operand)
+
+
+def _numeric_identifiers(comparison: Comparison, schema: Schema) -> Iterator[Identifier]:
+    """Identifiers of a comparison that the compiler would resolve in the
+    *numeric* (linear) context — string-predicate comparisons treat bare
+    unknown identifiers as constants, so they are excluded here."""
+    if _is_string_side(comparison.left, schema) or _is_string_side(comparison.right, schema):
+        return
+    for side in (comparison.left, comparison.right):
+        for node in _walk_expr(side):
+            if isinstance(node, Identifier):
+                yield node
+
+
+def _compiled_conditions(
+    body: SelectStmt, schema: Schema
+) -> list[tuple[Comparison, Predicate]]:
+    """Each comparison with its compiled predicate; comparisons that fail
+    to compile are skipped (the compile-error path reports those)."""
+    out: list[tuple[Comparison, Predicate]] = []
+    for comparison in body.conditions:
+        try:
+            out.append((comparison, _compile_comparison(comparison, schema)))
+        except ReproError:
+            continue
+    return out
+
+
+def _conditions_span(body: SelectStmt) -> SourceSpan | None:
+    spans = [c.span for c in body.conditions if c.span is not None]
+    if not spans:
+        return body.span
+    merged = spans[0]
+    for span in spans[1:]:
+        merged = merged.merge(span)
+    return merged
+
+
+# -- safety rules (CQA1xx) ----------------------------------------------------
+
+
+@rule("CQA101", "unsafe-raw-distance")
+def unsafe_raw_distance(ctx: StatementContext) -> Iterable[Diagnostic]:
+    """Raw ``distance`` in a selection condition (section 4's unsafe
+    operator).  Fires when ``distance`` resolves to no attribute of the
+    source relation — if the relation genuinely stores a ``distance``
+    column, referencing it is ordinary and safe."""
+    body = ctx.body
+    if not isinstance(body, SelectStmt):
+        return
+    schema = ctx.schema_of(body.source)
+    if schema is None:
+        return
+    for comparison in body.conditions:
+        for ident in _numeric_identifiers(comparison, schema):
+            if ident.name.lower() == "distance" and ident.name not in schema:
+                yield diagnostic(
+                    "CQA101",
+                    "raw 'distance' is not evaluable in closed form within the "
+                    "rational linear constraint class (section 4)",
+                    span=ident.span or comparison.span,
+                    hint="use 'bufferjoin ... within d' or 'knearest k near f in R' "
+                    "— the safe whole-feature operators",
+                )
+
+
+@rule("CQA102", "unsafe-plan-operator")
+def unsafe_plan_operator(ctx: StatementContext) -> Iterable[Diagnostic]:
+    """Any plan node marked unsafe (programmatically built plans can
+    contain :class:`~repro.algebra.safety.UnsafeDistance`)."""
+    plan = ctx.plan
+    if plan is None:
+        return
+    for site in find_unsafe(plan):  # type: ignore[arg-type]
+        yield site.to_diagnostic().with_context(ctx.span(), ctx.statement.text)
+
+
+# -- heterogeneous-schema rules (CQA2xx) --------------------------------------
+
+
+@rule("CQA201", "join-drops-c-flag")
+def join_drops_c_flag(ctx: StatementContext) -> Iterable[Diagnostic]:
+    """A natural join whose shared attribute is CONSTRAINT on one side and
+    RELATIONAL on the other: the join demotes it to relational, pinning
+    the constraint side's broad semantics to concrete values (§3.2)."""
+    body = ctx.body
+    if not isinstance(body, JoinStmt):
+        return
+    left = ctx.schema_of(body.left)
+    right = ctx.schema_of(body.right)
+    if left is None or right is None:
+        return
+    for name in left.shared_names(right):
+        l_attr, r_attr = left[name], right[name]
+        if l_attr.data_type is not r_attr.data_type:
+            continue  # the compile-error path reports the type clash
+        if l_attr.kind is not r_attr.kind:
+            c_side = body.left if l_attr.is_constraint else body.right
+            yield diagnostic(
+                "CQA201",
+                f"join demotes {name!r} from CONSTRAINT (in {c_side!r}) to "
+                "RELATIONAL: its broad semantics collapse to the relational "
+                "side's concrete values",
+                span=body.span,
+                hint=f"rename {name!r} on one side first if both readings must survive",
+            )
+
+
+@rule("CQA202", "all-null-relational-attribute")
+def all_null_relational(ctx: StatementContext) -> Iterable[Diagnostic]:
+    """A selection conditioned on a relational attribute that is NULL in
+    every tuple: NULL matches nothing (narrow semantics, §3.2), so the
+    result is provably empty."""
+    body = ctx.body
+    if not isinstance(body, SelectStmt):
+        return
+    info = ctx.info(body.source)
+    if info is None or info.stats is None or info.stats.tuple_count == 0:
+        return
+    stats = info.stats
+    schema = info.schema
+    reported: set[str] = set()
+    for comparison in body.conditions:
+        for side in (comparison.left, comparison.right):
+            for node in _walk_expr(side):
+                if not isinstance(node, Identifier) or node.name in reported:
+                    continue
+                if node.name not in schema or not schema[node.name].is_relational:
+                    continue
+                attr_stats = stats.attributes.get(node.name)
+                if attr_stats is not None and attr_stats.nulls == stats.tuple_count:
+                    reported.add(node.name)
+                    yield diagnostic(
+                        "CQA202",
+                        f"relational attribute {node.name!r} is NULL in every tuple "
+                        f"of {body.source!r}; NULL matches nothing, so this "
+                        "selection is provably empty",
+                        span=node.span or comparison.span,
+                    )
+
+
+# -- static satisfiability rules (CQA3xx) -------------------------------------
+
+
+@rule("CQA301", "statically-unsatisfiable")
+def statically_unsatisfiable(ctx: StatementContext) -> Iterable[Diagnostic]:
+    """Selection conditions that no tuple can satisfy, decided with the
+    solver's O(d) interval summary — never a full solve at compile time.
+
+    Soundness: the condition is conjoined onto (or substituted into) each
+    tuple's formula, so an unsatisfiable *condition* makes every output
+    tuple unsatisfiable regardless of the data."""
+    body = ctx.body
+    if not isinstance(body, SelectStmt):
+        return
+    schema = ctx.schema_of(body.source)
+    if schema is None:
+        return
+    compiled = _compiled_conditions(body, schema)
+
+    # Ground-false atoms: `select 1 = 2 from R` and friends.
+    for comparison, predicate in compiled:
+        if isinstance(predicate, LinearConstraint) and predicate.is_trivial:
+            if not predicate.truth_value():
+                yield diagnostic(
+                    "CQA301",
+                    f"condition '{_render_comparison(comparison)}' is false for "
+                    "every tuple",
+                    span=comparison.span,
+                )
+                return  # the conjunction is dead; one report is enough
+
+    # Conflicting string equalities on one attribute.
+    required: dict[str, tuple[str, Comparison]] = {}
+    forbidden: dict[tuple[str, str], Comparison] = {}
+    for comparison, predicate in compiled:
+        if not isinstance(predicate, StringPredicate) or predicate.is_attribute:
+            continue
+        if predicate.negated:
+            forbidden[(predicate.attribute, predicate.value)] = comparison
+        elif predicate.attribute in required:
+            value, _ = required[predicate.attribute]
+            if value != predicate.value:
+                yield diagnostic(
+                    "CQA301",
+                    f"{predicate.attribute!r} cannot equal both {value!r} and "
+                    f"{predicate.value!r}",
+                    span=comparison.span,
+                )
+                return
+        else:
+            required[predicate.attribute] = (predicate.value, comparison)
+    for attribute, (value, comparison) in required.items():
+        if (attribute, value) in forbidden:
+            yield diagnostic(
+                "CQA301",
+                f"{attribute!r} is required to equal and not equal {value!r}",
+                span=comparison.span,
+            )
+            return
+
+    # Interval propagation over the linear atoms.
+    atoms = [p for _, p in compiled if isinstance(p, LinearConstraint) and not p.is_trivial]
+    if not atoms:
+        return
+    summary = summarise(atoms)
+    if not summary.inconsistent:
+        return
+    empty = sorted(
+        name for name, interval in summary.bounds.items() if interval_is_empty(interval)
+    )
+    detail = (
+        f"the implied interval for {empty[0]!r} is empty"
+        if empty
+        else "the implied variable intervals are inconsistent"
+    )
+    yield diagnostic(
+        "CQA301",
+        f"selection condition is unsatisfiable: {detail}",
+        span=_conditions_span(body),
+    )
+
+
+@rule("CQA302", "condition-has-no-effect")
+def condition_has_no_effect(ctx: StatementContext) -> Iterable[Diagnostic]:
+    """Ground-true conjuncts (`3 <= 4`) filter nothing."""
+    body = ctx.body
+    if not isinstance(body, SelectStmt):
+        return
+    schema = ctx.schema_of(body.source)
+    if schema is None:
+        return
+    for comparison, predicate in _compiled_conditions(body, schema):
+        if isinstance(predicate, LinearConstraint) and predicate.is_trivial:
+            if predicate.truth_value():
+                yield diagnostic(
+                    "CQA302",
+                    f"condition '{_render_comparison(comparison)}' is true for "
+                    "every tuple and filters nothing",
+                    span=comparison.span,
+                )
+
+
+# -- blow-up rules (CQA4xx) ---------------------------------------------------
+
+
+@rule("CQA401", "dnf-blowup-exceeds-budget")
+def dnf_blowup(ctx: StatementContext) -> Iterable[Diagnostic]:
+    """Difference complements the right side's formulas into DNF; when the
+    statically-estimated clause count already exceeds the budget's
+    ``dnf_clauses`` limit, the statement is headed for a
+    :class:`~repro.errors.DNFBudgetExceeded` (or a truncated result)."""
+    body = ctx.body
+    budget = ctx.budget
+    if not isinstance(body, DiffStmt) or budget is None:
+        return
+    limit = budget.limits.get("dnf_clauses")
+    if limit is None:
+        return
+    left = ctx.info(body.left)
+    right = ctx.info(body.right)
+    if left is None or right is None or right.relation is None:
+        return
+    estimate = estimate_difference_dnf(left.bounds.hi, right.relation, limit)
+    if estimate is not None:
+        yield diagnostic(
+            "CQA401",
+            f"complementing {body.right!r} may build ~{estimate} DNF clauses, "
+            f"over the budget's dnf_clauses limit of {limit}",
+            span=body.span,
+            hint="select the right side down, or raise the dnf_clauses budget",
+        )
+
+
+@rule("CQA402", "output-lower-bound-exceeds-budget")
+def output_lower_bound(ctx: StatementContext) -> Iterable[Diagnostic]:
+    """The governor *provably* charges at least ``charged_lo`` output
+    tuples for this statement; when that already exceeds the budget's
+    ``output_tuples`` limit the query cannot complete, so strict analysis
+    fails it before a single tuple is materialized."""
+    budget = ctx.budget
+    if budget is None:
+        return
+    limit = budget.limits.get("output_tuples")
+    if limit is None:
+        return
+    charged = ctx.bounds.charged_lo
+    if charged > limit:
+        yield diagnostic(
+            "CQA402",
+            f"statement provably materializes at least {charged} tuples, over "
+            f"the budget's output_tuples limit of {limit}",
+            span=ctx.span(),
+            hint="add a selection before projecting/unioning, or raise the "
+            "output_tuples budget",
+        )
+
+
+@rule("CQA403", "large-join-fanout")
+def large_join_fanout(ctx: StatementContext) -> Iterable[Diagnostic]:
+    """Joins whose worst-case fan-out is large enough to matter; the
+    estimate (when statistics exist) tempers the worst case."""
+    body = ctx.body
+    if isinstance(body, (JoinStmt, CrossStmt)):
+        left_name, right_name = body.left, body.right
+    elif isinstance(body, BufferJoinStmt):
+        left_name, right_name = body.left, body.right
+    else:
+        return
+    left = ctx.info(left_name)
+    right = ctx.info(right_name)
+    if left is None or right is None:
+        return
+    threshold = DEFAULT_FANOUT_THRESHOLD
+    budget = ctx.budget
+    if budget is not None:
+        limit = budget.limits.get("output_tuples")
+        if limit is not None:
+            threshold = min(threshold, limit)
+    worst = left.bounds.hi * right.bounds.hi
+    if worst <= threshold:
+        return
+    estimate: float = float(worst)
+    if (
+        isinstance(body, JoinStmt)
+        and left.stats is not None
+        and right.stats is not None
+    ):
+        shared = left.schema.shared_names(right.schema)
+        estimate = estimate_join_size(
+            left.stats, right.stats, shared, left.schema, right.schema
+        )
+    if estimate > threshold:
+        yield diagnostic(
+            "CQA403",
+            f"join of {left_name!r} and {right_name!r} may produce "
+            f"~{int(estimate)} tuples (worst case {worst})",
+            span=ctx.span(),
+            hint="select each side down before joining, or add an index",
+        )
+
+
+def _render_comparison(comparison: Comparison) -> str:
+    def render(expr: ExprAST) -> str:
+        if isinstance(expr, Identifier):
+            return expr.name
+        if isinstance(expr, BinaryOp):
+            return f"{render(expr.left)} {expr.op} {render(expr.right)}"
+        if isinstance(expr, Negate):
+            return f"-{render(expr.operand)}"
+        value = getattr(expr, "value", expr)
+        return str(value)
+
+    return f"{render(comparison.left)} {comparison.op} {render(comparison.right)}"

@@ -18,7 +18,13 @@ import argparse
 import sys
 from pathlib import Path
 
-from .errors import ParseError, ReproError, ResourceExhausted, StorageError
+from .errors import (
+    ParseError,
+    ReproError,
+    ResourceExhausted,
+    StaticAnalysisError,
+    StorageError,
+)
 from .governor import Budget
 from .model import Database
 from .query import QuerySession
@@ -32,6 +38,9 @@ EXIT_USAGE = 2
 EXIT_PARSE = 3  # query text did not parse
 EXIT_BUDGET = 4  # a resource budget was exhausted
 EXIT_STORAGE = 5  # database file unreadable, corrupted, or unwritable
+#: ``--lint`` reuses exit code 2 for "the script has error-level
+#: diagnostics", mirroring the convention of compiler-style linters.
+EXIT_LINT = 2
 
 
 def _budget_from_args(args: argparse.Namespace) -> Budget | None:
@@ -57,8 +66,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("error: provide a script file or -e statements", file=sys.stderr)
         return 2
     session = QuerySession(
-        database, use_optimizer=not args.no_optimizer, budget=_budget_from_args(args)
+        database,
+        use_optimizer=not args.no_optimizer,
+        budget=_budget_from_args(args),
+        analysis=args.analysis,
     )
+    if args.lint:
+        diagnostics = session.analyze(script)
+        print(diagnostics.render())
+        return EXIT_LINT if diagnostics.has_errors else 0
+    if args.analysis == "warn":
+        # Surface the whole script's findings up front; execution below
+        # still analyzes per statement (recording last_diagnostics).
+        diagnostics = session.analyze(script)
+        if diagnostics:
+            print(diagnostics.render(), file=sys.stderr)
     if args.explain:
         for _, statement in _statement_lines(script):
             print(f"-- {statement}")
@@ -142,6 +164,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="EXPLAIN ANALYZE each statement: per-operator rows/accesses/timings "
         "on stderr, plus a session metrics report",
     )
+    query.add_argument(
+        "--lint",
+        action="store_true",
+        help="statically analyze the script and print its diagnostics without "
+        "executing it; exits 2 when error-level diagnostics are found "
+        "(see docs/STATIC_ANALYSIS.md)",
+    )
+    query.add_argument(
+        "--analysis",
+        choices=("off", "warn", "strict"),
+        default="off",
+        help="analyze each statement before running it: 'warn' records "
+        "diagnostics (printed on stderr), 'strict' refuses to execute "
+        "statements with error-level diagnostics",
+    )
     limits = query.add_argument_group(
         "resource limits", "per-statement budget (see docs/QUERY_LANGUAGE.md)"
     )
@@ -188,6 +225,9 @@ def main(argv: list[str] | None = None) -> int:
     except ParseError as exc:
         print(f"error[parse]: {exc}", file=sys.stderr)
         return EXIT_PARSE
+    except StaticAnalysisError as exc:
+        print(f"error[analysis]: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     except ResourceExhausted as exc:
         print(f"error[budget:{exc.resource or 'unknown'}]: {exc}", file=sys.stderr)
         return EXIT_BUDGET

@@ -85,7 +85,9 @@ class _Tableau:
             self.rhs[i] -= coeff * self.rhs[row_idx]
         self.basis[row_idx] = col
 
-    def minimise(self, objective: Sequence[Fraction], forbidden: frozenset[int] = frozenset()) -> Fraction:
+    def minimise(
+        self, objective: Sequence[Fraction], forbidden: frozenset[int] | None = None
+    ) -> Fraction:
         """Minimise ``objective · x`` from the current basic feasible point.
 
         Columns in ``forbidden`` never enter the basis (used to keep retired
@@ -93,6 +95,8 @@ class _Tableau:
         objective here is always bounded below (phase-1 cost ≥ 0, phase-2
         maximises a variable explicitly capped by a row).
         """
+        if forbidden is None:
+            forbidden = frozenset()
         obj = list(objective) + [_ZERO] * (self.num_cols - len(objective))
         # Reduced costs: subtract basic rows from the objective row.
         value = _ZERO

@@ -21,7 +21,10 @@ Two structured sub-taxonomies matter for robustness:
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:
+    from .analysis.diagnostics import Diagnostics
 
 
 class ReproError(Exception):
@@ -54,9 +57,15 @@ class QueryError(ReproError):
 
 
 class ParseError(QueryError):
-    """Syntax errors in the ASCII query language."""
+    """Syntax errors in the ASCII query language.
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    Carries the bare ``message`` plus the 1-based ``line``/``column`` it
+    points at, so diagnostic renderers can place their own caret instead
+    of re-parsing the formatted string."""
+
+    def __init__(
+        self, message: str, line: int | None = None, column: int | None = None
+    ) -> None:
         location = ""
         if line is not None:
             location = f" at line {line}"
@@ -65,8 +74,21 @@ class ParseError(QueryError):
         elif column is not None:
             location = f" at column {column}"
         super().__init__(f"{message}{location}")
+        self.message = message
         self.line = line
         self.column = column
+
+
+class StaticAnalysisError(QueryError):
+    """Strict-mode static analysis rejected a statement before execution.
+
+    ``diagnostics`` holds the full :class:`~repro.analysis.Diagnostics`
+    report (errors and any accompanying warnings) that caused the
+    rejection."""
+
+    def __init__(self, message: str, diagnostics: Diagnostics | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
 
 
 class GeometryError(ReproError):

@@ -17,7 +17,7 @@ from .relation import ConstraintRelation
 class Database:
     """A mutable catalog mapping names to immutable relations."""
 
-    def __init__(self, relations: Mapping[str, ConstraintRelation] | None = None):
+    def __init__(self, relations: Mapping[str, ConstraintRelation] | None = None) -> None:
         self._relations: dict[str, ConstraintRelation] = {}
         if relations:
             for name, relation in relations.items():

@@ -49,7 +49,7 @@ class NestedRelation:
 
     __slots__ = ("_schema", "_rows")
 
-    def __init__(self, schema: Schema, rows: Mapping[tuple, DNFFormula] | None = None):
+    def __init__(self, schema: Schema, rows: Mapping[tuple, DNFFormula] | None = None) -> None:
         self._schema = schema
         materialised: dict[tuple, DNFFormula] = {}
         for key, formula in (rows or {}).items():

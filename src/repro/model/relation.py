@@ -34,7 +34,7 @@ class ConstraintRelation:
         schema: Schema,
         tuples: Iterable[HTuple] = (),
         name: str | None = None,
-    ):
+    ) -> None:
         self._truncated = False
         materialised: list[HTuple] = []
         seen: set[HTuple] = set()

@@ -63,7 +63,7 @@ class Schema:
 
     __slots__ = ("_attributes", "_by_name")
 
-    def __init__(self, attributes: Iterable[Attribute]):
+    def __init__(self, attributes: Iterable[Attribute]) -> None:
         attrs = tuple(attributes)
         by_name: dict[str, Attribute] = {}
         for attr in attrs:

@@ -35,7 +35,7 @@ class HTuple:
         schema: Schema,
         values: Mapping[str, ValueLike] | None = None,
         formula: Conjunction | Iterable[LinearConstraint] = (),
-    ):
+    ) -> None:
         if not isinstance(formula, Conjunction):
             formula = Conjunction(formula)
         values = dict(values or {})

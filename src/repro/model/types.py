@@ -66,7 +66,7 @@ class Null:
     def __bool__(self) -> bool:
         return False
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type["Null"], tuple[()]]:
         return (Null, ())
 
 

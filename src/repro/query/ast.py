@@ -6,13 +6,20 @@ equality) a string constant like the ``A`` in the paper's
 ``select LandID=A from Landownership``.  The compiler
 (:mod:`repro.query.compiler`) resolves identifiers against the schema of
 the referenced relation.
+
+Nodes that diagnostics point at carry an optional
+:class:`~repro.analysis.diagnostics.SourceSpan` populated by the parser.
+Spans are excluded from equality/hash so that two ASTs with the same
+structure compare equal regardless of where they were written.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Union
+
+from ..analysis.diagnostics import SourceSpan
 
 
 # -- expression nodes --------------------------------------------------------
@@ -31,6 +38,7 @@ class StringLit:
 @dataclass(frozen=True)
 class Identifier:
     name: str
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -56,6 +64,7 @@ class Comparison:
     left: ExprAST
     op: str  # '<=', '<', '>=', '>', '=', '!='
     right: ExprAST
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 # -- statements ---------------------------------------------------------------
@@ -65,18 +74,21 @@ class Comparison:
 class SelectStmt:
     conditions: tuple[Comparison, ...]
     source: str
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class ProjectStmt:
     source: str
     attributes: tuple[str, ...]
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class JoinStmt:
     left: str
     right: str
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -85,6 +97,7 @@ class IntersectStmt:
 
     left: str
     right: str
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -93,18 +106,21 @@ class CrossStmt:
 
     left: str
     right: str
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class UnionStmt:
     left: str
     right: str
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class DiffStmt:
     left: str
     right: str
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -112,6 +128,7 @@ class RenameStmt:
     old: str
     new: str
     source: str
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -121,6 +138,7 @@ class BufferJoinStmt:
     distance: Fraction
     left_attr: str = "fid1"
     right_attr: str = "fid2"
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -129,6 +147,7 @@ class KNearestStmt:
     query_fid: str
     source: str
     query_source: str | None = None  # 'of <relation>': cross-layer query
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 StatementBody = Union[
@@ -152,3 +171,6 @@ class Statement:
     target: str
     body: StatementBody
     line: int
+    #: The source text of the statement, when known (used by diagnostic
+    #: rendering to quote the offending line under the caret).
+    text: str | None = field(default=None, compare=False, repr=False)

@@ -10,6 +10,11 @@ Tokens: identifiers, numbers (``10``, ``2.5``, ``1/3``), double-quoted
 strings, comparison and arithmetic operators, commas and parentheses.
 Keywords are recognised case-insensitively at parse time, not here, so an
 attribute may shadow a keyword anywhere a keyword is not expected.
+
+Every token carries its source position — line, start column and end
+column, all 1-based with the end exclusive — so parse errors and static
+analysis diagnostics (:mod:`repro.analysis`) can point at the exact
+source range that produced them.
 """
 
 from __future__ import annotations
@@ -39,6 +44,10 @@ class Token:
     text: str
     line: int
     column: int
+    #: One past the last source column of the token (1-based, exclusive).
+    #: Derived from the raw match, so string tokens keep their quoted
+    #: source width even though ``text`` holds the unescaped value.
+    end_column: int = 0
 
     def matches_keyword(self, keyword: str) -> bool:
         return self.kind == "ident" and self.text.lower() == keyword
@@ -58,8 +67,10 @@ def tokenize_line(text: str, line_no: int = 1) -> list[Token]:
         value = match.group()
         if kind == "string":
             value = _unescape(value, line_no, match.start() + 1)
-        tokens.append(Token(kind, value, line_no, match.start() + 1))
-    tokens.append(Token("end", "", line_no, len(text) + 1))
+        assert kind is not None
+        tokens.append(Token(kind, value, line_no, match.start() + 1, match.end() + 1))
+    end_column = len(text) + 1
+    tokens.append(Token("end", "", line_no, end_column, end_column))
     return tokens
 
 
@@ -82,9 +93,15 @@ def _unescape(literal: str, line: int, column: int) -> str:
 
 def split_statements(script: str) -> Iterator[tuple[int, str]]:
     """Yield ``(line number, statement text)`` for each non-empty,
-    non-comment line of a query script."""
+    non-comment line of a query script.
+
+    The statement text keeps the line's original leading whitespace
+    (only trailing whitespace is removed), so token columns — and hence
+    parse errors and analysis diagnostics — refer to columns of the
+    *source* line, not of a stripped copy.
+    """
     for line_no, raw in enumerate(script.splitlines(), start=1):
         stripped = raw.strip()
         if not stripped or stripped.startswith("#") or stripped.startswith("--"):
             continue
-        yield line_no, stripped
+        yield line_no, raw.rstrip()

@@ -17,12 +17,17 @@ Grammar (one statement per line; keywords case-insensitive)::
     expr       := term (('+'|'-') term)*
     term       := factor (('*'|'/') factor)*
     factor     := NUMBER | NAME | STRING | '-' factor | '(' expr ')'
+
+Every statement body and every comparison/identifier is annotated with a
+:class:`~repro.analysis.diagnostics.SourceSpan` covering its source
+tokens, which is what the static analyzer's diagnostics point at.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 
+from ..analysis.diagnostics import SourceSpan
 from ..errors import ParseError
 from .ast import (
     BinaryOp,
@@ -41,6 +46,7 @@ from .ast import (
     RenameStmt,
     SelectStmt,
     Statement,
+    StatementBody,
     StringLit,
     UnionStmt,
 )
@@ -50,7 +56,7 @@ _COMPARATORS = {"<=", "<", ">=", ">", "=", "==", "!="}
 
 
 class _StatementParser:
-    def __init__(self, tokens: list[Token], line: int):
+    def __init__(self, tokens: list[Token], line: int) -> None:
         self._tokens = tokens
         self._pos = 0
         self._line = line
@@ -64,6 +70,20 @@ class _StatementParser:
         token = self._tokens[self._pos]
         self._pos += 1
         return token
+
+    def _mark(self) -> int:
+        """The index of the next token (start of a region of interest)."""
+        return self._pos
+
+    def _span_from(self, mark: int) -> SourceSpan:
+        """The span from the token at ``mark`` through the last consumed
+        token (inclusive); degenerates to a caret at the current token."""
+        if self._pos <= mark:
+            token = self._tokens[min(mark, len(self._tokens) - 1)]
+            return _token_span(token)
+        first = self._tokens[mark]
+        last = self._tokens[self._pos - 1]
+        return _token_span(first).merge(_token_span(last))
 
     def _error(self, message: str, token: Token | None = None) -> ParseError:
         token = token or self._peek()
@@ -131,9 +151,11 @@ class _StatementParser:
                 f"unknown operation {keyword_token.text!r} (expected select, project, "
                 "join, intersect, cross, union, diff, rename, bufferjoin or knearest)"
             )
+        body_mark = self._mark()
         self._advance()
         body = handler()
         self._finish()
+        body = _with_span(body, self._span_from(body_mark))
         return Statement(target, body, self._line)
 
     def _select(self) -> SelectStmt:
@@ -229,6 +251,7 @@ class _StatementParser:
         return conditions
 
     def _comparison_chain(self) -> list[Comparison]:
+        chain_mark = self._mark()
         left = self._expression()
         token = self._peek()
         if token.kind != "op" or token.text not in _COMPARATORS:
@@ -239,8 +262,11 @@ class _StatementParser:
             if op == "==":
                 op = "="
             right = self._expression()
-            comparisons.append(Comparison(left, op, right))
+            comparisons.append(
+                Comparison(left, op, right, span=self._span_from(chain_mark))
+            )
             left = right
+            chain_mark = self._mark()  # next link starts at the shared operand…
         return comparisons
 
     def _expression(self) -> ExprAST:
@@ -262,7 +288,7 @@ class _StatementParser:
         if token.kind == "number":
             return NumberLit(Fraction(token.text))
         if token.kind == "ident":
-            return Identifier(token.text)
+            return Identifier(token.text, span=_token_span(token))
         if token.kind == "string":
             return StringLit(token.text)
         if token.kind == "op" and token.text == "-":
@@ -278,9 +304,25 @@ class _StatementParser:
         )
 
 
+def _token_span(token: Token) -> SourceSpan:
+    end = token.end_column if token.end_column > token.column else token.column + max(
+        1, len(token.text)
+    )
+    return SourceSpan(token.line, token.column, end)
+
+
+def _with_span(body: StatementBody, span: SourceSpan) -> StatementBody:
+    """The body with its span attached (dataclasses are frozen, and span
+    is a compare-excluded field, so this sidesteps ``replace``'s re-init)."""
+    object.__setattr__(body, "span", span)
+    return body
+
+
 def parse_statement(text: str, line: int = 1) -> Statement:
     """Parse one ``NAME = operation`` statement."""
-    return _StatementParser(tokenize_line(text, line), line).statement()
+    statement = _StatementParser(tokenize_line(text, line), line).statement()
+    object.__setattr__(statement, "text", text)
+    return statement
 
 
 def parse_script(script: str) -> list[Statement]:

@@ -15,7 +15,8 @@ from typing import Mapping
 
 from ..algebra.optimizer import Optimizer
 from ..algebra.plan import EvaluationContext, Metrics, PlanNode, evaluate
-from ..errors import QueryError
+from ..analysis.diagnostics import Diagnostics
+from ..errors import OutputLimitExceeded, QueryError, StaticAnalysisError
 from ..governor.budget import Budget
 from ..model.database import Database
 from ..model.relation import ConstraintRelation
@@ -134,7 +135,23 @@ class QuerySession:
     ``on_exhausted="partial"`` mode a statement that exhausts its budget
     binds (and returns) the tuples materialized so far, with the result's
     ``truncated`` flag set.
+
+    ``analysis`` controls the static analyzer (:mod:`repro.analysis`):
+
+    * ``"off"`` — never analyze (the default);
+    * ``"warn"`` — analyze every statement before running it and record
+      the findings in :attr:`last_diagnostics`, but execute regardless
+      (results are identical to ``"off"``);
+    * ``"strict"`` — additionally reject statements carrying error-level
+      diagnostics: unsafe/ill-formed statements raise
+      :class:`~repro.errors.StaticAnalysisError` before execution, and a
+      statement whose provable output already exceeds the budget raises
+      :class:`~repro.errors.OutputLimitExceeded` without materializing a
+      single tuple (only when the budget is in ``"raise"`` mode —
+      ``"partial"`` budgets truncate at run time instead).
     """
+
+    _ANALYSIS_MODES = ("off", "warn", "strict")
 
     def __init__(
         self,
@@ -143,7 +160,12 @@ class QuerySession:
         use_optimizer: bool = True,
         registry: MetricsRegistry | None = None,
         budget: Budget | None = None,
-    ):
+        analysis: str = "off",
+    ) -> None:
+        if analysis not in self._ANALYSIS_MODES:
+            raise ValueError(
+                f"analysis must be one of {self._ANALYSIS_MODES}, got {analysis!r}"
+            )
         self._workspace = Database({name: database[name] for name in database})
         self._indexes = {k: dict(v) for k, v in (indexes or {}).items()}
         self._use_optimizer = use_optimizer
@@ -151,6 +173,8 @@ class QuerySession:
         self._results: dict[str, ConstraintRelation] = {}
         self._last: ConstraintRelation | None = None
         self._budget = budget
+        self._analysis = analysis
+        self._last_diagnostics: Diagnostics | None = None
 
     # -- execution ----------------------------------------------------------
 
@@ -166,7 +190,49 @@ class QuerySession:
         assert result is not None  # parse_script rejects empty scripts
         return result
 
+    def analyze(self, script: str) -> Diagnostics:
+        """Statically analyze a statement or script against the current
+        workspace bindings, without executing anything."""
+        from ..analysis.analyzer import analyze_script
+
+        diagnostics = analyze_script(script, self._workspace, self._budget)
+        self._last_diagnostics = diagnostics
+        return diagnostics
+
+    def _analyze_statement(self, statement: Statement) -> Diagnostics:
+        from ..analysis.analyzer import Analyzer, build_environment
+
+        analyzer = Analyzer(build_environment(self._workspace), self._budget)
+        return Diagnostics(analyzer.analyze_statement(statement))
+
+    def _enforce(self, statement: Statement) -> None:
+        """Run the analyzer per the session's ``analysis`` mode; in strict
+        mode, raise before the statement executes."""
+        diagnostics = self._analyze_statement(statement)
+        self._last_diagnostics = diagnostics
+        if self._analysis != "strict" or not diagnostics.has_errors:
+            return
+        blocking = [d for d in diagnostics.errors if d.code != "CQA402"]
+        if blocking:
+            raise StaticAnalysisError(
+                "strict analysis rejected the statement:\n" + diagnostics.render(),
+                diagnostics,
+            )
+        budget = self._budget
+        if budget is not None and budget.on_exhausted == "raise":
+            # CQA402: the statement provably cannot fit the budget, so it
+            # fails fast with the same taxonomy a run-time overrun raises.
+            overrun = next(d for d in diagnostics.errors if d.code == "CQA402")
+            raise OutputLimitExceeded(
+                f"rejected before execution: {overrun.message}",
+                resource="output_tuples",
+                limit=budget.limits.get("output_tuples"),
+                snapshot=budget.snapshot(),
+            )
+
     def _run(self, statement: Statement) -> ConstraintRelation:
+        if self._analysis != "off":
+            self._enforce(statement)
         schemas = self._schemas()
         plan = compile_statement(statement.body, schemas)
         plan = self.plan_for(plan)
@@ -256,3 +322,20 @@ class QuerySession:
     @budget.setter
     def budget(self, budget: Budget | None) -> None:
         self._budget = budget
+
+    @property
+    def analysis(self) -> str:
+        """The static-analysis mode: ``"off"``, ``"warn"`` or ``"strict"``."""
+        return self._analysis
+
+    @analysis.setter
+    def analysis(self, mode: str) -> None:
+        if mode not in self._ANALYSIS_MODES:
+            raise ValueError(f"analysis must be one of {self._ANALYSIS_MODES}, got {mode!r}")
+        self._analysis = mode
+
+    @property
+    def last_diagnostics(self) -> Diagnostics | None:
+        """The most recent analyzer report (``None`` until the analyzer
+        has run — via :meth:`analyze` or a non-``"off"`` analysis mode)."""
+        return self._last_diagnostics

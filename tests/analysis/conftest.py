@@ -1,0 +1,59 @@
+"""Fixtures for the static-analyzer tests.
+
+``analysis_db`` is the paper's Hurricane database (§3.3) extended with
+two crafted relations the built-in corpus deliberately lacks:
+
+* ``Readings`` — sensor samples whose ``t`` is a *relational* rational.
+  Joining it with ``Hurricane`` (where ``t`` is a constraint attribute)
+  makes :meth:`~repro.model.schema.Schema.join` demote ``t`` to
+  relational — the C-flag drop rule CQA201 warns about.
+* ``Ghost`` — a relation whose only relational attribute is NULL in every
+  tuple, so any selection conditioned on it is provably empty (CQA202).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints import Conjunction, LinearExpression, ge, le
+from repro.model.database import Database
+from repro.model.relation import ConstraintRelation
+from repro.model.schema import Schema, constraint, relational
+from repro.model.tuples import HTuple
+from repro.model.types import DataType, Null
+from repro.workloads.hurricane import figure2_database
+
+
+def readings_relation() -> ConstraintRelation:
+    schema = Schema([relational("sensor"), relational("t", DataType.RATIONAL)])
+    return ConstraintRelation(
+        schema,
+        [
+            HTuple(schema, {"sensor": "s1", "t": Fraction(4)}),
+            HTuple(schema, {"sensor": "s2", "t": Fraction(7)}),
+        ],
+        name="Readings",
+    )
+
+
+def ghost_relation() -> ConstraintRelation:
+    schema = Schema([relational("owner"), constraint("x")])
+    x = LinearExpression.variable("x")
+    return ConstraintRelation(
+        schema,
+        [
+            HTuple(schema, {"owner": Null()}, Conjunction([ge(x, 0), le(x, 1)])),
+            HTuple(schema, {"owner": Null()}, Conjunction([ge(x, 2), le(x, 3)])),
+        ],
+        name="Ghost",
+    )
+
+
+@pytest.fixture
+def analysis_db() -> Database:
+    database = figure2_database()
+    database.add("Readings", readings_relation())
+    database.add("Ghost", ghost_relation())
+    return database

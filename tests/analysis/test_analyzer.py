@@ -1,0 +1,239 @@
+"""Unit tests for the static analyzer: rules, spans, and enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.plan import Scan
+from repro.algebra.safety import UnsafeDistance, check_safe, find_unsafe, is_safe
+from repro.analysis import Severity, analyze_script, diagnostic
+from repro.errors import OutputLimitExceeded, SafetyError, StaticAnalysisError
+from repro.governor import Budget
+from repro.query import QuerySession
+
+
+def codes(diagnostics) -> list[str]:
+    return [d.code for d in diagnostics]
+
+
+class TestSafetyRules:
+    def test_raw_distance_is_an_error_with_identifier_span(self, analysis_db):
+        script = "R0 = select distance <= 5 from Hurricane"
+        diags = analyze_script(script, analysis_db)
+        assert codes(diags) == ["CQA101"]
+        (diag,) = diags
+        assert diag.severity is Severity.ERROR
+        # The span covers exactly the identifier `distance`.
+        assert script[diag.span.column - 1 : diag.span.end_column - 1] == "distance"
+        assert diag.span.line == 1
+
+    def test_distance_as_a_real_attribute_is_fine(self, analysis_db):
+        # Hurricane has no `distance`, but a derived rename can create one;
+        # referencing a *real* attribute named distance is not unsafe.
+        script = (
+            "R0 = rename t to distance in Hurricane\n"
+            "R1 = select distance <= 5 from R0"
+        )
+        assert not analyze_script(script, analysis_db)
+
+    def test_distance_as_string_constant_does_not_fire(self, analysis_db):
+        # In a string equality a bare unknown identifier is a constant.
+        script = "R0 = select landId = distance from Land"
+        assert not analyze_script(script, analysis_db)
+
+    def test_find_unsafe_reports_node_and_path(self):
+        plan = UnsafeDistance(Scan("A"), Scan("B"))
+        (site,) = find_unsafe(plan)
+        assert site.path == "plan"
+        assert "distance" in site.reason
+        assert site.to_diagnostic().code == "CQA102"
+        assert not is_safe(plan)
+        with pytest.raises(SafetyError, match="closed form"):
+            check_safe(plan)
+
+    def test_check_safe_names_the_operator_and_location(self):
+        plan = UnsafeDistance(Scan("A"), Scan("B"), output_attribute="dist")
+        with pytest.raises(SafetyError, match=r"UnsafeDistance\(-> dist\) at plan"):
+            check_safe(plan)
+
+
+class TestSchemaRules:
+    def test_join_dropping_c_flag_warns(self, analysis_db):
+        diags = analyze_script("R0 = join Readings and Hurricane", analysis_db)
+        assert codes(diags) == ["CQA201"]
+        (diag,) = diags
+        assert diag.severity is Severity.WARNING
+        assert "'t'" in diag.message
+
+    def test_flag_compatible_join_is_clean(self, analysis_db):
+        assert not analyze_script("R0 = join Hurricane and Land", analysis_db)
+
+    def test_all_null_relational_attribute_warns_empty(self, analysis_db):
+        diags = analyze_script('R0 = select owner = "alice" from Ghost', analysis_db)
+        assert codes(diags) == ["CQA202"]
+        assert "provably empty" in diags.render()
+
+    def test_unknown_relation_reports_once_and_poisons(self, analysis_db):
+        script = "R0 = join Missing and Hurricane\nR1 = project R0 on t"
+        diags = analyze_script(script, analysis_db)
+        # One CQA002 for Missing; the reference to the poisoned R0 is not
+        # re-reported as a second unknown relation.
+        assert codes(diags) == ["CQA002"]
+
+    def test_schema_violation_is_cqa003(self, analysis_db):
+        diags = analyze_script("R0 = project Hurricane on nosuch", analysis_db)
+        assert codes(diags) == ["CQA003"]
+
+    def test_condition_schema_violation_is_cqa003(self, analysis_db):
+        diags = analyze_script("R0 = select nosuch >= 4 from Hurricane", analysis_db)
+        assert codes(diags) == ["CQA003"]
+
+
+class TestSatisfiabilityRules:
+    def test_empty_interval_is_vacuous(self, analysis_db):
+        script = "R0 = select t >= 9, t <= 4 from Hurricane"
+        diags = analyze_script(script, analysis_db)
+        assert codes(diags) == ["CQA301"]
+        (diag,) = diags
+        assert diag.severity is Severity.WARNING
+        # Span covers the whole condition list.
+        assert script[diag.span.column - 1 : diag.span.end_column - 1] == "t >= 9, t <= 4"
+
+    def test_ground_false_condition(self, analysis_db):
+        diags = analyze_script("R0 = select 1 = 2 from Hurricane", analysis_db)
+        assert codes(diags) == ["CQA301"]
+
+    def test_conflicting_string_equalities(self, analysis_db):
+        script = 'R0 = select landId = "A", landId = "B" from Land'
+        diags = analyze_script(script, analysis_db)
+        assert codes(diags) == ["CQA301"]
+
+    def test_ground_true_condition_is_info(self, analysis_db):
+        diags = analyze_script("R0 = select 1 <= 2, t >= 4 from Hurricane", analysis_db)
+        assert codes(diags) == ["CQA302"]
+        assert diags.max_severity is Severity.INFO
+
+    def test_satisfiable_conditions_are_clean(self, analysis_db):
+        assert not analyze_script(
+            "R0 = select t >= 4, t <= 9 from Hurricane", analysis_db
+        )
+
+
+class TestBudgetRules:
+    def test_output_lower_bound_exceeding_budget_is_error(self, analysis_db):
+        diags = analyze_script(
+            "R0 = project Landownership on name",
+            analysis_db,
+            budget=Budget(output_tuples=2),
+        )
+        assert codes(diags) == ["CQA402"]
+        assert diags.has_errors
+
+    def test_no_budget_means_no_budget_rules(self, analysis_db):
+        assert not analyze_script("R0 = project Landownership on name", analysis_db)
+
+    def test_dnf_blowup_warns_under_tight_budget(self, analysis_db):
+        diags = analyze_script(
+            "R0 = diff Land and Land",
+            analysis_db,
+            budget=Budget(dnf_clauses=10),
+        )
+        assert "CQA401" in codes(diags)
+
+    def test_selection_resets_the_charged_lower_bound(self, analysis_db):
+        # select may filter everything, so project-after-select proves nothing.
+        script = (
+            "R0 = select t >= 4 from Landownership\n"
+            "R1 = project R0 on name"
+        )
+        diags = analyze_script(script, analysis_db, budget=Budget(output_tuples=2))
+        assert "CQA402" not in codes(diags)
+
+
+class TestSyntaxDiagnostics:
+    def test_parse_error_becomes_cqa001_and_analysis_continues(self, analysis_db):
+        script = (
+            "R0 = selec t >= 4 from Hurricane\n"
+            "R1 = select t >= 4, t <= 9 from Hurricane"
+        )
+        diags = analyze_script(script, analysis_db)
+        assert codes(diags) == ["CQA001"]
+        (diag,) = diags
+        assert diag.span.line == 1
+
+    def test_multi_line_scripts_report_real_line_numbers(self, analysis_db):
+        script = (
+            "# comment\n"
+            "R0 = select t >= 4 from Hurricane\n"
+            "\n"
+            "R1 = select t >= 9, t <= 4 from R0\n"
+        )
+        (diag,) = analyze_script(script, analysis_db)
+        assert diag.code == "CQA301"
+        assert diag.span.line == 4
+
+
+class TestSessionIntegration:
+    def test_analyze_does_not_execute(self, analysis_db):
+        session = QuerySession(analysis_db)
+        diags = session.analyze("R0 = select t >= 4 from Hurricane")
+        assert not diags
+        assert "R0" not in session
+        assert session.last_diagnostics is diags
+
+    def test_strict_mode_blocks_errors(self, analysis_db):
+        session = QuerySession(analysis_db, analysis="strict")
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            session.execute("R0 = select distance <= 5 from Hurricane")
+        assert excinfo.value.diagnostics.has_errors
+        assert "R0" not in session
+
+    def test_strict_mode_allows_warnings(self, analysis_db):
+        session = QuerySession(analysis_db, analysis="strict")
+        result = session.execute("R0 = select t >= 9, t <= 4 from Hurricane")
+        assert len(result) == 0
+        assert codes(session.last_diagnostics) == ["CQA301"]
+
+    def test_strict_cqa402_raises_output_limit_exceeded(self, analysis_db):
+        session = QuerySession(
+            analysis_db, analysis="strict", budget=Budget(output_tuples=2)
+        )
+        with pytest.raises(OutputLimitExceeded) as excinfo:
+            session.execute("R0 = project Landownership on name")
+        assert excinfo.value.resource == "output_tuples"
+        assert excinfo.value.limit == 2
+
+    def test_strict_cqa402_partial_budget_truncates_instead(self, analysis_db):
+        session = QuerySession(
+            analysis_db,
+            analysis="strict",
+            budget=Budget(output_tuples=2, on_exhausted="partial"),
+        )
+        result = session.execute("R0 = project Landownership on name")
+        assert result.truncated
+        assert len(result) == 2
+
+    def test_invalid_analysis_mode_rejected(self, analysis_db):
+        with pytest.raises(ValueError, match="analysis"):
+            QuerySession(analysis_db, analysis="loud")
+
+    def test_analysis_mode_is_settable(self, analysis_db):
+        session = QuerySession(analysis_db)
+        session.analysis = "warn"
+        session.execute("R0 = select 1 = 2 from Hurricane")
+        assert codes(session.last_diagnostics) == ["CQA301"]
+
+
+class TestDiagnosticTypes:
+    def test_catalog_severity_is_applied(self):
+        assert diagnostic("CQA101", "x").severity is Severity.ERROR
+        assert diagnostic("CQA201", "x").severity is Severity.WARNING
+        assert diagnostic("CQA403", "x").severity is Severity.INFO
+
+    def test_render_includes_caret_line(self, analysis_db):
+        (diag,) = analyze_script(
+            "R0 = select distance <= 5 from Hurricane", analysis_db
+        )
+        rendered = diag.render()
+        caret_line = rendered.splitlines()[2]
+        assert caret_line.strip("| ") == "^" * len("distance")

@@ -1,0 +1,82 @@
+"""Zero-false-positive gate: the analyzer must stay silent on every query
+we ship.
+
+The paper's five §3.3 scripts and every ``examples/data/*.cqa`` script are
+legitimate queries; any diagnostic of severity WARNING or above on them is
+a false positive and fails this gate.  The CLI half checks the ``--lint``
+surface end to end (exit code 0, ``ok`` rendering).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity, analyze_script
+from repro.cli import main as cli_main
+from repro.workloads.hurricane import figure2_database, paper_queries
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "data"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES.glob("*.cqa"))
+HURRICANE_CDB = EXAMPLES / "hurricane.cdb"
+
+
+class TestHurricaneWorkload:
+    @pytest.mark.parametrize("name", sorted(paper_queries()))
+    def test_paper_query_has_no_warnings(self, name: str) -> None:
+        diagnostics = analyze_script(paper_queries()[name], figure2_database())
+        flagged = diagnostics.at_least(Severity.WARNING)
+        assert not flagged, f"false positive on {name}:\n{flagged.render()}"
+
+
+class TestExampleScripts:
+    @pytest.mark.parametrize(
+        "script", EXAMPLE_SCRIPTS, ids=[p.stem for p in EXAMPLE_SCRIPTS]
+    )
+    def test_example_has_no_warnings(self, script: Path) -> None:
+        diagnostics = analyze_script(
+            script.read_text(encoding="utf-8"), figure2_database()
+        )
+        flagged = diagnostics.at_least(Severity.WARNING)
+        assert not flagged, f"false positive on {script.name}:\n{flagged.render()}"
+
+    def test_examples_exist(self) -> None:
+        assert EXAMPLE_SCRIPTS, f"no example scripts under {EXAMPLES}"
+
+
+class TestLintCli:
+    @pytest.mark.parametrize(
+        "script", EXAMPLE_SCRIPTS, ids=[p.stem for p in EXAMPLE_SCRIPTS]
+    )
+    def test_lint_exits_zero_on_examples(self, script: Path, capsys) -> None:
+        code = cli_main(["query", str(HURRICANE_CDB), str(script), "--lint"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "ok: no diagnostics" in out
+
+    def test_lint_exits_two_on_errors(self, tmp_path, capsys) -> None:
+        bad = tmp_path / "bad.cqa"
+        bad.write_text("R0 = select distance <= 5 from Hurricane\n", encoding="utf-8")
+        code = cli_main(["query", str(HURRICANE_CDB), str(bad), "--lint"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "CQA101" in out
+
+    def test_lint_exits_zero_on_warnings_only(self, tmp_path, capsys) -> None:
+        warn = tmp_path / "warn.cqa"
+        warn.write_text("R0 = select t >= 9, t <= 4 from Hurricane\n", encoding="utf-8")
+        code = cli_main(["query", str(HURRICANE_CDB), str(warn), "--lint"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CQA301" in out
+
+    def test_strict_cli_blocks_unsafe(self, tmp_path, capsys) -> None:
+        bad = tmp_path / "bad.cqa"
+        bad.write_text("R0 = select distance <= 5 from Hurricane\n", encoding="utf-8")
+        code = cli_main(
+            ["query", str(HURRICANE_CDB), str(bad), "--analysis", "strict"]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error[analysis]" in err

@@ -1,0 +1,59 @@
+"""Golden-file tests for diagnostic rendering.
+
+Each ``cases/NAME.cqa`` script is analyzed against the shared fixture
+database and its full :meth:`~repro.analysis.Diagnostics.render` output is
+compared, byte for byte, against ``cases/NAME.expected``.  This pins the
+rendering contract: codes, severities, line/column spans, quoted
+statements, caret placement, hints, and the summary line.
+
+To regenerate after an intentional rendering change::
+
+    PYTHONPATH=src python tests/analysis/test_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+CASES_DIR = Path(__file__).parent / "cases"
+CASE_NAMES = sorted(p.stem for p in CASES_DIR.glob("*.cqa"))
+
+
+def _build_db():
+    from tests.analysis.conftest import ghost_relation, readings_relation
+    from repro.workloads.hurricane import figure2_database
+
+    database = figure2_database()
+    database.add("Readings", readings_relation())
+    database.add("Ghost", ghost_relation())
+    return database
+
+
+def _render(name: str) -> str:
+    from repro.analysis import analyze_script
+
+    script = (CASES_DIR / f"{name}.cqa").read_text(encoding="utf-8")
+    return analyze_script(script, _build_db()).render() + "\n"
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_golden(name: str) -> None:
+    expected_path = CASES_DIR / f"{name}.expected"
+    assert expected_path.exists(), f"missing golden file {expected_path}"
+    assert _render(name) == expected_path.read_text(encoding="utf-8")
+
+
+def test_cases_exist() -> None:
+    assert CASE_NAMES, "no golden cases found"
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        for case in CASE_NAMES:
+            (CASES_DIR / f"{case}.expected").write_text(_render(case), encoding="utf-8")
+            print(f"regenerated {case}.expected")
+    else:
+        print(__doc__)

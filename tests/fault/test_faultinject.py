@@ -181,7 +181,7 @@ class TestSerializationCorruption:
     def test_dropped_tuple_line_detected_by_count(self):
         database = Database({"R": _relation(10)})
         lines = dumps(database).split("\n")
-        del lines[next(i for i, l in enumerate(lines) if l.startswith("tuple"))]
+        del lines[next(i for i, line in enumerate(lines) if line.startswith("tuple"))]
         with pytest.raises(CorruptPageError) as excinfo:
             loads("\n".join(lines))
         assert "truncated or corrupted" in str(excinfo.value)
@@ -189,5 +189,7 @@ class TestSerializationCorruption:
     def test_files_without_checksums_still_load(self):
         # Backwards compatibility: pre-checksum files have no checksum line.
         database = Database({"R": _relation(10)})
-        lines = [l for l in dumps(database).split("\n") if not l.startswith("checksum")]
+        lines = [
+            line for line in dumps(database).split("\n") if not line.startswith("checksum")
+        ]
         assert loads("\n".join(lines))["R"] == database["R"]

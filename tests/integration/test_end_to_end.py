@@ -60,7 +60,7 @@ class TestGisPipeline:
 
         db = scenario.to_database()
         parcels = db["Parcels"]
-        indexes = {"Parcels": {frozenset(["x", "y"]): JointIndex(parcels, ["x", "y"], config=PageConfig())}}
+        indexes = {"Parcels": {frozenset({"x", "y"}): JointIndex(parcels, ["x", "y"], config=PageConfig())}}
         with_index = QuerySession(db, indexes=indexes)
         without_index = QuerySession(db)
         script = "R0 = select 0 <= x, x <= 20, 0 <= y, y <= 20 from Parcels\nR1 = project R0 on fid\n"

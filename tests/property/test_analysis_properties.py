@@ -1,0 +1,83 @@
+"""Property tests for the static analyzer's non-interference guarantee.
+
+``analysis="warn"`` must be purely observational: for any statement the
+language can express, a warn-mode session produces *exactly* the results
+an off-mode session does — same tuples, same bindings, same errors.  The
+strategies below generate random single- and multi-step scripts over the
+Hurricane database, including vacuous and empty-result statements that
+trip the analyzer's warning rules.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.query import QuerySession
+from repro.workloads.hurricane import figure2_database
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+RELATIONS = st.sampled_from(["Hurricane", "Land", "Landownership"])
+ATTRS = st.sampled_from(["t", "x", "y", "landId", "name", "nosuch"])
+NUMBERS = st.integers(min_value=-12, max_value=12)
+COMPARATORS = st.sampled_from(["<=", "<", ">=", ">", "="])
+
+
+@st.composite
+def conditions(draw) -> str:
+    n = draw(st.integers(min_value=1, max_value=3))
+    parts = []
+    for _ in range(n):
+        attr = draw(ATTRS)
+        op = draw(COMPARATORS)
+        value = draw(NUMBERS)
+        parts.append(f"{attr} {op} {value}")
+    return ", ".join(parts)
+
+
+@st.composite
+def statements(draw, target: str = "R0") -> str:
+    kind = draw(st.sampled_from(["select", "project", "join", "union", "diff"]))
+    if kind == "select":
+        return f"{target} = select {draw(conditions())} from {draw(RELATIONS)}"
+    if kind == "project":
+        relation = draw(RELATIONS)
+        attrs = {"Hurricane": "t", "Land": "landId", "Landownership": "name"}[relation]
+        return f"{target} = project {relation} on {attrs}"
+    if kind == "join":
+        return f"{target} = join {draw(RELATIONS)} and {draw(RELATIONS)}"
+    left = draw(RELATIONS)
+    return f"{target} = {kind} {left} and {left}"
+
+
+def run(script: str, analysis: str):
+    """(outcome, payload): results of every binding, or the error text."""
+    session = QuerySession(figure2_database(), analysis=analysis)
+    try:
+        session.run_script(script)
+    except ReproError as exc:
+        return ("error", f"{type(exc).__name__}: {exc}")
+    return ("ok", {name: set(rel) for name, rel in session.results.items()})
+
+
+class TestWarnModeNonInterference:
+    @SETTINGS
+    @given(statements())
+    def test_single_statement_results_identical(self, statement: str) -> None:
+        assert run(statement, "off") == run(statement, "warn")
+
+    @SETTINGS
+    @given(st.lists(st.integers(0, 0), min_size=1, max_size=1), statements("R0"))
+    def test_vacuous_pipeline_results_identical(self, _seed, first: str) -> None:
+        script = f"{first}\nR1 = select t >= 9, t <= 4 from Hurricane"
+        assert run(script, "off") == run(script, "warn")
+
+    def test_warn_mode_records_diagnostics_without_changing_result(self) -> None:
+        script = "R0 = select t >= 9, t <= 4 from Hurricane"
+        off = QuerySession(figure2_database())
+        warn = QuerySession(figure2_database(), analysis="warn")
+        assert set(off.run_script(script)) == set(warn.run_script(script))
+        assert warn.last_diagnostics is not None
+        assert [d.code for d in warn.last_diagnostics] == ["CQA301"]
+        assert off.last_diagnostics is None

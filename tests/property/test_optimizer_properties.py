@@ -54,7 +54,7 @@ def _db() -> Database:
 
 
 DB = _db()
-INDEXES = {"R": {frozenset(["t"]): JointIndex(DB["R"], ["t"], max_entries=4)}}
+INDEXES = {"R": {frozenset({"t"}): JointIndex(DB["R"], ["t"], max_entries=4)}}
 
 small = st.integers(min_value=-2, max_value=22).map(Fraction)
 

@@ -164,14 +164,14 @@ class TestIndexSelection:
     def _indexes(self, db):
         from repro.indexing import JointIndex
 
-        return {"R": {frozenset(["t"]): JointIndex(db["R"], ["t"], max_entries=4)}}
+        return {"R": {frozenset({"t"}): JointIndex(db["R"], ["t"], max_entries=4)}}
 
     def test_select_scan_becomes_index_scan(self, db):
         indexes = self._indexes(db)
         plan = Select(Scan("R"), parse_constraints("t >= 15"))
         optimized = optimize(plan, db, indexes)
         assert isinstance(optimized, IndexScan)
-        assert optimized.index_attributes == frozenset(["t"])
+        assert optimized.index_attributes == frozenset({"t"})
         assert_same_result(plan, optimized, db, indexes)
 
     def test_no_index_no_rewrite(self, db):

@@ -154,7 +154,7 @@ class TestSession:
     def test_optimizer_uses_indexes(self, db):
         from repro.indexing import JointIndex
 
-        indexes = {"R": {frozenset(["t"]): JointIndex(db["R"], ["t"], max_entries=4)}}
+        indexes = {"R": {frozenset({"t"}): JointIndex(db["R"], ["t"], max_entries=4)}}
         session = QuerySession(db, indexes=indexes)
         result = session.execute("R0 = select t >= 15 from R")
         assert [t.value("id") for t in result] == ["b"]
@@ -163,7 +163,7 @@ class TestSession:
     def test_optimizer_disabled(self, db):
         from repro.indexing import JointIndex
 
-        indexes = {"R": {frozenset(["t"]): JointIndex(db["R"], ["t"], max_entries=4)}}
+        indexes = {"R": {frozenset({"t"}): JointIndex(db["R"], ["t"], max_entries=4)}}
         session = QuerySession(db, indexes=indexes, use_optimizer=False)
         session.execute("R0 = select t >= 15 from R")
         assert "index_scan" not in session.metrics.operator_calls

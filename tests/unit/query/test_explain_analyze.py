@@ -79,7 +79,7 @@ class TestHurricaneConservation:
     def _session(self):
         database = figure2_database()
         strategy = JointIndex(database["Landownership"], ["t"], max_entries=4)
-        indexes = {"Landownership": {frozenset(["t"]): strategy}}
+        indexes = {"Landownership": {frozenset({"t"}): strategy}}
         return QuerySession(database, indexes=indexes), strategy
 
     def test_join_report_access_totals_equal_tree_deltas(self):

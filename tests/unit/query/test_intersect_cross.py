@@ -3,7 +3,7 @@
 import pytest
 
 from repro.constraints import parse_constraints
-from repro.errors import QueryError
+from repro.errors import QueryError, SchemaError
 from repro.model import ConstraintRelation, Database, HTuple, Schema, constraint
 from repro.query import QuerySession
 from repro.query.ast import CrossStmt, IntersectStmt
@@ -36,7 +36,7 @@ class TestExecution:
         assert not result.contains_point({"x": 8})
 
     def test_intersect_requires_compatible_schemas(self, db):
-        with pytest.raises(Exception) as exc_info:
+        with pytest.raises(SchemaError) as exc_info:
             QuerySession(db).execute("X = intersect A and C")
         assert "union-compatible" in str(exc_info.value) or "not union" in str(exc_info.value)
 

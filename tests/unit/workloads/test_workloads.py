@@ -67,7 +67,8 @@ class TestGenerators:
         for box in halfopen_queries(30, seed=5):
             x_rates.append(len(brute_force_matches(data, {"x": box["x"]})) / len(data))
             y_rates.append(len(brute_force_matches(data, {"y": box["y"]})) / len(data))
-        avg = lambda xs: sum(xs) / len(xs)
+        def avg(xs):
+            return sum(xs) / len(xs)
         assert 0.35 <= avg(x_rates) <= 0.6
         assert 0.3 <= avg(y_rates) <= 0.55
 
@@ -81,7 +82,8 @@ class TestGenerators:
         for box in halfopen_queries(30, seed=5):
             x_rates.append(len(brute_force_matches(data, {"x": box["x"]})) / len(data))
             joint_rates.append(len(brute_force_matches(data, box)) / len(data))
-        avg = lambda xs: sum(xs) / len(xs)
+        def avg(xs):
+            return sum(xs) / len(xs)
         assert 0.35 <= avg(x_rates) <= 0.6
         assert avg(joint_rates) < 0.01
 
