@@ -1,0 +1,115 @@
+"""A/B benchmark: serial vs morsel-parallel execution (repro.exec).
+
+Two comparisons on the Figure 4 experiment harness:
+
+* **workers=1 overhead** — the parallel engine must cost *nothing* when
+  disabled: ``fig4.run(workers=1)`` is the exact pre-engine code path
+  (no engine constructed; the operator gate is one thread-local peek),
+  so its best-of-N time must stay within 2% of the serial call.
+* **workers=4 speedup** — on a machine with ≥ 4 cores, dispatching the
+  four (variant × strategy) series to a process pool must run Figure 4
+  at least 1.7× faster than serial.  On smaller runners (CI smoke, the
+  1-CPU container) the speedup assertion self-skips — there is no
+  parallel hardware to measure — while the A/B numbers still land in
+  the JSON artifact.
+
+Arms are timed best-of-``_ROUNDS`` interleaved (the established idiom of
+``bench_governor.py``): best-of-N measures each configuration's
+achievable floor rather than the average of its interruptions.  Results
+land in ``BENCH_parallel.json`` (override with
+``REPRO_BENCH_PARALLEL_JSON``) so CI can archive them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments import fig4
+
+_ROUNDS = 3
+_PARALLEL_WORKERS = 4
+
+
+def _cpu_count() -> int:
+    return os.cpu_count() or 1
+
+
+def _time_once(kwargs: dict, workers: int) -> float:
+    start = time.perf_counter()
+    result = fig4.run(workers=workers, **kwargs)
+    elapsed = time.perf_counter() - start
+    assert len(result.series) == 2  # both panels actually ran
+    return elapsed
+
+
+@pytest.fixture(scope="module")
+def parallel_results(scale) -> dict:
+    kwargs = {"data_size": scale.data_size, "query_count": scale.query_count}
+    _time_once(kwargs, 1)  # warm-up: imports, allocator, caches
+    serial, single, parallel = [], [], []
+    for _ in range(_ROUNDS):
+        serial.append(_time_once(kwargs, 1))
+        single.append(_time_once(kwargs, 1))
+        parallel.append(_time_once(kwargs, _PARALLEL_WORKERS))
+    best_serial = min(serial)
+    best_single = min(single)
+    best_parallel = min(parallel)
+    results = {
+        "workload": f"figure-4 ({scale.name} scale)",
+        "rounds": _ROUNDS,
+        "cpu_count": _cpu_count(),
+        "workers": _PARALLEL_WORKERS,
+        "serial_best_seconds": best_serial,
+        "workers1_best_seconds": best_single,
+        "parallel_best_seconds": best_parallel,
+        "workers1_overhead_fraction": best_single / best_serial - 1.0,
+        "speedup": best_serial / best_parallel,
+    }
+    path = os.environ.get("REPRO_BENCH_PARALLEL_JSON", "BENCH_parallel.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    return results
+
+
+def test_workers1_is_free(parallel_results):
+    """workers=1 must be the serial code path: within 2% of serial.
+
+    Both arms run the identical code (workers=1 never constructs an
+    engine), so this guards against the gate itself growing a cost."""
+    assert parallel_results["workers1_overhead_fraction"] < 0.02
+
+
+def test_parallel_speedup(parallel_results):
+    """≥ 1.7× on fig4 at workers=4 — only meaningful with ≥ 4 cores."""
+    if _cpu_count() < 4:
+        pytest.skip(
+            f"speedup needs >= 4 cores, this machine has {_cpu_count()}; "
+            "A/B numbers still recorded in BENCH_parallel.json"
+        )
+    assert parallel_results["speedup"] >= 1.7
+
+
+def test_parallel_measurements_identical(scale):
+    """The A/B is only valid if both arms measure the same experiment."""
+    kwargs = {
+        "data_size": min(scale.data_size, 500),
+        "query_count": min(scale.query_count, 20),
+    }
+    serial = fig4.run(workers=1, **kwargs)
+    parallel = fig4.run(workers=2, **kwargs)
+    for s, p in zip(serial.series, parallel.series):
+        assert s.label == p.label
+        assert s.measurements == p.measurements
+
+
+def test_fig4_parallel(benchmark, scale):
+    benchmark(
+        lambda: _time_once(
+            {"data_size": scale.data_size, "query_count": scale.query_count},
+            _PARALLEL_WORKERS,
+        )
+    )

@@ -34,6 +34,7 @@ from .plan import (
     Rename,
     Scan,
     Select,
+    SeqScan,
     Union,
     evaluate,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "Rename",
     "Scan",
     "Select",
+    "SeqScan",
     "StringPredicate",
     "Union",
     "UnsafeDistance",

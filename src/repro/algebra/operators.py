@@ -24,12 +24,88 @@ from typing import Iterable, Sequence
 
 from ..constraints import Conjunction, DNFFormula, LinearConstraint, LinearExpression, solver
 from ..errors import AlgebraError, ResourceExhausted
+from ..exec import parallel_engine, run_parallel
 from ..governor.budget import ProducerGuard
 from ..model.relation import ConstraintRelation
 from ..model.schema import Schema
 from ..model.tuples import HTuple
 from ..model.types import Null, Value
 from .predicates import Predicate, StringPredicate, validate_predicates
+
+
+def _select_survivor(t: HTuple, predicates: Sequence[Predicate]) -> HTuple | None:
+    """One tuple's selection work: predicate evaluation, conjoining, and
+    the satisfiability decision.  ``None`` means the tuple vanishes.
+
+    This is the unit of work both the serial loop and the parallel
+    morsel task run, so the two paths are the same code by construction.
+    """
+    atoms: list[LinearConstraint] = []
+    for predicate in predicates:
+        if isinstance(predicate, StringPredicate):
+            if not predicate.matches(t):
+                return None
+            continue
+        substituted = t.substitute_relational(predicate.expression)
+        if substituted is None:  # a NULL relational value was mentioned
+            return None
+        atom = LinearConstraint(substituted, predicate.comparator)
+        if atom.is_trivial:
+            if not atom.truth_value():
+                return None
+            continue
+        atoms.append(atom)
+    survivor = t.conjoin(atoms) if atoms else t
+    # Decide satisfiability here, inside the guarded row, so the solve is
+    # cancellable/absorbable; the relation constructor's own emptiness
+    # check then hits the per-formula cache.  (The cached verdict also
+    # survives pickling, so a worker-side solve is never repeated by the
+    # parent's merge.)
+    if survivor.is_empty():
+        return None
+    return survivor
+
+
+def filter_tuples(tuples: Sequence[HTuple], predicates: Sequence[Predicate]) -> list[HTuple]:
+    """The governed selection loop over pre-validated predicates.
+
+    Shared by :func:`select` and the heapfile sequential scan; runs as
+    the morsel task on workers (each bound to its own sub-budget through
+    the thread-local guard machinery).
+    """
+    guard = ProducerGuard()
+    result: list[HTuple] = []
+    for t in tuples:
+        if not guard.start_row():
+            break
+        try:
+            survivor = _select_survivor(t, predicates)
+        except ResourceExhausted as exc:
+            if not guard.absorb(exc):
+                raise
+            break
+        if survivor is None:
+            continue
+        if not guard.produced():
+            break
+        result.append(survivor)
+    return result
+
+
+def _filter_task(payload: tuple[Predicate, ...], morsel: tuple[HTuple, ...]) -> list[HTuple]:
+    """Worker-side morsel task for selection/refinement filtering."""
+    return filter_tuples(morsel, payload)
+
+
+def filter_tuples_parallel(
+    tuples: Sequence[HTuple], predicates: Sequence[Predicate], label: str = "select"
+) -> list[HTuple]:
+    """Morsel-parallel :func:`filter_tuples` when an engine is active,
+    the serial loop otherwise.  Results are bit-identical either way."""
+    engine = parallel_engine(len(tuples))
+    if engine is None:
+        return filter_tuples(tuples, predicates)
+    return run_parallel(engine, _filter_task, tuple(predicates), tuples, label=label)
 
 
 def select(relation: ConstraintRelation, predicates: Sequence[Predicate]) -> ConstraintRelation:
@@ -39,48 +115,12 @@ def select(relation: ConstraintRelation, predicates: Sequence[Predicate]) -> Con
     formula; atoms over rational relational attributes have the tuple's
     values substituted first (a NULL value fails the tuple — narrow
     semantics).  Tuples whose augmented formula is unsatisfiable vanish.
+
+    The per-tuple filter+solve work is morsel-parallel when the session
+    runs with ``workers > 1`` (see :mod:`repro.exec`).
     """
     validate_predicates(relation.schema, list(predicates))
-    guard = ProducerGuard()
-    result: list[HTuple] = []
-    for t in relation:
-        if not guard.start_row():
-            break
-        try:
-            atoms: list[LinearConstraint] = []
-            alive = True
-            for predicate in predicates:
-                if isinstance(predicate, StringPredicate):
-                    if not predicate.matches(t):
-                        alive = False
-                        break
-                    continue
-                substituted = t.substitute_relational(predicate.expression)
-                if substituted is None:  # a NULL relational value was mentioned
-                    alive = False
-                    break
-                atom = LinearConstraint(substituted, predicate.comparator)
-                if atom.is_trivial:
-                    if not atom.truth_value():
-                        alive = False
-                        break
-                    continue
-                atoms.append(atom)
-            if not alive:
-                continue
-            survivor = t.conjoin(atoms) if atoms else t
-            # Decide satisfiability here, inside the guarded row, so the
-            # solve is cancellable/absorbable; the relation constructor's
-            # own emptiness check then hits the per-formula cache.
-            if survivor.is_empty():
-                continue
-        except ResourceExhausted as exc:
-            if not guard.absorb(exc):
-                raise
-            break
-        if not guard.produced():
-            break
-        result.append(survivor)
+    result = filter_tuples_parallel(relation.tuples, predicates)
     return ConstraintRelation(relation.schema, result)
 
 

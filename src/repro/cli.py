@@ -70,7 +70,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         use_optimizer=not args.no_optimizer,
         budget=_budget_from_args(args),
         analysis=args.analysis,
+        workers=args.workers,
     )
+    with session:
+        return _run_query(session, script, args)
+
+
+def _run_query(session: QuerySession, script: str, args: argparse.Namespace) -> int:
     if args.lint:
         diagnostics = session.analyze(script)
         print(diagnostics.render())
@@ -134,6 +140,51 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .experiments import fig4, fig5
+
+    module = fig4 if args.figure == "fig4" else fig5
+    kwargs: dict[str, object] = {"workers": args.workers}
+    if args.data_size is not None:
+        kwargs["data_size"] = args.data_size
+    if args.query_count is not None:
+        kwargs["query_count"] = args.query_count
+    started = time.perf_counter()
+    result = module.run(**kwargs)
+    elapsed = time.perf_counter() - started
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "experiment_id": result.experiment_id,
+                    "title": result.title,
+                    "workers": args.workers,
+                    "elapsed_seconds": elapsed,
+                    "series": [
+                        {
+                            "label": series.label,
+                            "x_label": series.x_label,
+                            "mean_joint": series.mean_joint,
+                            "mean_separate": series.mean_separate,
+                            "advantage": series.joint_advantage,
+                            "points": len(series.measurements),
+                        }
+                        for series in result.series
+                    ],
+                    "notes": result.notes,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(result.format_table())
+        print(f"\n(elapsed {elapsed:.2f}s, workers={args.workers})", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -179,6 +230,15 @@ def build_parser() -> argparse.ArgumentParser:
         "diagnostics (printed on stderr), 'strict' refuses to execute "
         "statements with error-level diagnostics",
     )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate statements with N parallel workers (morsel-driven; "
+        "results are identical to serial — see docs/PARALLELISM.md); "
+        "defaults to $REPRO_WORKERS or 1",
+    )
     limits = query.add_argument_group(
         "resource limits", "per-statement budget (see docs/QUERY_LANGUAGE.md)"
     )
@@ -214,6 +274,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = commands.add_parser("demo", help="run the Hurricane case study (§3.3)")
     demo.set_defaults(handler=_cmd_demo)
+
+    experiment = commands.add_parser(
+        "experiment", help="run a paper experiment (figure 4 or 5)"
+    )
+    experiment.add_argument("figure", choices=("fig4", "fig5"), help="which figure to run")
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="dispatch the four (variant × strategy) series to N workers",
+    )
+    experiment.add_argument(
+        "--data-size", type=int, default=None, metavar="N", help="number of data boxes"
+    )
+    experiment.add_argument(
+        "--query-count", type=int, default=None, metavar="N", help="number of queries"
+    )
+    experiment.add_argument(
+        "--json", action="store_true", help="emit the binned series as JSON"
+    )
+    experiment.set_defaults(handler=_cmd_experiment)
     return parser
 
 

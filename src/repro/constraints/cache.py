@@ -18,10 +18,18 @@ Two small, dependency-free data structures used by
 Both tables are *pure accelerators*: clearing them at any point is always
 safe (atom equality remains value-based; cached answers are pure facts
 about the keyed formula).
+
+Both are thread-safe: the parallel execution engine's thread-pool
+fallback shares the process-wide solver caches across worker threads, so
+lookups, insertions, and the hit/miss/eviction accounting are serialized
+under a per-structure lock.  (The process-pool path needs no locking —
+each worker process has its own copy-on-write caches — but the lock is
+uncontended there and costs a fraction of a single solver call.)
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Generic, Hashable, TypeVar
 
 K = TypeVar("K", bound=Hashable)
@@ -36,41 +44,45 @@ class LRUCache(Generic[K, V]):
     recently used entry once ``capacity`` is exceeded.
     """
 
-    __slots__ = ("capacity", "_data", "hits", "misses", "evictions")
+    __slots__ = ("capacity", "_data", "_lock", "hits", "misses", "evictions")
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._data: dict[K, V] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: K) -> V | None:
-        data = self._data
-        value = data.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        # Refresh recency: dicts preserve insertion order, so re-inserting
-        # moves the key to the "most recent" end.
-        del data[key]
-        data[key] = value
-        self.hits += 1
-        return value
+        with self._lock:
+            data = self._data
+            value = data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            # Refresh recency: dicts preserve insertion order, so
+            # re-inserting moves the key to the "most recent" end.
+            del data[key]
+            data[key] = value
+            self.hits += 1
+            return value
 
     def put(self, key: K, value: V) -> None:
-        data = self._data
-        if key in data:
-            del data[key]
-        elif len(data) >= self.capacity:
-            del data[next(iter(data))]  # least recently used
-            self.evictions += 1
-        data[key] = value
+        with self._lock:
+            data = self._data
+            if key in data:
+                del data[key]
+            elif len(data) >= self.capacity:
+                del data[next(iter(data))]  # least recently used
+                self.evictions += 1
+            data[key] = value
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -80,13 +92,14 @@ class LRUCache(Generic[K, V]):
 
     def info(self) -> dict[str, int]:
         """Accounting snapshot (sizes and lifetime hit/miss/evict counts)."""
-        return {
-            "size": len(self._data),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def __repr__(self) -> str:
         return (
@@ -105,29 +118,32 @@ class InternTable(Generic[K]):
     duplicate instances.
     """
 
-    __slots__ = ("capacity", "_table", "epoch")
+    __slots__ = ("capacity", "_table", "_lock", "epoch")
 
     def __init__(self, capacity: int = 1 << 16):
         if capacity < 1:
             raise ValueError(f"intern capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._table: dict[K, K] = {}
+        self._lock = threading.Lock()
         self.epoch = 0
 
     def intern(self, value: K) -> K:
-        table = self._table
-        existing = table.get(value)
-        if existing is not None:
-            return existing
-        if len(table) >= self.capacity:
-            table.clear()
-            self.epoch += 1
-        table[value] = value
-        return value
+        with self._lock:
+            table = self._table
+            existing = table.get(value)
+            if existing is not None:
+                return existing
+            if len(table) >= self.capacity:
+                table.clear()
+                self.epoch += 1
+            table[value] = value
+            return value
 
     def clear(self) -> None:
-        self._table.clear()
-        self.epoch += 1
+        with self._lock:
+            self._table.clear()
+            self.epoch += 1
 
     def __len__(self) -> int:
         return len(self._table)

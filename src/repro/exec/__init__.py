@@ -1,0 +1,47 @@
+"""The morsel-driven parallel execution engine.
+
+Partitions operator input into fixed-size morsels, dispatches the
+CPU-bound filter+solve work to a worker pool (processes by default,
+threads as a fallback for unpicklable contexts), and merges results in
+morsel order so parallel evaluation is bit-identical to serial.  See
+:mod:`repro.exec.engine` for the design contract (determinism, budget
+reconciliation, metrics merge) and ``docs/PARALLELISM.md`` for the
+operator-facing guide.
+"""
+
+from .engine import (
+    ExecutionConfig,
+    ExecutionEngine,
+    current_engine,
+    merge_producing_outcomes,
+    parallel_engine,
+    reconcile_consumed,
+    reset_active_engines,
+    run_parallel,
+)
+from .envelope import (
+    TaskEnvelope,
+    TaskOutcome,
+    WorkerFailure,
+    execute_envelope,
+    rebuild_exhaustion,
+)
+from .morsel import auto_morsel_size, partition
+
+__all__ = [
+    "ExecutionConfig",
+    "ExecutionEngine",
+    "TaskEnvelope",
+    "TaskOutcome",
+    "WorkerFailure",
+    "auto_morsel_size",
+    "current_engine",
+    "execute_envelope",
+    "merge_producing_outcomes",
+    "parallel_engine",
+    "partition",
+    "rebuild_exhaustion",
+    "reconcile_consumed",
+    "reset_active_engines",
+    "run_parallel",
+]

@@ -1,0 +1,494 @@
+"""The morsel-driven parallel execution engine.
+
+An :class:`ExecutionEngine` owns a worker pool and dispatches
+:class:`~repro.exec.envelope.TaskEnvelope` batches built from morsels
+(:mod:`repro.exec.morsel`).  Design contract:
+
+* **Determinism** — outcomes are merged strictly in morsel order, and
+  morsels are positional slices of the serial iteration order, so the
+  merged output is bit-identical to the serial loop's.  Workers never
+  share mutable state (each gets a fresh registry and sub-budget; the
+  process pool additionally gets copy-on-write solver caches).
+* **Governance** — the parent budget is sliced
+  (:meth:`~repro.governor.Budget.slice`: full remaining limits, shared
+  deadline) into per-worker sub-budgets, and worker consumption is
+  re-charged against the parent during the ordered merge
+  (:func:`merge_producing_outcomes`).  Exhaustion inside a worker
+  surfaces as the same :class:`~repro.errors.ResourceExhausted` subclass
+  the serial path raises; in ``on_exhausted="partial"`` mode the merge
+  truncates at the same output-tuple boundary serial evaluation would.
+* **Observability** — each outcome's registry snapshot is folded into
+  the session registry *inside the calling operator's open span*, so
+  ``EXPLAIN ANALYZE`` attributes worker solver/IO work to the right plan
+  node; the engine additionally aggregates per-worker totals for the
+  ``parallelism=`` summary line.
+
+Mode selection (``auto``) prefers ``ProcessPoolExecutor`` (true
+parallelism; fork start method when available so workers inherit warm
+solver caches) and falls back to a thread pool when the envelope fails
+to pickle or the process pool breaks.  ``workers=1`` never constructs an
+engine at all — callers gate on :func:`parallel_engine`, keeping the
+serial path byte-for-byte identical to the pre-engine code.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import pickle
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from ..errors import ResourceExhausted
+from ..governor.budget import Budget, ProducerGuard, current_budget
+from ..obs import (
+    EXEC_DISPATCHES,
+    EXEC_MORSELS,
+    EXEC_THREAD_FALLBACKS,
+    SATISFIABILITY_CHECKS,
+    SOLVER_CACHE_HITS,
+    SOLVER_CACHE_MISSES,
+    SOLVER_REQUESTS,
+    MetricsRegistry,
+    current_registry,
+)
+from .envelope import TaskEnvelope, TaskFn, TaskOutcome, execute_envelope, rebuild_exhaustion
+from .morsel import auto_morsel_size
+
+#: Counter prefixes not folded into the session registry at merge time:
+#: the governor mirrors (``governor.charged.*``, ``governor.truncations``)
+#: are re-created by the parent-side budget reconciliation, and merging
+#: the workers' copies as well would double-count them.
+_MERGE_SKIP_PREFIXES = ("governor.",)
+
+#: Per-worker counters aggregated for the ``parallelism=`` summary and
+#: recorded as ``exec.worker<k>.<name>`` session counters.
+_WORKER_SUMMARY_COUNTERS = (
+    ("solver_requests", SOLVER_REQUESTS),
+    ("sat_checks", SATISFIABILITY_CHECKS),
+    ("cache_hits", SOLVER_CACHE_HITS),
+    ("cache_misses", SOLVER_CACHE_MISSES),
+)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Engine knobs.
+
+    ``workers`` is the pool size; ``mode`` one of ``auto`` / ``process``
+    / ``thread``; ``morsel_size=0`` picks a size automatically
+    (:func:`~repro.exec.morsel.auto_morsel_size`); operators with fewer
+    than ``min_parallel_items`` input items stay serial (the dispatch
+    overhead would dominate).
+    """
+
+    workers: int = 1
+    mode: str = "auto"
+    morsel_size: int = 0
+    min_parallel_items: int = 16
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool) or self.workers < 1:
+            raise ValueError(f"workers must be a positive integer, got {self.workers!r}")
+        if self.mode not in ("auto", "process", "thread"):
+            raise ValueError(f"mode must be 'auto', 'process', or 'thread', got {self.mode!r}")
+        if self.morsel_size < 0:
+            raise ValueError(f"morsel_size must be >= 0, got {self.morsel_size!r}")
+        if self.min_parallel_items < 1:
+            raise ValueError(
+                f"min_parallel_items must be positive, got {self.min_parallel_items!r}"
+            )
+
+
+class _StatementStats:
+    """Per-statement dispatch accounting for the ``parallelism=`` line."""
+
+    def __init__(self) -> None:
+        self.dispatches = 0
+        self.morsels = 0
+        self.modes: list[str] = []
+        self.per_worker: dict[str, dict[str, int]] = {}
+
+    def note_dispatch(self, mode: str, n_morsels: int) -> None:
+        self.dispatches += 1
+        self.morsels += n_morsels
+        if mode not in self.modes:
+            self.modes.append(mode)
+
+    def note_outcome(self, outcome: TaskOutcome) -> None:
+        totals = self.per_worker.setdefault(
+            outcome.worker,
+            dict.fromkeys((label for label, _ in _WORKER_SUMMARY_COUNTERS), 0),
+        )
+        for label, counter in _WORKER_SUMMARY_COUNTERS:
+            value = int(outcome.counters.get(counter, 0))
+            if value:
+                totals[label] += value
+
+
+class ExecutionEngine:
+    """A reusable worker pool plus the dispatch/merge machinery.
+
+    Engines activate like budgets and registries — a thread-local stack
+    consulted via :func:`current_engine` — so operators deep in the
+    algebra/spatial layers need no explicit plumbing.  Pools are created
+    lazily on first parallel dispatch and reused across statements;
+    :meth:`close` (or use as a context manager) shuts them down.
+    """
+
+    def __init__(self, config: ExecutionConfig):
+        if config.workers < 2:
+            raise ValueError(
+                "an ExecutionEngine needs workers >= 2; workers=1 is the serial "
+                "path and must not construct an engine"
+            )
+        self.config = config
+        self._process_pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._thread_pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._process_pool_broken = False
+        self._stats = _StatementStats()
+        self._worker_index: dict[str, int] = {}
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @contextmanager
+    def activate(self) -> Iterator["ExecutionEngine"]:
+        """Make this the engine :func:`current_engine` returns."""
+        _TLS.engines.append(self)
+        try:
+            yield self
+        finally:
+            _TLS.engines.pop()
+
+    def close(self) -> None:
+        """Shut down both pools (idempotent)."""
+        self._closed = True
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter teardown: pools may already be gone
+
+    # -- statement accounting ------------------------------------------------
+
+    def begin_statement(self) -> None:
+        """Reset the per-statement stats behind ``parallelism=``."""
+        self._stats = _StatementStats()
+
+    def statement_summary(self) -> str | None:
+        """The ``parallelism=`` line for the last statement, or ``None``
+        if nothing was dispatched in parallel."""
+        stats = self._stats
+        if not stats.dispatches:
+            return None
+        parts = [
+            f"workers={self.config.workers}",
+            f"mode={'+'.join(stats.modes)}",
+            f"dispatches={stats.dispatches}",
+            f"morsels={stats.morsels}",
+        ]
+        hits = sum(w["cache_hits"] for w in stats.per_worker.values())
+        misses = sum(w["cache_misses"] for w in stats.per_worker.values())
+        if hits or misses:
+            rate = hits / (hits + misses)
+            parts.append(f"worker_cache_hits={hits}/{hits + misses} ({rate:.0%})")
+        solves = [
+            f"{self._worker_index.get(worker, 0)}:{totals['solver_requests']}"
+            for worker, totals in sorted(
+                stats.per_worker.items(),
+                key=lambda item: self._worker_index.get(item[0], 0),
+            )
+        ]
+        if solves:
+            parts.append(f"worker_solves=[{' '.join(solves)}]")
+        return "parallelism: " + " ".join(parts)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def morsel_size(self, n_items: int) -> int:
+        if self.config.morsel_size > 0:
+            return self.config.morsel_size
+        return auto_morsel_size(n_items, self.config.workers)
+
+    def map_morsels(
+        self,
+        fn: TaskFn,
+        payload: Any,
+        morsels: Sequence[Sequence[Any]],
+        label: str = "",
+    ) -> list[TaskOutcome]:
+        """Dispatch one task per morsel and return outcomes in morsel order.
+
+        Slices the current budget (if any) into the envelopes, so worker
+        tasks run governed; non-:class:`ResourceExhausted` worker errors
+        propagate unchanged.
+        """
+        del label  # labels aid call sites; dispatches are anonymous
+        if self._closed:
+            raise RuntimeError("ExecutionEngine is closed")
+        budget = current_budget()
+        budget_slice = budget.slice() if budget is not None else None
+        envelopes = [
+            TaskEnvelope(
+                fn=fn,
+                payload=payload,
+                morsel=tuple(morsel),
+                budget_slice=budget_slice,
+                index=i,
+            )
+            for i, morsel in enumerate(morsels)
+        ]
+        mode = self._resolve_mode(envelopes)
+        registry = current_registry()
+        registry.add(EXEC_DISPATCHES)
+        registry.add(EXEC_MORSELS, len(envelopes))
+        try:
+            outcomes = self._run(mode, envelopes)
+        except concurrent.futures.process.BrokenProcessPool:
+            # The process pool died (e.g. a worker was OOM-killed).  The
+            # tasks are pure — nothing parent-side was mutated — so
+            # re-dispatching the whole batch on threads is safe.
+            self._process_pool_broken = True
+            self._process_pool = None
+            if self.config.mode == "process":
+                raise
+            registry.add(EXEC_THREAD_FALLBACKS)
+            mode = "thread"
+            outcomes = self._run(mode, envelopes)
+        self._stats.note_dispatch(mode, len(envelopes))
+        for outcome in outcomes:
+            self._stats.note_outcome(outcome)
+            if outcome.worker not in self._worker_index:
+                self._worker_index[outcome.worker] = len(self._worker_index)
+        return outcomes
+
+    def _run(self, mode: str, envelopes: list[TaskEnvelope]) -> list[TaskOutcome]:
+        executor = self._executor_for(mode)
+        futures = [executor.submit(execute_envelope, envelope) for envelope in envelopes]
+        try:
+            outcomes = [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        outcomes.sort(key=lambda outcome: outcome.index)
+        return outcomes
+
+    def _resolve_mode(self, envelopes: list[TaskEnvelope]) -> str:
+        if self.config.mode == "thread":
+            return "thread"
+        if self.config.mode == "process":
+            return "process"
+        if self._process_pool_broken:
+            return "thread"
+        # Auto: probe the first envelope's picklability — all envelopes of
+        # one dispatch share the same payload/function shape.
+        try:
+            pickle.dumps(envelopes[0] if envelopes else None)
+        except Exception:
+            current_registry().add(EXEC_THREAD_FALLBACKS)
+            return "thread"
+        return "process"
+
+    def _executor_for(self, mode: str) -> concurrent.futures.Executor:
+        if mode == "process":
+            if self._process_pool is None:
+                context = None
+                if "fork" in multiprocessing.get_all_start_methods():
+                    context = multiprocessing.get_context("fork")
+                self._process_pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.config.workers, mp_context=context
+                )
+            return self._process_pool
+        if self._thread_pool is None:
+            self._thread_pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-exec",
+            )
+        return self._thread_pool
+
+    # -- merge helpers -------------------------------------------------------
+
+    def merge_counters(self, registry: MetricsRegistry, outcome: TaskOutcome) -> None:
+        """Fold one outcome's registry snapshot into ``registry`` (inside
+        the calling operator's open span, so the work is attributed to
+        the right plan node), plus per-worker session counters."""
+        registry.merge_snapshot(outcome.counters, skip_prefixes=_MERGE_SKIP_PREFIXES)
+        worker_k = self._worker_index.get(outcome.worker, 0)
+        for _, counter in _WORKER_SUMMARY_COUNTERS:
+            value = int(outcome.counters.get(counter, 0))
+            if value:
+                registry.add(f"exec.worker{worker_k}.{counter}", value)
+
+
+# -- ordered merge of producing tasks ------------------------------------------
+
+#: Resources reconciled from worker sub-budgets onto the parent budget.
+#: ``output_tuples`` is deliberately absent: the merge loop re-charges it
+#: per merged tuple through a ProducerGuard, reproducing the serial
+#: truncation point exactly.
+_RECONCILED_RESOURCES = ("solver_steps", "dnf_clauses", "io_accesses")
+
+
+def reconcile_consumed(budget: Budget | None, consumed: Any) -> bool:
+    """Charge a worker's non-output consumption against the parent.
+
+    Returns ``False`` when the charge exhausted a partial-mode budget
+    (callers stop merging further morsels); raise-mode exhaustion
+    propagates as the usual taxonomy.
+    """
+    if budget is None:
+        return True
+    for resource in _RECONCILED_RESOURCES:
+        n = consumed.get(resource, 0)
+        if not n:
+            continue
+        try:
+            budget.charge(resource, n)
+        except ResourceExhausted:
+            if budget.on_exhausted == "partial":
+                budget.mark_truncated()
+                return False
+            raise
+    return True
+
+
+def merge_producing_outcomes(
+    engine: ExecutionEngine,
+    outcomes: Sequence[TaskOutcome],
+    registry: MetricsRegistry | None = None,
+) -> list[Any]:
+    """Deterministic ordered merge for tasks whose output is a list of
+    produced items (tuples, accepted pairs…).
+
+    Per morsel, in order: fold the worker's metrics into the session
+    registry, reconcile its budget consumption, then re-produce its items
+    through a parent-side :class:`~repro.governor.ProducerGuard` — so the
+    ``output_tuples`` cap and the deadline cut the merged stream at
+    exactly the point they would cut the serial loop.  Worker exhaustion
+    under ``on_exhausted="raise"`` is re-raised as the same subclass
+    after earlier morsels have been merged and charged.
+    """
+    if registry is None:
+        registry = current_registry()
+    budget = current_budget()
+    guard = ProducerGuard()
+    merged: list[Any] = []
+    stopped = False
+    pending_failure = None
+    for outcome in outcomes:
+        # Always fold metrics — the work happened even past a truncation
+        # point, and EXPLAIN ANALYZE should account for it.
+        engine.merge_counters(registry, outcome)
+        if stopped or pending_failure is not None:
+            continue
+        if outcome.failure is not None:
+            if budget is not None and budget.on_exhausted == "partial":
+                # Defensive: partial-mode workers absorb exhaustion at
+                # their producer guards, but an unguarded raise still
+                # degrades to truncation rather than erroring.
+                budget.mark_truncated()
+                stopped = True
+            else:
+                pending_failure = outcome.failure
+            continue
+        if not reconcile_consumed(budget, outcome.consumed):
+            stopped = True
+            # The worker's own results still merge below in serial-order
+            # fidelity?  No: exhaustion during this morsel's work means
+            # serial evaluation never produced its rows.  Stop here.
+            continue
+        for item in outcome.output:
+            if not guard.start_row() or not guard.produced():
+                stopped = True
+                break
+            merged.append(item)
+        if outcome.truncated:
+            # The worker's sub-budget truncated (partial mode): its output
+            # is a sound prefix; nothing after it may be produced.
+            if budget is not None:
+                budget.mark_truncated()
+            stopped = True
+    if pending_failure is not None:
+        raise rebuild_exhaustion(pending_failure)
+    return merged
+
+
+# -- active-engine stack -------------------------------------------------------
+
+
+class _ActiveStack(threading.local):
+    """Per-thread active-engine stack (mirrors budget/registry stacks)."""
+
+    def __init__(self) -> None:
+        self.engines: list[ExecutionEngine] = []
+
+
+_TLS = _ActiveStack()
+
+
+def current_engine() -> ExecutionEngine | None:
+    """The engine governing the current evaluation, if any."""
+    stack = _TLS.engines
+    return stack[-1] if stack else None
+
+
+def reset_active_engines() -> None:
+    """Clear this thread's engine stack (worker-pool plumbing: a forked
+    worker inherits the parent's stack and must never re-enter it)."""
+    _TLS.engines.clear()
+
+
+def parallel_engine(n_items: int) -> ExecutionEngine | None:
+    """The gate every parallelizable operator calls: the active engine,
+    or ``None`` when the operator should run its serial loop.
+
+    Serial is chosen when no engine is active (``workers=1`` sessions
+    never activate one — zero overhead beyond this stack peek), when the
+    input is too small to amortize dispatch, or when a partial-mode
+    budget has already truncated (serial loops stop at their first guard
+    check; dispatching would waste work and merge to nothing anyway).
+    """
+    stack = _TLS.engines
+    if not stack:
+        return None
+    engine = stack[-1]
+    if n_items < engine.config.min_parallel_items:
+        return None
+    budget = current_budget()
+    if budget is not None and budget.truncated:
+        return None
+    return engine
+
+
+def run_parallel(
+    engine: ExecutionEngine,
+    fn: TaskFn,
+    payload: Any,
+    items: Sequence[Any],
+    label: str = "",
+) -> list[Any]:
+    """Partition ``items`` into morsels, dispatch ``fn`` over them, and
+    deterministically merge the produced outputs (see
+    :func:`merge_producing_outcomes`)."""
+    from .morsel import partition
+
+    morsels = partition(items, engine.morsel_size(len(items)))
+    outcomes = engine.map_morsels(fn, payload, morsels, label=label)
+    return merge_producing_outcomes(engine, outcomes)

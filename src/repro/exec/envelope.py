@@ -1,0 +1,151 @@
+"""The picklable task envelope executed by pool workers.
+
+A :class:`TaskEnvelope` carries everything one worker task needs across
+the process boundary: the task function (a module-level callable, pickled
+by reference), a shared payload, the morsel of work items, and an
+optional :class:`~repro.governor.BudgetSlice`.  The worker-side entry
+point :func:`execute_envelope` wraps the task in the shared-nothing
+harness the engine's contract requires:
+
+* the worker thread's active registry/budget/engine stacks are cleared
+  first — a forked worker inherits the submitting thread's stacks, and a
+  pooled thread may hold leftovers from a previous task; either would
+  misattribute metrics, double-charge the parent budget, or recursively
+  re-enter the (parent's) engine;
+* a fresh :class:`~repro.obs.MetricsRegistry` is activated so every
+  counter the task touches is captured and shipped back as a snapshot;
+* the budget slice (if any) is materialized into a worker-local
+  :class:`~repro.governor.Budget` and activated, so the task's producer
+  guards and solver checkpoints behave exactly as they do serially.
+
+Exhaustion raised by the task is returned as a structured
+:class:`WorkerFailure` record rather than a pickled exception: the
+:class:`~repro.errors.ResourceExhausted` constructors take keyword-only
+diagnostic arguments, which default exception pickling silently drops.
+:func:`rebuild_exhaustion` reconstructs the same subclass in the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from .. import errors
+from ..errors import ResourceExhausted
+from ..governor.budget import BudgetSlice, reset_active_budgets
+from ..obs import MetricsRegistry
+from ..obs.registry import reset_active_registries
+
+#: A task function: ``fn(payload, morsel) -> output``.  Must be a
+#: module-level callable so it pickles by reference.
+TaskFn = Callable[[Any, tuple], Any]
+
+
+@dataclass(frozen=True)
+class TaskEnvelope:
+    """One worker task: function, shared payload, morsel, sub-budget."""
+
+    fn: TaskFn
+    payload: Any
+    morsel: tuple
+    budget_slice: BudgetSlice | None
+    index: int
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """A :class:`~repro.errors.ResourceExhausted` flattened to plain data."""
+
+    kind: str
+    message: str
+    resource: str
+    consumed: float | int | None
+    limit: float | int | None
+    snapshot: Mapping[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What one task sends back to the merge step.
+
+    ``counters`` is the task registry's snapshot (non-zero entries);
+    ``consumed`` the sub-budget's per-resource consumption, which the
+    post-merge reconciliation re-charges against the parent budget.
+    """
+
+    index: int
+    worker: str
+    output: Any
+    counters: Mapping[str, float]
+    consumed: Mapping[str, int]
+    truncated: bool
+    failure: WorkerFailure | None
+
+
+def worker_label() -> str:
+    """A stable-ish identity for the executing worker (``p<pid>`` for a
+    pool process, ``t<ident>`` for a fallback pool thread)."""
+    if multiprocessing.parent_process() is not None:
+        return f"p{os.getpid()}"
+    return f"t{threading.get_ident()}"
+
+
+def execute_envelope(envelope: TaskEnvelope) -> TaskOutcome:
+    """Worker-side entry point (see the module docstring)."""
+    # Import here, not at module top, to avoid a static cycle
+    # (engine -> envelope -> engine); at call time both are loaded.
+    from .engine import reset_active_engines
+
+    reset_active_registries()
+    reset_active_budgets()
+    reset_active_engines()
+    registry = MetricsRegistry()
+    output: Any = None
+    consumed: dict[str, int] = {}
+    truncated = False
+    failure: WorkerFailure | None = None
+    with registry.activate():
+        if envelope.budget_slice is None:
+            output = envelope.fn(envelope.payload, envelope.morsel)
+        else:
+            sub = envelope.budget_slice.build()
+            try:
+                with sub.activate():
+                    output = envelope.fn(envelope.payload, envelope.morsel)
+            except ResourceExhausted as exc:
+                failure = WorkerFailure(
+                    kind=type(exc).__name__,
+                    message=str(exc),
+                    resource=exc.resource,
+                    consumed=exc.consumed,
+                    limit=exc.limit,
+                    snapshot=dict(exc.snapshot),
+                )
+            consumed = {name: n for name, n in sub.consumed.items() if n}
+            truncated = sub.truncated
+    return TaskOutcome(
+        index=envelope.index,
+        worker=worker_label(),
+        output=output,
+        counters={name: v for name, v in registry.snapshot().items() if v},
+        consumed=consumed,
+        truncated=truncated,
+        failure=failure,
+    )
+
+
+def rebuild_exhaustion(failure: WorkerFailure) -> ResourceExhausted:
+    """Reconstruct the worker's exhaustion as the same taxonomy subclass."""
+    cls = getattr(errors, failure.kind, None)
+    if not (isinstance(cls, type) and issubclass(cls, ResourceExhausted)):
+        cls = ResourceExhausted
+    return cls(
+        failure.message,
+        resource=failure.resource,
+        consumed=failure.consumed,
+        limit=failure.limit,
+        snapshot=dict(failure.snapshot),
+    )

@@ -1,0 +1,43 @@
+"""Morsel partitioning: fixed-size batches of work items.
+
+A *morsel* is the unit of parallel dispatch (Leis et al.'s term for the
+small fixed-size input fragments a morsel-driven scheduler hands to
+workers).  Partitioning is purely positional — morsel ``i`` holds items
+``[i*size, (i+1)*size)`` of the input sequence — so concatenating the
+per-morsel outputs in morsel order reproduces the serial iteration order
+exactly.  That positional invariant is what the engine's deterministic
+ordered merge relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Bounds for the automatic morsel size: small enough to balance load
+#: across workers, large enough that the per-task envelope overhead
+#: (pickling, pool queueing) stays amortized.
+MIN_MORSEL_SIZE = 8
+MAX_MORSEL_SIZE = 256
+#: Target number of morsels per worker — over-decomposition smooths out
+#: skew (some morsels solve much faster than others).
+MORSELS_PER_WORKER = 4
+
+
+def auto_morsel_size(n_items: int, workers: int) -> int:
+    """A morsel size aiming for :data:`MORSELS_PER_WORKER` morsels per
+    worker, clamped to ``[MIN_MORSEL_SIZE, MAX_MORSEL_SIZE]``."""
+    if n_items <= 0:
+        return MIN_MORSEL_SIZE
+    target = math.ceil(n_items / max(1, workers * MORSELS_PER_WORKER))
+    return max(MIN_MORSEL_SIZE, min(MAX_MORSEL_SIZE, target))
+
+
+def partition(items: Sequence[T], size: int) -> list[tuple[T, ...]]:
+    """Split ``items`` into consecutive morsels of ``size`` (the last may
+    be short).  Order-preserving: ``concat(partition(xs, k)) == xs``."""
+    if size < 1:
+        raise ValueError(f"morsel size must be positive, got {size}")
+    return [tuple(items[i : i + size]) for i in range(0, len(items), size)]

@@ -1,0 +1,174 @@
+"""Parallel experiment harness: fig4/fig5 at ``workers=N``.
+
+The figure experiments decompose naturally at the *(variant × strategy)*
+level: each of the four series — {constraint, relational} × {joint,
+separate} — builds its own indexes and runs every query against them,
+sharing nothing with the other three.  One worker task therefore owns one
+whole series; the task envelope carries only the generator seeds and
+sizing knobs (workers regenerate the rectangle data deterministically),
+so dispatch cost is independent of ``data_size``.
+
+Determinism: the per-query access counts and candidate-id sets a worker
+returns are exactly what the serial loop measures — same seeds, same
+index builds, same query order — and the parent re-assembles the series
+in the serial order, re-running :func:`~repro.experiments.runner.check_consistency`
+across the joint/separate task pair of each variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+from ..exec import (
+    ExecutionConfig,
+    ExecutionEngine,
+    rebuild_exhaustion,
+    reconcile_consumed,
+)
+from ..governor.budget import current_budget
+from ..indexing.strategy import JointIndex, SeparateIndexes
+from ..obs import MetricsRegistry, current_registry
+from ..storage.pages import PageConfig
+from ..workloads import rectangles
+from .runner import (
+    ExperimentResult,
+    ExperimentSeries,
+    QueryMeasurement,
+    check_consistency,
+    measured_query,
+)
+
+#: The four independent series of one figure run, in merge order.
+_VARIANTS = ("constraint", "relational")
+_STRATEGIES = ("joint", "separate")
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """One worker task: one (variant, strategy) series of a figure."""
+
+    figure: str  # "fig4" | "fig5"
+    variant: str  # "constraint" | "relational"
+    strategy: str  # "joint" | "separate"
+
+
+def _series_task(
+    payload: Mapping[str, Any], morsel: tuple[SeriesSpec, ...]
+) -> list[tuple[int, tuple[int, ...]]]:
+    """Worker-side task: regenerate the workload from seeds, build one
+    index strategy, and run every query — returning per-query
+    ``(node accesses, sorted candidate ids)`` in query order."""
+    spec = morsel[0]
+    config = PageConfig(**payload["config"])
+    data = rectangles.generate_data(payload["data_size"], payload["data_seed"])
+    queries = rectangles.generate_queries(payload["query_count"], payload["query_seed"])
+    if spec.variant == "constraint":
+        relation = rectangles.build_constraint_relation(data)
+    else:
+        relation = rectangles.build_relational_relation(data)
+    fanout = config.index_fanout(2) if payload["equal_fanout"] else None
+    if spec.strategy == "joint":
+        strategy: JointIndex | SeparateIndexes = JointIndex(
+            relation, ["x", "y"], config=config, max_entries=fanout
+        )
+    else:
+        strategy = SeparateIndexes(relation, ["x", "y"], config=config, max_entries=fanout)
+    registry = current_registry()
+    strategy.bind_registry(registry)
+    results: list[tuple[int, tuple[int, ...]]] = []
+    for query in queries:
+        if spec.figure == "fig4":
+            box = rectangles.query_box_two_attributes(query)
+        else:
+            box = rectangles.query_box_one_attribute(query, payload["attribute"])
+        strategy.reset_counters()
+        hits, accesses = measured_query(registry, spec.strategy, strategy, box)
+        results.append((accesses, tuple(sorted(hits))))
+    return results
+
+
+def run_parallel(
+    figure: str,
+    *,
+    experiment_id: str,
+    title: str,
+    variant_labels: Mapping[str, str],
+    x_label: str,
+    notes: str,
+    data_size: int,
+    query_count: int,
+    data_seed: int,
+    query_seed: int,
+    config: PageConfig,
+    equal_fanout: bool,
+    attribute: str = "x",
+    workers: int = 2,
+    mode: str = "auto",
+) -> ExperimentResult:
+    """Dispatch one figure's four series to a worker pool and merge.
+
+    The merged :class:`ExperimentResult` carries the same measurements, in
+    the same order, as the serial ``run()`` — only wall-clock differs."""
+    registry = MetricsRegistry()
+    payload = {
+        "data_size": data_size,
+        "query_count": query_count,
+        "data_seed": data_seed,
+        "query_seed": query_seed,
+        "config": asdict(config),
+        "equal_fanout": equal_fanout,
+        "attribute": attribute,
+    }
+    specs = [
+        SeriesSpec(figure, variant, strategy)
+        for variant in _VARIANTS
+        for strategy in _STRATEGIES
+    ]
+    budget = current_budget()
+    with ExecutionEngine(ExecutionConfig(workers=workers, mode=mode)) as engine:
+        engine.begin_statement()
+        with registry.activate(), registry.timed(f"experiments.{figure}.parallel"):
+            outcomes = engine.map_morsels(
+                _series_task, payload, [(spec,) for spec in specs], label=figure
+            )
+            per_spec: dict[SeriesSpec, list[tuple[int, tuple[int, ...]]]] = {}
+            for spec, outcome in zip(specs, outcomes):
+                engine.merge_counters(registry, outcome)
+                if outcome.failure is not None:
+                    raise rebuild_exhaustion(outcome.failure)
+                reconcile_consumed(budget, outcome.consumed)
+                per_spec[spec] = outcome.output
+        summary = engine.statement_summary()
+    queries = rectangles.generate_queries(query_count, query_seed)
+    series: list[ExperimentSeries] = []
+    for variant in _VARIANTS:
+        joint_rows = per_spec[SeriesSpec(figure, variant, "joint")]
+        separate_rows = per_spec[SeriesSpec(figure, variant, "separate")]
+        one = ExperimentSeries(variant_labels[variant], x_label=x_label)
+        for query, (joint_accesses, joint_hits), (separate_accesses, separate_hits) in zip(
+            queries, joint_rows, separate_rows
+        ):
+            check_consistency(joint_hits, separate_hits)
+            if figure == "fig4":
+                x_value = query.area
+            else:
+                x_value = query.width if attribute == "x" else query.height
+            one.measurements.append(
+                QueryMeasurement(
+                    x_value=x_value,
+                    joint_accesses=joint_accesses,
+                    separate_accesses=separate_accesses,
+                    result_count=len(joint_hits),
+                )
+            )
+        series.append(one)
+    if summary is not None:
+        notes = f"{notes}; {summary}"
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        series=series,
+        notes=notes,
+        metrics=registry.snapshot(),
+    )

@@ -23,6 +23,7 @@ See "Resource limits & failure model" in docs/QUERY_LANGUAGE.md.
 
 from .budget import (
     Budget,
+    BudgetSlice,
     ProducerGuard,
     charge,
     charge_io,
@@ -41,6 +42,7 @@ from .faultinject import (
 
 __all__ = [
     "Budget",
+    "BudgetSlice",
     "FaultPlan",
     "FaultyBufferPool",
     "FaultyHeapFile",

@@ -20,9 +20,11 @@ budget is active both are a single truthiness test on an empty list, so
 ungoverned evaluation pays near-zero overhead (the <3% target of
 ``benchmarks/bench_governor.py``).
 
-Budgets activate like the obs registry does — a process-wide stack —
+Budgets activate like the obs registry does — a thread-local stack —
 so plain functions deep in the constraint layer need no threading of an
-explicit token::
+explicit token (thread-local rather than process-wide so the parallel
+execution engine's thread-pool fallback can give each worker task its
+own sub-budget without cross-talk)::
 
     budget = Budget(deadline_seconds=0.5, solver_steps=10_000)
     with budget.activate():
@@ -39,7 +41,9 @@ solve is absorbed at the enclosing producer boundary.
 
 from __future__ import annotations
 
+import threading
 import time
+from dataclasses import dataclass
 from typing import Iterator
 
 from contextlib import contextmanager
@@ -150,11 +154,11 @@ class Budget:
         if self.deadline_seconds is not None:
             self._deadline_at = time.monotonic() + self.deadline_seconds
         self._active = True
-        _ACTIVE.append(self)
+        _TLS.budgets.append(self)
         try:
             yield self
         finally:
-            _ACTIVE.pop()
+            _TLS.budgets.pop()
             self._active = False
 
     def reset(self) -> None:
@@ -244,6 +248,32 @@ class Budget:
             self.truncated = True
             record(GOVERNOR_TRUNCATIONS)
 
+    def slice(self) -> "BudgetSlice":
+        """A picklable spec for a worker sub-budget.
+
+        Each worker gets the parent's *full remaining* allowance for every
+        armed resource (not an even division: a workload that fits the
+        budget serially must never spuriously exhaust in a worker that
+        happens to process most of the expensive morsels) and the
+        remaining share of the shared wall-clock deadline.  The parent
+        re-charges actual worker consumption during the post-merge
+        reconciliation, so the global limit still binds.
+        """
+        limits = tuple(
+            (name, max(1, limit - self._consumed[name]))
+            for name, limit in self._limits.items()
+            if limit is not None
+        )
+        if self._deadline_at is not None:
+            deadline: float | None = self._deadline_at - time.monotonic()
+        else:
+            deadline = self.deadline_seconds
+        return BudgetSlice(
+            limits=limits,
+            deadline_remaining=deadline,
+            on_exhausted=self.on_exhausted,
+        )
+
     def snapshot(self) -> dict[str, float]:
         """Consumed resources plus the budget-relevant obs counters — the
         diagnostics a :class:`~repro.errors.ResourceExhausted` carries."""
@@ -286,33 +316,84 @@ class Budget:
         return f"<Budget {knobs or 'unlimited'} on_exhausted={self.on_exhausted}>"
 
 
+@dataclass(frozen=True)
+class BudgetSlice:
+    """A picklable worker sub-budget spec (see :meth:`Budget.slice`).
+
+    Crossing the process boundary as plain data rather than as a
+    :class:`Budget` keeps the envelope small and sidesteps pickling the
+    parent's live accounting state.
+    """
+
+    limits: tuple[tuple[str, int], ...]
+    deadline_remaining: float | None
+    on_exhausted: str
+
+    def build(self) -> Budget:
+        """Materialize the worker-side :class:`Budget`."""
+        kwargs: dict[str, int] = dict(self.limits)
+        deadline = self.deadline_remaining
+        if deadline is not None:
+            # An already-passed shared deadline must still build a valid
+            # budget; the first worker checkpoint then fires immediately.
+            deadline = max(deadline, 1e-6)
+        return Budget(
+            deadline_seconds=deadline,
+            on_exhausted=self.on_exhausted,
+            **kwargs,
+        )
+
+
 # -- active-budget stack and cheap module-level hooks --------------------------
 
-_ACTIVE: list[Budget] = []
+
+class _ActiveStack(threading.local):
+    """Per-thread active-budget stack (see the module docstring)."""
+
+    def __init__(self) -> None:
+        self.budgets: list[Budget] = []
+
+
+_TLS = _ActiveStack()
 
 
 def current_budget() -> Budget | None:
     """The budget governing the current evaluation, if any."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    stack = _TLS.budgets
+    return stack[-1] if stack else None
+
+
+def reset_active_budgets() -> None:
+    """Clear this thread's active-budget stack.
+
+    Worker-pool plumbing: a forked worker inherits the submitting
+    thread's stack, and an inherited *parent* budget would silently
+    absorb worker charges (or spuriously exhaust an ungoverned task).
+    Task envelopes call this before activating their own sub-budget.
+    """
+    _TLS.budgets.clear()
 
 
 def checkpoint() -> None:
     """Deadline check at a loop boundary; no-op when ungoverned."""
-    if _ACTIVE:
-        _ACTIVE[-1].checkpoint()
+    stack = _TLS.budgets
+    if stack:
+        stack[-1].checkpoint()
 
 
 def charge(resource: str, n: int = 1) -> None:
     """Charge the active budget, if any."""
-    if _ACTIVE:
-        _ACTIVE[-1].charge(resource, n)
+    stack = _TLS.budgets
+    if stack:
+        stack[-1].charge(resource, n)
 
 
 def charge_io(n: int = 1) -> None:
     """IO charge for the active budget, if any (hot path: one list test
     when ungoverned)."""
-    if _ACTIVE:
-        _ACTIVE[-1].charge_io(n)
+    stack = _TLS.budgets
+    if stack:
+        stack[-1].charge_io(n)
 
 
 class ProducerGuard:

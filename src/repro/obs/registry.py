@@ -13,23 +13,28 @@ delta-read.  Two capture mechanisms sit on top of the flat counters:
   scope that also records wall-clock time and nests into a tree, used for
   ``EXPLAIN ANALYZE``-style per-plan-node reporting.
 
-Both push the registry onto the process-wide *active registry* stack, so
-producers that cannot be handed a registry explicitly (the elimination and
-simplex modules are plain functions) call :func:`record` and their work is
-attributed to whichever registry is currently evaluating.  A module-level
-default registry sits at the bottom of the stack so standalone calls are
-still counted somewhere.
+Both push the registry onto the *active registry* stack, so producers that
+cannot be handed a registry explicitly (the elimination and simplex modules
+are plain functions) call :func:`record` and their work is attributed to
+whichever registry is currently evaluating.  A module-level default registry
+sits at the bottom of the stack so standalone calls are still counted
+somewhere.
 
-The registry is deliberately single-threaded (like the evaluator itself);
-give each session/experiment its own registry rather than sharing one
-across threads.
+The active stack is **thread-local**: the parallel execution engine's
+thread-pool fallback runs one task per worker thread, each activating its
+own task registry, and a shared stack would interleave their pushes and
+misattribute work.  A single :class:`MetricsRegistry` instance is still not
+safe for *concurrent mutation* from multiple threads — the engine gives
+every worker task a fresh registry and merges the snapshots afterwards
+(:meth:`MetricsRegistry.merge_snapshot`).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Mapping
 
 from .span import Span
 
@@ -99,6 +104,14 @@ STORAGE_FAULTS_INJECTED = "storage.faults_injected"
 
 #: Total tuples produced across all plan operators.
 TUPLES_PRODUCED = "plan.tuples_produced"
+
+#: Parallel execution engine: morsel dispatches (one per operator call
+#: that went parallel), morsels shipped, and auto-mode dispatches that
+#: fell back from the process pool to threads (unpicklable envelope or a
+#: broken pool).
+EXEC_DISPATCHES = "exec.dispatches"
+EXEC_MORSELS = "exec.morsels"
+EXEC_THREAD_FALLBACKS = "exec.thread_fallbacks"
 
 
 class Counter:
@@ -203,11 +216,11 @@ class MetricsRegistry:
         del label  # scopes are anonymous captures; label aids call sites
         frame: dict[str, int] = {}
         self._frames.append(frame)
-        _ACTIVE.append(self)
+        _TLS.registries.append(self)
         try:
             yield frame
         finally:
-            _ACTIVE.pop()
+            _TLS.registries.pop()
             self._drop_frame(frame)
 
     @contextmanager
@@ -217,13 +230,13 @@ class MetricsRegistry:
         parent = self._span_stack[-1] if self._span_stack else None
         self._span_stack.append(span)
         self._frames.append(span.counters)
-        _ACTIVE.append(self)
+        _TLS.registries.append(self)
         start = time.perf_counter()
         try:
             yield span
         finally:
             span.elapsed = time.perf_counter() - start
-            _ACTIVE.pop()
+            _TLS.registries.pop()
             self._drop_frame(span.counters)
             self._span_stack.pop()
             if parent is not None:
@@ -244,11 +257,11 @@ class MetricsRegistry:
     @contextmanager
     def activate(self) -> Iterator["MetricsRegistry"]:
         """Make this the registry :func:`record` reports to."""
-        _ACTIVE.append(self)
+        _TLS.registries.append(self)
         try:
             yield self
         finally:
-            _ACTIVE.pop()
+            _TLS.registries.pop()
 
     # -- reporting -----------------------------------------------------------
 
@@ -260,6 +273,31 @@ class MetricsRegistry:
         for name, timer in sorted(self._timers.items()):
             out[f"{name}.seconds"] = timer.total_seconds
         return out
+
+    def merge_snapshot(
+        self,
+        snapshot: Mapping[str, float],
+        skip_prefixes: tuple[str, ...] = (),
+    ) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counter values are added via :meth:`add`, so open scopes and spans
+        capture the merged work and attribute it to the operator doing the
+        merging — this is how worker-task registries from the parallel
+        execution engine land in the session registry.  ``<name>.seconds``
+        entries are folded into the matching timer.  ``skip_prefixes``
+        drops counters the caller reconstructs itself (e.g. governor
+        charge mirrors, which the post-merge budget reconciliation
+        re-records at the parent).
+        """
+        for name, value in snapshot.items():
+            if any(name.startswith(prefix) for prefix in skip_prefixes):
+                continue
+            if name.endswith(".seconds"):
+                if value:
+                    self.timer(name[: -len(".seconds")]).add(float(value))
+            elif value:
+                self.add(name, int(value))
 
     def reset(self) -> None:
         """Zero every counter and timer (open scopes/spans are unaffected:
@@ -295,7 +333,19 @@ class MetricsRegistry:
 
 # -- active-registry stack -----------------------------------------------------
 
-_ACTIVE: list[MetricsRegistry] = []
+
+class _ActiveStack(threading.local):
+    """Per-thread active-registry stack.
+
+    Thread-local so the execution engine's thread-pool fallback can give
+    each worker thread its own activation chain without interleaving.
+    """
+
+    def __init__(self) -> None:
+        self.registries: list[MetricsRegistry] = []
+
+
+_TLS = _ActiveStack()
 _DEFAULT = MetricsRegistry()
 
 
@@ -306,7 +356,20 @@ def default_registry() -> MetricsRegistry:
 
 def current_registry() -> MetricsRegistry:
     """The registry unbound producers report to right now."""
-    return _ACTIVE[-1] if _ACTIVE else _DEFAULT
+    stack = _TLS.registries
+    return stack[-1] if stack else _DEFAULT
+
+
+def reset_active_registries() -> None:
+    """Clear this thread's active-registry stack.
+
+    Worker-pool plumbing: a forked worker process inherits the parent's
+    stack contents (the fork clones the submitting thread), and a pooled
+    worker thread may be reused across tasks.  Task envelopes call this
+    before activating their own registry so inherited or leftover
+    activations cannot absorb the task's metrics.
+    """
+    _TLS.registries.clear()
 
 
 def record(name: str, n: int = 1) -> None:

@@ -10,6 +10,7 @@ later steps to reference.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -17,11 +18,13 @@ from ..algebra.optimizer import Optimizer
 from ..algebra.plan import EvaluationContext, Metrics, PlanNode, evaluate
 from ..analysis.diagnostics import Diagnostics
 from ..errors import OutputLimitExceeded, QueryError, StaticAnalysisError
+from ..exec import ExecutionConfig, ExecutionEngine
 from ..governor.budget import Budget
 from ..model.database import Database
 from ..model.relation import ConstraintRelation
 from ..model.schema import Schema
 from ..obs import (
+    EXEC_MORSELS,
     GOVERNOR_DNF_CLAUSES,
     GOVERNOR_OUTPUT_TUPLES,
     GOVERNOR_SOLVER_STEPS,
@@ -38,6 +41,27 @@ from ..obs import (
 from .ast import Statement
 from .compiler import compile_statement
 from .parser import parse_script, parse_statement
+
+#: Environment variable consulted when ``QuerySession(workers=None)``:
+#: lets CI (and users) flip a whole test run to parallel sessions without
+#: touching call sites.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """The session default worker count: ``$REPRO_WORKERS`` or 1."""
+    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{WORKERS_ENV_VAR} must be a positive integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ValueError(f"{WORKERS_ENV_VAR} must be a positive integer, got {raw!r}")
+    return workers
 
 #: Per-node annotations shown by ``explain_analyze`` (label, counter).
 _EXPLAIN_COUNTERS = (
@@ -59,6 +83,9 @@ _EXPLAIN_SPARSE_COUNTERS = (
     ("budget_steps", GOVERNOR_SOLVER_STEPS),
     ("budget_dnf", GOVERNOR_DNF_CLAUSES),
     ("budget_rows", GOVERNOR_OUTPUT_TUPLES),
+    # Morsels dispatched to the parallel engine by this node; nonzero only
+    # in ``QuerySession(workers=N)`` sessions (see docs/PARALLELISM.md).
+    ("morsels", EXEC_MORSELS),
 )
 
 
@@ -81,6 +108,10 @@ class ExplainAnalyzeReport:
     #: One-line consumed/limit rendering of the governing budget's window
     #: (``None`` when the session has no budget attached).
     budget_summary: str | None = None
+    #: One-line ``parallelism: workers=N …`` rendering of the execution
+    #: engine's per-statement dispatch stats (``None`` for serial sessions
+    #: and for statements that never dispatched a morsel).
+    parallelism: str | None = None
 
     def total(self, counter: str) -> int:
         """Whole-statement (root-inclusive) value of ``counter``."""
@@ -115,6 +146,8 @@ class ExplainAnalyzeReport:
         lines.append("  ".join(totals))
         if self.budget_summary is not None:
             lines.append(self.budget_summary)
+        if self.parallelism is not None:
+            lines.append(self.parallelism)
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -149,6 +182,16 @@ class QuerySession:
       :class:`~repro.errors.OutputLimitExceeded` without materializing a
       single tuple (only when the budget is in ``"raise"`` mode —
       ``"partial"`` budgets truncate at run time instead).
+
+    ``workers`` enables the morsel-driven parallel engine
+    (:mod:`repro.exec`): statements evaluate with ``workers`` worker
+    tasks refining scans and spatial operators in parallel, bit-identical
+    to serial evaluation (see ``docs/PARALLELISM.md``).  ``workers=1``
+    (the default) is exactly the serial code path — no engine or pool is
+    ever constructed.  ``None`` reads ``$REPRO_WORKERS`` (default 1).
+    Parallel sessions own a worker pool: call :meth:`close` (or use the
+    session as a context manager) when done.  ``exec_mode`` picks the
+    pool flavour (``"auto"`` / ``"process"`` / ``"thread"``).
     """
 
     _ANALYSIS_MODES = ("off", "warn", "strict")
@@ -161,11 +204,15 @@ class QuerySession:
         registry: MetricsRegistry | None = None,
         budget: Budget | None = None,
         analysis: str = "off",
+        workers: int | None = None,
+        exec_mode: str = "auto",
     ) -> None:
         if analysis not in self._ANALYSIS_MODES:
             raise ValueError(
                 f"analysis must be one of {self._ANALYSIS_MODES}, got {analysis!r}"
             )
+        if workers is None:
+            workers = default_workers()
         self._workspace = Database({name: database[name] for name in database})
         self._indexes = {k: dict(v) for k, v in (indexes or {}).items()}
         self._use_optimizer = use_optimizer
@@ -175,6 +222,41 @@ class QuerySession:
         self._budget = budget
         self._analysis = analysis
         self._last_diagnostics: Diagnostics | None = None
+        self._exec_config = ExecutionConfig(workers=workers, mode=exec_mode)
+        self._engine: ExecutionEngine | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """The session's worker count (1 = serial)."""
+        return self._exec_config.workers
+
+    @property
+    def engine(self) -> ExecutionEngine | None:
+        """The lazily created execution engine (``None`` while serial or
+        before the first parallel statement)."""
+        return self._engine
+
+    def _active_engine(self) -> ExecutionEngine | None:
+        if self._exec_config.workers < 2:
+            return None
+        if self._engine is None:
+            self._engine = ExecutionEngine(self._exec_config)
+        return self._engine
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was ever created (idempotent;
+        serial sessions have nothing to close)."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- execution ----------------------------------------------------------
 
@@ -237,16 +319,27 @@ class QuerySession:
         plan = compile_statement(statement.body, schemas)
         plan = self.plan_for(plan)
         budget = self._budget
-        if budget is None:
-            result = evaluate(plan, self._context).with_name(statement.target)
+        engine = self._active_engine()
+        if engine is not None:
+            engine.begin_statement()
+            with engine.activate():
+                result = self._evaluate_governed(plan, budget, statement.target)
         else:
-            with budget.activate():
-                result = evaluate(plan, self._context).with_name(statement.target)
-            if budget.truncated:
-                result = result.with_truncated()
+            result = self._evaluate_governed(plan, budget, statement.target)
         self._workspace.add(statement.target, result, replace=True)
         self._results[statement.target] = result
         self._last = result
+        return result
+
+    def _evaluate_governed(
+        self, plan: PlanNode, budget: Budget | None, target: str
+    ) -> ConstraintRelation:
+        if budget is None:
+            return evaluate(plan, self._context).with_name(target)
+        with budget.activate():
+            result = evaluate(plan, self._context).with_name(target)
+        if budget.truncated:
+            result = result.with_truncated()
         return result
 
     def explain_analyze(self, text: str) -> ExplainAnalyzeReport:
@@ -265,6 +358,9 @@ class QuerySession:
             result=result,
             root=root,
             budget_summary=self._budget.summary() if self._budget is not None else None,
+            parallelism=(
+                self._engine.statement_summary() if self._engine is not None else None
+            ),
         )
 
     def plan_for(self, plan: PlanNode) -> PlanNode:

@@ -49,7 +49,7 @@ def box_mindist(a: FloatBox, b: FloatBox) -> float:
 class Feature:
     """A named spatial feature: a union of convex parts."""
 
-    __slots__ = ("fid", "parts", "_part_boxes", "_bbox")
+    __slots__ = ("fid", "parts", "_part_boxes", "_bbox", "_rational_bbox")
 
     def __init__(self, fid: str, parts: Iterable[ConvexPolygon]):
         if not fid or not isinstance(fid, str):
@@ -60,11 +60,27 @@ class Feature:
             raise GeometryError(f"feature {fid!r} has no parts")
         self._part_boxes: tuple[FloatBox, ...] | None = None
         self._bbox: FloatBox | None = None
+        self._rational_bbox: BoundingBox | None = None
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # Invalidate the cached boxes if the parts are ever reassigned, so
+        # the caches can never serve boxes of a geometry that changed.
+        object.__setattr__(self, name, value)
+        if name == "parts":
+            object.__setattr__(self, "_part_boxes", None)
+            object.__setattr__(self, "_bbox", None)
+            object.__setattr__(self, "_rational_bbox", None)
 
     def bounding_box(self) -> BoundingBox:
-        box = self.parts[0].bounding_box()
-        for part in self.parts[1:]:
-            box = box.union(part.bounding_box())
+        """The exact rational bounding box of the whole feature (computed
+        once; Buffer-Join consults it for every outer feature and the
+        R*-tree build for every insert)."""
+        box = self._rational_bbox
+        if box is None:
+            box = self.parts[0].bounding_box()
+            for part in self.parts[1:]:
+                box = box.union(part.bounding_box())
+            self._rational_bbox = box
         return box
 
     def part_boxes(self) -> tuple[FloatBox, ...]:

@@ -61,13 +61,14 @@ class ConvexPolygon:
     """An immutable convex region given by CCW vertices (1 = point,
     2 = segment, >= 3 = polygon)."""
 
-    __slots__ = ("vertices",)
+    __slots__ = ("vertices", "_bbox")
 
     def __init__(self, vertices: Sequence[Point]):
         hull = _convex_hull(list(vertices))
         if not hull:
             raise GeometryError("a polygon needs at least one vertex")
         self.vertices: tuple[Point, ...] = tuple(hull)
+        self._bbox: BoundingBox | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -184,7 +185,17 @@ class ConvexPolygon:
         return total / 2
 
     def bounding_box(self) -> BoundingBox:
-        return BoundingBox.of_points(list(self.vertices))
+        """The exact rational bounding box, computed once.
+
+        Cached because :meth:`intersects` consults both operands' boxes
+        for every part pair of every refinement candidate — recomputing
+        the rational min/max over the vertices dominated the spatial
+        refine path.  Safe to cache: the polygon is immutable.
+        """
+        box = self._bbox
+        if box is None:
+            box = self._bbox = BoundingBox.of_points(list(self.vertices))
+        return box
 
     def centroid(self) -> Point:
         n = len(self.vertices)

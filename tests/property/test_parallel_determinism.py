@@ -1,0 +1,264 @@
+"""Property tests: parallel evaluation is bit-identical to serial.
+
+The execution engine's contract (docs/PARALLELISM.md) is that for every
+workload and every worker count, parallel evaluation returns *the same
+relation* as serial evaluation — same tuples in the same order, same
+truncation flag, same diagnostics, and the same governed-failure taxonomy.
+These tests drive that contract over random rectangle workloads and the
+paper's workloads at ``workers ∈ {1, 2, 4}``.
+
+Engines are module-scoped (pool startup is the dominant cost) and run in
+thread mode under hypothesis; process mode gets targeted non-hypothesis
+coverage at the end.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import parse_constraints
+from repro.errors import ResourceExhausted
+from repro.exec import ExecutionConfig, ExecutionEngine
+from repro.governor import Budget
+from repro.model.database import Database
+from repro.query import QuerySession
+from repro.spatial.buffer_join import buffer_join
+from repro.spatial.features import Feature, FeatureSet
+from repro.spatial.geometry import Point
+from repro.spatial.k_nearest import k_nearest
+from repro.spatial.polygon import ConvexPolygon
+from repro.workloads import build_constraint_relation, generate_data
+from repro.algebra.operators import select
+
+WORKER_COUNTS = (2, 4)
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    made = {
+        workers: ExecutionEngine(
+            ExecutionConfig(workers=workers, mode="thread", min_parallel_items=1)
+        )
+        for workers in WORKER_COUNTS
+    }
+    yield made
+    for engine in made.values():
+        engine.close()
+
+
+def _relations_identical(a, b):
+    assert list(a.tuples) == list(b.tuples)
+    assert a.truncated == b.truncated
+    assert a.schema == b.schema
+
+
+def _rect_features(count: int, seed: int) -> FeatureSet:
+    import random
+
+    rng = random.Random(seed)
+    features = []
+    for i in range(count):
+        x = Fraction(rng.randint(0, 900), rng.randint(1, 4))
+        y = Fraction(rng.randint(0, 900), rng.randint(1, 4))
+        w = Fraction(rng.randint(1, 40), 1)
+        h = Fraction(rng.randint(1, 40), 1)
+        poly = ConvexPolygon(
+            [Point(x, y), Point(x + w, y), Point(x + w, y + h), Point(x, y + h)]
+        )
+        features.append(Feature(f"f{i:03d}", [poly]))
+    return FeatureSet(features)
+
+
+class TestSelectDeterminism:
+    @SETTINGS
+    @given(
+        data_seed=st.integers(0, 10_000),
+        size=st.integers(20, 60),
+        lo=st.integers(0, 400),
+        width=st.integers(50, 600),
+    )
+    def test_random_rectangles(self, engines, data_seed, size, lo, width):
+        relation = build_constraint_relation(generate_data(size, data_seed))
+        predicates = parse_constraints(
+            f"x >= {lo}, x <= {lo + width}, y >= {lo}, y <= {lo + width}"
+        )
+        serial = select(relation, predicates)
+        for workers in WORKER_COUNTS:
+            with engines[workers].activate():
+                parallel = select(relation, predicates)
+            _relations_identical(serial, parallel)
+
+    @SETTINGS
+    @given(data_seed=st.integers(0, 10_000), cap=st.integers(1, 30))
+    def test_partial_truncation_matches(self, engines, data_seed, cap):
+        relation = build_constraint_relation(generate_data(40, data_seed))
+        predicates = parse_constraints("x >= 0, x <= 900, y >= 0, y <= 900")
+
+        def run(engine):
+            budget = Budget(output_tuples=cap, on_exhausted="partial")
+            if engine is None:
+                with budget.activate():
+                    return select(relation, predicates), budget
+            with engine.activate(), budget.activate():
+                return select(relation, predicates), budget
+
+        serial, serial_budget = run(None)
+        for workers in WORKER_COUNTS:
+            parallel, parallel_budget = run(engines[workers])
+            _relations_identical(serial, parallel)
+            assert serial_budget.truncated == parallel_budget.truncated
+
+    @SETTINGS
+    @given(data_seed=st.integers(0, 10_000), steps=st.integers(1, 40))
+    def test_raise_mode_surfaces_same_taxonomy(self, engines, data_seed, steps):
+        relation = build_constraint_relation(generate_data(40, data_seed))
+        # Multi-attribute conjuncts defeat the interval fast path, so the
+        # full solver runs and the step budget actually bites.
+        predicates = parse_constraints("x + y >= 100, x - y <= 800")
+
+        def run(engine):
+            budget = Budget(solver_steps=steps)
+            try:
+                if engine is None:
+                    with budget.activate():
+                        return select(relation, predicates), None
+                with engine.activate(), budget.activate():
+                    return select(relation, predicates), None
+            except ResourceExhausted as exc:
+                return None, (type(exc).__name__, exc.resource)
+
+        serial_result, serial_failure = run(None)
+        for workers in WORKER_COUNTS:
+            parallel_result, parallel_failure = run(engines[workers])
+            assert serial_failure == parallel_failure
+            if serial_result is not None:
+                _relations_identical(serial_result, parallel_result)
+
+
+class TestSpatialDeterminism:
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000), distance=st.integers(5, 120))
+    def test_buffer_join(self, engines, seed, distance):
+        serial_set = _rect_features(30, seed)
+        serial = buffer_join(serial_set, serial_set, distance)
+        for workers in WORKER_COUNTS:
+            fresh = _rect_features(30, seed)
+            with engines[workers].activate():
+                parallel = buffer_join(fresh, fresh, distance)
+            _relations_identical(serial, parallel)
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 12))
+    def test_k_nearest(self, engines, seed, k):
+        serial_set = _rect_features(30, seed)
+        query = serial_set["f000"]
+        serial = k_nearest(serial_set, query, k)
+        for workers in WORKER_COUNTS:
+            fresh = _rect_features(30, seed)
+            with engines[workers].activate():
+                parallel = k_nearest(fresh, fresh["f000"], k)
+            _relations_identical(serial, parallel)
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000), cap=st.integers(1, 20))
+    def test_buffer_join_partial_truncation_matches(self, engines, seed, cap):
+        def run(engine):
+            features = _rect_features(30, seed)
+            budget = Budget(output_tuples=cap, on_exhausted="partial")
+            if engine is None:
+                with budget.activate():
+                    return buffer_join(features, features, 60), budget
+            with engine.activate(), budget.activate():
+                return buffer_join(features, features, 60), budget
+
+        serial, serial_budget = run(None)
+        for workers in WORKER_COUNTS:
+            parallel, parallel_budget = run(engines[workers])
+            _relations_identical(serial, parallel)
+            assert serial_budget.truncated == parallel_budget.truncated
+
+
+class TestSessionDeterminism:
+    """Whole-session parity on a paper-shaped workload, including the
+    analyzer's diagnostics."""
+
+    SCRIPT = (
+        "inside = select x >= 100, x <= 700, y >= 100, y <= 700 from boxes\n"
+        "narrow = select x + y >= 300 from inside\n"
+    )
+
+    def _database(self):
+        relation = build_constraint_relation(generate_data(80, seed=23)).with_name("boxes")
+        return Database({"boxes": relation})
+
+    def _run_session(self, workers):
+        with QuerySession(
+            self._database(), workers=workers, exec_mode="thread", analysis="warn"
+        ) as session:
+            result = session.run_script(self.SCRIPT)
+            diagnostics = session.last_diagnostics.render()
+            bound = {name: rel for name, rel in session.results.items()}
+        return result, diagnostics, bound
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_script_results_and_diagnostics_match(self, workers):
+        serial_result, serial_diag, serial_bound = self._run_session(1)
+        parallel_result, parallel_diag, parallel_bound = self._run_session(workers)
+        _relations_identical(serial_result, parallel_result)
+        assert serial_diag == parallel_diag
+        assert serial_bound.keys() == parallel_bound.keys()
+        for name in serial_bound:
+            _relations_identical(serial_bound[name], parallel_bound[name])
+
+
+class TestProcessModeDeterminism:
+    """Targeted process-pool coverage (one pool spin-up per test)."""
+
+    def test_select_and_buffer_join(self):
+        relation = build_constraint_relation(generate_data(60, seed=3))
+        predicates = parse_constraints("x >= 50, x <= 800, y >= 50, y <= 800")
+        serial_select = select(relation, predicates)
+        features = _rect_features(40, 3)
+        serial_join = buffer_join(features, features, 50)
+        with ExecutionEngine(
+            ExecutionConfig(workers=2, mode="process", min_parallel_items=1)
+        ) as engine:
+            with engine.activate():
+                parallel_select = select(relation, predicates)
+                fresh = _rect_features(40, 3)
+                parallel_join = buffer_join(fresh, fresh, 50)
+        _relations_identical(serial_select, parallel_select)
+        _relations_identical(serial_join, parallel_join)
+
+    def test_worker_exhaustion_surfaces_same_subclass(self):
+        relation = build_constraint_relation(generate_data(60, seed=3))
+        predicates = parse_constraints("x + y >= 100, x - y <= 800")
+
+        def run(workers):
+            budget = Budget(solver_steps=2)
+            try:
+                if workers == 1:
+                    with budget.activate():
+                        select(relation, predicates)
+                else:
+                    with ExecutionEngine(
+                        ExecutionConfig(workers=workers, mode="process",
+                                        min_parallel_items=1)
+                    ) as engine:
+                        with engine.activate(), budget.activate():
+                            select(relation, predicates)
+                return None
+            except ResourceExhausted as exc:
+                return (type(exc).__name__, exc.resource)
+
+        serial = run(1)
+        assert serial is not None
+        assert run(2) == serial

@@ -1,0 +1,187 @@
+"""Unit tests for the morsel-driven execution engine (repro.exec)."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ResourceExhausted, SolverBudgetExceeded
+from repro.exec import (
+    ExecutionConfig,
+    ExecutionEngine,
+    WorkerFailure,
+    auto_morsel_size,
+    current_engine,
+    parallel_engine,
+    partition,
+    rebuild_exhaustion,
+    reconcile_consumed,
+    run_parallel,
+)
+from repro.exec.morsel import MAX_MORSEL_SIZE, MIN_MORSEL_SIZE
+from repro.governor import Budget, BudgetSlice
+from repro.obs import EXEC_THREAD_FALLBACKS, MetricsRegistry
+
+
+def _double_task(payload, morsel):
+    return [item * payload for item in morsel]
+
+
+def _raise_task(payload, morsel):
+    raise ValueError("worker boom")
+
+
+class TestMorselPartition:
+    def test_partition_is_positional_and_ordered(self):
+        items = list(range(10))
+        morsels = partition(items, 3)
+        assert morsels == [(0, 1, 2), (3, 4, 5), (6, 7, 8), (9,)]
+        assert [x for morsel in morsels for x in morsel] == items
+
+    def test_partition_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            partition([1, 2], 0)
+
+    def test_auto_morsel_size_clamps(self):
+        assert auto_morsel_size(4, workers=2) == MIN_MORSEL_SIZE
+        assert auto_morsel_size(10_000_000, workers=2) == MAX_MORSEL_SIZE
+        # 1000 items over 2 workers * 4 morsels each -> 125 per morsel.
+        assert auto_morsel_size(1000, workers=2) == 125
+
+
+class TestExecutionConfig:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(workers=True)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(workers=2, mode="greenlets")
+
+    def test_engine_requires_two_workers(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(ExecutionConfig(workers=1))
+
+
+class TestDispatch:
+    def test_outcomes_return_in_morsel_order(self):
+        with ExecutionEngine(ExecutionConfig(workers=2, mode="thread")) as engine:
+            merged = run_parallel(engine, _double_task, 10, list(range(50)))
+        assert merged == [i * 10 for i in range(50)]
+
+    def test_process_mode_round_trips(self):
+        with ExecutionEngine(ExecutionConfig(workers=2, mode="process")) as engine:
+            merged = run_parallel(engine, _double_task, 3, list(range(40)))
+        assert merged == [i * 3 for i in range(40)]
+
+    def test_auto_mode_falls_back_to_threads_on_unpicklable_payload(self):
+        registry = MetricsRegistry()
+        unpicklable = lambda x: x + 1  # noqa: E731 - deliberately unpicklable
+        with pytest.raises(Exception):
+            pickle.dumps(unpicklable)
+        with ExecutionEngine(ExecutionConfig(workers=2, mode="auto")) as engine:
+            with registry.activate():
+                morsels = partition(list(range(20)), 10)
+                outcomes = engine.map_morsels(
+                    lambda payload, morsel: [payload(i) for i in morsel],
+                    unpicklable,
+                    morsels,
+                )
+        assert [x for o in outcomes for x in o.output] == [i + 1 for i in range(20)]
+        assert registry.value(EXEC_THREAD_FALLBACKS) >= 1
+        assert engine.statement_summary().startswith("parallelism: workers=2 mode=thread")
+
+    def test_worker_errors_propagate(self):
+        with ExecutionEngine(ExecutionConfig(workers=2, mode="thread")) as engine:
+            with pytest.raises(ValueError, match="worker boom"):
+                run_parallel(engine, _raise_task, None, list(range(20)))
+
+    def test_closed_engine_rejects_dispatch(self):
+        engine = ExecutionEngine(ExecutionConfig(workers=2, mode="thread"))
+        engine.close()
+        with pytest.raises(RuntimeError):
+            engine.map_morsels(_double_task, 1, [(1, 2)])
+
+
+class TestEngineStack:
+    def test_no_engine_by_default(self):
+        assert current_engine() is None
+        assert parallel_engine(1000) is None
+
+    def test_activation_and_small_input_gate(self):
+        with ExecutionEngine(ExecutionConfig(workers=2, mode="thread")) as engine:
+            with engine.activate():
+                assert current_engine() is engine
+                assert parallel_engine(100) is engine
+                # Below min_parallel_items the operator stays serial.
+                assert parallel_engine(5) is None
+            assert current_engine() is None
+
+    def test_truncated_budget_gates_dispatch(self):
+        budget = Budget(output_tuples=10, on_exhausted="partial")
+        with ExecutionEngine(ExecutionConfig(workers=2, mode="thread")) as engine:
+            with engine.activate(), budget.activate():
+                budget.mark_truncated()
+                assert parallel_engine(100) is None
+
+
+class TestBudgetSlice:
+    def test_slice_carries_full_remaining_limits(self):
+        budget = Budget(solver_steps=100, output_tuples=7)
+        budget.charge("solver_steps", 30)
+        piece = budget.slice()
+        limits = dict(piece.limits)
+        assert limits["solver_steps"] == 70
+        assert limits["output_tuples"] == 7
+        assert piece.on_exhausted == "raise"
+
+    def test_slice_floor_is_one(self):
+        budget = Budget(solver_steps=10, on_exhausted="partial")
+        budget.charge("solver_steps", 10)
+        assert dict(budget.slice().limits)["solver_steps"] == 1
+
+    def test_slice_builds_a_governing_budget(self):
+        piece = BudgetSlice(limits=(("solver_steps", 5),), deadline_remaining=None,
+                            on_exhausted="raise")
+        sub = piece.build()
+        with pytest.raises(SolverBudgetExceeded):
+            sub.charge("solver_steps", 6)
+
+    def test_reconcile_charges_parent(self):
+        budget = Budget(solver_steps=100)
+        assert reconcile_consumed(budget, {"solver_steps": 40})
+        assert budget.consumed["solver_steps"] == 40
+
+    def test_reconcile_partial_truncates_instead_of_raising(self):
+        budget = Budget(solver_steps=10, on_exhausted="partial")
+        assert not reconcile_consumed(budget, {"solver_steps": 50})
+        assert budget.truncated
+
+    def test_reconcile_raise_mode_propagates(self):
+        budget = Budget(solver_steps=10)
+        with pytest.raises(SolverBudgetExceeded):
+            reconcile_consumed(budget, {"solver_steps": 50})
+
+
+class TestFailureTransfer:
+    def test_rebuild_restores_the_subclass(self):
+        failure = WorkerFailure(
+            kind="SolverBudgetExceeded",
+            message="solver budget exhausted",
+            resource="solver_steps",
+            consumed=11,
+            limit=10,
+            snapshot={"solver_steps": 11},
+        )
+        exc = rebuild_exhaustion(failure)
+        assert isinstance(exc, SolverBudgetExceeded)
+        assert exc.resource == "solver_steps"
+        assert exc.limit == 10
+
+    def test_unknown_kind_degrades_to_base_class(self):
+        failure = WorkerFailure(
+            kind="NoSuchError", message="m", resource=None, consumed=None,
+            limit=None, snapshot={},
+        )
+        assert type(rebuild_exhaustion(failure)) is ResourceExhausted
