@@ -1,0 +1,233 @@
+"""Load benchmark for the multi-tenant query server (`repro.server`).
+
+``N`` concurrent clients (>= 8, per the acceptance criteria) hammer an
+in-process server over real TCP sockets, each running a mixed request
+stream: mostly well-formed selects/projections, plus a slice of
+deliberately budget-exhausting requests.  Reported per run:
+
+* **p50 / p99 latency** across all successful request round-trips,
+* **qps** (completed requests / wall-clock),
+* the count of structured 429-style exhaustion replies — every one of
+  which is asserted to carry the taxonomy fields and *no* traceback
+  text, i.e. budget exhaustion under load stays a structured wire
+  outcome, never a stack dump.
+
+Results land in ``BENCH_server.json`` (override with
+``REPRO_BENCH_SERVER_JSON``).  ``REPRO_BENCH_SCALE=small`` shrinks the
+stream for CI smoke runs; ``python benchmarks/bench_server.py --smoke``
+is the self-contained CLI entry CI uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import threading
+import time
+
+from repro.constraints import parse_constraints
+from repro.model import ConstraintRelation, Database, HTuple, Schema, constraint, relational
+from repro.server import ServerConfig, ServerThread
+
+CLIENTS = 8  # acceptance floor: >= 8 concurrent clients
+
+#: Every EXHAUST_EVERY-th request asks for an impossible output budget.
+EXHAUST_EVERY = 4
+
+_QUERIES = (
+    "R0 = select t >= 25 from R",
+    "R1 = select t <= 40 from R",
+    "R2 = project R0 on id",
+)
+
+
+def _bench_database(rows: int) -> Database:
+    schema = Schema([relational("id"), constraint("t")])
+    tuples = [
+        HTuple(
+            schema,
+            {"id": f"r{i}"},
+            parse_constraints(f"{i % 50} <= t, t <= {i % 50 + 25}"),
+        )
+        for i in range(rows)
+    ]
+    return Database({"R": ConstraintRelation(schema, tuples, "R")})
+
+
+def _client_loop(harness, tenant: str, requests: int, out: dict) -> None:
+    """One client's request stream; records latencies and reply audits."""
+    latencies: list[float] = []
+    exhausted: list[dict] = []
+    failures: list[dict] = []
+    with harness.client(tenant=tenant) as client:
+        for i in range(requests):
+            if i % EXHAUST_EVERY == EXHAUST_EVERY - 1:
+                payload = {
+                    "op": "query",
+                    "tenant": tenant,
+                    "statement": "X = select t >= 0 from R",
+                    "budget": {"output_tuples": 2},
+                }
+            else:
+                payload = {
+                    "op": "query",
+                    "tenant": tenant,
+                    "statement": _QUERIES[i % len(_QUERIES)],
+                }
+            start = time.perf_counter()
+            reply = client.request(payload)
+            latencies.append(time.perf_counter() - start)
+            if reply.get("ok"):
+                continue
+            if reply.get("status") == 429:
+                exhausted.append(reply)
+            else:
+                failures.append(reply)
+    out[tenant] = {
+        "latencies": latencies,
+        "exhausted": exhausted,
+        "failures": failures,
+    }
+
+
+def _audit_exhaustion_reply(reply: dict) -> None:
+    """A 429 under load must be the structured taxonomy reply."""
+    error = reply["error"]
+    assert error["kind"] == "output_limit_exceeded", error
+    assert error["resource"] == "output_tuples", error
+    assert error["consumed"] > error["limit"], error
+    text = json.dumps(reply)
+    assert "Traceback" not in text, "raw traceback leaked onto the wire"
+    assert "  File \"" not in text, "raw traceback leaked onto the wire"
+
+
+def run_load(rows: int, requests_per_client: int, clients: int = CLIENTS) -> dict:
+    """Drive the full load and return the results document."""
+    database = _bench_database(rows)
+    config = ServerConfig(workers=4, max_queue=clients * 2)
+    with ServerThread(database, config) as harness:
+        per_client: dict[str, dict] = {}
+        threads = [
+            threading.Thread(
+                target=_client_loop,
+                args=(harness, f"tenant{i}", requests_per_client, per_client),
+            )
+            for i in range(clients)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        stats = harness.client().stats()
+
+    latencies = sorted(
+        lat for result in per_client.values() for lat in result["latencies"]
+    )
+    exhausted = [r for result in per_client.values() for r in result["exhausted"]]
+    failures = [r for result in per_client.values() for r in result["failures"]]
+    assert len(per_client) == clients, "a client thread died before reporting"
+    assert not failures, f"unexpected non-429 failures under load: {failures[:3]}"
+    assert exhausted, "the exhausting slice of the stream never tripped a 429"
+    for reply in exhausted:
+        _audit_exhaustion_reply(reply)
+
+    total = len(latencies)
+    quantiles = statistics.quantiles(latencies, n=100)
+    return {
+        "workload": f"{clients} clients x {requests_per_client} requests, {rows} rows",
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "total_requests": total,
+        "wall_seconds": wall,
+        "qps": total / wall,
+        "latency_p50_ms": statistics.median(latencies) * 1000.0,
+        "latency_p99_ms": quantiles[98] * 1000.0,
+        "exhausted_429_count": len(exhausted),
+        "server_counters": {
+            k: v for k, v in stats["counters"].items() if k.startswith("server.")
+        },
+    }
+
+
+def _write_results(results: dict) -> str:
+    path = os.environ.get("REPRO_BENCH_SERVER_JSON", "BENCH_server.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    return path
+
+
+# --------------------------------------------------------------------------
+# pytest entry points
+# --------------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - CLI --smoke path without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def server_results(scale) -> dict:
+        small = scale.name == "small"
+        results = run_load(
+            rows=120 if small else 600,
+            requests_per_client=8 if small else 40,
+        )
+        _write_results(results)
+        return results
+
+    def test_reports_required_percentiles(server_results):
+        assert server_results["clients"] >= 8
+        assert server_results["latency_p50_ms"] > 0
+        assert server_results["latency_p99_ms"] >= server_results["latency_p50_ms"]
+        assert server_results["qps"] > 0
+
+    def test_exhaustion_under_load_is_structured(server_results):
+        """Covered per-reply inside run_load; assert the volume here."""
+        expected = server_results["total_requests"] // EXHAUST_EVERY
+        assert server_results["exhausted_429_count"] == expected
+        assert server_results["server_counters"]["server.exhausted"] == expected
+
+    def test_every_request_was_accounted(server_results):
+        counters = server_results["server_counters"]
+        # +1: the stats request itself.
+        assert counters["server.requests"] == server_results["total_requests"] + 1
+        assert counters["server.replies.error"] == server_results["exhausted_429_count"]
+        assert counters.get("server.shed", 0) == 0  # queue sized to never shed
+
+
+# --------------------------------------------------------------------------
+# CLI entry point (CI smoke)
+# --------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small workload for CI smoke runs"
+    )
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--clients", type=int, default=CLIENTS)
+    args = parser.parse_args(argv)
+
+    rows = args.rows if args.rows is not None else (120 if args.smoke else 600)
+    requests = args.requests if args.requests is not None else (8 if args.smoke else 40)
+    results = run_load(rows=rows, requests_per_client=requests, clients=args.clients)
+    path = _write_results(results)
+    print(
+        f"bench_server: {results['total_requests']} requests, "
+        f"qps={results['qps']:.1f}, p50={results['latency_p50_ms']:.2f}ms, "
+        f"p99={results['latency_p99_ms']:.2f}ms, "
+        f"429s={results['exhausted_429_count']} -> {path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,11 +5,14 @@ The zero-code path into the system::
     python -m repro query db.cdb script.cqa          # run a script file
     python -m repro query db.cdb -e "R0 = select t >= 4 from Hurricane"
     python -m repro show db.cdb [RelationName]       # inspect a database
+    python -m repro serve db.cdb --port 7411         # multi-tenant server
     python -m repro demo                             # the §3.3 case study
 
 Scripts are the paper's ASCII multi-step language (one statement per
 line); the last statement's result is printed, and ``--save OUT.cdb``
-writes every bound result to a new database file.
+writes every bound result to a new database file.  ``serve`` runs the
+long-lived asyncio front end (see ``docs/SERVER.md``): the budget flags
+then set the *per-tenant default* budget every request runs under.
 """
 
 from __future__ import annotations
@@ -124,6 +127,60 @@ def _run_query(session: QuerySession, script: str, args: argparse.Namespace) -> 
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .obs import SERVER_DRAINED, SERVER_REPLIES_OK
+    from .server import QueryServer, ServerConfig
+
+    database = load_database(Path(args.database))
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        session_workers=args.session_workers,
+        analysis=args.analysis,
+        use_optimizer=not args.no_optimizer,
+        drain_timeout=args.drain_timeout,
+        deadline_seconds=args.deadline,
+        solver_steps=args.max_solver_steps,
+        dnf_clauses=args.max_dnf_clauses,
+        output_tuples=args.max_output,
+        io_accesses=args.max_io,
+        on_exhausted=args.on_exhausted,
+    )
+
+    async def main() -> int:
+        server = QueryServer(database, config)
+        await server.start()
+        # The exact bound address on stdout (before anything else) so
+        # wrappers and the CI smoke step can scrape an ephemeral port.
+        print(
+            f"repro-server listening on {server.host}:{server.port} "
+            f"(workers={config.workers}, queue={config.max_queue})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-Unix loops
+                pass
+        await server.serve_until(stop)
+        print(
+            "repro-server drained cleanly "
+            f"(replies={int(server.registry.value(SERVER_REPLIES_OK))}, "
+            f"completed during drain={int(server.registry.value(SERVER_DRAINED))})",
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(main())
+
+
 def _cmd_show(args: argparse.Namespace) -> int:
     database = load_database(Path(args.database))
     names = [args.relation] if args.relation else list(database)
@@ -185,6 +242,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_budget_arguments(parser: argparse.ArgumentParser, description: str) -> None:
+    """The shared resource-limit flag group (``query`` budgets one
+    statement; ``serve`` sets the per-tenant default budget)."""
+    limits = parser.add_argument_group("resource limits", description)
+    limits.add_argument(
+        "--deadline", type=float, metavar="SECONDS", help="wall-clock deadline per statement"
+    )
+    limits.add_argument(
+        "--max-solver-steps", type=int, metavar="N", help="elimination/simplex step budget"
+    )
+    limits.add_argument(
+        "--max-dnf-clauses", type=int, metavar="N", help="DNF distribution/complement clause budget"
+    )
+    limits.add_argument(
+        "--max-output", type=int, metavar="N", help="materialized tuple cap (intermediates included)"
+    )
+    limits.add_argument(
+        "--max-io", type=int, metavar="N", help="simulated IO cap (index node visits + page reads)"
+    )
+    limits.add_argument(
+        "--on-exhausted",
+        choices=("raise", "partial"),
+        default="raise",
+        help="exhaustion behaviour: fail the statement, or keep the tuples "
+        "materialized so far and mark the result truncated",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -239,32 +324,63 @@ def build_parser() -> argparse.ArgumentParser:
         "results are identical to serial — see docs/PARALLELISM.md); "
         "defaults to $REPRO_WORKERS or 1",
     )
-    limits = query.add_argument_group(
-        "resource limits", "per-statement budget (see docs/QUERY_LANGUAGE.md)"
-    )
-    limits.add_argument(
-        "--deadline", type=float, metavar="SECONDS", help="wall-clock deadline per statement"
-    )
-    limits.add_argument(
-        "--max-solver-steps", type=int, metavar="N", help="elimination/simplex step budget"
-    )
-    limits.add_argument(
-        "--max-dnf-clauses", type=int, metavar="N", help="DNF distribution/complement clause budget"
-    )
-    limits.add_argument(
-        "--max-output", type=int, metavar="N", help="materialized tuple cap (intermediates included)"
-    )
-    limits.add_argument(
-        "--max-io", type=int, metavar="N", help="simulated IO cap (index node visits + page reads)"
-    )
-    limits.add_argument(
-        "--on-exhausted",
-        choices=("raise", "partial"),
-        default="raise",
-        help="exhaustion behaviour: fail the statement, or keep the tuples "
-        "materialized so far and mark the result truncated",
-    )
+    _add_budget_arguments(query, "per-statement budget (see docs/QUERY_LANGUAGE.md)")
     query.set_defaults(handler=_cmd_query)
+
+    serve = commands.add_parser(
+        "serve", help="run the multi-tenant query server (docs/SERVER.md)"
+    )
+    serve.add_argument("database", help="a .cdb database file")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7411,
+        help="TCP port (0 picks an ephemeral port, announced on stdout)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrently executing queries (the server's thread pool)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        metavar="N",
+        help="queries allowed to wait for a worker before the server sheds "
+        "with a 429-style 'overloaded' reply",
+    )
+    serve.add_argument(
+        "--session-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="morsel-parallel workers per tenant session "
+        "(the query-side --workers; see docs/PARALLELISM.md)",
+    )
+    serve.add_argument(
+        "--analysis",
+        choices=("off", "warn", "strict"),
+        default="off",
+        help="static-analysis mode applied to every tenant session",
+    )
+    serve.add_argument("--no-optimizer", action="store_true", help="evaluate plans as written")
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="graceful-shutdown ceiling for in-flight queries",
+    )
+    _add_budget_arguments(
+        serve,
+        "per-tenant default budget applied to every request "
+        "(requests may tighten these, never loosen them)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     show = commands.add_parser("show", help="print relations of a database")
     show.add_argument("database", help="a .cdb database file")

@@ -95,6 +95,12 @@ class GeometryError(ReproError):
     """Invalid geometric input (unbounded regions, degenerate polygons)."""
 
 
+class ProtocolError(ReproError):
+    """A malformed wire frame or request reached the query server
+    (:mod:`repro.server`): oversized frame, invalid JSON, non-object
+    payload, or an unknown operation.  Maps to a 400-style reply."""
+
+
 class StorageError(ReproError):
     """Errors in the simulated storage layer or serialization format."""
 

@@ -34,8 +34,10 @@ serial path byte-for-byte identical to the pre-engine code.
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import multiprocessing
 import pickle
+import sys
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -56,6 +58,15 @@ from ..obs import (
 )
 from .envelope import TaskEnvelope, TaskFn, TaskOutcome, execute_envelope, rebuild_exhaustion
 from .morsel import auto_morsel_size
+
+_LOG = logging.getLogger(__name__)
+
+
+def _interpreter_alive() -> bool:
+    """False once the interpreter is finalizing (``__del__`` during
+    teardown must not raise into a half-dismantled runtime)."""
+    return not sys.is_finalizing()
+
 
 #: Counter prefixes not folded into the session registry at merge time:
 #: the governor mirrors (``governor.charged.*``, ``governor.truncations``)
@@ -139,18 +150,21 @@ class ExecutionEngine:
     """
 
     def __init__(self, config: ExecutionConfig):
+        # First, so __del__ on a half-constructed engine (validation
+        # raised below) still finds a coherent, already-closed state.
+        self._closed = False
+        self._process_pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._thread_pool: concurrent.futures.ThreadPoolExecutor | None = None
         if config.workers < 2:
+            self._closed = True
             raise ValueError(
                 "an ExecutionEngine needs workers >= 2; workers=1 is the serial "
                 "path and must not construct an engine"
             )
         self.config = config
-        self._process_pool: concurrent.futures.ProcessPoolExecutor | None = None
-        self._thread_pool: concurrent.futures.ThreadPoolExecutor | None = None
         self._process_pool_broken = False
         self._stats = _StatementStats()
         self._worker_index: dict[str, int] = {}
-        self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -163,15 +177,31 @@ class ExecutionEngine:
         finally:
             _TLS.engines.pop()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
-        """Shut down both pools (idempotent)."""
+        """Shut down both pools.
+
+        Idempotent: the first call does the work and later calls —
+        including ``__del__`` after an explicit ``close()`` — are no-ops,
+        so double-shutdown during interpreter teardown cannot re-enter a
+        half-torn-down executor.  A pool whose shutdown fails is logged
+        (never silently swallowed) and the other pool is still shut down.
+        """
+        if self._closed:
+            return
         self._closed = True
-        if self._process_pool is not None:
-            self._process_pool.shutdown(wait=True)
-            self._process_pool = None
-        if self._thread_pool is not None:
-            self._thread_pool.shutdown(wait=True)
-            self._thread_pool = None
+        process_pool, self._process_pool = self._process_pool, None
+        thread_pool, self._thread_pool = self._thread_pool, None
+        for pool in (process_pool, thread_pool):
+            if pool is None:
+                continue
+            try:
+                pool.shutdown(wait=True)
+            except Exception:
+                _LOG.exception("worker pool shutdown failed: %r", pool)
 
     def __enter__(self) -> "ExecutionEngine":
         return self
@@ -180,10 +210,15 @@ class ExecutionEngine:
         self.close()
 
     def __del__(self) -> None:
+        # close() is idempotent, so an engine the owner already closed is
+        # a no-op here; only errors raised *during interpreter teardown*
+        # (modules half-gone, logging unavailable) are suppressed.
         try:
             self.close()
-        except Exception:
-            pass  # interpreter teardown: pools may already be gone
+        except Exception:  # pragma: no cover - teardown only
+            if not _interpreter_alive():
+                return
+            raise
 
     # -- statement accounting ------------------------------------------------
 

@@ -74,6 +74,11 @@ _RESOURCES: dict[str, tuple[type[ResourceExhausted], str | None]] = {
     "io_accesses": (IOBudgetExceeded, None),
 }
 
+#: Deadline handed to a worker slice whose parent budget already expired
+#: (partial mode only): positive so the ``Budget`` constructor accepts
+#: it, small enough that the first worker checkpoint trips immediately.
+_EXPIRED_SLICE_SECONDS = 1e-6
+
 #: Obs counters copied into exhaustion snapshots (budget-relevant subset
 #: of the registry; the full snapshot can be huge).
 _SNAPSHOT_COUNTERS = (
@@ -258,6 +263,14 @@ class Budget:
         remaining share of the shared wall-clock deadline.  The parent
         re-charges actual worker consumption during the post-merge
         reconciliation, so the global limit still binds.
+
+        A parent whose deadline has (nearly) elapsed must not hand workers
+        an underflowed remaining time: in raise mode slicing raises
+        :class:`~repro.errors.DeadlineExceeded` immediately (dispatching a
+        doomed batch would only delay the error), and in partial mode the
+        parent is marked truncated and the slice carries an
+        already-expired allowance that trips on the worker's first
+        checkpoint.
         """
         limits = tuple(
             (name, max(1, limit - self._consumed[name]))
@@ -266,6 +279,18 @@ class Budget:
         )
         if self._deadline_at is not None:
             deadline: float | None = self._deadline_at - time.monotonic()
+            if deadline is not None and deadline <= 0:
+                if self.on_exhausted != "partial":
+                    raise DeadlineExceeded(
+                        f"query deadline of {self.deadline_seconds}s exceeded "
+                        "(expired before worker dispatch)",
+                        resource="deadline_seconds",
+                        consumed=self.deadline_seconds,
+                        limit=self.deadline_seconds,
+                        snapshot=self.snapshot(),
+                    )
+                self.mark_truncated()
+                deadline = _EXPIRED_SLICE_SECONDS
         else:
             deadline = self.deadline_seconds
         return BudgetSlice(
@@ -284,7 +309,12 @@ class Budget:
             if limit is not None:
                 out[f"limit.{name}"] = limit
         if self._deadline_at is not None:
-            out["deadline.remaining_seconds"] = self._deadline_at - time.monotonic()
+            # Clamped at 0: after expiry the raw difference goes negative,
+            # and snapshots travel (ResourceExhausted payloads, server wire
+            # replies) where "-0.03 seconds remaining" reads as nonsense.
+            out["deadline.remaining_seconds"] = max(
+                0.0, self._deadline_at - time.monotonic()
+            )
         registry = current_registry()
         for counter in _SNAPSHOT_COUNTERS:
             value = registry.value(counter)
@@ -334,9 +364,11 @@ class BudgetSlice:
         kwargs: dict[str, int] = dict(self.limits)
         deadline = self.deadline_remaining
         if deadline is not None:
-            # An already-passed shared deadline must still build a valid
-            # budget; the first worker checkpoint then fires immediately.
-            deadline = max(deadline, 1e-6)
+            # Defense in depth: Budget.slice() already refuses to hand out
+            # a non-positive remaining deadline, but a slice that sat in a
+            # dispatch queue may arrive expired; it must still build a
+            # valid budget whose first checkpoint fires immediately.
+            deadline = max(deadline, _EXPIRED_SLICE_SECONDS)
         return Budget(
             deadline_seconds=deadline,
             on_exhausted=self.on_exhausted,

@@ -113,6 +113,22 @@ EXEC_DISPATCHES = "exec.dispatches"
 EXEC_MORSELS = "exec.morsels"
 EXEC_THREAD_FALLBACKS = "exec.thread_fallbacks"
 
+#: Query server (:mod:`repro.server`): request/reply accounting.  Per-query
+#: engine counters (solver, IO, governor charges) are merged into the
+#: server registry from each tenant session after every request, so
+#: server-side counters and ``EXPLAIN ANALYZE`` share one pipeline.
+SERVER_REQUESTS = "server.requests"
+SERVER_REPLIES_OK = "server.replies.ok"
+SERVER_REPLIES_ERROR = "server.replies.error"
+#: Requests refused by queue-depth admission control (429-style reply).
+SERVER_SHED = "server.shed"
+#: Budget exhaustion surfaced to a client as a structured 429-style reply.
+SERVER_EXHAUSTED = "server.exhausted"
+#: Connections that dropped before their in-flight reply could be written.
+SERVER_DISCONNECTS = "server.disconnects"
+#: In-flight queries completed during graceful shutdown draining.
+SERVER_DRAINED = "server.drained"
+
 
 class Counter:
     """A named integer metric."""

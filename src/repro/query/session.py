@@ -224,6 +224,7 @@ class QuerySession:
         self._last_diagnostics: Diagnostics | None = None
         self._exec_config = ExecutionConfig(workers=workers, mode=exec_mode)
         self._engine: ExecutionEngine | None = None
+        self._closed = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -242,12 +243,28 @@ class QuerySession:
         if self._exec_config.workers < 2:
             return None
         if self._engine is None:
+            # A closed parallel session must not silently leak a fresh
+            # pool; _run already rejects statements after close(), this
+            # guards direct callers.
+            if self._closed:
+                raise QueryError("QuerySession is closed")
             self._engine = ExecutionEngine(self._exec_config)
         return self._engine
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; closed sessions reject new
+        statements (the server closes tenant sessions on drain)."""
+        return self._closed
+
     def close(self) -> None:
-        """Shut down the worker pool, if one was ever created (idempotent;
-        serial sessions have nothing to close)."""
+        """Shut down the worker pool, if one was ever created, and mark
+        the session closed.  Idempotent: repeated calls — including via
+        ``__exit__`` after an explicit close — are no-ops, and serial
+        sessions have nothing to close but still flip ``closed``."""
+        if self._closed:
+            return
+        self._closed = True
         if self._engine is not None:
             self._engine.close()
             self._engine = None
@@ -313,6 +330,8 @@ class QuerySession:
             )
 
     def _run(self, statement: Statement) -> ConstraintRelation:
+        if self._closed:
+            raise QueryError("QuerySession is closed")
         if self._analysis != "off":
             self._enforce(statement)
         schemas = self._schemas()

@@ -1,0 +1,53 @@
+"""The async multi-tenant query server (see ``docs/SERVER.md``).
+
+A long-lived TCP front end over the engine: per-tenant
+:class:`~repro.query.QuerySession` state, per-request
+:class:`~repro.governor.Budget` enforcement, bounded-queue admission
+control with load shedding, and graceful drain — the service boundary
+that turns the governor stack's primitives into multi-user behaviour.
+
+* :class:`QueryServer` / :class:`ServerConfig` — the asyncio server.
+* :class:`ServerClient` — a blocking client for tests/benchmarks/scripts.
+* :class:`ServerThread` — an in-process harness running the server on a
+  background event loop.
+* :mod:`repro.server.protocol` — the length-prefixed JSON wire format
+  and the exception-taxonomy → reply-kind mapping.
+"""
+
+from .client import ServerClient, ServerReplyError
+from .harness import ServerThread
+from .protocol import (
+    MAX_FRAME_BYTES,
+    STATUS_BAD_REQUEST,
+    STATUS_EXHAUSTED,
+    STATUS_INTERNAL,
+    STATUS_OK,
+    STATUS_UNAVAILABLE,
+    classify_error,
+    decode_payload,
+    encode_frame,
+    error_reply,
+    recv_frame,
+    send_frame,
+)
+from .server import QueryServer, ServerConfig
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "QueryServer",
+    "STATUS_BAD_REQUEST",
+    "STATUS_EXHAUSTED",
+    "STATUS_INTERNAL",
+    "STATUS_OK",
+    "STATUS_UNAVAILABLE",
+    "ServerClient",
+    "ServerConfig",
+    "ServerReplyError",
+    "ServerThread",
+    "classify_error",
+    "decode_payload",
+    "encode_frame",
+    "error_reply",
+    "recv_frame",
+    "send_frame",
+]

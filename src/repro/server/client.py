@@ -1,0 +1,141 @@
+"""A synchronous client for the query server.
+
+Usable from tests, benchmarks, and plain scripts — no asyncio on the
+client side, just a blocking socket speaking the length-prefixed JSON
+protocol::
+
+    with ServerClient("127.0.0.1", 7411, tenant="alice") as client:
+        reply = client.query("R0 = select t >= 4 from Hurricane")
+        if reply["ok"]:
+            print(reply["result"]["text"])
+
+:meth:`ServerClient.query` returns the raw reply dict (callers inspect
+``ok``/``status``/``error`` themselves — a load generator wants the shed
+replies, not exceptions); :meth:`ServerClient.execute` is the strict
+variant that raises :class:`ServerReplyError` on any non-ok reply.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Mapping
+
+from ..errors import ProtocolError, ReproError
+from .protocol import recv_frame, send_frame
+
+
+class ServerReplyError(ReproError):
+    """A strict-mode request came back with a structured error reply.
+
+    ``reply`` is the full wire reply; ``kind``/``status`` are lifted out
+    of it for convenience (``kind`` is e.g. ``deadline_exceeded``,
+    ``overloaded``, ``parse_error`` — see ``docs/SERVER.md``).
+    """
+
+    def __init__(self, reply: Mapping[str, Any]) -> None:
+        error = reply.get("error") or {}
+        self.reply = dict(reply)
+        self.status = reply.get("status")
+        self.kind = error.get("kind", "unknown")
+        self.resource = error.get("resource")
+        super().__init__(f"[{self.status} {self.kind}] {error.get('message', '')}")
+
+
+class ServerClient:
+    """A blocking connection to one :class:`~repro.server.QueryServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        timeout: float | None = 60.0,
+    ) -> None:
+        self.tenant = tenant
+        self._ids = itertools.count(1)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one frame and read its reply."""
+        body = dict(payload)
+        body.setdefault("id", next(self._ids))
+        send_frame(self._sock, body)
+        reply = recv_frame(self._sock)
+        if reply is None:
+            raise ProtocolError("server closed the connection without a reply")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def sleep(self, seconds: float, tenant: str | None = None) -> dict[str, Any]:
+        payload: dict[str, Any] = {"op": "sleep", "seconds": seconds}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return self.request(payload)
+
+    def query(
+        self,
+        statement: str,
+        budget: Mapping[str, Any] | None = None,
+        limit: int = 20,
+        tenant: str | None = None,
+    ) -> dict[str, Any]:
+        """Execute one statement under this client's tenant; returns the
+        raw reply dict (ok or structured error)."""
+        payload: dict[str, Any] = {
+            "op": "query",
+            "tenant": tenant if tenant is not None else self.tenant,
+            "statement": statement,
+            "limit": limit,
+        }
+        if budget is not None:
+            payload["budget"] = dict(budget)
+        return self.request(payload)
+
+    def execute(
+        self,
+        statement: str,
+        budget: Mapping[str, Any] | None = None,
+        limit: int = 20,
+    ) -> dict[str, Any]:
+        """Like :meth:`query` but raises :class:`ServerReplyError` unless
+        the reply is ok; returns the reply's ``result`` object."""
+        reply = self.query(statement, budget=budget, limit=limit)
+        if not reply.get("ok"):
+            raise ServerReplyError(reply)
+        return reply["result"]
+
+    def run_script(self, script: str, budget: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Execute a multi-line script statement by statement (tenant
+        bindings persist server-side between statements); returns the
+        last statement's ``result``."""
+        result: dict[str, Any] | None = None
+        for line in script.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            result = self.execute(stripped, budget=budget)
+        if result is None:
+            raise ValueError("script contains no statements")
+        return result

@@ -1,0 +1,121 @@
+"""An in-process server harness for tests and benchmarks.
+
+Runs a :class:`~repro.server.QueryServer` on its own event loop in a
+daemon thread, so synchronous test/benchmark code can drive it with the
+blocking :class:`~repro.server.client.ServerClient`::
+
+    with ServerThread(database, ServerConfig(workers=2)) as harness:
+        with harness.client(tenant="t1") as client:
+            assert client.ping()["ok"]
+
+``stop()`` (or leaving the ``with`` block) performs the full graceful
+shutdown — drain, session close, executor teardown — and re-raises any
+server-side crash into the calling thread, so a test cannot silently
+pass over a server that died.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any
+
+from ..model.database import Database
+from ..obs import MetricsRegistry
+from .client import ServerClient
+from .server import QueryServer, ServerConfig
+
+#: How long ``start``/``stop`` wait for the server thread before
+#: declaring the harness wedged (a test-infrastructure failure, not a
+#: server behaviour under test).
+_HARNESS_TIMEOUT = 30.0
+
+
+class ServerThread:
+    """Own a server event loop on a background thread."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: ServerConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.server = QueryServer(database, config, registry=registry)
+        self._ready = threading.Event()
+        self._done = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server-harness", daemon=True
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=_HARNESS_TIMEOUT):
+            raise RuntimeError("server harness failed to start in time")
+        if self._error is not None:
+            raise RuntimeError("server harness crashed on startup") from self._error
+        return self
+
+    def stop(self) -> None:
+        """Trigger graceful shutdown and join the server thread."""
+        if self._loop is not None and self._stop is not None and not self._done.is_set():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=_HARNESS_TIMEOUT)
+        if self._thread.is_alive():
+            raise RuntimeError("server harness did not shut down in time")
+        if self._error is not None:
+            raise RuntimeError("server harness crashed") from self._error
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via stop()
+            self._error = exc
+        finally:
+            self._ready.set()
+            self._done.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_until(self._stop)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- conveniences --------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        assert self.server.host is not None
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    def client(self, tenant: str = "default", timeout: float | None = 60.0) -> ServerClient:
+        """A fresh blocking client connected to this server."""
+        return ServerClient(self.host, self.port, tenant=tenant, timeout=timeout)
+
+    def counter(self, name: str) -> float:
+        """A server-registry counter value, read from the harness thread's
+        registry (safe: plain int read)."""
+        return self.server.registry.value(name)
+
+    def run_coro(self, coro: Any) -> Any:
+        """Run a coroutine on the server's loop and wait for its result."""
+        assert self._loop is not None
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            timeout=_HARNESS_TIMEOUT
+        )

@@ -1,0 +1,270 @@
+"""The wire protocol: length-prefixed JSON frames plus reply shaping.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object.  Requests and replies are
+both frames; a connection is a sequential request/reply stream (no
+pipelining — the client sends one frame and reads one frame).
+
+Requests carry an ``op``:
+
+* ``query`` — execute one statement: ``{"op": "query", "tenant": "...",
+  "statement": "R0 = ...", "budget": {...}?, "limit": 20?, "id": ...?}``
+* ``ping`` — liveness probe.
+* ``stats`` — server counters (the obs registry snapshot).
+* ``sleep`` — diagnostic: occupy a worker slot for ``seconds`` (admission
+  control and tenant serialization apply exactly as for ``query``; the
+  server clamps the duration).
+
+Replies mirror HTTP status classes without being HTTP: every reply has
+``ok``/``status``, errors carry a structured ``error`` object — never a
+traceback — mapping the library taxonomy:
+
+====================================  ======  ==========================
+exception                             status  kind
+====================================  ======  ==========================
+:class:`~repro.errors.DeadlineExceeded`       429  ``deadline_exceeded``
+:class:`~repro.errors.SolverBudgetExceeded`   429  ``solver_budget_exceeded``
+:class:`~repro.errors.DNFBudgetExceeded`      429  ``dnf_budget_exceeded``
+:class:`~repro.errors.OutputLimitExceeded`    429  ``output_limit_exceeded``
+:class:`~repro.errors.IOBudgetExceeded`       429  ``io_budget_exceeded``
+(queue-depth shedding)                        429  ``overloaded``
+:class:`~repro.errors.ParseError`             400  ``parse_error``
+:class:`~repro.errors.StaticAnalysisError`    400  ``static_analysis_error``
+:class:`~repro.errors.ProtocolError`          400  ``protocol_error``
+:class:`~repro.errors.QueryError` et al.      400  ``query_error`` …
+:class:`~repro.errors.CorruptPageError`       500  ``corrupt_page``
+:class:`~repro.errors.StorageError`           500  ``storage_error``
+(server draining)                             503  ``shutting_down``
+anything else                                 500  ``internal_error``
+====================================  ======  ==========================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Mapping
+
+from ..errors import (
+    AlgebraError,
+    ConstraintError,
+    CorruptPageError,
+    DeadlineExceeded,
+    DNFBudgetExceeded,
+    GeometryError,
+    IndexStructureError,
+    IOBudgetExceeded,
+    OutputLimitExceeded,
+    ParseError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+    ResourceExhausted,
+    SchemaError,
+    SolverBudgetExceeded,
+    StaticAnalysisError,
+    StorageError,
+    TransientStorageError,
+)
+
+#: Frames larger than this are refused (a length prefix of 2 GiB must not
+#: make the server allocate 2 GiB).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+# -- status codes (HTTP-flavoured, carried inside the JSON reply) -------------
+
+STATUS_OK = 200
+STATUS_BAD_REQUEST = 400
+STATUS_EXHAUSTED = 429
+STATUS_INTERNAL = 500
+STATUS_UNAVAILABLE = 503
+
+#: Most-derived-first mapping from exception class to ``(status, kind)``.
+#: Order matters: ``isinstance`` walks this list top to bottom.
+_ERROR_KINDS: tuple[tuple[type[BaseException], tuple[int, str]], ...] = (
+    (DeadlineExceeded, (STATUS_EXHAUSTED, "deadline_exceeded")),
+    (SolverBudgetExceeded, (STATUS_EXHAUSTED, "solver_budget_exceeded")),
+    (DNFBudgetExceeded, (STATUS_EXHAUSTED, "dnf_budget_exceeded")),
+    (OutputLimitExceeded, (STATUS_EXHAUSTED, "output_limit_exceeded")),
+    (IOBudgetExceeded, (STATUS_EXHAUSTED, "io_budget_exceeded")),
+    (ResourceExhausted, (STATUS_EXHAUSTED, "resource_exhausted")),
+    (ParseError, (STATUS_BAD_REQUEST, "parse_error")),
+    (StaticAnalysisError, (STATUS_BAD_REQUEST, "static_analysis_error")),
+    (ProtocolError, (STATUS_BAD_REQUEST, "protocol_error")),
+    (QueryError, (STATUS_BAD_REQUEST, "query_error")),
+    (SchemaError, (STATUS_BAD_REQUEST, "schema_error")),
+    (AlgebraError, (STATUS_BAD_REQUEST, "algebra_error")),
+    (ConstraintError, (STATUS_BAD_REQUEST, "constraint_error")),
+    (GeometryError, (STATUS_BAD_REQUEST, "geometry_error")),
+    (CorruptPageError, (STATUS_INTERNAL, "corrupt_page")),
+    (TransientStorageError, (STATUS_INTERNAL, "transient_storage_error")),
+    (StorageError, (STATUS_INTERNAL, "storage_error")),
+    (IndexStructureError, (STATUS_INTERNAL, "index_error")),
+    (ReproError, (STATUS_INTERNAL, "engine_error")),
+    (OSError, (STATUS_INTERNAL, "storage_error")),
+)
+
+
+# -- frame codec ---------------------------------------------------------------
+
+
+def encode_frame(payload: Mapping[str, Any]) -> bytes:
+    """Serialize one object to a length-prefixed frame."""
+    body = json.dumps(payload, separators=(",", ":"), default=_jsonable).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict[str, Any]:
+    """Parse one frame body; the payload must be a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid UTF-8 JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _jsonable(value: Any) -> Any:
+    """JSON fallback for the exact-arithmetic values that leak into
+    snapshots and summaries (Fractions, Decimals)."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return decode_payload(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: Mapping[str, Any]) -> None:
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+def send_frame(sock: socket.socket, payload: Mapping[str, Any]) -> None:
+    """Blocking frame write (the sync client)."""
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Blocking frame read; ``None`` on a clean EOF at a frame boundary."""
+    prefix = _recv_exactly(sock, _LENGTH.size, eof_ok=True)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    body = _recv_exactly(sock, length, eof_ok=False)
+    assert body is not None
+    return decode_payload(body)
+
+
+def _recv_exactly(sock: socket.socket, n: int, *, eof_ok: bool) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- reply shaping -------------------------------------------------------------
+
+
+def classify_error(exc: BaseException) -> tuple[int, str]:
+    """Map an exception onto its wire ``(status, kind)``."""
+    for cls, shape in _ERROR_KINDS:
+        if isinstance(exc, cls):
+            return shape
+    return (STATUS_INTERNAL, "internal_error")
+
+
+def error_reply(
+    exc: BaseException,
+    request_id: Any = None,
+    **extra: Any,
+) -> dict[str, Any]:
+    """A structured error frame for ``exc`` — message and taxonomy fields
+    only, never a traceback."""
+    status, kind = classify_error(exc)
+    error: dict[str, Any] = {"kind": kind, "message": str(exc)}
+    if isinstance(exc, ResourceExhausted):
+        error["resource"] = exc.resource
+        error["consumed"] = exc.consumed
+        error["limit"] = exc.limit
+        error["snapshot"] = dict(exc.snapshot)
+    error.update(extra)
+    return {"ok": False, "id": request_id, "status": status, "error": error}
+
+
+def shed_reply(request_id: Any, queued: int, capacity: int) -> dict[str, Any]:
+    """The 429-style admission-control refusal: the queue is full, try
+    again later (``retry`` is advisory)."""
+    return {
+        "ok": False,
+        "id": request_id,
+        "status": STATUS_EXHAUSTED,
+        "error": {
+            "kind": "overloaded",
+            "message": (
+                f"admission queue full ({queued} queries queued or running, "
+                f"capacity {capacity}); retry later"
+            ),
+            "resource": "admission_queue",
+            "consumed": queued,
+            "limit": capacity,
+        },
+    }
+
+
+def draining_reply(request_id: Any) -> dict[str, Any]:
+    return {
+        "ok": False,
+        "id": request_id,
+        "status": STATUS_UNAVAILABLE,
+        "error": {
+            "kind": "shutting_down",
+            "message": "server is draining; no new queries are admitted",
+        },
+    }
+
+
+def ok_reply(request_id: Any, **fields: Any) -> dict[str, Any]:
+    reply: dict[str, Any] = {"ok": True, "id": request_id, "status": STATUS_OK}
+    reply.update(fields)
+    return reply

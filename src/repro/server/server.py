@@ -1,0 +1,496 @@
+"""The asyncio multi-tenant query server.
+
+A :class:`QueryServer` fronts one :class:`~repro.model.Database` with a
+pool of per-tenant :class:`~repro.query.QuerySession` workers:
+
+* **Tenancy** — each tenant name maps to a long-lived session holding the
+  tenant's multi-step bindings (``R0`` from one request is visible to the
+  next), its own metrics registry, and an asyncio lock serializing that
+  tenant's statements (a session is single-statement-at-a-time by
+  design; different tenants run concurrently).
+* **Governance** — every request runs under a fresh
+  :class:`~repro.governor.Budget` built from the server's per-tenant
+  default knobs tightened by the request's own ``budget`` overrides (a
+  request can only *lower* a server-imposed cap, never raise it).
+  Exhaustion surfaces as a structured 429-style reply; with
+  ``on_exhausted="partial"`` the reply is a truncated result instead.
+* **Admission control** — queries execute on a bounded thread pool of
+  ``workers``; at most ``max_queue`` more may wait.  Beyond that the
+  server *sheds*: an immediate 429-style ``overloaded`` reply rather
+  than an unbounded queue and a timed-out client.
+* **Graceful shutdown** — :meth:`QueryServer.shutdown` stops accepting
+  work (new requests get a 503-style ``shutting_down`` reply), waits for
+  in-flight queries to finish and their replies to be written, then
+  closes tenant sessions and the executor.
+
+All registry mutation happens on the event-loop thread; query threads
+only touch their tenant session's private registry, whose per-request
+deltas are merged into the server registry after each request — the same
+pipeline ``EXPLAIN ANALYZE`` uses, so ``stats`` replies and per-query
+profiles agree.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import ProtocolError, ReproError, ResourceExhausted
+from ..governor.budget import Budget
+from ..model.database import Database
+from ..obs import (
+    SERVER_DISCONNECTS,
+    SERVER_DRAINED,
+    SERVER_EXHAUSTED,
+    SERVER_REPLIES_ERROR,
+    SERVER_REPLIES_OK,
+    SERVER_REQUESTS,
+    SERVER_SHED,
+    MetricsRegistry,
+)
+from ..query.session import QuerySession
+from .protocol import (
+    draining_reply,
+    error_reply,
+    ok_reply,
+    read_frame,
+    shed_reply,
+    write_frame,
+)
+
+_LOG = logging.getLogger(__name__)
+
+#: Budget knobs a request's ``budget`` object may carry.
+_BUDGET_KNOBS = (
+    "deadline_seconds",
+    "solver_steps",
+    "dnf_clauses",
+    "output_tuples",
+    "io_accesses",
+)
+
+#: Ceiling on the diagnostic ``sleep`` op (it occupies a worker slot).
+_MAX_SLEEP_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Server knobs.
+
+    ``workers`` bounds concurrently *executing* queries (the thread
+    pool); ``max_queue`` bounds queries *waiting* for a thread — beyond
+    ``workers + max_queue`` admitted-but-unfinished requests the server
+    sheds.  ``session_workers`` is passed through to each tenant's
+    :class:`~repro.query.QuerySession` as its morsel-parallel worker
+    count.  The ``deadline_seconds`` … ``on_exhausted`` fields are the
+    per-tenant default budget (``None`` = that resource unlimited);
+    requests may tighten them per query but never loosen them.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    max_queue: int = 8
+    session_workers: int = 1
+    analysis: str = "off"
+    use_optimizer: bool = True
+    drain_timeout: float = 30.0
+    deadline_seconds: float | None = None
+    solver_steps: int | None = None
+    dnf_clauses: int | None = None
+    output_tuples: int | None = None
+    io_accesses: int | None = None
+    on_exhausted: str = "raise"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ValueError(f"workers must be a positive integer, got {self.workers!r}")
+        if not isinstance(self.max_queue, int) or self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue!r}")
+        if self.on_exhausted not in ("raise", "partial"):
+            raise ValueError(
+                f"on_exhausted must be 'raise' or 'partial', got {self.on_exhausted!r}"
+            )
+        if self.drain_timeout <= 0:
+            raise ValueError(f"drain_timeout must be positive, got {self.drain_timeout!r}")
+
+    def budget_knobs(self) -> dict[str, Any]:
+        return {name: getattr(self, name) for name in _BUDGET_KNOBS}
+
+
+@dataclass
+class _Tenant:
+    """One tenant's server-side state."""
+
+    name: str
+    session: QuerySession
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    queries: int = 0
+
+
+@dataclass
+class _QueryOutcome:
+    """What one executor-thread query run ships back to the loop."""
+
+    payload: dict[str, Any]
+    counters: dict[str, float]
+    elapsed: float
+
+
+class QueryServer:
+    """A long-lived TCP front end over one constraint database."""
+
+    def __init__(
+        self,
+        database: Database,
+        config: ServerConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._database = database
+        self._tenants: dict[str, _Tenant] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task[None]] = set()
+        self._active = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self._closed = False
+        self.host: str | None = None
+        self.port: int | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (``port=0`` picks an ephemeral port,
+        published via :attr:`port`)."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        if self._closed:
+            raise RuntimeError("server is closed")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-serve"
+        )
+        self._server = await asyncio.start_server(
+            self._handle, host=self.config.host, port=self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def active_queries(self) -> int:
+        """Admitted-but-unfinished requests (running + queued)."""
+        return self._active
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Serve until ``stop`` is set, then drain and shut down."""
+        if self._server is None:
+            await self.start()
+        await stop.wait()
+        await self.shutdown()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Graceful shutdown: refuse new work, drain in-flight queries
+        (bounded by ``drain_timeout``), then tear everything down."""
+        if self._closed:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain and self._active:
+            try:
+                await asyncio.wait_for(
+                    self._idle.wait(), timeout=self.config.drain_timeout
+                )
+            except asyncio.TimeoutError:
+                _LOG.warning(
+                    "drain timeout (%.1fs) with %d queries still in flight",
+                    self.config.drain_timeout,
+                    self._active,
+                )
+        for writer in list(self._writers):
+            writer.close()
+        # Closing the transports feeds EOF to each handler's pending read;
+        # wait for them to exit on their own rather than cancelling (a
+        # cancelled stream-handler task makes asyncio log spurious noise
+        # from its connection_made callback).
+        pending = {task for task in self._conn_tasks if not task.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=5.0)
+        self._closed = True
+        for tenant in self._tenants.values():
+            tenant.session.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as exc:
+                    # Malformed framing: reply once, then drop the
+                    # connection (the stream position is unrecoverable).
+                    await self._safe_write(writer, error_reply(exc))
+                    break
+                if request is None:
+                    break
+                reply = await self._dispatch(request)
+                if reader.at_eof():
+                    # The client went away while its query ran; the
+                    # session/lock are already released — just account
+                    # for the undeliverable reply.
+                    self.registry.add(SERVER_DISCONNECTS)
+                    break
+                if not await self._safe_write(writer, reply):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            self.registry.add(SERVER_DISCONNECTS)
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _safe_write(
+        self, writer: asyncio.StreamWriter, reply: Mapping[str, Any]
+    ) -> bool:
+        try:
+            await write_frame(writer, reply)
+            return True
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            self.registry.add(SERVER_DISCONNECTS)
+            return False
+
+    # -- request dispatch ----------------------------------------------------
+
+    async def _dispatch(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        request_id = request.get("id")
+        op = request.get("op")
+        self.registry.add(SERVER_REQUESTS)
+        try:
+            if op == "ping":
+                return ok_reply(request_id, pong=True, draining=self._draining)
+            if op == "stats":
+                return self._stats_reply(request_id)
+            if op == "query":
+                return await self._admitted(request_id, self._do_query, request)
+            if op == "sleep":
+                return await self._admitted(request_id, self._do_sleep, request)
+            raise ProtocolError(f"unknown op {op!r}")
+        except ResourceExhausted as exc:
+            self.registry.add(SERVER_EXHAUSTED)
+            self.registry.add(SERVER_REPLIES_ERROR)
+            return error_reply(exc, request_id)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            if not isinstance(exc, ReproError):
+                # Taxonomy errors are expected client-visible outcomes;
+                # anything else is a server bug worth a stack trace in the
+                # *log* (the wire reply still carries no traceback).
+                _LOG.exception("request failed (op=%r, id=%r)", op, request_id)
+            self.registry.add(SERVER_REPLIES_ERROR)
+            return error_reply(exc, request_id)
+
+    async def _admitted(self, request_id: Any, handler: Any, request: Mapping[str, Any]) -> dict[str, Any]:
+        """Run ``handler`` under admission control (shed / drain gates and
+        the in-flight counter the drain waits on)."""
+        if self._draining:
+            self.registry.add(SERVER_REPLIES_ERROR)
+            return draining_reply(request_id)
+        capacity = self.config.workers + self.config.max_queue
+        if self._active >= capacity:
+            self.registry.add(SERVER_SHED)
+            self.registry.add(SERVER_REPLIES_ERROR)
+            return shed_reply(request_id, queued=self._active, capacity=capacity)
+        self._active += 1
+        self._idle.clear()
+        try:
+            reply = await handler(request_id, request)
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+            if self._draining:
+                self.registry.add(SERVER_DRAINED)
+        return reply
+
+    def _stats_reply(self, request_id: Any) -> dict[str, Any]:
+        tenants = {
+            tenant.name: {"queries": tenant.queries, "busy": tenant.lock.locked()}
+            for tenant in self._tenants.values()
+        }
+        latency = self.registry.timer("server.latency")
+        return ok_reply(
+            request_id,
+            counters=self.registry.snapshot(),
+            tenants=tenants,
+            active=self._active,
+            draining=self._draining,
+            latency={
+                "calls": latency.calls,
+                "total_seconds": latency.total_seconds,
+                "mean_seconds": latency.mean_seconds,
+            },
+        )
+
+    # -- the query op --------------------------------------------------------
+
+    async def _do_query(self, request_id: Any, request: Mapping[str, Any]) -> dict[str, Any]:
+        statement = request.get("statement")
+        if not isinstance(statement, str) or not statement.strip():
+            raise ProtocolError("query request needs a non-empty 'statement' string")
+        limit = request.get("limit", 20)
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 0:
+            raise ProtocolError(f"'limit' must be a non-negative integer, got {limit!r}")
+        tenant = self._tenant_for(request)
+        budget = self._budget_for(request.get("budget"))
+        loop = asyncio.get_running_loop()
+        async with tenant.lock:
+            if self._closed:
+                return draining_reply(request_id)
+            assert self._executor is not None
+            outcome = await loop.run_in_executor(
+                self._executor, self._run_statement, tenant, statement, budget, limit
+            )
+        tenant.queries += 1
+        self.registry.merge_snapshot(outcome.counters)
+        self.registry.timer("server.latency").add(outcome.elapsed)
+        self.registry.add(SERVER_REPLIES_OK)
+        return ok_reply(
+            request_id,
+            tenant=tenant.name,
+            result=outcome.payload,
+            elapsed_ms=outcome.elapsed * 1000.0,
+        )
+
+    def _run_statement(
+        self, tenant: _Tenant, statement: str, budget: Budget | None, limit: int
+    ) -> _QueryOutcome:
+        """Executor-thread body: run one statement on the tenant's session
+        under its per-request budget, capturing the engine counters."""
+        session = tenant.session
+        session.budget = budget
+        started = time.perf_counter()
+        try:
+            with session.registry.scope() as counters:
+                result = session.execute(statement)
+        finally:
+            session.budget = None
+        elapsed = time.perf_counter() - started
+        payload: dict[str, Any] = {
+            "target": result.name,
+            "rows": len(result),
+            "truncated": result.truncated,
+            "text": result.pretty(limit=limit),
+        }
+        if budget is not None:
+            payload["budget"] = budget.summary()
+            if result.truncated:
+                # Partial-mode exhaustion: the rows above are the sound
+                # prefix the governor kept; say which window was spent.
+                payload["exhausted"] = {
+                    name: value
+                    for name, value in budget.snapshot().items()
+                    if name.startswith(("consumed.", "limit."))
+                }
+        return _QueryOutcome(payload=payload, counters=dict(counters), elapsed=elapsed)
+
+    def _tenant_for(self, request: Mapping[str, Any]) -> _Tenant:
+        name = request.get("tenant", "default")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError(f"'tenant' must be a non-empty string, got {name!r}")
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            session = QuerySession(
+                self._database,
+                use_optimizer=self.config.use_optimizer,
+                registry=MetricsRegistry(),
+                analysis=self.config.analysis,
+                workers=self.config.session_workers,
+            )
+            tenant = self._tenants[name] = _Tenant(name=name, session=session)
+        return tenant
+
+    def _budget_for(self, overrides: Any) -> Budget | None:
+        """The effective per-request budget: server defaults tightened by
+        the request's overrides (a request can never exceed the server's
+        per-tenant caps)."""
+        knobs = self.config.budget_knobs()
+        on_exhausted = self.config.on_exhausted
+        if overrides is not None:
+            if not isinstance(overrides, Mapping):
+                raise ProtocolError(f"'budget' must be an object, got {overrides!r}")
+            unknown = set(overrides) - set(_BUDGET_KNOBS) - {"on_exhausted"}
+            if unknown:
+                raise ProtocolError(f"unknown budget knobs: {sorted(unknown)}")
+            for name in _BUDGET_KNOBS:
+                if name not in overrides:
+                    continue
+                value = overrides[name]
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ProtocolError(f"budget knob {name!r} must be a number, got {value!r}")
+                if value <= 0:
+                    raise ProtocolError(f"budget knob {name!r} must be positive, got {value!r}")
+                if name != "deadline_seconds":
+                    value = int(value)
+                current = knobs[name]
+                knobs[name] = value if current is None else min(current, value)
+            if "on_exhausted" in overrides:
+                mode = overrides["on_exhausted"]
+                if mode not in ("raise", "partial"):
+                    raise ProtocolError(
+                        f"budget knob 'on_exhausted' must be 'raise' or 'partial', got {mode!r}"
+                    )
+                on_exhausted = mode
+        if all(value is None for value in knobs.values()):
+            return None
+        return Budget(on_exhausted=on_exhausted, **knobs)
+
+    # -- the sleep op --------------------------------------------------------
+
+    async def _do_sleep(self, request_id: Any, request: Mapping[str, Any]) -> dict[str, Any]:
+        """Diagnostic: hold a worker slot (and optionally a tenant lock)
+        for a bounded duration — the server-side analogue of
+        ``SELECT pg_sleep(n)``, used by the fault tests and load probes."""
+        seconds = request.get("seconds", 0)
+        if isinstance(seconds, bool) or not isinstance(seconds, (int, float)) or seconds < 0:
+            raise ProtocolError(f"'seconds' must be a non-negative number, got {seconds!r}")
+        seconds = min(float(seconds), _MAX_SLEEP_SECONDS)
+        loop = asyncio.get_running_loop()
+        if "tenant" in request:
+            tenant = self._tenant_for(request)
+            async with tenant.lock:
+                assert self._executor is not None
+                await loop.run_in_executor(self._executor, time.sleep, seconds)
+        else:
+            assert self._executor is not None
+            await loop.run_in_executor(self._executor, time.sleep, seconds)
+        self.registry.add(SERVER_REPLIES_OK)
+        return ok_reply(request_id, slept=seconds)

@@ -1,0 +1,195 @@
+"""Server failure modes: these must *terminate cleanly*, never hang.
+
+Three behaviours the ISSUE's acceptance criteria name:
+
+* a client that disconnects mid-query releases the tenant session back
+  to the pool (the next client of that tenant is served, the reply that
+  could not be delivered is accounted, nothing leaks);
+* queue-depth shedding answers immediately with the structured 429-style
+  ``overloaded`` reply — not a hang and not a raw traceback;
+* graceful shutdown under ``workers=2`` drains every in-flight query
+  (replies delivered) before the connections close.
+
+The suite-wide timeout ceiling from ``tests/fault/conftest.py`` applies:
+a wedged server fails loudly.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.constraints import parse_constraints
+from repro.model import ConstraintRelation, Database, HTuple, Schema, constraint, relational
+from repro.obs import SERVER_DISCONNECTS, SERVER_DRAINED, SERVER_SHED
+from repro.server import ServerConfig, ServerThread
+from repro.server.protocol import encode_frame, recv_frame
+
+
+def _database() -> Database:
+    s = Schema([relational("id"), constraint("t")])
+    r = ConstraintRelation(
+        s,
+        [
+            HTuple(s, {"id": "a"}, parse_constraints("0 <= t, t <= 10")),
+            HTuple(s, {"id": "b"}, parse_constraints("5 <= t, t <= 20")),
+        ],
+        "R",
+    )
+    return Database({"R": r})
+
+
+@pytest.mark.timeout(30)
+class TestClientDisconnect:
+    def test_disconnect_mid_query_releases_the_tenant(self):
+        with ServerThread(_database(), ServerConfig(workers=2, max_queue=4)) as harness:
+            # Occupy tenant "t" with a held query, then vanish without
+            # reading the reply.
+            doomed = harness.client(tenant="t")
+            doomed._sock.sendall(
+                encode_frame({"op": "sleep", "seconds": 0.4, "tenant": "t", "id": 1})
+            )
+            time.sleep(0.1)  # let the server start processing
+            doomed.close()  # mid-query disconnect
+
+            # The same tenant must be served again once the in-flight
+            # request finishes — the lock/session were released.
+            with harness.client(tenant="t") as client:
+                result = client.execute("R0 = select t >= 15 from R")
+            assert result["rows"] == 1
+            # The undeliverable reply was accounted as a disconnect.
+            deadline = time.monotonic() + 5
+            while harness.counter(SERVER_DISCONNECTS) < 1:
+                assert time.monotonic() < deadline, "disconnect never accounted"
+                time.sleep(0.02)
+
+    def test_garbage_frame_gets_structured_reply_then_close(self):
+        with ServerThread(_database(), ServerConfig(workers=1)) as harness:
+            client = harness.client()
+            try:
+                # A frame that is length-valid but not JSON.
+                client._sock.sendall(b"\x00\x00\x00\x04oops")
+                reply = recv_frame(client._sock)
+                assert reply is not None
+                assert reply["status"] == 400
+                assert reply["error"]["kind"] == "protocol_error"
+                # After a framing error the server closes the connection.
+                assert recv_frame(client._sock) is None
+            finally:
+                client.close()
+
+
+@pytest.mark.timeout(30)
+class TestQueueShedding:
+    def test_overload_sheds_with_429_not_a_hang(self):
+        config = ServerConfig(workers=1, max_queue=0)
+        with ServerThread(_database(), config) as harness:
+            occupier = harness.client()
+            shed_seen = threading.Event()
+
+            def occupy():
+                occupier.sleep(1.0)
+
+            thread = threading.Thread(target=occupy)
+            thread.start()
+            try:
+                time.sleep(0.15)  # ensure the sleep occupies the only worker
+                started = time.monotonic()
+                with harness.client() as client:
+                    reply = client.query("R0 = select t >= 0 from R")
+                elapsed = time.monotonic() - started
+                assert not reply["ok"]
+                assert reply["status"] == 429
+                assert reply["error"]["kind"] == "overloaded"
+                assert reply["error"]["resource"] == "admission_queue"
+                # Shed immediately: far sooner than the occupying sleep.
+                assert elapsed < 0.5
+                shed_seen.set()
+            finally:
+                thread.join()
+                occupier.close()
+            assert shed_seen.is_set()
+            assert harness.counter(SERVER_SHED) >= 1
+
+    def test_queue_admits_up_to_capacity(self):
+        config = ServerConfig(workers=1, max_queue=2)
+        with ServerThread(_database(), config) as harness:
+            clients = [harness.client() for _ in range(3)]
+            replies = {}
+
+            def run(i, seconds):
+                replies[i] = clients[i].sleep(seconds)
+
+            threads = [
+                threading.Thread(target=run, args=(i, 0.3)) for i in range(3)
+            ]
+            try:
+                for thread in threads:
+                    thread.start()
+                    time.sleep(0.05)  # deterministic admission order
+                for thread in threads:
+                    thread.join()
+            finally:
+                for client in clients:
+                    client.close()
+            # 1 running + 2 queued all fit: nothing shed.
+            assert all(reply["ok"] for reply in replies.values())
+            assert harness.counter(SERVER_SHED) == 0
+
+
+@pytest.mark.timeout(30)
+class TestGracefulDrain:
+    def test_drain_completes_in_flight_queries_at_workers_2(self):
+        config = ServerConfig(workers=2, max_queue=4, drain_timeout=10.0)
+        harness = ServerThread(_database(), config).start()
+        clients = [harness.client(tenant=f"drain{i}") for i in range(2)]
+        replies = {}
+
+        def run(i):
+            replies[i] = clients[i].sleep(0.5, tenant=f"drain{i}")
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.15)  # both queries in flight on the 2 workers
+        stop_started = time.monotonic()
+        harness.stop()  # graceful shutdown: must drain both
+        drain_elapsed = time.monotonic() - stop_started
+        for thread in threads:
+            thread.join()
+        for client in clients:
+            client.close()
+        # Both in-flight replies were delivered despite the shutdown.
+        assert replies[0]["ok"] and replies[1]["ok"]
+        assert harness.counter(SERVER_DRAINED) >= 2
+        # ...and the drain actually waited for them.
+        assert drain_elapsed >= 0.2
+
+    def test_new_requests_refused_while_draining(self):
+        config = ServerConfig(workers=1, max_queue=4, drain_timeout=10.0)
+        harness = ServerThread(_database(), config).start()
+        occupier = harness.client()
+        probe = harness.client()  # connected before the listener closes
+        result = {}
+
+        def occupy():
+            result["occupier"] = occupier.sleep(0.6)
+
+        thread = threading.Thread(target=occupy)
+        thread.start()
+        time.sleep(0.15)
+
+        stopper = threading.Thread(target=harness.stop)
+        stopper.start()
+        time.sleep(0.1)  # shutdown is now draining the occupier
+        try:
+            reply = probe.query("R0 = select t >= 0 from R")
+            assert not reply["ok"]
+            assert reply["status"] == 503
+            assert reply["error"]["kind"] == "shutting_down"
+        finally:
+            thread.join()
+            stopper.join()
+            probe.close()
+            occupier.close()
+        assert result["occupier"]["ok"]

@@ -1,0 +1,96 @@
+"""Engine/session teardown regressions: close() must be idempotent and
+never silently swallow a pool-shutdown failure (the server closes tenant
+sessions on drain, so double-close and close-after-__del__ are normal
+paths, not corner cases)."""
+
+import logging
+
+import pytest
+
+from repro.errors import QueryError
+from repro.exec import ExecutionConfig, ExecutionEngine
+from repro.model.database import Database
+from repro.query import QuerySession
+
+
+def _engine_with_live_pool() -> ExecutionEngine:
+    engine = ExecutionEngine(ExecutionConfig(workers=2, mode="thread"))
+    engine._executor_for("thread")  # force-create the pool
+    return engine
+
+
+class TestEngineClose:
+    def test_close_is_idempotent(self):
+        engine = _engine_with_live_pool()
+        engine.close()
+        assert engine.closed
+        engine.close()  # second call must be a clean no-op
+        assert engine.closed
+
+    def test_close_after_del_is_safe(self):
+        engine = _engine_with_live_pool()
+        engine.__del__()
+        assert engine.closed
+        engine.close()  # explicit close after __del__ already ran
+        engine.__del__()  # and __del__ again after that
+
+    def test_del_on_half_constructed_engine(self):
+        # __init__ raises before pools exist; __del__ must not blow up on
+        # missing attributes during garbage collection.
+        with pytest.raises(ValueError):
+            ExecutionEngine(ExecutionConfig(workers=1))
+
+    def test_close_logs_pool_shutdown_failure(self, caplog):
+        engine = _engine_with_live_pool()
+
+        class ExplodingPool:
+            def shutdown(self, wait=True):
+                raise RuntimeError("pool exploded")
+
+        engine._thread_pool.shutdown(wait=True)
+        engine._thread_pool = ExplodingPool()
+        with caplog.at_level(logging.ERROR, logger="repro.exec.engine"):
+            engine.close()  # must not raise...
+        assert engine.closed
+        assert any("shutdown failed" in rec.message for rec in caplog.records)
+
+    def test_closed_engine_rejects_dispatch(self):
+        engine = _engine_with_live_pool()
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.map_morsels(lambda payload, morsel: [], None, [(1,)])
+
+
+class TestSessionClose:
+    def test_close_is_idempotent_serial(self):
+        session = QuerySession(Database())
+        assert not session.closed
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_close_is_idempotent_parallel(self):
+        session = QuerySession(Database(), workers=2, exec_mode="thread")
+        engine = session._active_engine()
+        assert engine is not None
+        session.close()
+        assert engine.closed
+        session.close()  # engine already detached; still a no-op
+        assert session.closed
+
+    def test_context_manager_after_explicit_close(self):
+        with QuerySession(Database(), workers=2, exec_mode="thread") as session:
+            session.close()
+        assert session.closed  # __exit__ re-closing was a no-op
+
+    def test_closed_session_rejects_statements(self):
+        session = QuerySession(Database())
+        session.close()
+        with pytest.raises(QueryError, match="closed"):
+            session.execute("R0 = select t >= 0 from R")
+
+    def test_closed_parallel_session_does_not_leak_a_new_pool(self):
+        session = QuerySession(Database(), workers=2, exec_mode="thread")
+        session.close()
+        with pytest.raises(QueryError, match="closed"):
+            session._active_engine()

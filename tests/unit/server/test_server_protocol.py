@@ -1,0 +1,155 @@
+"""Unit tests for the wire protocol: frame codec and error mapping."""
+
+import struct
+
+import pytest
+
+from repro.errors import (
+    CorruptPageError,
+    DeadlineExceeded,
+    DNFBudgetExceeded,
+    IOBudgetExceeded,
+    OutputLimitExceeded,
+    ParseError,
+    ProtocolError,
+    QueryError,
+    ResourceExhausted,
+    SolverBudgetExceeded,
+    StaticAnalysisError,
+    StorageError,
+    TransientStorageError,
+)
+from repro.server import (
+    MAX_FRAME_BYTES,
+    STATUS_BAD_REQUEST,
+    STATUS_EXHAUSTED,
+    STATUS_INTERNAL,
+    classify_error,
+    decode_payload,
+    encode_frame,
+    error_reply,
+)
+from repro.server.protocol import draining_reply, ok_reply, shed_reply
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        payload = {"op": "query", "tenant": "t", "statement": "R0 = select t >= 4 from R"}
+        frame = encode_frame(payload)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert decode_payload(frame[4:]) == payload
+
+    def test_non_ascii_roundtrip(self):
+        payload = {"statement": "sélect ∀x"}
+        frame = encode_frame(payload)
+        assert decode_payload(frame[4:]) == payload
+
+    def test_fractions_serialized_as_floats(self):
+        from fractions import Fraction
+
+        frame = encode_frame({"consumed": Fraction(1, 2)})
+        assert decode_payload(frame[4:]) == {"consumed": 0.5}
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            decode_payload(b"{nope")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_payload(b"[1, 2]")
+
+    def test_oversized_frame_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestErrorClassification:
+    @pytest.mark.parametrize(
+        "exc, kind",
+        [
+            (DeadlineExceeded("d"), "deadline_exceeded"),
+            (SolverBudgetExceeded("s"), "solver_budget_exceeded"),
+            (DNFBudgetExceeded("d"), "dnf_budget_exceeded"),
+            (OutputLimitExceeded("o"), "output_limit_exceeded"),
+            (IOBudgetExceeded("i"), "io_budget_exceeded"),
+            (ResourceExhausted("r"), "resource_exhausted"),
+        ],
+    )
+    def test_exhaustion_taxonomy_is_429(self, exc, kind):
+        assert classify_error(exc) == (STATUS_EXHAUSTED, kind)
+
+    @pytest.mark.parametrize(
+        "exc, kind",
+        [
+            (ParseError("bad", line=1, column=2), "parse_error"),
+            (StaticAnalysisError("rejected"), "static_analysis_error"),
+            (ProtocolError("bad frame"), "protocol_error"),
+            (QueryError("no such relation"), "query_error"),
+        ],
+    )
+    def test_client_errors_are_400(self, exc, kind):
+        assert classify_error(exc) == (STATUS_BAD_REQUEST, kind)
+
+    @pytest.mark.parametrize(
+        "exc, kind",
+        [
+            (CorruptPageError("bad page"), "corrupt_page"),
+            (TransientStorageError("flaky"), "transient_storage_error"),
+            (StorageError("disk gone"), "storage_error"),
+            (OSError("io"), "storage_error"),
+            (RuntimeError("bug"), "internal_error"),
+        ],
+    )
+    def test_server_faults_are_500(self, exc, kind):
+        assert classify_error(exc) == (STATUS_INTERNAL, kind)
+
+
+class TestReplyShapes:
+    def test_exhaustion_reply_carries_taxonomy_fields(self):
+        exc = OutputLimitExceeded(
+            "over", resource="output_tuples", consumed=11, limit=10,
+            snapshot={"consumed.output_tuples": 11, "deadline.remaining_seconds": 0.0},
+        )
+        reply = error_reply(exc, request_id=7)
+        assert reply == {
+            "ok": False,
+            "id": 7,
+            "status": 429,
+            "error": {
+                "kind": "output_limit_exceeded",
+                "message": "over",
+                "resource": "output_tuples",
+                "consumed": 11,
+                "limit": 10,
+                "snapshot": {
+                    "consumed.output_tuples": 11,
+                    "deadline.remaining_seconds": 0.0,
+                },
+            },
+        }
+
+    def test_error_reply_never_contains_a_traceback(self):
+        try:
+            raise RuntimeError("inner bug")
+        except RuntimeError as exc:
+            reply = error_reply(exc, request_id=1)
+        text = str(reply)
+        assert "Traceback" not in text
+        assert "File" not in text
+
+    def test_shed_reply_shape(self):
+        reply = shed_reply(3, queued=10, capacity=10)
+        assert reply["status"] == 429
+        assert reply["error"]["kind"] == "overloaded"
+        assert reply["error"]["consumed"] == 10
+        assert reply["error"]["limit"] == 10
+
+    def test_draining_reply_shape(self):
+        reply = draining_reply(None)
+        assert reply["status"] == 503
+        assert reply["error"]["kind"] == "shutting_down"
+
+    def test_ok_reply_shape(self):
+        reply = ok_reply(9, result={"rows": 1})
+        assert reply == {"ok": True, "id": 9, "status": 200, "result": {"rows": 1}}
