@@ -24,12 +24,19 @@ from typing import Iterable, Sequence
 
 from ..constraints import Conjunction, DNFFormula, LinearConstraint, LinearExpression, solver
 from ..errors import AlgebraError, ResourceExhausted
-from ..exec import parallel_engine, run_parallel
+from ..exec import columnar, parallel_engine, run_parallel
 from ..governor.budget import ProducerGuard
 from ..model.relation import ConstraintRelation
 from ..model.schema import Schema
 from ..model.tuples import HTuple
 from ..model.types import Null, Value
+from ..obs import (
+    COLUMNAR_BATCHES,
+    COLUMNAR_BYPASSED,
+    COLUMNAR_FALLBACK,
+    COLUMNAR_FILTERED,
+    record,
+)
 from .predicates import Predicate, StringPredicate, validate_predicates
 
 
@@ -66,18 +73,35 @@ def _select_survivor(t: HTuple, predicates: Sequence[Predicate]) -> HTuple | Non
     return survivor
 
 
-def filter_tuples(tuples: Sequence[HTuple], predicates: Sequence[Predicate]) -> list[HTuple]:
+def filter_tuples(
+    tuples: Sequence[HTuple],
+    predicates: Sequence[Predicate],
+    columnar_on: bool | None = None,
+    block_cache: dict | None = None,
+) -> list[HTuple]:
     """The governed selection loop over pre-validated predicates.
 
     Shared by :func:`select` and the heapfile sequential scan; runs as
     the morsel task on workers (each bound to its own sub-budget through
     the thread-local guard machinery).
+
+    With the columnar fast path on (``columnar_on``; ``None`` consults
+    the thread-local mode — workers receive the parent's flag in the
+    task payload instead, since thread-locals don't cross pools) a
+    vectorized interval filter masks out provably doomed tuples first and
+    only candidates run the exact per-tuple work; results are
+    bit-identical (see :mod:`repro.exec.columnar`).
     """
+    if columnar_on is None:
+        columnar_on = columnar.columnar_active()
+    mask = _columnar_mask(tuples, predicates, block_cache) if columnar_on else None
     guard = ProducerGuard()
     result: list[HTuple] = []
-    for t in tuples:
+    for i, t in enumerate(tuples):
         if not guard.start_row():
             break
+        if mask is not None and not mask[i]:
+            continue
         try:
             survivor = _select_survivor(t, predicates)
         except ResourceExhausted as exc:
@@ -92,20 +116,112 @@ def filter_tuples(tuples: Sequence[HTuple], predicates: Sequence[Predicate]) -> 
     return result
 
 
-def _filter_task(payload: tuple[Predicate, ...], morsel: tuple[HTuple, ...]) -> list[HTuple]:
-    """Worker-side morsel task for selection/refinement filtering."""
-    return filter_tuples(morsel, payload)
+def _columnar_mask(
+    tuples: Sequence[HTuple],
+    predicates: Sequence[Predicate],
+    block_cache: dict | None = None,
+):
+    """The candidate mask for one batch, or ``None`` when the probe
+    bypasses (too small, no numpy, or no vectorizable predicate bounds).
+    Counter contract: one ``columnar.batches`` per vectorized batch,
+    ``filtered``/``fallback`` split the batch, one ``bypassed`` per
+    probed-and-declined batch."""
+    if len(tuples) < columnar.MIN_BATCH or not predicates:
+        return None
+    plan = columnar.selection_plan(predicates, tuples[0].schema)
+    if plan is None:
+        record(COLUMNAR_BYPASSED)
+        return None
+    block = columnar.block_for(tuples, plan.variables, cache=block_cache)
+    mask = columnar.candidate_mask(block, plan)
+    candidates = int(mask.sum())
+    record(COLUMNAR_BATCHES)
+    record(COLUMNAR_FILTERED, len(tuples) - candidates)
+    record(COLUMNAR_FALLBACK, candidates)
+    return mask
+
+
+def _filter_task(
+    payload: tuple[tuple[Predicate, ...], bool], morsel: tuple[HTuple, ...]
+) -> list[HTuple]:
+    """Worker-side morsel task for selection/refinement filtering; the
+    payload carries the parent's columnar flag across the pool."""
+    predicates, columnar_on = payload
+    return filter_tuples(morsel, predicates, columnar_on=columnar_on)
 
 
 def filter_tuples_parallel(
-    tuples: Sequence[HTuple], predicates: Sequence[Predicate], label: str = "select"
+    tuples: Sequence[HTuple],
+    predicates: Sequence[Predicate],
+    label: str = "select",
+    block_cache: dict | None = None,
 ) -> list[HTuple]:
     """Morsel-parallel :func:`filter_tuples` when an engine is active,
     the serial loop otherwise.  Results are bit-identical either way."""
     engine = parallel_engine(len(tuples))
+    columnar_on = columnar.columnar_active()
     if engine is None:
-        return filter_tuples(tuples, predicates)
-    return run_parallel(engine, _filter_task, tuple(predicates), tuples, label=label)
+        return filter_tuples(tuples, predicates, columnar_on, block_cache)
+    return run_parallel(
+        engine, _filter_task, (tuple(predicates), columnar_on), tuples, label=label
+    )
+
+
+def filter_pages_columnar(
+    pages: Sequence[Sequence[HTuple]],
+    predicates: Sequence[Predicate],
+    heap=None,
+) -> list[HTuple] | None:
+    """The paged columnar sequential-scan filter: one governed guard
+    across all pages (so governor behaviour matches the flat loop over
+    the concatenated tuples exactly) with one summary block per page,
+    memoised on ``heap`` so repeated scans pay the float export once per
+    page.  Returns ``None`` to signal bypass — columnar off, a parallel
+    engine active (the flat morsel path composes with workers instead),
+    too few tuples, or no vectorizable predicate bounds — in which case
+    the caller runs :func:`filter_tuples_parallel` over the flat list.
+    """
+    if not columnar.columnar_active() or not predicates:
+        return None
+    total = sum(len(page) for page in pages)
+    if total < columnar.MIN_BATCH or parallel_engine(total) is not None:
+        return None
+    first = next((page[0] for page in pages if page), None)
+    if first is None:
+        return []
+    plan = columnar.selection_plan(predicates, first.schema)
+    if plan is None:
+        record(COLUMNAR_BYPASSED)
+        return None
+    guard = ProducerGuard()
+    result: list[HTuple] = []
+    for page_index, page in enumerate(pages):
+        if not page:
+            continue
+        cache = heap.page_cache(page_index) if heap is not None else None
+        block = columnar.block_for(page, plan.variables, cache=cache)
+        mask = columnar.candidate_mask(block, plan)
+        candidates = int(mask.sum())
+        record(COLUMNAR_BATCHES)
+        record(COLUMNAR_FILTERED, len(page) - candidates)
+        record(COLUMNAR_FALLBACK, candidates)
+        for i, t in enumerate(page):
+            if not guard.start_row():
+                return result
+            if not mask[i]:
+                continue
+            try:
+                survivor = _select_survivor(t, predicates)
+            except ResourceExhausted as exc:
+                if not guard.absorb(exc):
+                    raise
+                return result
+            if survivor is None:
+                continue
+            if not guard.produced():
+                return result
+            result.append(survivor)
+    return result
 
 
 def select(relation: ConstraintRelation, predicates: Sequence[Predicate]) -> ConstraintRelation:
@@ -120,7 +236,9 @@ def select(relation: ConstraintRelation, predicates: Sequence[Predicate]) -> Con
     runs with ``workers > 1`` (see :mod:`repro.exec`).
     """
     validate_predicates(relation.schema, list(predicates))
-    result = filter_tuples_parallel(relation.tuples, predicates)
+    result = filter_tuples_parallel(
+        relation.tuples, predicates, block_cache=relation.columnar_cache()
+    )
     return ConstraintRelation(relation.schema, result)
 
 

@@ -309,15 +309,26 @@ class SeqScan(PlanNode):
 
         relation = context.database.get(self.relation_name)
         heap = context.heapfiles.get(self.relation_name)
+        pages: list | None = None
         if heap is not None:
-            tuples: Sequence = [t for i in range(heap.page_count) for t in heap.read_page(i)]
+            pages = [heap.read_page(i) for i in range(heap.page_count)]
+            tuples: Sequence = [t for page in pages for t in page]
         else:
             tuples = relation.tuples
         if self.predicates:
             validate_predicates(relation.schema, list(self.predicates))
-            result_tuples = operators.filter_tuples_parallel(
-                tuples, self.predicates, label="seq_scan"
-            )
+            result_tuples = None
+            if pages is not None:
+                # Columnar paged path: per-page summary blocks cached on
+                # the heap file; bypasses (returns None) when columnar is
+                # off or a parallel engine should take the flat path.
+                result_tuples = operators.filter_pages_columnar(
+                    pages, self.predicates, heap
+                )
+            if result_tuples is None:
+                result_tuples = operators.filter_tuples_parallel(
+                    tuples, self.predicates, label="seq_scan"
+                )
         else:
             result_tuples = list(tuples)
         result = ConstraintRelation(relation.schema, result_tuples)

@@ -74,6 +74,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         budget=_budget_from_args(args),
         analysis=args.analysis,
         workers=args.workers,
+        exec_mode=args.exec_mode,
     )
     with session:
         return _run_query(session, script, args)
@@ -141,6 +142,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_queue=args.max_queue,
         session_workers=args.session_workers,
+        exec_mode=args.exec_mode,
         analysis=args.analysis,
         use_optimizer=not args.no_optimizer,
         drain_timeout=args.drain_timeout,
@@ -324,6 +326,15 @@ def build_parser() -> argparse.ArgumentParser:
         "results are identical to serial — see docs/PARALLELISM.md); "
         "defaults to $REPRO_WORKERS or 1",
     )
+    query.add_argument(
+        "--exec-mode",
+        choices=("auto", "process", "thread", "row", "columnar"),
+        default=None,
+        help="execution flavour: 'columnar' turns on the vectorized fast "
+        "path (bit-identical results — see docs/COLUMNAR.md), 'row' forces "
+        "it off, 'process'/'thread' pick the worker-pool kind; defaults to "
+        "$REPRO_EXEC_MODE or 'auto'",
+    )
     _add_budget_arguments(query, "per-statement budget (see docs/QUERY_LANGUAGE.md)")
     query.set_defaults(handler=_cmd_query)
 
@@ -360,6 +371,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="morsel-parallel workers per tenant session "
         "(the query-side --workers; see docs/PARALLELISM.md)",
+    )
+    serve.add_argument(
+        "--exec-mode",
+        choices=("auto", "process", "thread", "row", "columnar"),
+        default=None,
+        help="execution flavour for every tenant session ('columnar' = the "
+        "vectorized fast path; see docs/COLUMNAR.md); defaults to "
+        "$REPRO_EXEC_MODE or 'auto'",
     )
     serve.add_argument(
         "--analysis",

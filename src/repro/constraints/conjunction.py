@@ -35,7 +35,7 @@ class Conjunction:
     (:mod:`repro.constraints.solver`) and is cached per instance.
     """
 
-    __slots__ = ("_atoms", "_satisfiable", "_hash", "_variables", "_summary")
+    __slots__ = ("_atoms", "_satisfiable", "_hash", "_variables", "_summary", "_float_bounds")
 
     def __init__(self, atoms: Iterable[LinearConstraint] = ()):
         cleaned: list[LinearConstraint] = []
@@ -65,6 +65,7 @@ class Conjunction:
         self._hash: int | None = None
         self._variables: frozenset[str] | None = None
         self._summary: solver.IntervalSummary | None = None
+        self._float_bounds: tuple[dict[str, tuple[float, float]], bool] | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -130,6 +131,19 @@ class Conjunction:
         if self._summary is None:
             self._summary = solver.summarise(self._atoms)
         return self._summary
+
+    def float_bounds(self) -> tuple[dict[str, tuple[float, float]], bool]:
+        """``(per-variable widened float bounds, inconsistent)`` — the
+        columnar export of :meth:`interval_summary` (cached; see
+        :func:`repro.constraints.solver.float_bounds`).  Lower bounds are
+        rounded down and upper bounds up, so each float interval contains
+        the exact rational one."""
+        cached = self._float_bounds
+        if cached is None:
+            summary = self.interval_summary()
+            cached = (solver.float_bounds(summary), summary.inconsistent)
+            self._float_bounds = cached
+        return cached
 
     def is_satisfiable(self) -> bool:
         if self._satisfiable is None:

@@ -38,6 +38,7 @@ the gap to ``solver.requests`` is the work the fast paths saved.
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from fractions import Fraction
@@ -45,6 +46,7 @@ from operator import attrgetter
 from typing import Callable, Iterable, Iterator, Mapping
 
 from ..governor.budget import checkpoint as budget_checkpoint
+from ..rational import float_down, float_up
 from ..obs import (
     SATISFIABILITY_CHECKS,
     SOLVER_BOX_DECIDED,
@@ -222,6 +224,31 @@ def summarise(atoms: Iterable[LinearConstraint]) -> IntervalSummary:
         if interval_is_empty(merged):
             inconsistent = True
     return IntervalSummary(bounds=bounds, pure_box=pure_box, inconsistent=inconsistent)
+
+
+def float_interval(interval: Interval) -> tuple[float, float]:
+    """The widened float image of an exact interval: the lower bound is
+    rounded toward −∞ and the upper toward +∞ (unbounded sides become
+    ±∞), and strictness is dropped.  The float interval therefore always
+    *contains* the exact one, which is the soundness invariant the
+    columnar filter kernels rely on: an empty intersection of widened
+    float intervals proves the exact intersection empty, never the
+    reverse."""
+    lower, _, upper, _ = interval
+    return (
+        -math.inf if lower is None else float_down(lower),
+        math.inf if upper is None else float_up(upper),
+    )
+
+
+def float_bounds(summary: IntervalSummary) -> dict[str, tuple[float, float]]:
+    """Per-variable widened float bounds of a summary — the array-export
+    form :class:`repro.exec.columnar.SummaryBlock` packs into contiguous
+    float64 columns."""
+    return {
+        variable: float_interval(interval)
+        for variable, interval in summary.bounds.items()
+    }
 
 
 def summaries_disjoint(left: IntervalSummary, right: IntervalSummary) -> bool:

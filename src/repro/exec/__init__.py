@@ -9,6 +9,14 @@ reconciliation, metrics merge) and ``docs/PARALLELISM.md`` for the
 operator-facing guide.
 """
 
+from .columnar import (
+    EXEC_MODE_ENV_VAR,
+    EXEC_MODES,
+    columnar_active,
+    columnar_mode,
+    default_exec_mode,
+    split_exec_mode,
+)
 from .engine import (
     ExecutionConfig,
     ExecutionEngine,
@@ -29,13 +37,18 @@ from .envelope import (
 from .morsel import auto_morsel_size, partition
 
 __all__ = [
+    "EXEC_MODES",
+    "EXEC_MODE_ENV_VAR",
     "ExecutionConfig",
     "ExecutionEngine",
     "TaskEnvelope",
     "TaskOutcome",
     "WorkerFailure",
     "auto_morsel_size",
+    "columnar_active",
+    "columnar_mode",
     "current_engine",
+    "default_exec_mode",
     "execute_envelope",
     "merge_producing_outcomes",
     "parallel_engine",
@@ -44,4 +57,5 @@ __all__ = [
     "reconcile_consumed",
     "reset_active_engines",
     "run_parallel",
+    "split_exec_mode",
 ]

@@ -62,12 +62,13 @@ class _Entry:
 class _Node:
     """A tree node; ``level`` 0 is the leaf level."""
 
-    __slots__ = ("level", "entries", "node_id")
+    __slots__ = ("level", "entries", "node_id", "_boxes")
 
     def __init__(self, level: int, entries: list[_Entry] | None = None):
         self.level = level
         self.entries = entries if entries is not None else []
         self.node_id = next(_NODE_IDS)
+        self._boxes = None
 
     @property
     def is_leaf(self) -> bool:
@@ -75,6 +76,23 @@ class _Node:
 
     def mbr(self) -> MBR:
         return MBR.union_all(e.mbr for e in self.entries)
+
+    def invalidate(self) -> None:
+        """Drop the cached entry-box arrays.  Must be called at every site
+        that appends/reorders/replaces ``entries`` or rewrites an entry's
+        ``mbr`` in place, so the cache can never serve stale boxes."""
+        self._boxes = None
+
+    def boxes(self) -> tuple[np.ndarray, np.ndarray]:
+        """The entries' boxes as cached ``(n, d)`` min/max corner arrays,
+        row ``i`` = ``entries[i]`` (the columnar form the vectorized
+        search kernels broadcast against)."""
+        boxes = self._boxes
+        if boxes is None:
+            mins = np.array([e.mbr.mins for e in self.entries])
+            maxs = np.array([e.mbr.maxs for e in self.entries])
+            boxes = self._boxes = (mins, maxs)
+        return boxes
 
 
 class RStarTree:
@@ -87,6 +105,10 @@ class RStarTree:
     ``benchmarks/bench_rstar_ablation.py``).
     """
 
+    #: Below this many entries the per-node numpy dispatch overhead beats
+    #: the saved Python box tests; such nodes use the scalar loop.
+    _VECTOR_MIN = 8
+
     def __init__(
         self,
         dimensions: int,
@@ -94,6 +116,7 @@ class RStarTree:
         min_entries: int | None = None,
         forced_reinsert: bool = True,
         reinsert_fraction: float = 0.3,
+        vectorized: bool = True,
     ):
         if dimensions < 1:
             raise IndexStructureError(f"dimensions must be >= 1, got {dimensions}")
@@ -108,6 +131,13 @@ class RStarTree:
             )
         self.forced_reinsert = forced_reinsert
         self.reinsert_fraction = reinsert_fraction
+        #: Vectorize the per-entry box tests of search/nearest over the
+        #: node's cached box arrays.  The kernels are elementwise-identical
+        #: to the scalar tests (pure comparisons and per-dimension
+        #: gap-squared accumulation in the same order), so results, visit
+        #: order, and access counters are unchanged; ``False`` forces the
+        #: scalar loops (the tests' A/B hook).
+        self.vectorized = vectorized
         self._root = _Node(level=0)
         self._size = 0
         #: Stable identity used in buffer-pool page keys ``(tree_id, node_id)``.
@@ -187,6 +217,34 @@ class RStarTree:
         self._insert_entry(_Entry(mbr, payload=payload), level=0, reinserted_levels=set())
         self._size += 1
 
+    def _intersecting_entries(self, node: _Node, query: MBR) -> Iterable[_Entry]:
+        """The node's entries whose MBR intersects ``query``, in entry
+        order.  Vectorized over the cached box arrays when profitable:
+        the mask is the per-dimension closed-interval overlap test
+        ``lo <= q_hi and q_lo <= hi`` — the exact comparisons
+        :meth:`MBR.intersects` makes, batched."""
+        entries = node.entries
+        if not self.vectorized or len(entries) < self._VECTOR_MIN:
+            return (e for e in entries if e.mbr.intersects(query))
+        mins, maxs = node.boxes()
+        mask = ((mins <= np.asarray(query.maxs)) & (np.asarray(query.mins) <= maxs)).all(axis=1)
+        return (entries[i] for i in np.nonzero(mask)[0])
+
+    def _entry_mindists_sq(self, node: _Node, target: MBR) -> np.ndarray:
+        """Squared MINDIST from ``target`` to every entry box of ``node``,
+        vectorized.  Per-dimension gaps accumulate in dimension order with
+        the same ``max``/``*``/``+`` operations as
+        :meth:`MBR.min_distance_sq`, so each element is bit-identical to
+        the scalar call."""
+        mins, maxs = node.boxes()
+        total = np.zeros(len(node.entries))
+        for dim in range(self.dimensions):
+            low = target.mins[dim]
+            high = target.maxs[dim]
+            gap = np.maximum(np.maximum(low - maxs[:, dim], mins[:, dim] - high), 0.0)
+            total += gap * gap
+        return total
+
     def search(self, query: MBR) -> list[Any]:
         """Payloads of all entries whose MBR intersects ``query``, counting
         one access per node visited (the paper's disk-access metric)."""
@@ -196,9 +254,7 @@ class RStarTree:
         while stack:
             node = stack.pop()
             self._visit(node)
-            for entry in node.entries:
-                if not entry.mbr.intersects(query):
-                    continue
+            for entry in self._intersecting_entries(node, query):
                 if node.is_leaf:
                     found.append(entry.payload)
                 else:
@@ -222,9 +278,18 @@ class RStarTree:
                 continue
             node: _Node = item
             self._visit(node)
-            for entry in node.entries:
+            dists = (
+                self._entry_mindists_sq(node, target)
+                if self.vectorized and len(node.entries) >= self._VECTOR_MIN
+                else None
+            )
+            for idx, entry in enumerate(node.entries):
                 counter += 1
-                d = target.min_distance_sq(entry.mbr)
+                d = (
+                    float(dists[idx])
+                    if dists is not None
+                    else target.min_distance_sq(entry.mbr)
+                )
                 if node.is_leaf:
                     heapq.heappush(heap, (d, counter, True, entry.payload))
                 else:
@@ -247,9 +312,18 @@ class RStarTree:
                 continue
             node: _Node = item
             self._visit(node)
-            for entry in node.entries:
+            dists = (
+                self._entry_mindists_sq(node, target)
+                if self.vectorized and len(node.entries) >= self._VECTOR_MIN
+                else None
+            )
+            for idx, entry in enumerate(node.entries):
                 counter += 1
-                d = target.min_distance_sq(entry.mbr)
+                d = (
+                    float(dists[idx])
+                    if dists is not None
+                    else target.min_distance_sq(entry.mbr)
+                )
                 if node.is_leaf:
                     heapq.heappush(heap, (d, counter, True, entry.payload))
                 else:
@@ -267,6 +341,7 @@ class RStarTree:
         leaf.entries = [
             e for e in leaf.entries if not (e.mbr == mbr and e.payload == payload)
         ]
+        leaf.invalidate()
         self._size -= 1
         self._condense(path)
         return True
@@ -322,6 +397,7 @@ class RStarTree:
         path = self._choose_path(entry.mbr, level)
         node = path[-1]
         node.entries.append(entry)
+        node.invalidate()
         self._count_writes(len(path))
         self._handle_overflow(path, reinserted_levels)
 
@@ -410,13 +486,16 @@ class RStarTree:
                     ]
                     self._root = new_root
                     return
-                path[depth - 1].entries.append(_Entry(split_node.mbr(), child=split_node))
+                parent = path[depth - 1]
+                parent.entries.append(_Entry(split_node.mbr(), child=split_node))
+                parent.invalidate()
                 self._count_writes(2)
             if depth > 0:
                 parent = path[depth - 1]
                 for entry in parent.entries:
                     if entry.child is node:
                         entry.mbr = node.mbr()
+                        parent.invalidate()
                         break
 
     def _tighten(self, path: list[_Node]) -> None:
@@ -427,6 +506,7 @@ class RStarTree:
             for entry in parent.entries:
                 if entry.child is child:
                     entry.mbr = child.mbr()
+                    parent.invalidate()
                     break
 
     def _reinsert(self, node: _Node, ancestors: list[_Node], reinserted_levels: set[int]) -> None:
@@ -437,6 +517,7 @@ class RStarTree:
         node.entries.sort(key=lambda e: e.mbr.center_distance_sq(node_center_mbr))
         evicted = node.entries[-count:]
         node.entries = node.entries[:-count]
+        node.invalidate()
         self._tighten(ancestors + [node])
         for entry in evicted:
             self._insert_entry(entry, level=node.level, reinserted_levels=reinserted_levels)
@@ -489,6 +570,7 @@ class RStarTree:
                     best_distribution = (list(ordered[:split_at]), list(ordered[split_at:]))
         assert best_distribution is not None
         node.entries = best_distribution[0]
+        node.invalidate()
         sibling = _Node(level=node.level, entries=best_distribution[1])
         return sibling
 
@@ -517,11 +599,13 @@ class RStarTree:
             parent = path[depth - 1]
             if len(node.entries) < self.min_entries:
                 parent.entries = [e for e in parent.entries if e.child is not node]
+                parent.invalidate()
                 orphans.extend((entry, node.level) for entry in node.entries)
             else:
                 for entry in parent.entries:
                     if entry.child is node:
                         entry.mbr = node.mbr()
+                        parent.invalidate()
                         break
         for entry, level in orphans:
             self._insert_entry(entry, level=level, reinserted_levels=set())

@@ -27,7 +27,7 @@ class ConstraintRelation:
     at construction; duplicates are removed (set semantics, Definition 2).
     """
 
-    __slots__ = ("_schema", "_tuples", "_name", "_truncated")
+    __slots__ = ("_schema", "_tuples", "_name", "_truncated", "_columnar")
 
     def __init__(
         self,
@@ -53,6 +53,7 @@ class ConstraintRelation:
         self._schema = schema
         self._tuples = tuple(materialised)
         self._name = name
+        self._columnar: dict | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -103,6 +104,17 @@ class ConstraintRelation:
         ``on_exhausted="partial"`` mode (the tuples present are a sound
         prefix of the full answer, not the complete answer)."""
         return self._truncated
+
+    def columnar_cache(self) -> dict:
+        """The per-relation memo for columnar summary blocks (see
+        :func:`repro.exec.columnar.block_for`).  Relations are immutable,
+        so a block built over :attr:`tuples` stays valid for the
+        relation's lifetime; repeated selections over one base relation
+        pay the float export once."""
+        cache = self._columnar
+        if cache is None:
+            cache = self._columnar = {}
+        return cache
 
     def with_truncated(self, truncated: bool = True) -> "ConstraintRelation":
         """The same relation with the ``truncated`` marker set."""

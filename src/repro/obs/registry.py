@@ -113,6 +113,17 @@ EXEC_DISPATCHES = "exec.dispatches"
 EXEC_MORSELS = "exec.morsels"
 EXEC_THREAD_FALLBACKS = "exec.thread_fallbacks"
 
+#: Columnar fast path (:mod:`repro.exec.columnar`): vectorized batches
+#: evaluated, rows/pairs eliminated by the float filter, candidates that
+#: survived it and went to the exact fallback, and dispatches where the
+#: probe bypassed the fast path (no numpy, batch too small, or no
+#: vectorizable predicate bounds).  ``hit rate = filtered / (filtered +
+#: fallback)``.
+COLUMNAR_BATCHES = "columnar.batches"
+COLUMNAR_FILTERED = "columnar.filtered"
+COLUMNAR_FALLBACK = "columnar.fallback"
+COLUMNAR_BYPASSED = "columnar.bypassed"
+
 #: Query server (:mod:`repro.server`): request/reply accounting.  Per-query
 #: engine counters (solver, IO, governor charges) are merged into the
 #: server registry from each tenant session after every request, so

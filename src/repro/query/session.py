@@ -18,12 +18,16 @@ from ..algebra.optimizer import Optimizer
 from ..algebra.plan import EvaluationContext, Metrics, PlanNode, evaluate
 from ..analysis.diagnostics import Diagnostics
 from ..errors import OutputLimitExceeded, QueryError, StaticAnalysisError
-from ..exec import ExecutionConfig, ExecutionEngine
+from ..exec import ExecutionConfig, ExecutionEngine, columnar_mode, default_exec_mode, split_exec_mode
 from ..governor.budget import Budget
 from ..model.database import Database
 from ..model.relation import ConstraintRelation
 from ..model.schema import Schema
 from ..obs import (
+    COLUMNAR_BATCHES,
+    COLUMNAR_BYPASSED,
+    COLUMNAR_FALLBACK,
+    COLUMNAR_FILTERED,
     EXEC_MORSELS,
     GOVERNOR_DNF_CLAUSES,
     GOVERNOR_OUTPUT_TUPLES,
@@ -86,6 +90,12 @@ _EXPLAIN_SPARSE_COUNTERS = (
     # Morsels dispatched to the parallel engine by this node; nonzero only
     # in ``QuerySession(workers=N)`` sessions (see docs/PARALLELISM.md).
     ("morsels", EXEC_MORSELS),
+    # Columnar fast-path effectiveness; nonzero only in
+    # ``exec_mode="columnar"`` sessions (see docs/COLUMNAR.md).
+    ("col_batches", COLUMNAR_BATCHES),
+    ("col_filtered", COLUMNAR_FILTERED),
+    ("col_fallback", COLUMNAR_FALLBACK),
+    ("col_bypassed", COLUMNAR_BYPASSED),
 )
 
 
@@ -112,6 +122,23 @@ class ExplainAnalyzeReport:
     #: engine's per-statement dispatch stats (``None`` for serial sessions
     #: and for statements that never dispatched a morsel).
     parallelism: str | None = None
+
+    def columnar_summary(self) -> str | None:
+        """One-line rendering of the columnar fast path's effectiveness,
+        or ``None`` when the statement never probed it (row-mode
+        sessions)."""
+        batches = self.total(COLUMNAR_BATCHES)
+        bypassed = self.total(COLUMNAR_BYPASSED)
+        if not batches and not bypassed:
+            return None
+        filtered = self.total(COLUMNAR_FILTERED)
+        fallback = self.total(COLUMNAR_FALLBACK)
+        probed = filtered + fallback
+        rate = (filtered / probed * 100.0) if probed else 0.0
+        return (
+            f"columnar: batches={batches} filtered={filtered} "
+            f"fallback={fallback} hit_rate={rate:.1f}% bypassed={bypassed}"
+        )
 
     def total(self, counter: str) -> int:
         """Whole-statement (root-inclusive) value of ``counter``."""
@@ -148,6 +175,9 @@ class ExplainAnalyzeReport:
             lines.append(self.budget_summary)
         if self.parallelism is not None:
             lines.append(self.parallelism)
+        columnar_line = self.columnar_summary()
+        if columnar_line is not None:
+            lines.append(columnar_line)
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -190,8 +220,13 @@ class QuerySession:
     (the default) is exactly the serial code path — no engine or pool is
     ever constructed.  ``None`` reads ``$REPRO_WORKERS`` (default 1).
     Parallel sessions own a worker pool: call :meth:`close` (or use the
-    session as a context manager) when done.  ``exec_mode`` picks the
-    pool flavour (``"auto"`` / ``"process"`` / ``"thread"``).
+    session as a context manager) when done.
+
+    ``exec_mode`` picks the execution flavour: ``"process"`` / ``"thread"``
+    force a pool kind; ``"columnar"`` turns on the vectorized fast path
+    (bit-identical results, see ``docs/COLUMNAR.md``) with pool flavour
+    auto; ``"row"`` forces it off; ``"auto"`` is the default row path.
+    ``None`` reads ``$REPRO_EXEC_MODE`` (default ``"auto"``).
     """
 
     _ANALYSIS_MODES = ("off", "warn", "strict")
@@ -205,7 +240,7 @@ class QuerySession:
         budget: Budget | None = None,
         analysis: str = "off",
         workers: int | None = None,
-        exec_mode: str = "auto",
+        exec_mode: str | None = None,
     ) -> None:
         if analysis not in self._ANALYSIS_MODES:
             raise ValueError(
@@ -213,6 +248,11 @@ class QuerySession:
             )
         if workers is None:
             workers = default_workers()
+        if exec_mode is None:
+            exec_mode = default_exec_mode()
+        pool_mode, columnar_on = split_exec_mode(exec_mode)
+        self._exec_mode = exec_mode
+        self._columnar = columnar_on
         self._workspace = Database({name: database[name] for name in database})
         self._indexes = {k: dict(v) for k, v in (indexes or {}).items()}
         self._use_optimizer = use_optimizer
@@ -222,7 +262,7 @@ class QuerySession:
         self._budget = budget
         self._analysis = analysis
         self._last_diagnostics: Diagnostics | None = None
-        self._exec_config = ExecutionConfig(workers=workers, mode=exec_mode)
+        self._exec_config = ExecutionConfig(workers=workers, mode=pool_mode)
         self._engine: ExecutionEngine | None = None
         self._closed = False
 
@@ -232,6 +272,12 @@ class QuerySession:
     def workers(self) -> int:
         """The session's worker count (1 = serial)."""
         return self._exec_config.workers
+
+    @property
+    def exec_mode(self) -> str:
+        """The session's execution mode as given (``"columnar"`` means the
+        vectorized fast path is active for every statement)."""
+        return self._exec_mode
 
     @property
     def engine(self) -> ExecutionEngine | None:
@@ -339,12 +385,13 @@ class QuerySession:
         plan = self.plan_for(plan)
         budget = self._budget
         engine = self._active_engine()
-        if engine is not None:
-            engine.begin_statement()
-            with engine.activate():
+        with columnar_mode(self._columnar):
+            if engine is not None:
+                engine.begin_statement()
+                with engine.activate():
+                    result = self._evaluate_governed(plan, budget, statement.target)
+            else:
                 result = self._evaluate_governed(plan, budget, statement.target)
-        else:
-            result = self._evaluate_governed(plan, budget, statement.target)
         self._workspace.add(statement.target, result, replace=True)
         self._results[statement.target] = result
         self._last = result

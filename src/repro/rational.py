@@ -9,6 +9,8 @@ human-readable formatting back out.
 
 from __future__ import annotations
 
+import math
+import sys
 from fractions import Fraction
 from typing import Union
 
@@ -81,6 +83,37 @@ def format_rational(value: Fraction) -> str:
         whole, frac = body[:-digits] or "0", body[-digits:]
         return f"{sign}{whole}.{frac}"
     return f"{value.numerator}/{value.denominator}"
+
+
+def float_down(value: Fraction) -> float:
+    """The largest float ``<= value`` (round toward −∞).
+
+    ``float(Fraction)`` rounds to nearest, which can land *above* the
+    exact value — narrowing an interval's lower bound and making a float
+    summary claim more than the rational one proves.  The columnar filter
+    (:mod:`repro.exec.columnar`) only stays sound if every float lower
+    bound under-approximates its exact counterpart, so rounding is
+    corrected here with one ``nextafter`` step when needed.
+    """
+    try:
+        f = float(value)
+    except OverflowError:
+        return sys.float_info.max if value > 0 else -math.inf
+    if Fraction(f) <= value:
+        return f
+    return math.nextafter(f, -math.inf)
+
+
+def float_up(value: Fraction) -> float:
+    """The smallest float ``>= value`` (round toward +∞); the upper-bound
+    dual of :func:`float_down`."""
+    try:
+        f = float(value)
+    except OverflowError:
+        return -sys.float_info.max if value < 0 else math.inf
+    if Fraction(f) >= value:
+        return f
+    return math.nextafter(f, math.inf)
 
 
 ZERO = Fraction(0)

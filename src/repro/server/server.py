@@ -96,6 +96,10 @@ class ServerConfig:
     workers: int = 2
     max_queue: int = 8
     session_workers: int = 1
+    #: Execution flavour for every tenant session (see docs/COLUMNAR.md):
+    #: ``"columnar"`` turns on the vectorized fast path per tenant;
+    #: ``None`` defers to ``$REPRO_EXEC_MODE`` / ``"auto"``.
+    exec_mode: str | None = None
     analysis: str = "off"
     use_optimizer: bool = True
     drain_timeout: float = 30.0
@@ -117,6 +121,13 @@ class ServerConfig:
             )
         if self.drain_timeout <= 0:
             raise ValueError(f"drain_timeout must be positive, got {self.drain_timeout!r}")
+        if self.exec_mode is not None:
+            from ..exec import EXEC_MODES
+
+            if self.exec_mode not in EXEC_MODES:
+                raise ValueError(
+                    f"exec_mode must be one of {EXEC_MODES}, got {self.exec_mode!r}"
+                )
 
     def budget_knobs(self) -> dict[str, Any]:
         return {name: getattr(self, name) for name in _BUDGET_KNOBS}
@@ -434,6 +445,7 @@ class QueryServer:
                 registry=MetricsRegistry(),
                 analysis=self.config.analysis,
                 workers=self.config.session_workers,
+                exec_mode=self.config.exec_mode,
             )
             tenant = self._tenants[name] = _Tenant(name=name, session=session)
         return tenant

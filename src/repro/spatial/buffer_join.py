@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import GeometryError, ResourceExhausted
+from ..exec import columnar as _cx
 from ..exec import parallel_engine
 from ..governor.budget import ProducerGuard
 from ..indexing.mbr import MBR
@@ -30,14 +31,52 @@ from ..model.relation import ConstraintRelation
 from ..model.schema import Schema, relational
 from ..model.tuples import HTuple
 from ..obs import (
+    COLUMNAR_BATCHES,
+    COLUMNAR_FALLBACK,
+    COLUMNAR_FILTERED,
     LOGICAL_NODE_ACCESSES,
     SPATIAL_REFINE_PRUNES,
     MetricsRegistry,
     current_registry,
     record,
 )
-from ..rational import RationalLike, to_rational
-from .features import Feature, FeatureSet, box_mindist
+from ..rational import RationalLike, float_down, float_up, to_rational
+from .features import Feature, FeatureSet, box_mindist_sq
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    _np = None  # type: ignore[assignment]
+
+
+def _query_mbr(feature: Feature, d) -> MBR:
+    """The widened float query box: the exact bounding box expanded by
+    ``d``, with mins rounded down and maxs up so no boundary candidate
+    can be lost to float narrowing."""
+    box = feature.bounding_box().expand(d)
+    return MBR(
+        (float_down(box.min_x), float_down(box.min_y)),
+        (float_up(box.max_x), float_up(box.max_y)),
+    )
+
+
+def _batched_dists_sq(feature_box, right: FeatureSet, candidates, d_sq: float):
+    """Squared whole-feature box distances for one candidate list as one
+    vectorized batch, or ``None`` to bypass to the scalar per-candidate
+    test.  The kernel is elementwise-identical to
+    :func:`~repro.spatial.features.box_mindist_sq`, so the per-candidate
+    prune decisions (and statistics) are unchanged — only the Python-level
+    box arithmetic is batched away."""
+    if _np is None or not _cx.columnar_active() or len(candidates) < _cx.MIN_BATCH:
+        return None
+    rowmap, lowers, uppers = right.columnar_boxes()
+    rows = [rowmap[fid] for fid in candidates]
+    dists = _cx.box_mindist_sq_batch(feature_box, lowers[rows], uppers[rows])
+    over = int((dists > d_sq).sum())
+    record(COLUMNAR_BATCHES)
+    record(COLUMNAR_FILTERED, over)
+    record(COLUMNAR_FALLBACK, len(candidates) - over)
+    return dists
 
 
 @dataclass
@@ -89,6 +128,7 @@ def buffer_join(
     index = right.index()
     index.bind_registry(reg)
     d_float = float(d)
+    d_sq = d_float * d_float
     engine = parallel_engine(len(left))
     if engine is not None:
         return _buffer_join_parallel(
@@ -103,13 +143,10 @@ def buffer_join(
             if stopped or not guard.start_row():
                 break
             try:
-                box = feature.bounding_box().expand(d)
-                query = MBR(
-                    (float(box.min_x), float(box.min_y)), (float(box.max_x), float(box.max_y))
-                )
-                candidates = index.search(query)
+                candidates = index.search(_query_mbr(feature, d))
                 feature_box = feature.float_bbox()
-                for fid in candidates:
+                dists_sq = _batched_dists_sq(feature_box, right, candidates, d_sq)
+                for pos, fid in enumerate(candidates):
                     if self_join and fid == feature.fid:
                         continue
                     stats.candidate_pairs += 1
@@ -117,7 +154,12 @@ def buffer_join(
                     # The index filter is an L∞ test (box expanded by d on each
                     # axis); the Euclidean box distance is tighter on diagonal
                     # neighbours and still lower-bounds the exact distance.
-                    if box_mindist(feature_box, candidate.float_bbox()) > d_float:
+                    lower_sq = (
+                        dists_sq[pos]
+                        if dists_sq is not None
+                        else box_mindist_sq(feature_box, candidate.float_bbox())
+                    )
+                    if lower_sq > d_sq:
                         stats.pruned_pairs += 1
                         record(SPATIAL_REFINE_PRUNES)
                         continue
@@ -165,6 +207,7 @@ def _buffer_join_parallel(
     from ..exec import rebuild_exhaustion, reconcile_consumed
     from ..exec.morsel import partition
 
+    d_sq = d_float * d_float
     guard = ProducerGuard()
     self_join = left is right
     pairs: list[tuple[Feature, Feature]] = []
@@ -177,19 +220,20 @@ def _buffer_join_parallel(
             for feature in left:
                 if not guard.start_row():
                     break
-                box = feature.bounding_box().expand(d)
-                query = MBR(
-                    (float(box.min_x), float(box.min_y)),
-                    (float(box.max_x), float(box.max_y)),
-                )
-                candidates = index.search(query)
+                candidates = index.search(_query_mbr(feature, d))
                 feature_box = feature.float_bbox()
-                for fid in candidates:
+                dists_sq = _batched_dists_sq(feature_box, right, candidates, d_sq)
+                for pos, fid in enumerate(candidates):
                     if self_join and fid == feature.fid:
                         continue
                     stats.candidate_pairs += 1
                     candidate = right[fid]
-                    if box_mindist(feature_box, candidate.float_bbox()) > d_float:
+                    lower_sq = (
+                        dists_sq[pos]
+                        if dists_sq is not None
+                        else box_mindist_sq(feature_box, candidate.float_bbox())
+                    )
+                    if lower_sq > d_sq:
                         stats.pruned_pairs += 1
                         record(SPATIAL_REFINE_PRUNES)
                         continue

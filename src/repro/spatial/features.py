@@ -16,15 +16,28 @@ from typing import Iterable, Iterator, Mapping
 
 from ..constraints import Conjunction
 from ..errors import GeometryError, SchemaError
+from ..exec import columnar as _cx
 from ..indexing.mbr import MBR
 from ..indexing.rstar import RStarTree
 from ..model.relation import ConstraintRelation
 from ..model.schema import Schema, constraint, relational
 from ..model.tuples import HTuple
 from ..model.types import DataType, Null
-from ..obs import SPATIAL_REFINE_PRUNES, record
+from ..obs import (
+    COLUMNAR_BATCHES,
+    COLUMNAR_FALLBACK,
+    COLUMNAR_FILTERED,
+    SPATIAL_REFINE_PRUNES,
+    record,
+)
+from ..rational import float_down, float_up
 from .geometry import BoundingBox, Point
 from .polygon import ConvexPolygon
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    _np = None  # type: ignore[assignment]
 
 #: A float axis-aligned box ``(min_x, min_y, max_x, max_y)`` — the
 #: interval summary of one convex part, precomputed for cheap pruning.
@@ -32,7 +45,15 @@ FloatBox = tuple[float, float, float, float]
 
 
 def _float_box(box: BoundingBox) -> FloatBox:
-    return (float(box.min_x), float(box.min_y), float(box.max_x), float(box.max_y))
+    # Widened (outward) rounding: the float box must *contain* the exact
+    # rational box, so a box-distance prune computed on floats can never
+    # discard a geometrically qualifying pair.
+    return (
+        float_down(box.min_x),
+        float_down(box.min_y),
+        float_up(box.max_x),
+        float_up(box.max_y),
+    )
 
 
 def box_mindist(a: FloatBox, b: FloatBox) -> float:
@@ -46,10 +67,21 @@ def box_mindist(a: FloatBox, b: FloatBox) -> float:
     return math.hypot(dx, dy)
 
 
+def box_mindist_sq(a: FloatBox, b: FloatBox) -> float:
+    """Squared box minimum distance.  The refinement prunes compare in
+    squared space (against a squared threshold/best) so the scalar loop
+    uses only ``max``/``*``/``+`` — operations the vectorized batch kernel
+    (:func:`repro.exec.columnar.box_mindist_sq_batch`) reproduces with
+    bit-identical IEEE semantics, unlike ``math.hypot``."""
+    dx = max(b[0] - a[2], a[0] - b[2], 0.0)
+    dy = max(b[1] - a[3], a[1] - b[3], 0.0)
+    return dx * dx + dy * dy
+
+
 class Feature:
     """A named spatial feature: a union of convex parts."""
 
-    __slots__ = ("fid", "parts", "_part_boxes", "_bbox", "_rational_bbox")
+    __slots__ = ("fid", "parts", "_part_boxes", "_part_arrays", "_bbox", "_rational_bbox")
 
     def __init__(self, fid: str, parts: Iterable[ConvexPolygon]):
         if not fid or not isinstance(fid, str):
@@ -59,6 +91,7 @@ class Feature:
         if not self.parts:
             raise GeometryError(f"feature {fid!r} has no parts")
         self._part_boxes: tuple[FloatBox, ...] | None = None
+        self._part_arrays = None
         self._bbox: FloatBox | None = None
         self._rational_bbox: BoundingBox | None = None
 
@@ -68,6 +101,7 @@ class Feature:
         object.__setattr__(self, name, value)
         if name == "parts":
             object.__setattr__(self, "_part_boxes", None)
+            object.__setattr__(self, "_part_arrays", None)
             object.__setattr__(self, "_bbox", None)
             object.__setattr__(self, "_rational_bbox", None)
 
@@ -90,6 +124,19 @@ class Feature:
                 _float_box(part.bounding_box()) for part in self.parts
             )
         return self._part_boxes
+
+    def part_box_arrays(self):
+        """The part boxes as cached ``(n, 2)`` lower/upper corner arrays —
+        the columnar form the vectorized distance kernel broadcasts
+        against.  Requires numpy (callers gate on availability)."""
+        arrays = self._part_arrays
+        if arrays is None:
+            boxes = _np.array(self.part_boxes(), dtype=float).reshape(-1, 4)
+            arrays = self._part_arrays = (
+                _np.ascontiguousarray(boxes[:, :2]),
+                _np.ascontiguousarray(boxes[:, 2:]),
+            )
+        return arrays
 
     def float_bbox(self) -> FloatBox:
         """The whole feature's float bounding box (computed once)."""
@@ -124,22 +171,88 @@ class Feature:
         threshold comparisons Buffer-Join and k-Nearest make, and far
         cheaper than the full exact distance.  Skipped pairs are recorded
         as ``spatial.refine.prunes``.
+
+        Prunes compare in *squared* space so the box test is pure
+        ``max``/``*``/``+``/compare; with the columnar fast path active
+        and a large enough part-pair matrix, the box tests run as one
+        vectorized batch (:meth:`_distance_columnar`) that makes the
+        identical prune decisions in the identical order — same return
+        value, same prune counters.
         """
+        if (
+            _np is not None
+            and _cx.columnar_active()
+            and len(self.parts) * len(other.parts) >= _cx.MIN_BATCH
+        ):
+            return self._distance_columnar(other, cutoff)
         best = math.inf
+        best_sq = math.inf
+        cutoff_sq = None if cutoff is None else cutoff * cutoff
         pruned = 0
         my_boxes = self.part_boxes()
         their_boxes = other.part_boxes()
         for mine, mbox in zip(self.parts, my_boxes):
             for theirs, tbox in zip(other.parts, their_boxes):
-                lower = box_mindist(mbox, tbox)
-                if lower >= best or (cutoff is not None and lower > cutoff):
+                lower_sq = box_mindist_sq(mbox, tbox)
+                if lower_sq >= best_sq or (cutoff_sq is not None and lower_sq > cutoff_sq):
                     pruned += 1
                     continue
                 exact = mine.distance(theirs)
                 if exact < best:
                     best = exact
+                    best_sq = best * best
             if best == 0.0:
                 break  # the features touch; no pair can do better
+        if pruned:
+            record(SPATIAL_REFINE_PRUNES, pruned)
+        return best
+
+    def _distance_columnar(self, other: "Feature", cutoff: float | None) -> float:
+        """The vectorized arm of :meth:`distance`.
+
+        One ``box_mindist_sq_batch`` call per row of the part-pair matrix
+        replaces the per-pair Python box tests; candidates surviving the
+        row-entry mask are re-checked against the *evolving* best before
+        their exact distance runs.  Because the batch kernel is
+        elementwise-identical to :func:`box_mindist_sq` and the re-check
+        reproduces the scalar loop's visit-time test, the sequence of
+        exact-distance evaluations — and hence the result and the
+        ``spatial.refine.prunes`` count — is identical to the scalar loop.
+        """
+        best = math.inf
+        best_sq = math.inf
+        cutoff_sq = None if cutoff is None else cutoff * cutoff
+        pruned = 0
+        candidates = 0
+        their_lowers, their_uppers = other.part_box_arrays()
+        my_boxes = self.part_boxes()
+        n_theirs = len(other.parts)
+        for mine, mbox in zip(self.parts, my_boxes):
+            row = _cx.box_mindist_sq_batch(mbox, their_lowers, their_uppers)
+            keep = row < best_sq
+            if cutoff_sq is not None:
+                keep &= row <= cutoff_sq
+            indices = _np.nonzero(keep)[0]
+            pruned += n_theirs - len(indices)
+            candidates += len(indices)
+            for j in indices:
+                lower_sq = row[j]
+                # The mask used best_sq at row start; best may have
+                # shrunk since — re-apply the scalar loop's visit-time
+                # test so prune decisions stay identical.
+                if lower_sq >= best_sq:
+                    pruned += 1
+                    candidates -= 1
+                    continue
+                exact = mine.distance(other.parts[j])
+                if exact < best:
+                    best = exact
+                    best_sq = best * best
+            if best == 0.0:
+                break  # the features touch; no pair can do better
+        record(COLUMNAR_BATCHES)
+        record(COLUMNAR_FILTERED, pruned)
+        record(COLUMNAR_FALLBACK, candidates)
         if pruned:
             record(SPATIAL_REFINE_PRUNES, pruned)
         return best
@@ -173,6 +286,7 @@ class FeatureSet:
                 raise GeometryError(f"duplicate feature id {feature.fid!r}")
             self._features[feature.fid] = feature
         self._index: RStarTree | None = None
+        self._columnar_boxes = None
 
     # -- conversion ----------------------------------------------------------
 
@@ -249,22 +363,33 @@ class FeatureSet:
         if self._index is None:
             tree = RStarTree(dimensions=2, max_entries=16)
             for feature in self:
-                box = feature.bounding_box()
-                tree.insert(
-                    MBR(
-                        (float(box.min_x), float(box.min_y)),
-                        (float(box.max_x), float(box.max_y)),
-                    ),
-                    feature.fid,
-                )
+                fb = feature.float_bbox()  # widened: contains the exact box
+                tree.insert(MBR((fb[0], fb[1]), (fb[2], fb[3])), feature.fid)
             self._index = tree
         return self._index
 
     def feature_mbr(self, fid: str) -> MBR:
-        box = self[fid].bounding_box()
-        return MBR(
-            (float(box.min_x), float(box.min_y)), (float(box.max_x), float(box.max_y))
-        )
+        fb = self[fid].float_bbox()
+        return MBR((fb[0], fb[1]), (fb[2], fb[3]))
+
+    def columnar_boxes(self):
+        """The whole-feature float bounding boxes in columnar form:
+        ``(fid -> row index, (n, 2) lower corners, (n, 2) upper corners)``,
+        cached — Buffer-Join's batched candidate prune gathers candidate
+        rows from these arrays instead of touching each feature object.
+        Requires numpy (callers gate on availability)."""
+        cached = self._columnar_boxes
+        if cached is None:
+            fids = list(self._features)
+            boxes = _np.array(
+                [self._features[fid].float_bbox() for fid in fids], dtype=float
+            ).reshape(-1, 4)
+            cached = self._columnar_boxes = (
+                {fid: i for i, fid in enumerate(fids)},
+                _np.ascontiguousarray(boxes[:, :2]),
+                _np.ascontiguousarray(boxes[:, 2:]),
+            )
+        return cached
 
     def __repr__(self) -> str:
         return f"<FeatureSet: {len(self)} features over ({self.x}, {self.y})>"

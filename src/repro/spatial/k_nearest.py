@@ -56,13 +56,13 @@ def k_nearest_features(
     reg = registry if registry is not None else current_registry()
     index = features.index()
     index.bind_registry(reg)
-    target_box = query.bounding_box()
+    # Widened float target box (mins down, maxs up): it contains the exact
+    # box, so MINDIST from it only shrinks — the lower-bound property the
+    # best-first termination test relies on survives the float conversion.
+    fb = query.float_bbox()
     from ..indexing.mbr import MBR
 
-    target = MBR(
-        (float(target_box.min_x), float(target_box.min_y)),
-        (float(target_box.max_x), float(target_box.max_y)),
-    )
+    target = MBR((fb[0], fb[1]), (fb[2], fb[3]))
     # Max-heap (negated distances) of the best k exact results so far.
     # Exhaustion mid-search truncates to the best results found so far in
     # partial mode — a sound (if possibly incomplete) nearest set.

@@ -42,6 +42,7 @@ class HeapFile:
         if current:
             self._pages.append(current)
         self._relation = relation
+        self._page_caches: dict[int, dict] = {}
 
     @property
     def relation(self) -> ConstraintRelation:
@@ -66,3 +67,13 @@ class HeapFile:
         self.stats.reads += 1
         budget_charge_io()
         return list(self._pages[index])
+
+    def page_cache(self, index: int) -> dict:
+        """The columnar summary-block memo for one page (pages are
+        immutable, so blocks built over them stay valid; repeated columnar
+        scans pay the float export once per page).  Building or reusing a
+        cached block charges no IO — only :meth:`read_page` does."""
+        cache = self._page_caches.get(index)
+        if cache is None:
+            cache = self._page_caches[index] = {}
+        return cache

@@ -1,0 +1,140 @@
+"""Property tests: the columnar float filter is a sound over-approximation.
+
+The columnar fast path (docs/COLUMNAR.md) may only ever *keep* a tuple the
+exact row path would keep — it must never drop one.  That soundness rests
+on three layered facts, each tested here against the exact rational layer:
+
+1. directed rounding — ``float_down``/``float_up`` bracket every rational;
+2. the per-conjunction float interval summary *contains* the exact
+   rational interval summary (widened bounds, strictness dropped);
+3. the vectorized candidate mask keeps every tuple the exact row-mode
+   selection keeps.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.operators import filter_tuples
+from repro.constraints import parse_constraints, solver
+from repro.exec import columnar
+from repro.rational import float_down, float_up
+from repro.workloads import build_constraint_relation, generate_data
+
+SETTINGS = settings(max_examples=100, deadline=None)
+
+rationals = st.fractions(
+    min_value=Fraction(-10**12), max_value=Fraction(10**12), max_denominator=10**9
+)
+
+
+class TestDirectedRounding:
+    @SETTINGS
+    @given(value=rationals)
+    def test_down_below_up_above(self, value):
+        lo, hi = float_down(value), float_up(value)
+        assert Fraction(lo) <= value <= Fraction(hi)
+
+    @SETTINGS
+    @given(value=rationals)
+    def test_rounding_is_tight(self, value):
+        # The widened bound is never further than one ulp from the
+        # round-to-nearest conversion.
+        import math
+
+        lo, hi = float_down(value), float_up(value)
+        nearest = float(value)
+        assert lo in (nearest, math.nextafter(nearest, -math.inf))
+        assert hi in (nearest, math.nextafter(nearest, math.inf))
+
+    @SETTINGS
+    @given(value=rationals)
+    def test_exact_floats_round_trip(self, value):
+        f = float(value)
+        if Fraction(f) == value:  # exactly representable
+            assert float_down(value) == float_up(value) == f
+
+    def test_overflow_saturates(self):
+        huge = Fraction(10) ** 400
+        assert float_up(huge) == float("inf")
+        assert float_down(-huge) == float("-inf")
+        # The finite side stays finite: a sound lower bound for a huge
+        # positive rational is the largest float, not +inf.
+        assert float_down(huge) > 0 and float_down(huge) < float("inf")
+        assert float_up(-huge) < 0 and float_up(-huge) > float("-inf")
+
+
+def _constraint_text(lo_x, hi_x, lo_y, hi_y):
+    return f"x >= {lo_x}, x <= {hi_x}, y >= {lo_y}, y <= {hi_y}"
+
+
+class TestFloatSummaryContainsExact:
+    @SETTINGS
+    @given(
+        lo=st.fractions(min_value=Fraction(-1000), max_value=Fraction(1000), max_denominator=997),
+        width=st.fractions(min_value=Fraction(0), max_value=Fraction(500), max_denominator=991),
+    )
+    def test_interval_widens(self, lo, width):
+        atoms = parse_constraints(f"x >= {lo}, x <= {lo + width}")
+        summary = solver.summarise(atoms)
+        f_lo, f_hi = solver.float_interval(summary.bounds["x"])
+        exact_lo = summary.bounds["x"][0]
+        exact_hi = summary.bounds["x"][2]
+        assert Fraction(f_lo) <= exact_lo
+        assert Fraction(f_hi) >= exact_hi
+
+    @SETTINGS
+    @given(bound=rationals)
+    def test_strict_bounds_are_closed(self, bound):
+        # x < b widens to the closed float interval (-inf, float_up(b)]:
+        # strictness is dropped, which only ever keeps more candidates.
+        atoms = parse_constraints(f"x < {bound}")
+        summary = solver.summarise(atoms)
+        _, f_hi = solver.float_interval(summary.bounds["x"])
+        assert Fraction(f_hi) >= bound
+
+
+class TestMaskNeverDropsSurvivors:
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 10_000),
+        size=st.integers(columnar.MIN_BATCH, 60),
+        lo=st.integers(0, 500),
+        width=st.integers(0, 500),
+    )
+    def test_mask_keeps_every_row_survivor(self, seed, size, lo, width):
+        relation = build_constraint_relation(generate_data(size, seed))
+        predicates = parse_constraints(_constraint_text(lo, lo + width, lo, lo + width))
+        tuples = list(relation.tuples)
+        plan = columnar.selection_plan(predicates, relation.schema)
+        assert plan is not None  # box predicates always produce bounds
+        block = columnar.block_for(tuples, plan.variables)
+        mask = columnar.candidate_mask(block, plan)
+        survivors = set(filter_tuples(tuples, predicates, columnar_on=False))
+        for i, t in enumerate(tuples):
+            if t in survivors:
+                assert mask[i], f"mask dropped surviving tuple {i}"
+
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 10_000),
+        lo=st.integers(0, 500),
+        width=st.integers(0, 500),
+    )
+    def test_columnar_filter_equals_row_filter(self, seed, lo, width):
+        relation = build_constraint_relation(generate_data(40, seed))
+        predicates = parse_constraints(_constraint_text(lo, lo + width, lo, lo + width))
+        tuples = list(relation.tuples)
+        row = filter_tuples(tuples, predicates, columnar_on=False)
+        col = filter_tuples(tuples, predicates, columnar_on=True)
+        assert row == col
+
+    def test_inconsistent_static_atoms_empty_mask(self):
+        relation = build_constraint_relation(generate_data(30, 1))
+        predicates = parse_constraints("x >= 10, x <= 5")
+        plan = columnar.selection_plan(predicates, relation.schema)
+        assert plan is not None and plan.empty
+        block = columnar.block_for(list(relation.tuples), plan.variables)
+        assert not columnar.candidate_mask(block, plan).any()
+        assert filter_tuples(list(relation.tuples), predicates, columnar_on=True) == []

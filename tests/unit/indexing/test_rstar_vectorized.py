@@ -1,0 +1,144 @@
+"""Vectorized R*-tree node visits must be indistinguishable from scalar.
+
+The tree batches per-node box tests (intersection masks for ``search``,
+MINDIST rows for ``nearest``) through numpy when a node holds at least
+``_VECTOR_MIN`` entries.  The kernels use the same IEEE operations in
+the same order as the scalar ``MBR`` methods, so results, result
+*order*, and the access counters (the unit of the paper's §5 I/O
+experiments) must match a scalar-only tree exactly — including after
+deletes, reinserts, and condensation reshuffle the nodes.
+"""
+
+import random
+
+from repro.indexing import MBR, RStarTree
+
+
+def random_boxes(count: int, seed: int = 7) -> list[tuple[MBR, int]]:
+    rng = random.Random(seed)
+    boxes = []
+    for i in range(count):
+        x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        w, h = rng.uniform(1, 50), rng.uniform(1, 50)
+        boxes.append((MBR((x, y), (x + w, y + h)), i))
+    return boxes
+
+
+def build_pair(count=400, seed=7, max_entries=8):
+    """The same boxes inserted into a vectorized and a scalar tree."""
+    vec = RStarTree(dimensions=2, max_entries=max_entries, vectorized=True)
+    ref = RStarTree(dimensions=2, max_entries=max_entries, vectorized=False)
+    boxes = random_boxes(count, seed)
+    for mbr, payload in boxes:
+        vec.insert(mbr, payload)
+        ref.insert(mbr, payload)
+    return vec, ref, boxes
+
+
+QUERIES = [
+    MBR((100, 100), (300, 300)),
+    MBR((0, 0), (1000, 1000)),
+    MBR((950, 950), (999, 999)),
+    MBR((-50, -50), (-1, -1)),
+    MBR((500, 0), (510, 1000)),
+]
+
+
+class TestSearchIdentity:
+    def test_results_and_accesses_match_scalar(self):
+        vec, ref, _ = build_pair()
+        for query in QUERIES:
+            assert vec.search(query) == ref.search(query)
+        assert vec.search_accesses == ref.search_accesses
+
+    def test_small_nodes_skip_vectorization(self):
+        # Below _VECTOR_MIN entries per node the generator path runs; the
+        # results contract is the same either way.
+        vec, ref, _ = build_pair(count=5)
+        for query in QUERIES:
+            assert vec.search(query) == ref.search(query)
+
+    def test_vector_min_zero_forces_kernel(self, monkeypatch):
+        vec, ref, _ = build_pair(count=60)
+        monkeypatch.setattr(RStarTree, "_VECTOR_MIN", 0)
+        for query in QUERIES:
+            assert vec.search(query) == ref.search(query)
+        assert vec.search_accesses == ref.search_accesses
+
+
+class TestNearestIdentity:
+    def test_nearest_matches_scalar(self):
+        vec, ref, _ = build_pair()
+        for target in QUERIES:
+            for k in (1, 3, 10):
+                assert vec.nearest(target, k) == ref.nearest(target, k)
+        assert vec.search_accesses == ref.search_accesses
+
+    def test_nearest_iter_matches_scalar(self):
+        vec, ref, _ = build_pair(count=120)
+        target = MBR((400, 400), (410, 410))
+        assert list(vec.nearest_iter(target)) == list(ref.nearest_iter(target))
+        assert vec.search_accesses == ref.search_accesses
+
+    def test_partial_iteration_access_parity(self):
+        vec, ref, _ = build_pair(count=200)
+        target = MBR((10, 990), (20, 999))
+        for tree in (vec, ref):
+            it = tree.nearest_iter(target)
+            for _ in range(7):
+                next(it)
+        assert vec.search_accesses == ref.search_accesses
+
+
+class TestMutationInvalidation:
+    """The per-node box cache must be invalidated by every mutation path:
+    plain inserts, overflow splits, forced reinserts, deletes, and
+    condensation."""
+
+    def test_interleaved_insert_delete_identity(self):
+        vec = RStarTree(dimensions=2, max_entries=8, vectorized=True)
+        ref = RStarTree(dimensions=2, max_entries=8, vectorized=False)
+        boxes = random_boxes(300, seed=23)
+        rng = random.Random(99)
+        live = []
+        probe = MBR((200, 200), (700, 700))
+        for i, (mbr, payload) in enumerate(boxes):
+            vec.insert(mbr, payload)
+            ref.insert(mbr, payload)
+            live.append((mbr, payload))
+            if i % 3 == 2:
+                victim = live.pop(rng.randrange(len(live)))
+                assert vec.delete(*victim) and ref.delete(*victim)
+            if i % 25 == 24:  # probe mid-stream: caches must be fresh
+                assert vec.search(probe) == ref.search(probe)
+                assert vec.nearest(probe, 5) == ref.nearest(probe, 5)
+        assert sorted(map(repr, vec.items())) == sorted(map(repr, ref.items()))
+        assert vec.search(MBR((0, 0), (1000, 1000))) == ref.search(
+            MBR((0, 0), (1000, 1000))
+        )
+        assert vec.search_accesses == ref.search_accesses
+
+    def test_delete_everything_then_reuse(self):
+        vec, ref, boxes = build_pair(count=80, seed=5)
+        for mbr, payload in boxes:
+            assert vec.delete(mbr, payload) and ref.delete(mbr, payload)
+        assert vec.search(MBR((0, 0), (1000, 1000))) == []
+        for mbr, payload in boxes[:20]:
+            vec.insert(mbr, payload)
+            ref.insert(mbr, payload)
+        for query in QUERIES:
+            assert vec.search(query) == ref.search(query)
+
+
+class TestFlag:
+    def test_vectorized_default_on(self):
+        assert RStarTree(dimensions=2).vectorized is True
+
+    def test_flag_can_be_disabled(self):
+        tree = RStarTree(dimensions=2, vectorized=False)
+        assert tree.vectorized is False
+        boxes = random_boxes(50, seed=1)
+        for mbr, payload in boxes:
+            tree.insert(mbr, payload)
+        expected = sorted(p for mbr, p in boxes if mbr.intersects(QUERIES[0]))
+        assert sorted(tree.search(QUERIES[0])) == expected
