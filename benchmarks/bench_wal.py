@@ -1,0 +1,217 @@
+"""Durability benchmark for the write-ahead log (`repro.storage.wal`).
+
+Measures the two costs the WAL design trades between:
+
+* **ingest rate** — committed transactions/second and tuples/second
+  through :class:`~repro.storage.wal.DurableDatabase`, with and without
+  the fsync barrier (the gap is the price of crash durability),
+* **recovery time** — wall-clock to re-open a database whose WAL holds
+  the whole ingest history (no checkpoint), i.e. the worst-case replay,
+  and after a checkpoint (the best case: image load, empty log).
+
+Reported per run: txn/s and tuples/s for the fsync and no-fsync ingest
+paths, replay recovery milliseconds and records replayed, checkpointed
+recovery milliseconds, and the WAL byte volume per committed tuple.
+
+Results land in ``BENCH_wal.json`` (override with
+``REPRO_BENCH_WAL_JSON``).  ``REPRO_BENCH_SCALE=small`` shrinks the
+workload for CI smoke runs; ``python benchmarks/bench_wal.py --smoke``
+is the self-contained CLI entry CI uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.model.relation import ConstraintRelation
+from repro.model.schema import Attribute, Schema
+from repro.model.tuples import point_tuple
+from repro.model.types import AttributeKind, DataType
+from repro.storage.wal import open_durable, wal_path_for
+
+SCHEMA = Schema(
+    [
+        Attribute("id", DataType.STRING, AttributeKind.RELATIONAL),
+        Attribute("x", DataType.RATIONAL, AttributeKind.CONSTRAINT),
+    ]
+)
+
+
+def _batch(start: int, size: int):
+    return [
+        point_tuple(SCHEMA, {"id": f"t{start + i}", "x": start + i})
+        for i in range(size)
+    ]
+
+
+def _run_ingest(path: Path, transactions: int, batch: int, fsync: bool) -> dict:
+    """Commit ``transactions`` append transactions of ``batch`` tuples each;
+    returns rates plus the resulting WAL byte volume."""
+    with open_durable(path, fsync=fsync) as durable:
+        with durable.begin() as txn:
+            txn.put_relation("R", ConstraintRelation(SCHEMA, _batch(0, batch), "R"))
+        started = time.perf_counter()
+        for n in range(transactions):
+            with durable.begin() as txn:
+                txn.append_tuples("R", _batch((n + 1) * batch, batch))
+        wall = time.perf_counter() - started
+        wal_bytes = durable.wal.position
+    tuples = transactions * batch
+    return {
+        "transactions": transactions,
+        "batch_tuples": batch,
+        "wall_seconds": wall,
+        "txn_per_second": transactions / wall,
+        "tuples_per_second": tuples / wall,
+        "wal_bytes": wal_bytes,
+        "wal_bytes_per_tuple": wal_bytes / max(tuples, 1),
+    }
+
+
+def _time_recovery(path: Path) -> dict:
+    """Re-open the database and report how long recovery took and what it
+    found (replayed records == 0 means the image alone carried the state)."""
+    started = time.perf_counter()
+    with open_durable(path, fsync=False) as durable:
+        wall = time.perf_counter() - started
+        report = durable.recovery
+        rows = len(durable.database["R"])
+    return {
+        "wall_ms": wall * 1000.0,
+        "replayed_records": report.replayed_records,
+        "committed_transactions": report.committed_transactions,
+        "rows_recovered": rows,
+    }
+
+
+def run_bench(transactions: int, batch: int) -> dict:
+    """Drive the full ingest/recovery matrix and return the results doc."""
+    workdir = Path(tempfile.mkdtemp(prefix="bench_wal_"))
+    try:
+        durable_path = workdir / "durable" / "db.cdb"
+        durable_path.parent.mkdir()
+        fast_path = workdir / "fast" / "db.cdb"
+        fast_path.parent.mkdir()
+
+        ingest_fsync = _run_ingest(durable_path, transactions, batch, fsync=True)
+        ingest_nofsync = _run_ingest(fast_path, transactions, batch, fsync=False)
+
+        # Worst-case recovery: the full history still lives in the log.
+        recovery_replay = _time_recovery(durable_path)
+        assert recovery_replay["replayed_records"] > 0
+        expected_rows = (transactions + 1) * batch
+        assert recovery_replay["rows_recovered"] == expected_rows
+
+        # Best case: checkpoint folds the log into the image first.
+        with open_durable(durable_path, fsync=True) as durable:
+            durable.checkpoint()
+            assert durable.wal.position == len(wal_path_for(durable_path).read_bytes())
+        recovery_checkpointed = _time_recovery(durable_path)
+        assert recovery_checkpointed["replayed_records"] == 0
+        assert recovery_checkpointed["rows_recovered"] == expected_rows
+
+        return {
+            "workload": (
+                f"{transactions} txns x {batch} tuples, append-only ingest"
+            ),
+            "ingest_fsync": ingest_fsync,
+            "ingest_no_fsync": ingest_nofsync,
+            "fsync_slowdown": (
+                ingest_nofsync["txn_per_second"] / ingest_fsync["txn_per_second"]
+            ),
+            "recovery_replay": recovery_replay,
+            "recovery_checkpointed": recovery_checkpointed,
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _write_results(results: dict) -> str:
+    path = os.environ.get("REPRO_BENCH_WAL_JSON", "BENCH_wal.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    return path
+
+
+# --------------------------------------------------------------------------
+# pytest entry points
+# --------------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - CLI --smoke path without pytest
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def wal_results(scale) -> dict:
+        small = scale.name == "small"
+        results = run_bench(
+            transactions=40 if small else 400,
+            batch=5 if small else 25,
+        )
+        _write_results(results)
+        return results
+
+    def test_reports_ingest_rates(wal_results):
+        assert wal_results["ingest_fsync"]["txn_per_second"] > 0
+        assert wal_results["ingest_no_fsync"]["txn_per_second"] > 0
+        assert wal_results["ingest_fsync"]["wal_bytes"] > 0
+
+    def test_recovery_replays_full_history(wal_results):
+        replay = wal_results["recovery_replay"]
+        assert replay["committed_transactions"] == wal_results["ingest_fsync"]["transactions"] + 1
+        assert replay["replayed_records"] > 0
+        assert replay["wall_ms"] > 0
+
+    def test_checkpoint_collapses_recovery(wal_results):
+        checkpointed = wal_results["recovery_checkpointed"]
+        assert checkpointed["replayed_records"] == 0
+        assert (
+            checkpointed["rows_recovered"]
+            == wal_results["recovery_replay"]["rows_recovered"]
+        )
+
+
+# --------------------------------------------------------------------------
+# CLI entry point (CI smoke)
+# --------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small workload for CI smoke runs"
+    )
+    parser.add_argument("--transactions", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    transactions = (
+        args.transactions
+        if args.transactions is not None
+        else (40 if args.smoke else 400)
+    )
+    batch = args.batch if args.batch is not None else (5 if args.smoke else 25)
+    results = run_bench(transactions=transactions, batch=batch)
+    path = _write_results(results)
+    print(
+        f"bench_wal: {transactions} txns, "
+        f"fsync={results['ingest_fsync']['txn_per_second']:.0f} txn/s, "
+        f"no-fsync={results['ingest_no_fsync']['txn_per_second']:.0f} txn/s, "
+        f"replay={results['recovery_replay']['wall_ms']:.1f}ms "
+        f"({results['recovery_replay']['replayed_records']} records), "
+        f"checkpointed={results['recovery_checkpointed']['wall_ms']:.1f}ms -> {path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

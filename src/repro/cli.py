@@ -6,6 +6,7 @@ The zero-code path into the system::
     python -m repro query db.cdb -e "R0 = select t >= 4 from Hurricane"
     python -m repro show db.cdb [RelationName]       # inspect a database
     python -m repro serve db.cdb --port 7411         # multi-tenant server
+    python -m repro ingest db.cdb --put new.cdb      # durable writes (WAL)
     python -m repro demo                             # the §3.3 case study
 
 Scripts are the paper's ASCII multi-step language (one statement per
@@ -134,8 +135,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .obs import SERVER_DRAINED, SERVER_REPLIES_OK
     from .server import QueryServer, ServerConfig
+    from .storage.wal import open_durable
 
-    database = load_database(Path(args.database))
+    # Open durably: recover the WAL into the served catalog, then release
+    # the append handle (the server never writes; ``reload`` re-opens).
+    source = Path(args.database)
+    with open_durable(source) as durable:
+        database = durable.database
+        recovery = durable.recovery
+    if recovery.replayed_records or recovery.truncated_bytes:
+        print(
+            f"repro-server recovered {args.database}: "
+            f"{recovery.committed_transactions} committed transaction(s) replayed, "
+            f"{recovery.rolled_back_transactions} rolled back, "
+            f"{recovery.truncated_bytes} torn byte(s) truncated",
+            flush=True,
+        )
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -146,6 +161,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         analysis=args.analysis,
         use_optimizer=not args.no_optimizer,
         drain_timeout=args.drain_timeout,
+        session_ttl=args.session_ttl,
         deadline_seconds=args.deadline,
         solver_steps=args.max_solver_steps,
         dnf_clauses=args.max_dnf_clauses,
@@ -155,7 +171,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def main() -> int:
-        server = QueryServer(database, config)
+        server = QueryServer(database, config, source=source)
         await server.start()
         # The exact bound address on stdout (before anything else) so
         # wrappers and the CI smoke step can scrape an ephemeral port.
@@ -171,6 +187,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 loop.add_signal_handler(signum, stop.set)
             except NotImplementedError:  # pragma: no cover - non-Unix loops
                 pass
+        try:
+            # SIGHUP = hot reload, the classic daemon convention: re-read
+            # the database file and swap snapshots under live traffic.
+            loop.add_signal_handler(signal.SIGHUP, server.reload_soon)
+        except (NotImplementedError, AttributeError):  # pragma: no cover
+            pass
         await server.serve_until(stop)
         print(
             "repro-server drained cleanly "
@@ -181,6 +203,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     return asyncio.run(main())
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """The durable write path from the shell: append/commit mutations
+    through the WAL, recover after crashes, checkpoint into the image
+    (see docs/DURABILITY.md)."""
+    from .storage.wal import open_durable, wal_path_for
+
+    path = Path(args.database)
+    puts = args.put or []
+    appends = args.append or []
+    drops = args.drop or []
+    mutating = bool(puts or appends or drops)
+    if args.status and mutating:
+        print("error: --status does not combine with mutations", file=sys.stderr)
+        return EXIT_USAGE
+
+    with open_durable(path, fsync=not args.no_fsync) as durable:
+        report = durable.recovery
+        if report.records or report.truncated_bytes or args.recover or args.status:
+            print(
+                f"recovery: {report.records} WAL record(s), "
+                f"{report.committed_transactions} committed transaction(s) replayed, "
+                f"{report.rolled_back_transactions} rolled back, "
+                f"{report.truncated_bytes} torn byte(s) truncated"
+            )
+        if args.status:
+            for name in durable.database:
+                print(f"  {name}: {len(durable.database[name])} tuples")
+            print(
+                f"wal: {wal_path_for(path).name} at {durable.wal.position} bytes, "
+                f"{len(durable.wal.records)} record(s) pending checkpoint"
+            )
+            return 0
+        if mutating:
+            with durable.begin() as txn:
+                for file in puts:
+                    source = load_database(Path(file))
+                    for name in source:
+                        txn.put_relation(name, source[name])
+                        print(f"put {name}: {len(source[name])} tuples (from {file})")
+                for rel, file in appends:
+                    source = load_database(Path(file))
+                    txn.append_tuples(rel, list(source[rel]))
+                    print(f"append {rel}: +{len(source[rel])} tuples (from {file})")
+                for rel in drops:
+                    txn.drop_relation(rel)
+                    print(f"drop {rel}")
+            print("committed (WAL fsynced)" if not args.no_fsync else "committed (no fsync)")
+        if (mutating and not args.no_checkpoint) or args.recover:
+            durable.checkpoint()
+            print(
+                f"checkpointed {path.name}: {len(durable.database)} relation(s); WAL reset"
+            )
+        elif mutating:
+            print(
+                f"wal: {len(durable.wal.records)} record(s) pending "
+                "(run with --recover to fold them into the image)"
+            )
+    return 0
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -394,12 +476,69 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="graceful-shutdown ceiling for in-flight queries",
     )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict tenant sessions idle longer than this (their bindings "
+        "are dropped; the next request re-creates the session)",
+    )
     _add_budget_arguments(
         serve,
         "per-tenant default budget applied to every request "
         "(requests may tighten these, never loosen them)",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="write through the WAL: put/append/drop relations durably, "
+        "recover after a crash, checkpoint (docs/DURABILITY.md)",
+    )
+    ingest.add_argument("database", help="the .cdb database file (created if missing)")
+    ingest.add_argument(
+        "--put",
+        action="append",
+        metavar="FILE.cdb",
+        help="create or replace every relation found in FILE.cdb (repeatable)",
+    )
+    ingest.add_argument(
+        "--append",
+        action="append",
+        nargs=2,
+        metavar=("REL", "FILE.cdb"),
+        help="append FILE.cdb's tuples of relation REL to the existing REL "
+        "(repeatable)",
+    )
+    ingest.add_argument(
+        "--drop", action="append", metavar="REL", help="drop relation REL (repeatable)"
+    )
+    ingest.add_argument(
+        "--recover",
+        action="store_true",
+        help="replay the WAL and fold it into the image even without mutations "
+        "(recovery itself always runs on open)",
+    )
+    ingest.add_argument(
+        "--status",
+        action="store_true",
+        help="report the recovered state (relations, pending WAL records) "
+        "without mutating anything",
+    )
+    ingest.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="leave committed records in the WAL instead of folding them "
+        "into the image after the transaction",
+    )
+    ingest.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync barriers (faster, but a machine crash may lose the "
+        "commit; a process crash still cannot corrupt the database)",
+    )
+    ingest.set_defaults(handler=_cmd_ingest)
 
     show = commands.add_parser("show", help="print relations of a database")
     show.add_argument("database", help="a .cdb database file")

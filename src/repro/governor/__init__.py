@@ -31,10 +31,13 @@ from .budget import (
     current_budget,
 )
 from .faultinject import (
+    CrashingFile,
     FaultPlan,
     FaultyBufferPool,
     FaultyHeapFile,
+    FaultyWAL,
     RetryPolicy,
+    SimulatedCrash,
     call_with_retries,
     corrupt_database_text,
     scan_with_retries,
@@ -43,11 +46,14 @@ from .faultinject import (
 __all__ = [
     "Budget",
     "BudgetSlice",
+    "CrashingFile",
     "FaultPlan",
     "FaultyBufferPool",
     "FaultyHeapFile",
+    "FaultyWAL",
     "ProducerGuard",
     "RetryPolicy",
+    "SimulatedCrash",
     "call_with_retries",
     "charge",
     "charge_io",

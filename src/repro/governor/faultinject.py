@@ -49,7 +49,20 @@ T = TypeVar("T")
 #: Fault kinds a plan can schedule.
 TRANSIENT = "transient"
 CORRUPT = "corrupt"
-_KINDS = (TRANSIENT, CORRUPT)
+CRASH = "crash"
+_KINDS = (TRANSIENT, CORRUPT, CRASH)
+
+
+class SimulatedCrash(BaseException):
+    """A simulated process kill at an exact write boundary.
+
+    Deliberately a :class:`BaseException` (like ``KeyboardInterrupt``):
+    a real ``kill -9`` cannot be caught by ``except Exception`` handlers
+    in the write path, so neither can its simulation — no retry policy,
+    taxonomy handler, or cleanup block may swallow it and keep writing.
+    The crash-matrix harness catches it explicitly at the top of each
+    scenario.
+    """
 
 
 class FaultPlan:
@@ -123,6 +136,8 @@ class FaultPlan:
             raise TransientStorageError(f"injected transient failure reading {what} ({layer})")
         if kind == CORRUPT:
             raise CorruptPageError(f"injected corruption reading {what} ({layer})")
+        if kind == CRASH:
+            raise SimulatedCrash(f"injected crash at {what} ({layer})")
 
 
 # -- layer wrappers ------------------------------------------------------------
@@ -186,6 +201,99 @@ class FaultyBufferPool:
 
     def clear(self) -> None:
         self._pool.clear()
+
+
+class CrashingFile:
+    """A binary append handle that dies at an exact absolute byte offset.
+
+    Writes pass through untouched until one would carry the file past
+    ``crash_at_byte``; that write persists only the prefix up to the
+    boundary (flushed, so it is really on disk — exactly what a torn
+    write leaves behind) and raises :class:`SimulatedCrash`.  After the
+    crash every further operation raises again: the process is dead.
+    """
+
+    def __init__(self, raw, crash_at_byte: int, *, plan: FaultPlan | None = None):
+        if crash_at_byte < 0:
+            raise ValueError(f"crash_at_byte must be >= 0, got {crash_at_byte}")
+        self._raw = raw
+        self._offset = raw.tell()  # append mode: current end of file
+        self.crash_at_byte = crash_at_byte
+        self.plan = plan
+        self.crashed = False
+
+    def _check_alive(self) -> None:
+        if self.crashed:
+            raise SimulatedCrash(
+                f"write after crash at byte {self.crash_at_byte} (process is dead)"
+            )
+
+    def write(self, data: bytes) -> int:
+        self._check_alive()
+        if self.plan is not None:
+            # Plan-driven crashes fire *before* the bytes land, modelling
+            # a kill between the syscall being issued and serviced.
+            kind = self.plan.next_fault("wal")
+            if kind == CRASH:
+                self.crashed = True
+                self._raw.flush()
+                raise SimulatedCrash(f"scheduled crash before write at byte {self._offset}")
+        allowed = self.crash_at_byte - self._offset
+        if len(data) <= allowed:
+            self._raw.write(data)
+            self._offset += len(data)
+            return len(data)
+        prefix = data[: max(0, allowed)]
+        if prefix:
+            self._raw.write(prefix)
+            self._offset += len(prefix)
+        self.crashed = True
+        self._raw.flush()  # the torn prefix is on disk, like a real partial write
+        raise SimulatedCrash(
+            f"crash at byte {self.crash_at_byte}: write of {len(data)} bytes torn "
+            f"after {len(prefix)}"
+        )
+
+    def flush(self) -> None:
+        self._check_alive()
+        self._raw.flush()
+
+    def fileno(self) -> int:
+        self._check_alive()
+        return self._raw.fileno()
+
+    def close(self) -> None:
+        # Closing the dead handle is allowed: the harness cleans up.
+        self._raw.close()
+
+
+def FaultyWAL(
+    path,
+    *,
+    crash_at_byte: int | None = None,
+    plan: FaultPlan | None = None,
+    fsync: bool = True,
+):
+    """A :class:`~repro.storage.wal.WriteAheadLog` whose append handle
+    crashes at ``crash_at_byte`` (an absolute file offset) and/or on a
+    plan-scheduled ``"crash"`` fault.  The crash-matrix tests sweep
+    ``crash_at_byte`` over every offset of a reference run and assert
+    recovery lands on the last committed state.
+
+    Recovery-on-open runs *before* the faulty handle is installed (you
+    crash while writing, not while recovering), so a ``FaultyWAL`` over a
+    previously torn log first truncates the tail like any other open.
+    """
+    from ..storage.wal import WriteAheadLog  # runtime import: see module note
+
+    def wrapper(raw):
+        return CrashingFile(
+            raw,
+            crash_at_byte if crash_at_byte is not None else (1 << 62),
+            plan=plan,
+        )
+
+    return WriteAheadLog(path, fsync=fsync, file_wrapper=wrapper)
 
 
 def corrupt_database_text(text: str, plan: FaultPlan) -> str:
@@ -276,12 +384,16 @@ def scan_with_retries(
 
 __all__ = [
     "CORRUPT",
+    "CRASH",
     "TRANSIENT",
     "CorruptPageError",
+    "CrashingFile",
     "FaultPlan",
     "FaultyBufferPool",
     "FaultyHeapFile",
+    "FaultyWAL",
     "RetryPolicy",
+    "SimulatedCrash",
     "StorageError",
     "TransientStorageError",
     "call_with_retries",

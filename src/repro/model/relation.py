@@ -116,6 +116,31 @@ class ConstraintRelation:
             cache = self._columnar = {}
         return cache
 
+    def extended(self, tuples: Iterable[HTuple]) -> "ConstraintRelation":
+        """A new relation with ``tuples`` appended (set semantics: empty
+        and duplicate tuples are dropped exactly as at construction).
+
+        This is the write path's append primitive: the receiver is left
+        untouched — readers holding it (or a
+        :class:`~repro.storage.snapshot.DatabaseSnapshot` pinning it) keep
+        seeing the old version with its columnar caches intact, while the
+        result starts with a *fresh, empty* columnar cache so no stale
+        summary block can ever describe the appended tuples."""
+        return ConstraintRelation(self._schema, (*self._tuples, *tuples), self._name)
+
+    def invalidate_columnar(self) -> None:
+        """Drop every cached columnar summary block for this relation.
+
+        Relations are immutable, so the cache normally never goes stale;
+        this is the explicit invalidation hook for code that rebuilds a
+        relation's backing state in place (heap-file append, WAL replay
+        into a live catalog) and must not let a reader pair old blocks
+        with new tuples.  Clearing (rather than replacing) the dict means
+        any consumer that already grabbed the cache object sees it
+        emptied too."""
+        if self._columnar:
+            self._columnar.clear()
+
     def with_truncated(self, truncated: bool = True) -> "ConstraintRelation":
         """The same relation with the ``truncated`` marker set."""
         relation = ConstraintRelation(self._schema, self._tuples, self._name)

@@ -139,6 +139,30 @@ SERVER_EXHAUSTED = "server.exhausted"
 SERVER_DISCONNECTS = "server.disconnects"
 #: In-flight queries completed during graceful shutdown draining.
 SERVER_DRAINED = "server.drained"
+#: Idle tenant sessions closed by the TTL sweep (``ServerConfig.session_ttl``).
+SERVER_EVICTED = "server.evicted"
+#: Hot reloads completed (``reload`` op / SIGHUP): the snapshot was swapped.
+SERVER_RELOADS = "server.reload.count"
+#: Hot reloads that failed (bad file, corruption); the old snapshot stays.
+SERVER_RELOAD_ERRORS = "server.reload.errors"
+#: Tenant sessions retired by a reload (closed once their reader drained).
+SERVER_RELOAD_RETIRED = "server.reload.retired_sessions"
+
+#: Write-ahead log (:mod:`repro.storage.wal`): the durable write path.
+#: One record appended to the log (checksummed, length-prefixed).
+WAL_APPENDS = "wal.appends"
+#: Transactions made durable (commit record written and fsynced).
+WAL_COMMITS = "wal.commits"
+#: ``fsync`` barriers paid by the log (the commit-latency driver).
+WAL_FSYNCS = "wal.fsyncs"
+#: Records replayed into the database image by recovery-on-open.
+WAL_REPLAYED = "wal.replayed_records"
+#: Recovery-on-open passes that found a non-empty log to replay.
+WAL_RECOVERIES = "wal.recoveries"
+#: Torn-tail bytes truncated by recovery (a crash mid-append).
+WAL_TRUNCATED_BYTES = "wal.truncated_bytes"
+#: Checkpoints: the image was atomically rewritten and the log reset.
+WAL_CHECKPOINTS = "wal.checkpoints"
 
 
 class Counter:

@@ -39,6 +39,8 @@ from ..obs import (
     SOLVER_CACHE_HITS,
     SOLVER_INTERVAL_PRUNES,
     SOLVER_REQUESTS,
+    WAL_APPENDS,
+    WAL_COMMITS,
     MetricsRegistry,
     Span,
 )
@@ -96,6 +98,11 @@ _EXPLAIN_SPARSE_COUNTERS = (
     ("col_filtered", COLUMNAR_FILTERED),
     ("col_fallback", COLUMNAR_FALLBACK),
     ("col_bypassed", COLUMNAR_BYPASSED),
+    # Durable-write activity attributable to this statement; nonzero only
+    # when a WAL transaction ran under the session's registry (see
+    # docs/DURABILITY.md).
+    ("wal_appends", WAL_APPENDS),
+    ("wal_commits", WAL_COMMITS),
 )
 
 

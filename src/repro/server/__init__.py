@@ -28,6 +28,7 @@ from .protocol import (
     encode_frame,
     error_reply,
     recv_frame,
+    reloading_reply,
     send_frame,
 )
 from .server import QueryServer, ServerConfig
@@ -49,5 +50,6 @@ __all__ = [
     "encode_frame",
     "error_reply",
     "recv_frame",
+    "reloading_reply",
     "send_frame",
 ]

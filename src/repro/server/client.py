@@ -88,6 +88,13 @@ class ServerClient:
     def stats(self) -> dict[str, Any]:
         return self.request({"op": "stats"})
 
+    def reload(self) -> dict[str, Any]:
+        """Ask the server to hot-reload its database from the source file
+        (same swap as ``SIGHUP``); returns the raw reply — ``ok`` with the
+        new snapshot ``version``, or a 503 ``reloading`` if another reload
+        is mid-swap."""
+        return self.request({"op": "reload"})
+
     def sleep(self, seconds: float, tenant: str | None = None) -> dict[str, Any]:
         payload: dict[str, Any] = {"op": "sleep", "seconds": seconds}
         if tenant is not None:

@@ -39,8 +39,9 @@ class ServerThread:
         database: Database,
         config: ServerConfig | None = None,
         registry: MetricsRegistry | None = None,
+        source: Any = None,
     ) -> None:
-        self.server = QueryServer(database, config, registry=registry)
+        self.server = QueryServer(database, config, registry=registry, source=source)
         self._ready = threading.Event()
         self._done = threading.Event()
         self._loop: asyncio.AbstractEventLoop | None = None

@@ -14,6 +14,11 @@ Requests carry an ``op``:
 * ``sleep`` — diagnostic: occupy a worker slot for ``seconds`` (admission
   control and tenant serialization apply exactly as for ``query``; the
   server clamps the duration).
+* ``reload`` — hot-reload the database from the server's source file
+  (the same swap ``SIGHUP`` triggers): recover the on-disk image + WAL
+  into a fresh snapshot, atomically swap it in, retire old tenant
+  sessions.  In-flight queries finish on their old snapshot; a reply is
+  always entirely old or entirely new, never torn.
 
 Replies mirror HTTP status classes without being HTTP: every reply has
 ``ok``/``status``, errors carry a structured ``error`` object — never a
@@ -35,6 +40,7 @@ exception                             status  kind
 :class:`~repro.errors.CorruptPageError`       500  ``corrupt_page``
 :class:`~repro.errors.StorageError`           500  ``storage_error``
 (server draining)                             503  ``shutting_down``
+(reload already in progress)                  503  ``reloading``
 anything else                                 500  ``internal_error``
 ====================================  ======  ==========================
 """
@@ -260,6 +266,22 @@ def draining_reply(request_id: Any) -> dict[str, Any]:
         "error": {
             "kind": "shutting_down",
             "message": "server is draining; no new queries are admitted",
+        },
+    }
+
+
+def reloading_reply(request_id: Any) -> dict[str, Any]:
+    """The 503-style refusal for a ``reload`` that arrives while another
+    reload is still swapping snapshots: retry once the swap completes
+    (queries are *not* refused during a reload — they run on whichever
+    snapshot is current when they start)."""
+    return {
+        "ok": False,
+        "id": request_id,
+        "status": STATUS_UNAVAILABLE,
+        "error": {
+            "kind": "reloading",
+            "message": "a snapshot reload is already in progress; retry shortly",
         },
     }
 

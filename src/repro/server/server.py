@@ -22,6 +22,17 @@ pool of per-tenant :class:`~repro.query.QuerySession` workers:
   work (new requests get a 503-style ``shutting_down`` reply), waits for
   in-flight queries to finish and their replies to be written, then
   closes tenant sessions and the executor.
+* **Hot reload** — the ``reload`` op (and ``SIGHUP`` under ``repro
+  serve``) re-reads the source database (image + WAL recovery, see
+  :mod:`repro.storage.wal`), swaps it in as a new
+  :class:`~repro.storage.snapshot.DatabaseSnapshot` between requests,
+  and retires old tenant sessions once their in-flight statement
+  finishes — every reply is served entirely from one snapshot, never
+  torn across two.
+* **Idle eviction** — with ``session_ttl`` set, tenant sessions idle
+  past the TTL are closed (``server.evicted``); the tenant's next
+  request lazily re-creates a fresh session (bindings are dropped —
+  the same contract as a reload).
 
 All registry mutation happens on the event-loop thread; query threads
 only touch their tenant session's private registry, whose per-request
@@ -37,6 +48,7 @@ import logging
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping
 
 from ..errors import ProtocolError, ReproError, ResourceExhausted
@@ -45,7 +57,11 @@ from ..model.database import Database
 from ..obs import (
     SERVER_DISCONNECTS,
     SERVER_DRAINED,
+    SERVER_EVICTED,
     SERVER_EXHAUSTED,
+    SERVER_RELOAD_ERRORS,
+    SERVER_RELOAD_RETIRED,
+    SERVER_RELOADS,
     SERVER_REPLIES_ERROR,
     SERVER_REPLIES_OK,
     SERVER_REQUESTS,
@@ -53,11 +69,13 @@ from ..obs import (
     MetricsRegistry,
 )
 from ..query.session import QuerySession
+from ..storage.snapshot import DatabaseSnapshot, SnapshotManager
 from .protocol import (
     draining_reply,
     error_reply,
     ok_reply,
     read_frame,
+    reloading_reply,
     shed_reply,
     write_frame,
 )
@@ -103,6 +121,10 @@ class ServerConfig:
     analysis: str = "off"
     use_optimizer: bool = True
     drain_timeout: float = 30.0
+    #: Evict a tenant session idle longer than this many seconds (its
+    #: bindings are dropped; the next request lazily re-creates the
+    #: session).  ``None`` disables eviction — sessions live forever.
+    session_ttl: float | None = None
     deadline_seconds: float | None = None
     solver_steps: int | None = None
     dnf_clauses: int | None = None
@@ -121,6 +143,8 @@ class ServerConfig:
             )
         if self.drain_timeout <= 0:
             raise ValueError(f"drain_timeout must be positive, got {self.drain_timeout!r}")
+        if self.session_ttl is not None and self.session_ttl <= 0:
+            raise ValueError(f"session_ttl must be positive, got {self.session_ttl!r}")
         if self.exec_mode is not None:
             from ..exec import EXEC_MODES
 
@@ -135,12 +159,21 @@ class ServerConfig:
 
 @dataclass
 class _Tenant:
-    """One tenant's server-side state."""
+    """One tenant's server-side state.
+
+    ``snapshot`` is the pinned catalog view the session was built over;
+    ``retired`` marks a tenant that has been removed from the routing
+    table (hot reload or idle eviction) — a query that raced the removal
+    re-resolves its tenant instead of running on the dead session.
+    """
 
     name: str
     session: QuerySession
+    snapshot: DatabaseSnapshot
     lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     queries: int = 0
+    last_used: float = field(default_factory=time.monotonic)
+    retired: bool = False
 
 
 @dataclass
@@ -160,15 +193,22 @@ class QueryServer:
         database: Database,
         config: ServerConfig | None = None,
         registry: MetricsRegistry | None = None,
+        source: str | Path | None = None,
     ) -> None:
         self.config = config or ServerConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
-        self._database = database
+        self._snapshots = SnapshotManager(database)
+        #: The on-disk image hot reload re-reads (``None`` disables the
+        #: ``reload`` op — there is nothing to reload *from*).
+        self._source = Path(source) if source is not None else None
         self._tenants: dict[str, _Tenant] = {}
         self._server: asyncio.base_events.Server | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._conn_tasks: set[asyncio.Task[None]] = set()
+        self._retire_tasks: set[asyncio.Task[None]] = set()
+        self._sweeper: asyncio.Task[None] | None = None
+        self._reloading = False
         self._active = 0
         self._idle = asyncio.Event()
         self._idle.set()
@@ -176,6 +216,10 @@ class QueryServer:
         self._closed = False
         self.host: str | None = None
         self.port: int | None = None
+
+    @property
+    def snapshot_version(self) -> int:
+        return self._snapshots.version
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -194,6 +238,8 @@ class QueryServer:
         )
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        if self.config.session_ttl is not None:
+            self._sweeper = asyncio.create_task(self._sweep_idle_sessions())
 
     @property
     def draining(self) -> bool:
@@ -217,6 +263,13 @@ class QueryServer:
         if self._closed:
             return
         self._draining = True
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+            self._sweeper = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -240,12 +293,22 @@ class QueryServer:
         pending = {task for task in self._conn_tasks if not task.done()}
         if pending:
             await asyncio.wait(pending, timeout=5.0)
+        retiring = {task for task in self._retire_tasks if not task.done()}
+        if retiring:
+            await asyncio.wait(retiring, timeout=5.0)
         self._closed = True
         for tenant in self._tenants.values():
-            tenant.session.close()
+            self._close_tenant(tenant)
+        self._tenants.clear()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    @staticmethod
+    def _close_tenant(tenant: _Tenant) -> None:
+        tenant.retired = True
+        tenant.session.close()
+        tenant.snapshot.unpin()
 
     # -- connection handling -------------------------------------------------
 
@@ -313,6 +376,8 @@ class QueryServer:
                 return await self._admitted(request_id, self._do_query, request)
             if op == "sleep":
                 return await self._admitted(request_id, self._do_sleep, request)
+            if op == "reload":
+                return await self._do_reload(request_id)
             raise ProtocolError(f"unknown op {op!r}")
         except ResourceExhausted as exc:
             self.registry.add(SERVER_EXHAUSTED)
@@ -353,10 +418,17 @@ class QueryServer:
         return reply
 
     def _stats_reply(self, request_id: Any) -> dict[str, Any]:
+        now = time.monotonic()
         tenants = {
-            tenant.name: {"queries": tenant.queries, "busy": tenant.lock.locked()}
+            tenant.name: {
+                "queries": tenant.queries,
+                "busy": tenant.lock.locked(),
+                "snapshot_version": tenant.snapshot.version,
+                "idle_seconds": now - tenant.last_used,
+            }
             for tenant in self._tenants.values()
         }
+        current = self._snapshots.current()
         latency = self.registry.timer("server.latency")
         return ok_reply(
             request_id,
@@ -364,6 +436,8 @@ class QueryServer:
             tenants=tenants,
             active=self._active,
             draining=self._draining,
+            reloading=self._reloading,
+            snapshot={"version": current.version, "readers": current.readers},
             latency={
                 "calls": latency.calls,
                 "total_seconds": latency.total_seconds,
@@ -380,16 +454,19 @@ class QueryServer:
         limit = request.get("limit", 20)
         if not isinstance(limit, int) or isinstance(limit, bool) or limit < 0:
             raise ProtocolError(f"'limit' must be a non-negative integer, got {limit!r}")
-        tenant = self._tenant_for(request)
         budget = self._budget_for(request.get("budget"))
         loop = asyncio.get_running_loop()
-        async with tenant.lock:
+        tenant = await self._acquire_tenant(request)
+        try:
             if self._closed:
                 return draining_reply(request_id)
             assert self._executor is not None
             outcome = await loop.run_in_executor(
                 self._executor, self._run_statement, tenant, statement, budget, limit
             )
+        finally:
+            tenant.last_used = time.monotonic()
+            tenant.lock.release()
         tenant.queries += 1
         self.registry.merge_snapshot(outcome.counters)
         self.registry.timer("server.latency").add(outcome.elapsed)
@@ -439,16 +516,32 @@ class QueryServer:
             raise ProtocolError(f"'tenant' must be a non-empty string, got {name!r}")
         tenant = self._tenants.get(name)
         if tenant is None:
+            snapshot = self._snapshots.current().pin()
             session = QuerySession(
-                self._database,
+                snapshot.database,
                 use_optimizer=self.config.use_optimizer,
                 registry=MetricsRegistry(),
                 analysis=self.config.analysis,
                 workers=self.config.session_workers,
                 exec_mode=self.config.exec_mode,
             )
-            tenant = self._tenants[name] = _Tenant(name=name, session=session)
+            tenant = self._tenants[name] = _Tenant(
+                name=name, session=session, snapshot=snapshot
+            )
+        tenant.last_used = time.monotonic()
         return tenant
+
+    async def _acquire_tenant(self, request: Mapping[str, Any]) -> _Tenant:
+        """Resolve the request's tenant and take its statement lock,
+        re-resolving if a reload or eviction retired the tenant between
+        lookup and acquisition (the freshly resolved tenant then sits on
+        the current snapshot)."""
+        while True:
+            tenant = self._tenant_for(request)
+            await tenant.lock.acquire()
+            if not tenant.retired:
+                return tenant
+            tenant.lock.release()
 
     def _budget_for(self, overrides: Any) -> Budget | None:
         """The effective per-request budget: server defaults tightened by
@@ -484,6 +577,124 @@ class QueryServer:
         if all(value is None for value in knobs.values()):
             return None
         return Budget(on_exhausted=on_exhausted, **knobs)
+
+    # -- hot reload ----------------------------------------------------------
+
+    async def _do_reload(self, request_id: Any) -> dict[str, Any]:
+        """Swap in a fresh snapshot of the source database.
+
+        The load (image + WAL recovery) runs off-loop on the *default*
+        executor so query workers stay free; the swap itself is a single
+        loop-thread assignment.  Old tenant sessions are retired — each
+        finishes its in-flight statement on its old snapshot, then closes
+        — and the next request per tenant lazily builds a session over
+        the new snapshot.  No reply is ever assembled from two snapshots.
+        """
+        if self._draining:
+            self.registry.add(SERVER_REPLIES_ERROR)
+            return draining_reply(request_id)
+        if self._source is None:
+            raise ProtocolError(
+                "server has no reload source (it was started from an in-memory "
+                "database, not a file)"
+            )
+        if self._reloading:
+            self.registry.add(SERVER_REPLIES_ERROR)
+            return reloading_reply(request_id)
+        self._reloading = True
+        try:
+            loop = asyncio.get_running_loop()
+            try:
+                database, recovery = await loop.run_in_executor(None, self._load_source)
+            except Exception:
+                self.registry.add(SERVER_RELOAD_ERRORS)
+                raise
+            self._snapshots.swap(database)
+            retired = self._retire_all_tenants()
+            current = self._snapshots.current()
+            self.registry.add(SERVER_RELOADS)
+            if retired:
+                self.registry.add(SERVER_RELOAD_RETIRED, retired)
+            self.registry.add(SERVER_REPLIES_OK)
+            return ok_reply(
+                request_id,
+                reloaded=True,
+                version=current.version,
+                relations=list(database.names()),
+                retired_sessions=retired,
+                recovery=recovery,
+            )
+        finally:
+            self._reloading = False
+
+    def _load_source(self) -> tuple[Database, dict[str, int]]:
+        """Executor body: recover the image + WAL into a fresh catalog."""
+        from ..storage.wal import open_durable
+
+        assert self._source is not None
+        with open_durable(self._source) as durable:
+            return durable.database, durable.recovery.to_dict()
+
+    def reload_soon(self) -> None:
+        """Schedule a reload from a signal handler (``SIGHUP``); safe to
+        call from the loop thread only (signal handlers registered via
+        ``loop.add_signal_handler`` are)."""
+
+        async def _run() -> None:
+            try:
+                await self._do_reload(None)
+            except Exception:
+                _LOG.exception("SIGHUP reload failed")
+
+        task = asyncio.ensure_future(_run())
+        self._retire_tasks.add(task)
+        task.add_done_callback(self._retire_tasks.discard)
+
+    def _retire_all_tenants(self) -> int:
+        """Remove every tenant from the routing table; each one's session
+        closes once its in-flight statement (if any) finishes."""
+        tenants = list(self._tenants.values())
+        self._tenants.clear()
+        for tenant in tenants:
+            tenant.retired = True
+            task = asyncio.create_task(self._drain_tenant(tenant))
+            self._retire_tasks.add(task)
+            task.add_done_callback(self._retire_tasks.discard)
+        return len(tenants)
+
+    async def _drain_tenant(self, tenant: _Tenant) -> None:
+        async with tenant.lock:
+            tenant.session.close()
+            tenant.snapshot.unpin()
+
+    # -- idle-session eviction -----------------------------------------------
+
+    async def _sweep_idle_sessions(self) -> None:
+        ttl = self.config.session_ttl
+        assert ttl is not None
+        interval = max(ttl / 4.0, 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            self.evict_idle()
+
+    def evict_idle(self) -> int:
+        """Close tenant sessions idle past ``session_ttl``; returns how
+        many were evicted.  Runs synchronously on the loop thread with no
+        await points, so the busy-check cannot race a statement: a tenant
+        whose lock is free here stays free until we are done with it."""
+        ttl = self.config.session_ttl
+        if ttl is None:
+            return 0
+        now = time.monotonic()
+        evicted = 0
+        for name, tenant in list(self._tenants.items()):
+            if tenant.lock.locked() or now - tenant.last_used < ttl:
+                continue
+            del self._tenants[name]
+            self._close_tenant(tenant)
+            evicted += 1
+            self.registry.add(SERVER_EVICTED)
+        return evicted
 
     # -- the sleep op --------------------------------------------------------
 

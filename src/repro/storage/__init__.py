@@ -7,22 +7,47 @@ Public surface:
 * :class:`HeapFile` — paged unindexed relation storage (full-scan baseline).
 * :func:`save_database` / :func:`load_database` / :func:`dumps` /
   :func:`loads` — the ``.cdb`` text format.
+* :class:`WriteAheadLog` / :class:`DurableDatabase` / :func:`open_durable`
+  — the checksummed write-ahead log and crash-recovering open
+  (:mod:`repro.storage.wal`).
+* :class:`DatabaseSnapshot` / :class:`SnapshotManager` — immutable
+  catalog snapshots for readers during hot reload
+  (:mod:`repro.storage.snapshot`).
 """
 
 from .buffer_pool import BufferPool, BufferPoolStatistics
 from .heapfile import HeapFile
 from .pages import PageConfig, PageStatistics
 from .serialization import dumps, load_database, loads, save_database, serialize_tuple
+from .snapshot import DatabaseSnapshot, SnapshotManager
+from .wal import (
+    DurableDatabase,
+    IngestTransaction,
+    RecoveryReport,
+    WalRecord,
+    WriteAheadLog,
+    open_durable,
+    wal_path_for,
+)
 
 __all__ = [
     "BufferPool",
     "BufferPoolStatistics",
+    "DatabaseSnapshot",
+    "DurableDatabase",
     "HeapFile",
+    "IngestTransaction",
     "PageConfig",
     "PageStatistics",
+    "RecoveryReport",
+    "SnapshotManager",
+    "WalRecord",
+    "WriteAheadLog",
     "dumps",
     "load_database",
     "loads",
+    "open_durable",
     "save_database",
     "serialize_tuple",
+    "wal_path_for",
 ]

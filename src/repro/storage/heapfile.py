@@ -4,12 +4,20 @@ A heap file assigns serialized tuples to fixed-size pages; a full scan
 reads every page.  This gives the experiments a *full-scan* disk-access
 baseline against which index strategies are compared (e.g. experiment 3,
 where the separate-index strategy degrades toward scan-like linear cost).
+
+Since the durable write path landed (:mod:`repro.storage.wal`), heap
+files are also *appendable*: :meth:`HeapFile.append` packs new tuples
+into the tail page (spilling into fresh pages), counting one write per
+page touched and **invalidating the columnar page cache** for every
+mutated page — a reader must never pair a stale summary block with new
+tuple contents.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
+from ..errors import CorruptPageError
 from ..governor.budget import charge_io as budget_charge_io
 from ..model.relation import ConstraintRelation
 from ..model.tuples import HTuple
@@ -18,7 +26,7 @@ from .serialization import serialize_tuple
 
 
 class HeapFile:
-    """A read-only paged layout of one relation.
+    """A paged layout of one relation.
 
     Tuples are packed greedily into pages by serialized size.  ``scan``
     yields tuples while counting one read per page touched;
@@ -29,10 +37,11 @@ class HeapFile:
         self.config = config or PageConfig()
         self.stats = PageStatistics()
         self._pages: list[list[HTuple]] = []
+        self._tail_used = 0
         current: list[HTuple] = []
         used = 0
         for t in relation:
-            size = len(serialize_tuple(t).encode("utf-8")) + 1
+            size = self._row_size(t)
             if current and used + size > self.config.page_size:
                 self._pages.append(current)
                 current = []
@@ -41,8 +50,13 @@ class HeapFile:
             used += size
         if current:
             self._pages.append(current)
+            self._tail_used = used
         self._relation = relation
         self._page_caches: dict[int, dict] = {}
+
+    @staticmethod
+    def _row_size(t: HTuple) -> int:
+        return len(serialize_tuple(t).encode("utf-8")) + 1
 
     @property
     def relation(self) -> ConstraintRelation:
@@ -63,15 +77,66 @@ class HeapFile:
             yield from page
 
     def read_page(self, index: int) -> list[HTuple]:
-        """Tuples of one page (one read)."""
+        """Tuples of one page (one read).  An index outside the file is a
+        typed :class:`~repro.errors.CorruptPageError` naming the page —
+        the storage taxonomy, not an unhandled :class:`IndexError` — so a
+        directory or catalog pointing past the end of a truncated file
+        fails loudly and structurally."""
+        if not 0 <= index < len(self._pages):
+            raise CorruptPageError(
+                f"page {index} out of range: heap file "
+                f"{self._relation.name or '(anonymous)'} has {len(self._pages)} page(s)"
+            )
         self.stats.reads += 1
         budget_charge_io()
         return list(self._pages[index])
 
+    # -- the write path ----------------------------------------------------
+
+    def append(self, tuples: Iterable[HTuple]) -> int:
+        """Append ``tuples``, packing into the tail page first; returns
+        the number of pages written (mutated or newly allocated).
+
+        Every mutated page's columnar cache entry is dropped
+        (:meth:`invalidate_page_cache`) and the backing relation is
+        rebuilt via :meth:`~repro.model.relation.ConstraintRelation.extended`,
+        whose result carries a fresh columnar cache — both stale-read
+        hazards a write introduces are closed here, not left to callers.
+        """
+        appended: list[HTuple] = []
+        touched: set[int] = set()
+        for t in tuples:
+            appended.append(t)
+            size = self._row_size(t)
+            if self._pages and self._tail_used + size <= self.config.page_size:
+                self._pages[-1].append(t)
+                self._tail_used += size
+            else:
+                self._pages.append([t])
+                self._tail_used = size
+            touched.add(len(self._pages) - 1)
+        for index in touched:
+            self.stats.writes += 1
+            self.invalidate_page_cache(index)
+        if appended:
+            self._relation = self._relation.extended(appended)
+        return len(touched)
+
+    def invalidate_page_cache(self, index: int | None = None) -> None:
+        """Drop the cached columnar summary blocks for one page (or all
+        pages when ``index`` is ``None``).  Called automatically by
+        :meth:`append` for every page it mutates; exposed for callers
+        that rewrite page contents through other means."""
+        if index is None:
+            self._page_caches.clear()
+        else:
+            self._page_caches.pop(index, None)
+
     def page_cache(self, index: int) -> dict:
         """The columnar summary-block memo for one page (pages are
-        immutable, so blocks built over them stay valid; repeated columnar
-        scans pay the float export once per page).  Building or reusing a
+        immutable between writes, so blocks built over them stay valid
+        until :meth:`append` touches the page; repeated columnar scans
+        pay the float export once per page).  Building or reusing a
         cached block charges no IO — only :meth:`read_page` does."""
         cache = self._page_caches.get(index)
         if cache is None:

@@ -191,6 +191,18 @@ class _TupleLineParser:
             raise self.error(f"cannot parse value {token!r}") from None
 
 
+def parse_tuple_line(rest: str, line_no: int = 0) -> tuple[dict[str, object], Conjunction]:
+    """Parse the body of a ``tuple`` line (everything after the keyword)
+    into its relational values and constraint formula.  Shared by the
+    ``.cdb`` loader and the WAL replay path (:mod:`repro.storage.wal`),
+    which both store tuples in this line format."""
+    value_part, formula_part = _split_tuple_line(rest, line_no)
+    values = _TupleLineParser(value_part.strip(), line_no).parse_pairs()
+    formula_part = formula_part.strip()
+    formula = Conjunction(parse_constraints(formula_part)) if formula_part else Conjunction.true()
+    return values, formula
+
+
 def _split_tuple_line(text: str, line_no: int) -> tuple[str, str]:
     """Split a tuple line at the first ``|`` *outside* quoted strings
     (string values may legitimately contain the separator character)."""
@@ -230,13 +242,27 @@ def loads(text: str) -> Database:
     return _load(io.StringIO(text))
 
 
+def _numbered_lines(handle: TextIO):
+    """Line iteration that surfaces undecodable bytes as a typed
+    :class:`CorruptPageError` instead of an unhandled
+    :class:`UnicodeDecodeError` (a ``.cdb`` path pointed at a binary or
+    bit-rotted file must fail with the storage taxonomy)."""
+    try:
+        yield from enumerate(handle, start=1)
+    except UnicodeDecodeError as exc:
+        raise CorruptPageError(
+            f"database file is not valid UTF-8 text ({exc}); "
+            "binary garbage or corruption"
+        ) from None
+
+
 def _load(handle: TextIO) -> Database:
     database = Database()
     name: str | None = None
     attributes: list[Attribute] = []
     tuples: list[tuple[dict[str, object], Conjunction, int]] = []
     tuple_lines: list[str] = []
-    for line_no, raw in enumerate(handle, start=1):
+    for line_no, raw in _numbered_lines(handle):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -267,12 +293,7 @@ def _load(handle: TextIO) -> Database:
         elif keyword == "tuple" or line == "tuple":
             if name is None:
                 raise StorageError(f"line {line_no}: tuple outside a relation")
-            value_part, formula_part = _split_tuple_line(rest, line_no)
-            values = _TupleLineParser(value_part.strip(), line_no).parse_pairs()
-            formula_part = formula_part.strip()
-            formula = (
-                Conjunction(parse_constraints(formula_part)) if formula_part else Conjunction.true()
-            )
+            values, formula = parse_tuple_line(rest, line_no)
             tuples.append((values, formula, line_no))
             tuple_lines.append(line)
         elif keyword == "checksum":
@@ -309,5 +330,11 @@ def _load(handle: TextIO) -> Database:
         else:
             raise StorageError(f"line {line_no}: unknown directive {keyword!r}")
     if name is not None:
-        raise StorageError(f"unterminated relation {name!r} (missing 'end')")
+        # A valid header followed by a body that stops mid-relation is the
+        # signature of a truncated file: typed corruption naming the
+        # relation (the text format's "page"), never a bare ValueError.
+        raise CorruptPageError(
+            f"relation {name!r} truncated: end of file after {len(tuple_lines)} "
+            "tuple line(s) with no 'end' directive (file cut short?)"
+        )
     return database

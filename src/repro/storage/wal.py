@@ -1,0 +1,655 @@
+"""The durable write path: a checksummed write-ahead log over ``.cdb``.
+
+The read-mostly ``.cdb`` image (:mod:`repro.storage.serialization`) gains
+a crash-safe mutation protocol:
+
+1. every mutation is first appended to a **write-ahead log** (the
+   ``<db>.cdb.wal`` sidecar) as a length-prefixed, CRC32-checksummed
+   binary record;
+2. a transaction becomes durable when its ``commit`` record is written
+   and the log is ``fsync``\\ ed — only then is the in-memory catalog
+   updated (and only by *publishing a fresh* :class:`Database`, so
+   readers pinned to the old catalog never observe a half-applied
+   transaction);
+3. **recovery-on-open** scans the log, truncates any torn tail (a crash
+   mid-append leaves a partial record; an fsync barrier guarantees
+   nothing *before* the tail is torn), and replays exactly the
+   transactions whose commit record survived — every crash point
+   recovers to the last committed state, a property the crash-injection
+   matrix in ``tests/fault/test_wal_crash.py`` proves byte by byte;
+4. :meth:`DurableDatabase.checkpoint` folds the log into the image
+   (atomic ``write-temp → fsync → rename``) and resets the log, bounding
+   recovery time.
+
+Record framing
+--------------
+
+The log starts with the 8-byte magic ``CDBWAL01``.  Each record is::
+
+    [4-byte big-endian payload length][4-byte big-endian CRC32][payload]
+
+where the payload is one UTF-8 JSON object.  A record whose bytes are
+all present but whose CRC32 disagrees is *corruption* (bit rot) and
+raises :class:`~repro.errors.CorruptPageError`; a record cut short at
+end-of-file is a *torn write* (crash) and is truncated away.  Payload
+rows reuse the ``.cdb`` ``tuple`` line format, so the two layers share
+one serializer and one parser.
+
+Record kinds: ``begin``/``commit`` bracket a transaction; ``put``
+(create or replace a whole relation), ``append`` (add tuples to an
+existing relation), and ``drop`` are the operations.  Uncommitted
+records are left in place but never replayed — they are dead weight
+reclaimed by the next checkpoint.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Callable, Iterable, Iterator, Mapping
+
+from ..errors import CorruptPageError, StorageError
+from ..model.database import Database
+from ..model.relation import ConstraintRelation
+from ..model.schema import Attribute, Schema
+from ..model.tuples import HTuple
+from ..model.types import AttributeKind, DataType
+from ..obs import (
+    WAL_APPENDS,
+    WAL_CHECKPOINTS,
+    WAL_COMMITS,
+    WAL_FSYNCS,
+    WAL_RECOVERIES,
+    WAL_REPLAYED,
+    WAL_TRUNCATED_BYTES,
+    record as obs_record,
+)
+from .serialization import load_database, parse_tuple_line, save_relation, serialize_tuple
+
+MAGIC = b"CDBWAL01"
+_HEADER = struct.Struct(">II")
+
+#: Operations a WAL record may carry.
+BEGIN = "begin"
+COMMIT = "commit"
+PUT = "put"
+APPEND = "append"
+DROP = "drop"
+_OPS = (BEGIN, COMMIT, PUT, APPEND, DROP)
+
+#: Default sidecar suffix: ``db.cdb`` logs to ``db.cdb.wal``.
+WAL_SUFFIX = ".wal"
+
+
+def wal_path_for(database_path: str | Path) -> Path:
+    """The sidecar log path for a database image path."""
+    path = Path(database_path)
+    return path.with_name(path.name + WAL_SUFFIX)
+
+
+# -- records -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record.
+
+    ``schema`` holds ``(name, type, kind)`` triples and ``rows`` the
+    ``.cdb`` tuple-line bodies — both empty for ``begin``/``commit``/
+    ``drop`` records.
+    """
+
+    op: str
+    txn: int
+    relation: str | None = None
+    schema: tuple[tuple[str, str, str], ...] = ()
+    rows: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise StorageError(f"unknown WAL operation {self.op!r}")
+        if self.op in (PUT, APPEND, DROP) and not self.relation:
+            raise StorageError(f"WAL {self.op!r} record needs a relation name")
+
+    def to_payload(self) -> dict:
+        payload: dict = {"op": self.op, "txn": self.txn}
+        if self.relation is not None:
+            payload["relation"] = self.relation
+        if self.schema:
+            payload["schema"] = [list(spec) for spec in self.schema]
+        if self.rows:
+            payload["rows"] = list(self.rows)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "WalRecord":
+        try:
+            return cls(
+                op=payload["op"],
+                txn=int(payload["txn"]),
+                relation=payload.get("relation"),
+                schema=tuple(tuple(spec) for spec in payload.get("schema", ())),
+                rows=tuple(payload.get("rows", ())),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptPageError(f"malformed WAL record payload: {exc}") from None
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """Frame one record: length prefix, CRC32, JSON payload."""
+    payload = json.dumps(record.to_payload(), separators=(",", ":")).encode("utf-8")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return _HEADER.pack(len(payload), crc) + payload
+
+
+def decode_payload(payload: bytes) -> WalRecord:
+    try:
+        decoded = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptPageError(
+            f"WAL record passed its checksum but is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(decoded, dict):
+        raise CorruptPageError(
+            f"WAL record payload must be a JSON object, got {type(decoded).__name__}"
+        )
+    return WalRecord.from_payload(decoded)
+
+
+# -- the log -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StructuralRecovery:
+    """What opening the log found: the valid records and any torn tail."""
+
+    records: tuple[WalRecord, ...]
+    truncated_bytes: int
+    scanned_bytes: int
+
+
+def scan_log_bytes(data: bytes) -> StructuralRecovery:
+    """Scan raw log bytes into valid records plus the torn-tail size.
+
+    Pure (no IO): the crash-matrix tests call it directly on byte
+    prefixes.  A structurally complete record failing its CRC raises
+    :class:`CorruptPageError`; an incomplete record at the tail — the
+    only kind of damage an append-only crash can cause — is reported as
+    ``truncated_bytes`` for the caller to cut off.
+    """
+    if not data:
+        return StructuralRecovery((), 0, 0)
+    if len(data) < len(MAGIC):
+        # Crash while writing the very first header bytes.
+        return StructuralRecovery((), len(data), 0)
+    if data[: len(MAGIC)] != MAGIC:
+        raise CorruptPageError(
+            f"WAL header mismatch: expected {MAGIC!r}, found {data[:len(MAGIC)]!r}"
+        )
+    records: list[WalRecord] = []
+    offset = len(MAGIC)
+    good = offset
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            break  # torn header
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        if start + length > len(data):
+            break  # torn payload
+        payload = data[start : start + length]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise CorruptPageError(
+                f"WAL record at byte {offset} failed its CRC32 check "
+                f"(recorded {crc:08x}, computed {zlib.crc32(payload) & 0xFFFFFFFF:08x})"
+            )
+        records.append(decode_payload(payload))
+        offset = start + length
+        good = offset
+    return StructuralRecovery(tuple(records), len(data) - good, good)
+
+
+class WriteAheadLog:
+    """An append-only checksummed record log with fsync discipline.
+
+    Opening performs structural recovery: the file is scanned, any torn
+    tail is truncated, and the valid records are available via
+    :attr:`records`.  ``fsync=False`` trades durability for speed
+    (benchmarks; tests that drive thousands of logs).
+
+    ``file_wrapper`` wraps the append handle — the crash-injection
+    hook used by :func:`repro.governor.faultinject.FaultyWAL`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: bool = True,
+        file_wrapper: Callable[[BinaryIO], BinaryIO] | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self.truncated_bytes = 0
+        self._records: list[WalRecord] = []
+        self._closed = False
+        self._recover_structure()
+        raw: BinaryIO = open(self.path, "ab")
+        self._file: BinaryIO = file_wrapper(raw) if file_wrapper is not None else raw
+        if self.position == 0:
+            self._write(MAGIC)
+            self.sync()
+
+    def _recover_structure(self) -> None:
+        if not self.path.exists():
+            self._position = 0
+            return
+        data = self.path.read_bytes()
+        recovery = scan_log_bytes(data)
+        self._records = list(recovery.records)
+        if recovery.truncated_bytes:
+            keep = len(data) - recovery.truncated_bytes
+            with open(self.path, "r+b") as handle:
+                handle.truncate(keep)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self.truncated_bytes = recovery.truncated_bytes
+            obs_record(WAL_TRUNCATED_BYTES, recovery.truncated_bytes)
+            self._position = keep
+        else:
+            self._position = len(data)
+
+    # -- append path -------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """The append offset: bytes of durable-format log so far."""
+        return self._position
+
+    @property
+    def records(self) -> tuple[WalRecord, ...]:
+        """Every structurally valid record currently in the log."""
+        return tuple(self._records)
+
+    def _write(self, data: bytes) -> None:
+        try:
+            self._file.write(data)
+        finally:
+            # A partial write (crash injection) still moved the file
+            # position; recovery only ever trusts on-disk bytes, so the
+            # in-memory position is best-effort from here on.
+            self._position += len(data)
+
+    def append(self, record: WalRecord) -> int:
+        """Append one record (no fsync — call :meth:`sync` to make it
+        durable); returns the record's end offset."""
+        if self._closed:
+            raise StorageError(f"WAL {self.path} is closed")
+        self._write(encode_record(record))
+        self._records.append(record)
+        obs_record(WAL_APPENDS)
+        return self._position
+
+    def sync(self) -> None:
+        """Flush and (unless ``fsync=False``) ``fsync`` the log — the
+        durability barrier of the commit protocol."""
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+        obs_record(WAL_FSYNCS)
+
+    def reset(self) -> None:
+        """Truncate the log back to a bare header (post-checkpoint)."""
+        self._file.close()
+        with open(self.path, "wb") as handle:
+            handle.write(MAGIC)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records = []
+        self._position = len(MAGIC)
+        self.truncated_bytes = 0
+        self._file = open(self.path, "ab")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.flush()
+        except ValueError:  # already closed underneath us
+            pass
+        self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# -- replay --------------------------------------------------------------------
+
+
+def committed_transactions(records: Iterable[WalRecord]) -> list[list[WalRecord]]:
+    """Group records into transactions and keep only committed ones, in
+    commit order.  A ``begin`` without a ``commit`` (crash before the
+    barrier) is rolled back by omission."""
+    ops: dict[int, list[WalRecord]] = {}
+    committed: list[list[WalRecord]] = []
+    for record in records:
+        if record.op == BEGIN:
+            ops[record.txn] = []
+        elif record.op == COMMIT:
+            committed.append(ops.pop(record.txn, []))
+        else:
+            ops.setdefault(record.txn, []).append(record)
+    return committed
+
+
+def _relation_from_record(record: WalRecord, line_no: int = 0) -> ConstraintRelation:
+    try:
+        attributes = [
+            Attribute(name, DataType(type_name), AttributeKind(kind_name))
+            for name, type_name, kind_name in record.schema
+        ]
+    except (TypeError, ValueError) as exc:
+        raise CorruptPageError(f"WAL put record carries a bad schema: {exc}") from None
+    schema = Schema(attributes)
+    tuples = []
+    for row in record.rows:
+        values, formula = parse_tuple_line(row, line_no)
+        tuples.append(HTuple(schema, values, formula))
+    return ConstraintRelation(schema, tuples, record.relation)
+
+
+def apply_record(database: Database, record: WalRecord) -> None:
+    """Apply one ``put``/``append``/``drop`` record to a catalog."""
+    assert record.relation is not None
+    if record.op == PUT:
+        database.add(record.relation, _relation_from_record(record), replace=True)
+    elif record.op == APPEND:
+        base = database.get(record.relation)
+        appended = []
+        for row in record.rows:
+            values, formula = parse_tuple_line(row, 0)
+            appended.append(HTuple(base.schema, values, formula))
+        database.add(record.relation, base.extended(appended), replace=True)
+    elif record.op == DROP:
+        database.drop(record.relation)
+    else:  # pragma: no cover - begin/commit never reach apply
+        raise StorageError(f"cannot apply WAL control record {record.op!r}")
+
+
+def replay(database: Database, records: Iterable[WalRecord]) -> int:
+    """Replay every committed transaction into ``database``; returns the
+    number of operation records applied."""
+    applied = 0
+    for transaction in committed_transactions(records):
+        for record in transaction:
+            apply_record(database, record)
+            applied += 1
+    if applied:
+        obs_record(WAL_REPLAYED, applied)
+    return applied
+
+
+# -- transactions --------------------------------------------------------------
+
+
+def _schema_specs(schema: Schema) -> tuple[tuple[str, str, str], ...]:
+    return tuple(
+        (attr.name, attr.data_type.value, attr.kind.value) for attr in schema
+    )
+
+
+def _tuple_rows(tuples: Iterable[HTuple]) -> tuple[str, ...]:
+    # serialize_tuple emits "tuple <body>"; the WAL stores just the body.
+    rows = []
+    for t in tuples:
+        line = serialize_tuple(t)
+        rows.append(line[len("tuple") :].lstrip())
+    return tuple(rows)
+
+
+class IngestTransaction:
+    """One write transaction against a :class:`DurableDatabase`.
+
+    Operations are logged immediately (write-ahead); nothing touches the
+    live catalog until :meth:`commit` has made the log durable.  Leaving
+    the ``with`` block without committing *aborts*: the logged records
+    stay in the file but, lacking a commit record, are never replayed.
+    """
+
+    def __init__(self, durable: "DurableDatabase", txn: int) -> None:
+        self._durable = durable
+        self._txn = txn
+        self._ops: list[WalRecord] = []
+        self.committed = False
+        durable.wal.append(WalRecord(BEGIN, txn))
+
+    def _log(self, record: WalRecord) -> None:
+        if self.committed:
+            raise StorageError("transaction already committed")
+        self._durable.wal.append(record)
+        self._ops.append(record)
+
+    def put_relation(self, name: str, relation: ConstraintRelation) -> None:
+        """Create or replace ``name`` with ``relation``'s contents."""
+        self._log(
+            WalRecord(
+                PUT,
+                self._txn,
+                relation=name,
+                schema=_schema_specs(relation.schema),
+                rows=_tuple_rows(relation),
+            )
+        )
+
+    def append_tuples(self, name: str, tuples: Iterable[HTuple]) -> None:
+        """Append ``tuples`` to the existing relation ``name``."""
+        base = self._durable.database.get(name)  # validates existence now
+        materialized = list(tuples)
+        for t in materialized:
+            if t.schema != base.schema:
+                raise StorageError(
+                    f"appended tuple schema does not match relation {name!r}"
+                )
+        self._log(WalRecord(APPEND, self._txn, relation=name, rows=_tuple_rows(materialized)))
+
+    def drop_relation(self, name: str) -> None:
+        self._durable.database.get(name)  # validates existence now
+        self._log(WalRecord(DROP, self._txn, relation=name))
+
+    def commit(self) -> None:
+        """Write the commit record, fsync (the durability point), then
+        publish a fresh catalog with the transaction applied."""
+        if self.committed:
+            raise StorageError("transaction already committed")
+        self._durable.wal.append(WalRecord(COMMIT, self._txn))
+        self._durable.wal.sync()
+        self.committed = True
+        obs_record(WAL_COMMITS)
+        self._durable._publish(self._ops)
+
+    def __enter__(self) -> "IngestTransaction":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        # Clean exit without an explicit commit() commits; an exception
+        # aborts (no commit record -> rolled back at recovery).
+        if exc_type is None and not self.committed:
+            self.commit()
+
+
+# -- the durable database ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What recovery-on-open did."""
+
+    records: int  #: structurally valid records found in the log
+    committed_transactions: int
+    replayed_records: int  #: operation records applied to the image
+    rolled_back_transactions: int  #: begun but never committed
+    truncated_bytes: int  #: torn tail cut off the log
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "records": self.records,
+            "committed_transactions": self.committed_transactions,
+            "replayed_records": self.replayed_records,
+            "rolled_back_transactions": self.rolled_back_transactions,
+            "truncated_bytes": self.truncated_bytes,
+        }
+
+
+class DurableDatabase:
+    """A ``.cdb`` image plus its write-ahead log, recovered on open.
+
+    :attr:`database` is the current catalog — the image with every
+    committed log transaction replayed.  Each committed transaction
+    publishes a *new* :class:`Database` (relations shared by reference),
+    so any snapshot of a previous catalog stays internally consistent.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: bool = True,
+        wal: WriteAheadLog | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.wal = wal if wal is not None else WriteAheadLog(wal_path_for(path), fsync=fsync)
+        if self.path.exists():
+            database = load_database(self.path)
+        else:
+            database = Database()
+        records = self.wal.records
+        committed = committed_transactions(records)
+        begun = {r.txn for r in records if r.op == BEGIN}
+        done = {r.txn for r in records if r.op == COMMIT}
+        replayed = replay(database, records)
+        self._database = database
+        self.version = 1
+        self.recovery = RecoveryReport(
+            records=len(records),
+            committed_transactions=len(committed),
+            replayed_records=replayed,
+            rolled_back_transactions=len(begun - done),
+            truncated_bytes=self.wal.truncated_bytes,
+        )
+        if records or self.wal.truncated_bytes:
+            obs_record(WAL_RECOVERIES)
+        self._next_txn = 1 + max((r.txn for r in records), default=0)
+
+    @property
+    def database(self) -> Database:
+        """The current catalog (replace-on-publish: safe to snapshot)."""
+        return self._database
+
+    def begin(self) -> IngestTransaction:
+        txn = self._next_txn
+        self._next_txn += 1
+        return IngestTransaction(self, txn)
+
+    def _publish(self, ops: list[WalRecord]) -> None:
+        fresh = Database({name: self._database[name] for name in self._database})
+        for record in ops:
+            apply_record(fresh, record)
+        self._database = fresh
+        self.version += 1
+
+    def checkpoint(self) -> None:
+        """Fold the log into the image: atomically rewrite the ``.cdb``
+        (write temp, fsync, rename, fsync directory) and reset the log.
+        Crash-ordering: the image is durable *before* the log is
+        truncated, so a crash between the two replays harmlessly (replay
+        of an already-applied ``put`` is idempotent; ``append``/``drop``
+        records are subsumed by the rewritten image and the reset)."""
+        buffer = io.StringIO()
+        buffer.write("# CQA/CDB database file\n")
+        for name in self._database:
+            save_relation(self._database[name], buffer, name)
+            buffer.write("\n")
+        atomic_write_text(self.path, buffer.getvalue())
+        self.wal.reset()
+        obs_record(WAL_CHECKPOINTS)
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurableDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def open_durable(
+    path: str | Path, *, fsync: bool = True, wal: WriteAheadLog | None = None
+) -> DurableDatabase:
+    """Open a database image with crash recovery: load the ``.cdb``,
+    truncate any torn WAL tail, replay committed transactions.  The
+    returned handle's :attr:`~DurableDatabase.recovery` reports what was
+    done."""
+    return DurableDatabase(path, fsync=fsync, wal=wal)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Durably replace ``path``'s contents: write a sibling temp file,
+    fsync it, ``os.replace`` into place, fsync the directory — a reader
+    (or a crash) sees either the old file or the new one, never a
+    partial write."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    directory = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(directory)
+    finally:
+        os.close(directory)
+
+
+def iter_log_records(path: str | Path) -> Iterator[WalRecord]:
+    """Read-only scan of a log file's valid records (diagnostics/CLI)."""
+    log_path = Path(path)
+    if not log_path.exists():
+        return iter(())
+    return iter(scan_log_bytes(log_path.read_bytes()).records)
+
+
+__all__ = [
+    "APPEND",
+    "BEGIN",
+    "COMMIT",
+    "DROP",
+    "DurableDatabase",
+    "IngestTransaction",
+    "MAGIC",
+    "PUT",
+    "RecoveryReport",
+    "StructuralRecovery",
+    "WAL_SUFFIX",
+    "WalRecord",
+    "WriteAheadLog",
+    "apply_record",
+    "atomic_write_text",
+    "committed_transactions",
+    "decode_payload",
+    "encode_record",
+    "iter_log_records",
+    "open_durable",
+    "replay",
+    "scan_log_bytes",
+    "wal_path_for",
+]

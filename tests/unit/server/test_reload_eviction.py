@@ -1,0 +1,138 @@
+"""Unit tests for hot reload and idle-session eviction."""
+
+import threading
+import time
+
+import pytest
+
+from repro.constraints import parse_constraints
+from repro.model import ConstraintRelation, Database, HTuple, Schema, constraint, relational
+from repro.obs import SERVER_EVICTED, SERVER_RELOAD_ERRORS, SERVER_RELOADS
+from repro.server import ServerConfig, ServerThread
+from repro.storage.wal import atomic_write_text
+from repro.storage.serialization import dumps
+
+
+def make_database(marker: str) -> Database:
+    s = Schema([relational("id"), constraint("t")])
+    r = ConstraintRelation(
+        s,
+        [HTuple(s, {"id": marker}, parse_constraints("0 <= t, t <= 10"))],
+        "R",
+    )
+    return Database({"R": r})
+
+
+class TestServerConfigKnobs:
+    def test_session_ttl_validated(self):
+        with pytest.raises(ValueError, match="session_ttl"):
+            ServerConfig(session_ttl=0)
+        with pytest.raises(ValueError, match="session_ttl"):
+            ServerConfig(session_ttl=-1.5)
+        assert ServerConfig(session_ttl=2.5).session_ttl == 2.5
+        assert ServerConfig().session_ttl is None
+
+
+class TestIdleEviction:
+    def test_idle_session_evicted_and_recreated(self):
+        database = make_database("a")
+        config = ServerConfig(workers=1, session_ttl=0.15)
+        with ServerThread(database, config) as harness:
+            with harness.client(tenant="sleepy") as client:
+                client.execute("B0 = select t >= 0 from R")
+                stats = client.stats()
+                assert "sleepy" in stats["tenants"]
+                deadline = time.monotonic() + 10.0
+                while "sleepy" in client.stats()["tenants"]:
+                    assert time.monotonic() < deadline, "eviction never happened"
+                    time.sleep(0.05)
+                assert harness.counter(SERVER_EVICTED) >= 1
+                # The tenant comes back lazily — fresh session, no bindings.
+                reply = client.query("B1 = select t >= 1 from B0")
+                assert not reply["ok"]  # B0 binding was dropped with the session
+                assert client.execute("B1 = select t >= 1 from R")["rows"] == 1
+                assert "sleepy" in client.stats()["tenants"]
+
+    def test_busy_session_not_evicted(self):
+        database = make_database("a")
+        config = ServerConfig(workers=2, max_queue=4, session_ttl=0.1)
+        with ServerThread(database, config) as harness:
+            with harness.client() as sleeper, harness.client() as watcher:
+                done: list[bool] = []
+
+                def hold() -> None:
+                    # Holds the tenant lock well past the TTL.
+                    sleeper.sleep(0.6, tenant="busy")
+                    done.append(True)
+
+                thread = threading.Thread(target=hold)
+                thread.start()
+                try:
+                    # Several sweep intervals into the sleep the tenant is
+                    # idle by the clock but busy by the lock — not evicted.
+                    time.sleep(0.35)
+                    stats = watcher.stats()
+                    assert "busy" in stats["tenants"]
+                    assert stats["tenants"]["busy"]["busy"] is True
+                finally:
+                    thread.join(timeout=30)
+                assert done
+
+    def test_no_ttl_means_no_sweeper(self):
+        database = make_database("a")
+        with ServerThread(database, ServerConfig(workers=1)) as harness:
+            with harness.client(tenant="t") as client:
+                client.execute("B0 = select t >= 0 from R")
+                time.sleep(0.3)
+                assert "t" in client.stats()["tenants"]
+                assert harness.counter(SERVER_EVICTED) == 0
+
+
+class TestReload:
+    def write_image(self, path, marker: str) -> None:
+        atomic_write_text(path, dumps(make_database(marker)))
+
+    def test_reload_swaps_snapshot(self, tmp_path):
+        path = tmp_path / "db.cdb"
+        self.write_image(path, "old")
+        database = make_database("old")
+        with ServerThread(database, ServerConfig(workers=1), source=path) as harness:
+            with harness.client(tenant="t") as client:
+                assert "old" in client.execute("X = select t >= 0 from R")["text"]
+                self.write_image(path, "new")
+                reply = client.reload()
+                assert reply["ok"] and reply["version"] == 2
+                assert reply["retired_sessions"] == 1
+                assert "new" in client.execute("X = select t >= 0 from R")["text"]
+                assert harness.counter(SERVER_RELOADS) == 1
+
+    def test_stats_surface_snapshot_and_reload_state(self, tmp_path):
+        path = tmp_path / "db.cdb"
+        self.write_image(path, "v")
+        with ServerThread(make_database("v"), ServerConfig(workers=1), source=path) as harness:
+            with harness.client(tenant="t") as client:
+                client.execute("X = select t >= 0 from R")
+                stats = client.stats()
+                assert stats["snapshot"]["version"] == 1
+                assert stats["snapshot"]["readers"] == 1
+                assert stats["reloading"] is False
+                assert stats["tenants"]["t"]["snapshot_version"] == 1
+                assert stats["tenants"]["t"]["idle_seconds"] >= 0
+                client.reload()
+                stats = client.stats()
+                assert stats["snapshot"]["version"] == 2
+
+    def test_corrupt_new_image_fails_reload_and_keeps_old_snapshot(self, tmp_path):
+        path = tmp_path / "db.cdb"
+        self.write_image(path, "good")
+        with ServerThread(make_database("good"), ServerConfig(workers=1), source=path) as harness:
+            with harness.client(tenant="t") as client:
+                # Valid header, truncated body: typed corruption on load.
+                text = dumps(make_database("bad"))
+                atomic_write_text(path, text[: text.rindex("end")])
+                reply = client.reload()
+                assert not reply["ok"]
+                assert reply["error"]["kind"] == "corrupt_page"
+                assert harness.counter(SERVER_RELOAD_ERRORS) == 1
+                # The old snapshot still serves.
+                assert "good" in client.execute("X = select t >= 0 from R")["text"]

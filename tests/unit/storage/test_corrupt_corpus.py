@@ -1,0 +1,105 @@
+"""A corpus of malformed ``.cdb`` files and heap-file abuse.
+
+Load hardening contract: a file with a valid header but a damaged body
+must fail with a *typed* :class:`~repro.errors.CorruptPageError` that
+names the damaged relation or page — never an ``IndexError``,
+``ValueError``, ``UnicodeDecodeError``, or silently wrong data.
+"""
+
+import pytest
+
+from repro.errors import CorruptPageError, StorageError
+from repro.model.relation import ConstraintRelation
+from repro.model.schema import Attribute, Schema
+from repro.model.tuples import point_tuple
+from repro.model.types import AttributeKind, DataType
+from repro.storage import HeapFile, load_database, loads
+
+VALID = """# CQA/CDB database file
+relation Land
+attribute landId string relational
+attribute x rational constraint
+tuple landId="A" | 2 <= x, x <= 6
+tuple landId="B" | 1 <= x, x <= 3
+checksum 2 {crc}
+end
+"""
+
+
+def valid_text() -> str:
+    import zlib
+
+    lines = [
+        'tuple landId="A" | 2 <= x, x <= 6',
+        'tuple landId="B" | 1 <= x, x <= 3',
+    ]
+    crc = f"{zlib.crc32(chr(10).join(lines).encode()) & 0xFFFFFFFF:08x}"
+    return VALID.format(crc=crc)
+
+
+class TestTruncatedBodies:
+    def test_cut_before_end_directive(self):
+        text = valid_text()
+        torn = text[: text.rindex("end")]
+        with pytest.raises(CorruptPageError, match="'Land' truncated"):
+            loads(torn)
+
+    def test_cut_mid_schema(self):
+        text = valid_text()
+        torn = text[: text.index("attribute x")]
+        with pytest.raises(CorruptPageError, match="'Land' truncated"):
+            loads(torn)
+
+    def test_cut_mid_tuples_fails_checksum_count(self):
+        text = valid_text()
+        # Drop one tuple line but keep checksum+end: count mismatch.
+        torn = text.replace('tuple landId="B" | 1 <= x, x <= 3\n', "")
+        with pytest.raises(CorruptPageError, match="records 2 tuples"):
+            loads(torn)
+
+
+class TestBitRot:
+    def test_flipped_digit_fails_crc(self):
+        text = valid_text().replace("x <= 6", "x <= 7", 1)
+        with pytest.raises(CorruptPageError, match="checksum mismatch"):
+            loads(text)
+
+    def test_binary_garbage_is_typed(self, tmp_path):
+        path = tmp_path / "garbage.cdb"
+        path.write_bytes(b"# CQA/CDB database file\nrelation R\n\xff\xfe\x00\x80 binary")
+        with pytest.raises(CorruptPageError, match="not valid UTF-8"):
+            load_database(path)
+
+    def test_checksummed_roundtrip_still_loads(self):
+        database = loads(valid_text())
+        assert len(database["Land"]) == 2
+
+
+class TestHeapFilePages:
+    def make_heap(self) -> HeapFile:
+        schema = Schema(
+            [
+                Attribute("id", DataType.STRING, AttributeKind.RELATIONAL),
+                Attribute("x", DataType.RATIONAL, AttributeKind.CONSTRAINT),
+            ]
+        )
+        relation = ConstraintRelation(
+            schema, [point_tuple(schema, {"id": f"t{i}", "x": i}) for i in range(5)], "R"
+        )
+        return HeapFile(relation)
+
+    def test_page_past_end_is_typed_and_named(self):
+        heap = self.make_heap()
+        with pytest.raises(CorruptPageError, match=r"page 99 out of range.*R has \d+ page"):
+            heap.read_page(99)
+
+    def test_negative_page_is_typed(self):
+        heap = self.make_heap()
+        with pytest.raises(CorruptPageError, match="out of range"):
+            heap.read_page(-1)
+
+    def test_corruption_is_a_storage_error(self):
+        # The taxonomy: callers catching StorageError see corruption too.
+        heap = self.make_heap()
+        with pytest.raises(StorageError):
+            heap.read_page(99)

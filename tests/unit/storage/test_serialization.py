@@ -98,7 +98,11 @@ class TestFormatErrors:
             loads("tuple x=1\n")
 
     def test_unterminated_relation(self):
-        with pytest.raises(StorageError, match="unterminated"):
+        # A body that stops mid-relation is the truncated-file signature:
+        # typed corruption naming the relation (see test_corrupt_corpus).
+        from repro.errors import CorruptPageError
+
+        with pytest.raises(CorruptPageError, match="'R' truncated"):
             loads("relation R\nattribute x rational constraint\n")
 
     def test_nested_relation(self):

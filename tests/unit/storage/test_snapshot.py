@@ -1,0 +1,87 @@
+"""Unit tests for snapshot pinning and the swap/drain protocol."""
+
+import threading
+
+import pytest
+
+from repro.model.database import Database
+from repro.model.relation import ConstraintRelation
+from repro.model.schema import Attribute, Schema
+from repro.model.tuples import point_tuple
+from repro.model.types import AttributeKind, DataType
+from repro.storage.snapshot import DatabaseSnapshot, SnapshotManager
+
+
+def make_db(marker: str) -> Database:
+    schema = Schema(
+        [
+            Attribute("id", DataType.STRING, AttributeKind.RELATIONAL),
+            Attribute("x", DataType.RATIONAL, AttributeKind.CONSTRAINT),
+        ]
+    )
+    relation = ConstraintRelation(schema, [point_tuple(schema, {"id": marker, "x": 1})], "R")
+    return Database({"R": relation})
+
+
+class TestDatabaseSnapshot:
+    def test_pin_unpin_counts(self):
+        snap = DatabaseSnapshot(make_db("a"), 1)
+        assert snap.readers == 0
+        snap.pin()
+        snap.pin()
+        assert snap.readers == 2
+        snap.unpin()
+        assert snap.readers == 1
+
+    def test_over_unpin_rejected(self):
+        snap = DatabaseSnapshot(make_db("a"), 1)
+        with pytest.raises(RuntimeError):
+            snap.unpin()
+
+    def test_context_manager_pins(self):
+        snap = DatabaseSnapshot(make_db("a"), 1)
+        with snap:
+            assert snap.readers == 1
+        assert snap.readers == 0
+
+
+class TestSnapshotManager:
+    def test_swap_bumps_version_and_retires(self):
+        manager = SnapshotManager(make_db("v1"))
+        old = manager.current()
+        assert old.version == 1 and not old.retired
+        retired = manager.swap(make_db("v2"))
+        assert retired is old
+        assert retired.retired
+        assert manager.version == 2
+        assert not manager.current().retired
+
+    def test_old_readers_keep_old_view(self):
+        manager = SnapshotManager(make_db("v1"))
+        pinned = manager.current().pin()
+        manager.swap(make_db("v2"))
+        # The pinned snapshot still serves its original catalog.
+        tuples = list(pinned.database["R"])
+        assert tuples[0].values["id"] == "v1"
+        assert list(manager.current().database["R"])[0].values["id"] == "v2"
+        pinned.unpin()
+
+    def test_drain_waits_for_unpin(self):
+        manager = SnapshotManager(make_db("v1"))
+        pinned = manager.current().pin()
+        retired = manager.swap(make_db("v2"))
+        assert retired is pinned
+        releaser = threading.Timer(0.05, pinned.unpin)
+        releaser.start()
+        try:
+            assert manager.drain(retired, timeout=5.0)
+        finally:
+            releaser.join()
+        assert retired.readers == 0
+
+    def test_drain_times_out_with_stuck_reader(self):
+        manager = SnapshotManager(make_db("v1"))
+        pinned = manager.current().pin()
+        retired = manager.swap(make_db("v2"))
+        assert not manager.drain(retired, timeout=0.05)
+        pinned.unpin()
