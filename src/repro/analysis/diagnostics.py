@@ -80,6 +80,7 @@ CODE_CATALOG: Mapping[str, tuple[Severity, str]] = {
     "CQA202": (Severity.WARNING, "provably empty: all-NULL relational attribute"),
     "CQA301": (Severity.WARNING, "vacuous selection (statically unsatisfiable)"),
     "CQA302": (Severity.INFO, "selection condition has no effect"),
+    "CQA303": (Severity.INFO, "redundant conjunct (implied by other conditions)"),
     "CQA401": (Severity.WARNING, "DNF clause blow-up may exceed budget"),
     "CQA402": (Severity.ERROR, "output lower bound exceeds budget"),
     "CQA403": (Severity.INFO, "large join fan-out"),

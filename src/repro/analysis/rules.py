@@ -20,7 +20,7 @@ from ..algebra.predicates import Predicate, StringPredicate
 from ..algebra.safety import find_unsafe
 from ..algebra.stats import RelationStatistics, collect_statistics, estimate_join_size
 from ..constraints import LinearConstraint
-from ..constraints.solver import interval_is_empty, summarise
+from ..constraints.solver import interval_is_empty, merge_intervals, summarise
 from ..errors import ReproError
 from ..governor.budget import Budget
 from ..model.relation import ConstraintRelation
@@ -379,6 +379,80 @@ def condition_has_no_effect(ctx: StatementContext) -> Iterable[Diagnostic]:
                     "every tuple and filters nothing",
                     span=comparison.span,
                 )
+
+
+@rule("CQA303", "redundant-conjunct")
+def redundant_conjunct(ctx: StatementContext) -> Iterable[Diagnostic]:
+    """A conjunct that cannot narrow the result: an exact duplicate of an
+    earlier condition, or a single-variable atom already implied by the
+    interval the *other* linear atoms force on its variable.
+
+    Decided with the solver's O(d) interval summaries, like CQA301.
+    Soundness of the implication check: ``summarise(others)`` yields sound
+    consequences of the other conjuncts, so when the others' implied
+    interval for ``v`` is already inside the atom's own interval, the
+    others entail the atom — dropping it cannot change the result."""
+    body = ctx.body
+    if not isinstance(body, SelectStmt):
+        return
+    schema = ctx.schema_of(body.source)
+    if schema is None:
+        return
+    compiled = _compiled_conditions(body, schema)
+    if len(compiled) < 2:
+        return
+
+    # Exact duplicates (any predicate kind — equality is value-based).
+    seen: list[Predicate] = []
+    duplicates: set[int] = set()
+    for index, (comparison, predicate) in enumerate(compiled):
+        if any(predicate == earlier for earlier in seen):
+            duplicates.add(index)
+            yield diagnostic(
+                "CQA303",
+                f"condition '{_render_comparison(comparison)}' duplicates an "
+                "earlier conjunct",
+                span=comparison.span,
+                hint="drop the repeated condition",
+            )
+        seen.append(predicate)
+
+    # Interval implication for single-variable linear atoms.
+    linear = [
+        (index, comparison, predicate)
+        for index, (comparison, predicate) in enumerate(compiled)
+        if isinstance(predicate, LinearConstraint) and not predicate.is_trivial
+    ]
+    for index, comparison, atom in linear:
+        if index in duplicates:
+            continue
+        variables = atom.expression.variables
+        if len(variables) != 1:
+            continue
+        (variable,) = variables
+        # Duplicates are excluded from the evidence set: a pair of equal
+        # atoms is one report (the duplicate above), not two.
+        others = [a for i, _, a in linear if i != index and i not in duplicates]
+        if not others:
+            continue
+        others_summary = summarise(others)
+        if others_summary.inconsistent:
+            continue  # CQA301 territory: everything is vacuously implied
+        others_interval = others_summary.bounds.get(variable)
+        if others_interval is None:
+            continue
+        atom_interval = summarise([atom]).bounds.get(variable)
+        if atom_interval is None:
+            continue
+        if merge_intervals(others_interval, atom_interval) == others_interval:
+            yield diagnostic(
+                "CQA303",
+                f"condition '{_render_comparison(comparison)}' is implied by "
+                f"the other conditions (their bound on {variable!r} is "
+                "already at least as tight)",
+                span=comparison.span,
+                hint="drop the redundant conjunct",
+            )
 
 
 # -- blow-up rules (CQA4xx) ---------------------------------------------------

@@ -354,6 +354,28 @@ def _add_budget_arguments(parser: argparse.ArgumentParser, description: str) -> 
     )
 
 
+def _cmd_devtools_lint(args: argparse.Namespace) -> int:
+    """``repro devtools lint`` — the RT linter over Python sources.
+
+    Exit 0 when no error-severity findings remain after the baseline is
+    applied (warnings/infos print but do not gate); otherwise
+    ``EXIT_LINT`` (2), the compiler-linter convention ``--lint`` uses.
+    """
+    from .devtools import Baseline, lint_paths
+
+    select = args.select.split(",") if args.select else None
+    if args.write_baseline is not None:
+        report = lint_paths(args.paths, select=select)
+        baseline = Baseline.from_report(report)
+        baseline.write(Path(args.write_baseline))
+        print(f"wrote {len(baseline.fingerprints)} fingerprint(s) to {args.write_baseline}")
+        return 0
+    baseline = Baseline.load(Path(args.baseline)) if args.baseline else Baseline()
+    report = lint_paths(args.paths, select=select, baseline=baseline)
+    print(report.render())
+    return EXIT_LINT if report.has_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -570,6 +592,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the binned series as JSON"
     )
     experiment.set_defaults(handler=_cmd_experiment)
+
+    devtools = commands.add_parser(
+        "devtools",
+        help="runtime-invariant tooling (RT diagnostics, see docs/DEVTOOLS.md)",
+    )
+    devtools_actions = devtools.add_subparsers(dest="action", required=True)
+    lint = devtools_actions.add_parser(
+        "lint", help="AST-lint Python sources for RT1xx-RT4xx violations"
+    )
+    lint.add_argument(
+        "paths", nargs="+", help="Python files or directories (e.g. src/repro)"
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of accepted finding fingerprints (missing file "
+        "= empty baseline)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated RT codes to run (default: all rules)",
+    )
+    lint.set_defaults(handler=_cmd_devtools_lint)
     return parser
 
 

@@ -1,0 +1,72 @@
+"""Static analysis *of the repro runtime itself* (``repro devtools``).
+
+:mod:`repro.analysis` (PR 4) checks user queries before evaluating them;
+this package applies the same move to the implementation: an ``ast``-
+driven linter over the repro source tree emitting typed ``RTnnn``
+diagnostics for the invariants the runtime otherwise enforces only by
+convention — event-loop hygiene in the async server, thread-local stack
+push/pop balance, lock discipline on shared fields, cache-invalidation
+pairing on the write path, cooperative-cancellation coverage, and
+exception hygiene on the durability paths.  ``RT5xx`` is the companion
+*runtime* sanitizer (:mod:`repro.devtools.sanitize`): a lock-order
+deadlock detector and a snapshot pin/unpin balance checker enabled under
+``REPRO_SANITIZE=1``.
+
+Surfaces: ``repro devtools lint`` (CLI, exit 2 on errors, ``--baseline``
+for accepted findings) and :func:`lint_paths` (library).  See
+``docs/DEVTOOLS.md`` for the full catalog.
+"""
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .diagnostics import (
+        RT_CODE_CATALOG,
+        RuntimeDiagnostic,
+        RuntimeReport,
+        Severity,
+        rt_diagnostic,
+    )
+    from .linter import Baseline, lint_paths
+    from .rules import all_rt_rules
+
+__all__ = [
+    "RT_CODE_CATALOG",
+    "RuntimeDiagnostic",
+    "RuntimeReport",
+    "Severity",
+    "rt_diagnostic",
+    "Baseline",
+    "lint_paths",
+    "all_rt_rules",
+]
+
+#: Lazy re-exports (PEP 562).  The storage layer imports
+#: :mod:`repro.devtools.sanitize` on every process start; keeping the
+#: package ``__init__`` free of eager imports means that costs nothing —
+#: the ``ast`` machinery (and its ``repro.analysis`` dependency) loads
+#: only when the linter itself is used.
+_EXPORTS = {
+    "RT_CODE_CATALOG": "diagnostics",
+    "RuntimeDiagnostic": "diagnostics",
+    "RuntimeReport": "diagnostics",
+    "Severity": "diagnostics",
+    "rt_diagnostic": "diagnostics",
+    "Baseline": "linter",
+    "lint_paths": "linter",
+    "all_rt_rules": "rules",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

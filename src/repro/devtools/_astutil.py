@@ -1,0 +1,199 @@
+"""AST plumbing shared by the RT rules.
+
+The rules operate on a :class:`ModuleContext`: one parsed source file
+with a precomputed ``node -> qualified name`` map (so findings carry
+``Class.method`` symbols, which is what baseline fingerprints key on),
+the raw source lines (for ``# devtools: allow[RTnnn]`` suppression
+comments), and the module's dotted import name when the file lives
+under a recognisable package root.
+
+The central primitive is :func:`dotted_chain`: a best-effort rendering
+of an attribute access like ``self._pages[idx].append`` into the tuple
+``("self", "_pages", "[]", "append")``.  Chains are matched against
+patterns such as ``"time.sleep"`` or ``"*.read_text"`` (leading ``*``
+matches any non-empty base) — purely lexical, which is the right
+trade-off for an in-repo linter: the conventions it enforces are naming
+conventions the codebase already follows.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+
+def dotted_chain(node: ast.AST) -> tuple[str, ...]:
+    """The lexical access path of an expression, innermost first.
+
+    ``a.b.c`` -> ``("a", "b", "c")``; subscripts contribute ``"[]"`` and
+    call results ``"()"``; anything opaque contributes ``"?"``.
+    """
+    if isinstance(node, ast.Name):
+        return (node.id,)
+    if isinstance(node, ast.Attribute):
+        return dotted_chain(node.value) + (node.attr,)
+    if isinstance(node, ast.Subscript):
+        return dotted_chain(node.value) + ("[]",)
+    if isinstance(node, ast.Call):
+        return dotted_chain(node.func) + ("()",)
+    return ("?",)
+
+
+def render_chain(chain: Sequence[str]) -> str:
+    out = ""
+    for part in chain:
+        if part in ("[]", "()"):
+            out += part
+        elif out:
+            out += "." + part
+        else:
+            out = part
+    return out
+
+
+def chain_matches(chain: Sequence[str], pattern: str) -> bool:
+    """Match a chain against a dotted pattern.
+
+    A pattern without ``*`` must equal the chain exactly (``"open"``
+    matches only the builtin call, not ``path.open``).  A leading
+    ``*.`` matches any non-empty base: ``"*.read_text"`` matches
+    ``cfg_path.read_text`` and ``self._path.read_text`` but not a bare
+    ``read_text``.
+    """
+    parts = tuple(pattern.split("."))
+    if parts[0] == "*":
+        tail = parts[1:]
+        return len(chain) > len(tail) and tuple(chain[-len(tail):]) == tail
+    return tuple(chain) == parts
+
+
+def matches_any(chain: Sequence[str], patterns: Sequence[str]) -> str | None:
+    """The first pattern in ``patterns`` that matches, or ``None``."""
+    for pattern in patterns:
+        if chain_matches(chain, pattern):
+            return pattern
+    return None
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def walk_in_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Every descendant of ``node`` *without* descending into nested
+    function definitions or lambdas (their bodies run in a different
+    dynamic context, so e.g. a blocking call inside a nested sync helper
+    defined in an ``async def`` is not a blocking call *on the loop*)."""
+    for child in ast.iter_child_nodes(node):
+        yield child
+        if isinstance(child, _SCOPE_NODES):
+            continue
+        yield from walk_in_scope(child)
+
+
+def functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """All function definitions in the module, at any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def module_literal(tree: ast.Module, name: str) -> object | None:
+    """The value of a module-level ``name = <literal>`` assignment
+    (evaluated with :func:`ast.literal_eval`), or ``None``."""
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == name
+        ):
+            try:
+                return ast.literal_eval(stmt.value)
+            except ValueError:
+                return None
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == name
+            and stmt.value is not None
+        ):
+            try:
+                return ast.literal_eval(stmt.value)
+            except ValueError:
+                return None
+    return None
+
+
+def _module_name_for(path: Path) -> str:
+    """Best-effort dotted module name: everything from the last ``repro``
+    path component down; the bare stem for files outside the package
+    (e.g. test fixtures in a temp dir)."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return ".".join(parts[i:])
+    return parts[-1] if parts else str(path)
+
+
+@dataclass
+class ModuleContext:
+    """One parsed file plus the derived maps the rules need."""
+
+    path: str
+    module_name: str
+    source: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+    _qualnames: dict[int, str] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def parse(cls, file_path: Path, display_path: str | None = None) -> "ModuleContext":
+        source = file_path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(file_path))
+        ctx = cls(
+            path=display_path if display_path is not None else file_path.as_posix(),
+            module_name=_module_name_for(file_path),
+            source=source,
+            tree=tree,
+            lines=tuple(source.splitlines()),
+        )
+        ctx._index_qualnames(tree, prefix="")
+        return ctx
+
+    def _index_qualnames(self, node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                self._mark_scope(child, qual)
+                self._index_qualnames(child, qual)
+            else:
+                self._index_qualnames(child, prefix)
+
+    def _mark_scope(self, node: ast.AST, qual: str) -> None:
+        """Label ``node`` and its body with ``qual``, stopping at nested
+        definitions (they get their own, deeper qualname)."""
+        self._qualnames[id(node)] = qual
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            self._mark_scope(child, qual)
+
+    def qualname(self, node: ast.AST) -> str:
+        """The qualified name of the definition enclosing ``node`` (the
+        definition's own name for def/class nodes), or ``<module>``."""
+        return self._qualnames.get(id(node), "<module>")
+
+    def suppressed(self, code: str, line: int) -> bool:
+        """True when the physical line carries an inline waiver comment
+        ``# devtools: allow[RTnnn]``."""
+        if 1 <= line <= len(self.lines):
+            return f"devtools: allow[{code}]" in self.lines[line - 1]
+        return False

@@ -1,0 +1,149 @@
+"""Typed diagnostics for the runtime invariant linter.
+
+Mirrors :mod:`repro.analysis.diagnostics` (stable codes, severities, a
+deterministic multi-line rendering used by the CLI and golden tests),
+but findings point into *Python source files* of the repro tree rather
+than query scripts: each carries a path, a line, and the enclosing
+definition's qualified name.  The qualname — not the line number — is
+what baseline fingerprints use, so accepted findings survive unrelated
+edits to the file above them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from ..analysis.diagnostics import Severity
+
+#: Catalog of every runtime diagnostic code.  Stable: codes are never
+#: renumbered — retired rules leave a hole.  RT5xx codes are emitted by
+#: the runtime sanitizer (:mod:`repro.devtools.sanitize`), never by the
+#: AST linter; they are catalogued here so one table covers the whole
+#: RT namespace.  See docs/DEVTOOLS.md.
+RT_CODE_CATALOG: Mapping[str, tuple[Severity, str]] = {
+    "RT101": (Severity.ERROR, "blocking call inside 'async def'"),
+    "RT102": (Severity.ERROR, "thread-local stack push without try/finally pop"),
+    "RT103": (Severity.ERROR, "guarded field mutated outside its declared lock"),
+    "RT201": (Severity.ERROR, "cache-backed field mutated without invalidation"),
+    "RT301": (Severity.WARNING, "governed loop without a budget checkpoint"),
+    "RT401": (Severity.WARNING, "broad exception handler on a durability path"),
+    "RT402": (Severity.ERROR, "handler swallows BaseException / SimulatedCrash"),
+    "RT501": (Severity.ERROR, "lock-order cycle (runtime sanitizer)"),
+    "RT502": (Severity.ERROR, "snapshot pin/unpin imbalance (runtime sanitizer)"),
+}
+
+
+def rt_default_severity(code: str) -> Severity:
+    """The catalog severity for ``code`` (ERROR for unknown codes)."""
+    return RT_CODE_CATALOG.get(code, (Severity.ERROR, ""))[0]
+
+
+@dataclass(frozen=True)
+class RuntimeDiagnostic:
+    """One linter (or sanitizer) finding against the source tree."""
+
+    code: str
+    severity: Severity
+    message: str
+    #: Posix-style path as given to the linter (relative when the lint
+    #: root was relative).
+    path: str
+    line: int
+    #: Qualified name of the enclosing definition (``Class.method``),
+    #: or ``"<module>"`` at module level.
+    symbol: str
+    hint: str | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        """The stable identity baselines match on: code, file, symbol —
+        deliberately *not* the line number, which churns."""
+        return f"{self.code}:{self.path}:{self.symbol}"
+
+    def render(self) -> str:
+        head = f"{self.code} {self.severity.label} {self.path}:{self.line}"
+        lines = [f"{head} ({self.symbol}): {self.message}"]
+        if self.hint is not None:
+            lines.append(f"  = hint: {self.hint}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def rt_diagnostic(
+    code: str,
+    message: str,
+    *,
+    path: str,
+    line: int,
+    symbol: str,
+    hint: str | None = None,
+    severity: Severity | None = None,
+) -> RuntimeDiagnostic:
+    """Build a :class:`RuntimeDiagnostic` with the catalog severity."""
+    return RuntimeDiagnostic(
+        code=code,
+        severity=severity if severity is not None else rt_default_severity(code),
+        message=message,
+        path=path,
+        line=line,
+        symbol=symbol,
+        hint=hint,
+    )
+
+
+class RuntimeReport:
+    """An ordered collection of runtime diagnostics."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[RuntimeDiagnostic] = ()) -> None:
+        self._items: tuple[RuntimeDiagnostic, ...] = tuple(items)
+
+    def __iter__(self) -> Iterator[RuntimeDiagnostic]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def by_code(self, code: str) -> "RuntimeReport":
+        return RuntimeReport(d for d in self._items if d.code == code)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity >= Severity.ERROR for d in self._items)
+
+    def without(self, fingerprints: Iterable[str]) -> "RuntimeReport":
+        """A copy with every baselined finding removed."""
+        accepted = set(fingerprints)
+        return RuntimeReport(
+            d for d in self._items if d.fingerprint not in accepted
+        )
+
+    def render(self) -> str:
+        """Deterministic multi-line report; clean runs render as
+        ``ok: no findings`` (the string the CI gate matches)."""
+        if not self._items:
+            return "ok: no findings"
+        blocks = [d.render() for d in self._items]
+        counts = {Severity.ERROR: 0, Severity.WARNING: 0, Severity.INFO: 0}
+        for d in self._items:
+            counts[d.severity] += 1
+        summary = ", ".join(
+            f"{n} {sev.label}{'s' if n != 1 else ''}"
+            for sev, n in counts.items()
+            if n
+        )
+        blocks.append(summary)
+        return "\n".join(blocks)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:
+        return f"RuntimeReport({list(self._items)!r})"

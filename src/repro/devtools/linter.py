@@ -1,0 +1,101 @@
+"""Driver: walk files, run rules, apply suppressions and baselines.
+
+:func:`lint_paths` is the single entry point both the CLI and the tests
+use.  Ordering is fully deterministic (files sorted, findings sorted by
+path/line/code), so the rendered report is directly comparable in
+golden tests and CI logs.
+
+Two escape hatches, both explicit in the diff they touch:
+
+* an inline ``# devtools: allow[RTnnn]`` comment on the offending line
+  waives one finding forever (for *reviewed* false positives — e.g. a
+  freshly constructed node whose cache provably does not exist yet);
+* a **baseline file** (JSON, written by ``repro devtools lint
+  --write-baseline``) records accepted fingerprints
+  (``code:path:symbol``) so a rule can be introduced before every
+  legacy finding is fixed.  The shipped CI gate runs with an *empty*
+  baseline — the tree itself lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ._astutil import ModuleContext
+from .diagnostics import RuntimeDiagnostic, RuntimeReport
+from .rules import all_rt_rules
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Accepted finding fingerprints (``code:path:symbol``)."""
+
+    fingerprints: frozenset[str] = frozenset()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an *empty* baseline,
+        so a fresh checkout gates at full strictness."""
+        if not path.exists():
+            return cls()
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        accepted = raw.get("accepted", []) if isinstance(raw, dict) else raw
+        return cls(frozenset(str(fp) for fp in accepted))
+
+    @classmethod
+    def from_report(cls, report: RuntimeReport) -> "Baseline":
+        return cls(frozenset(d.fingerprint for d in report))
+
+    def write(self, path: Path) -> None:
+        payload = {"accepted": sorted(self.fingerprints)}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def apply(self, report: RuntimeReport) -> RuntimeReport:
+        return report.without(self.fingerprints)
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def lint_file(path: Path, select: Sequence[str] | None = None) -> list[RuntimeDiagnostic]:
+    """Run every (selected) rule over one file, suppressions applied."""
+    ctx = ModuleContext.parse(path)
+    out: list[RuntimeDiagnostic] = []
+    for rule in all_rt_rules():
+        if select is not None and rule.code not in select:
+            continue
+        for diag in rule.check(ctx):
+            if not ctx.suppressed(diag.code, diag.line):
+                out.append(diag)
+    return out
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    *,
+    select: Sequence[str] | None = None,
+    baseline: Baseline | None = None,
+) -> RuntimeReport:
+    """Lint files/directories and return the (baseline-filtered) report."""
+    diagnostics: list[RuntimeDiagnostic] = []
+    for file_path in iter_python_files(Path(p) for p in paths):
+        diagnostics.extend(lint_file(file_path, select=select))
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.code))
+    report = RuntimeReport(diagnostics)
+    if baseline is not None:
+        report = baseline.apply(report)
+    return report
+
+
+__all__ = ["Baseline", "iter_python_files", "lint_file", "lint_paths"]

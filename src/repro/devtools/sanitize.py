@@ -1,0 +1,382 @@
+"""The RT5xx runtime sanitizer: lock-order and snapshot-pin checking.
+
+The AST rules in :mod:`repro.devtools.rules` catch invariant violations
+that are visible in the source; two invariants are fundamentally
+*dynamic* and get a runtime checker instead, enabled in test runs via
+``REPRO_SANITIZE=1`` (see :func:`install_from_env`):
+
+* **RT501 — lock-order cycles.**  Every lock created through
+  :func:`repro._concurrency.new_lock` / ``new_async_lock`` reports its
+  acquisitions to a process-wide :class:`LockOrderTracker`.  Locks are
+  grouped by *role name* (the string passed at creation); whenever lock
+  B is acquired while lock A is held in the same execution context, the
+  edge ``A → B`` joins a global order graph.  An edge that closes a
+  cycle — including the two-thread ``A→B`` / ``B→A`` inversion that
+  only deadlocks under unlucky scheduling — raises
+  :class:`LockOrderError` *at acquisition time*, deterministically,
+  instead of hanging the suite once in a hundred runs.  Re-acquiring
+  the same (non-reentrant) lock instance in one context is reported as
+  the guaranteed deadlock it is.
+* **RT502 — snapshot pin/unpin imbalance.**
+  :class:`~repro.storage.snapshot.DatabaseSnapshot` reports every
+  ``pin()``/``unpin()`` through :func:`note_pin`/:func:`note_unpin`.
+  A *retired* snapshot whose pin count never returns to zero is a
+  leaked reader — the hot-reload bug class where an old catalog (and
+  every page/columnar cache hanging off it) can never be collected.
+  :meth:`Sanitizer.assert_clean` raises :class:`PinLeakError` for any
+  such snapshot (the per-test teardown hook in ``tests/conftest.py``
+  calls it when the sanitizer is installed).
+
+Execution contexts combine the thread id with the current asyncio task
+(when any), so the tracker is exact both for executor threads and for
+interleaved tasks sharing the server's event loop.
+
+This module deliberately imports nothing from the rest of the library,
+so the lowest layers (storage, concurrency primitives) can call into it
+without cycles; when no sanitizer is installed every hook is one global
+read and a ``None`` test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.snapshot import DatabaseSnapshot
+
+#: Environment variable that turns the sanitizer on for a test run.
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+
+
+class SanitizerError(AssertionError):
+    """Base class for sanitizer findings.
+
+    An :class:`AssertionError` subclass on purpose: a finding is a bug
+    in the runtime, not an expected client-visible outcome, so it must
+    never be absorbed by the server's :class:`~repro.errors.ReproError`
+    taxonomy handling.
+    """
+
+
+class LockOrderError(SanitizerError):
+    """RT501: a lock acquisition that closes an ordering cycle."""
+
+
+class PinLeakError(SanitizerError):
+    """RT502: a retired snapshot still pinned at a balance check."""
+
+
+def _context_key() -> tuple[int, int]:
+    """The execution context acquisitions are grouped under: the thread,
+    refined by the running asyncio task when there is one (two tasks
+    interleaving on one loop thread are distinct lock-holding contexts).
+    """
+    task: object | None = None
+    try:
+        task = asyncio.current_task()
+    except RuntimeError:
+        task = None
+    return (threading.get_ident(), id(task) if task is not None else 0)
+
+
+class LockOrderTracker:
+    """A process-wide acquisition-order graph with cycle detection."""
+
+    def __init__(self) -> None:
+        # A *plain* lock guards the tracker's own state — it must never
+        # itself be tracked.
+        self._mutex = threading.Lock()
+        #: role name -> role names acquired while it was held.
+        self._edges: dict[str, set[str]] = {}
+        #: context key -> stack of (role name, lock id) currently held.
+        self._held: dict[tuple[int, int], list[tuple[str, int]]] = {}
+        #: violation messages recorded so far (also raised at detection;
+        #: kept so :meth:`Sanitizer.assert_clean` can re-surface a
+        #: violation that some broad handler swallowed mid-test).
+        self.violations: list[str] = []
+
+    def note_acquire(self, name: str, lock_id: int) -> None:
+        """Record intent to acquire; raises on a detected inversion
+        *before* the caller blocks on the underlying lock."""
+        key = _context_key()
+        with self._mutex:
+            held = self._held.setdefault(key, [])
+            for held_name, held_id in held:
+                if held_id == lock_id:
+                    message = (
+                        f"RT501: recursive acquisition of non-reentrant lock "
+                        f"'{name}' (already held in this context; guaranteed "
+                        "deadlock)"
+                    )
+                    self.violations.append(message)
+                    raise LockOrderError(message)
+            for held_name, _ in held:
+                self._note_edge(held_name, name)
+            held.append((name, lock_id))
+
+    def note_release(self, name: str, lock_id: int) -> None:
+        del name
+        key = _context_key()
+        with self._mutex:
+            held = self._held.get(key)
+            if not held:
+                return
+            for i in range(len(held) - 1, -1, -1):
+                if held[i][1] == lock_id:
+                    del held[i]
+                    break
+            if not held:
+                self._held.pop(key, None)
+
+    def _note_edge(self, first: str, second: str) -> None:
+        """Record ``first → second`` (caller holds ``_mutex``); raises
+        when the new edge closes a cycle.  The offending edge is *not*
+        kept, so the same inversion keeps raising if retried."""
+        if first == second:
+            # Same *role*, different instances (same-instance re-entry was
+            # already caught above): the graph orders roles, and a role
+            # nested under itself (two snapshots' pin locks) is ordinary.
+            return
+        targets = self._edges.setdefault(first, set())
+        if second in targets:
+            return
+        cycle = self._path(second, first)
+        if cycle is not None:
+            rendered = " -> ".join([first] + cycle)
+            message = (
+                f"RT501: lock-order cycle: acquiring '{second}' while holding "
+                f"'{first}' inverts the established order {rendered}"
+            )
+            self.violations.append(message)
+            raise LockOrderError(message)
+        targets.add(second)
+
+    def _path(self, start: str, goal: str) -> list[str] | None:
+        """A path ``start → … → goal`` in the order graph, or ``None``."""
+        stack: list[tuple[str, list[str]]] = [(start, [start])]
+        seen: set[str] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in self._edges.get(node, ()):
+                stack.append((nxt, path + [nxt]))
+        return None
+
+    def held_now(self) -> list[str]:
+        """Role names held in the current context (diagnostics/tests)."""
+        with self._mutex:
+            return [name for name, _ in self._held.get(_context_key(), [])]
+
+
+class TrackedLock:
+    """A ``threading.Lock`` stand-in that reports to a tracker.
+
+    Same surface the library uses: ``acquire``/``release``, context
+    manager, ``locked()``.  Not reentrant, exactly like the lock it
+    wraps.
+    """
+
+    __slots__ = ("_name", "_lock", "_tracker")
+
+    def __init__(self, tracker: LockOrderTracker, name: str) -> None:
+        self._tracker = tracker
+        self._name = name
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._tracker.note_acquire(self._name, id(self))
+        acquired = self._lock.acquire(blocking, timeout)
+        if not acquired:
+            self._tracker.note_release(self._name, id(self))
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._tracker.note_release(self._name, id(self))
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<TrackedLock {self._name!r} locked={self.locked()}>"
+
+
+class TrackedAsyncLock(asyncio.Lock):
+    """An ``asyncio.Lock`` subclass that reports to a tracker (``async
+    with`` goes through :meth:`acquire`/:meth:`release`, so the
+    inherited context-manager protocol is covered)."""
+
+    def __init__(self, tracker: LockOrderTracker, name: str) -> None:
+        super().__init__()
+        self._rt_tracker = tracker
+        self._rt_name = name
+
+    async def acquire(self) -> bool:
+        self._rt_tracker.note_acquire(self._rt_name, id(self))
+        try:
+            return await super().acquire()
+        except BaseException:
+            self._rt_tracker.note_release(self._rt_name, id(self))
+            raise
+
+    def release(self) -> None:
+        super().release()
+        self._rt_tracker.note_release(self._rt_name, id(self))
+
+
+class PinTracker:
+    """Balance accounting for snapshot ``pin()``/``unpin()`` pairs."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        #: id(snapshot) -> [snapshot, net pin count].  Strong references
+        #: are fine here: the tracker only exists in sanitizer test runs.
+        self._pins: dict[int, list[Any]] = {}
+
+    def note_pin(self, snapshot: "DatabaseSnapshot") -> None:
+        with self._mutex:
+            entry = self._pins.setdefault(id(snapshot), [snapshot, 0])
+            entry[1] += 1
+
+    def note_unpin(self, snapshot: "DatabaseSnapshot") -> None:
+        with self._mutex:
+            entry = self._pins.get(id(snapshot))
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] <= 0:
+                self._pins.pop(id(snapshot), None)
+
+    def leaks(self) -> list[tuple[Any, int]]:
+        """``(snapshot, net pins)`` for every *retired* snapshot still
+        pinned — a reader that will never release its catalog."""
+        with self._mutex:
+            return [
+                (snapshot, net)
+                for snapshot, net in self._pins.values()
+                if net > 0 and getattr(snapshot, "retired", False)
+            ]
+
+    def pending(self) -> int:
+        """Total outstanding pins (live snapshots included)."""
+        with self._mutex:
+            return sum(net for _, net in self._pins.values())
+
+    def forget(self, snapshot: object) -> None:
+        with self._mutex:
+            self._pins.pop(id(snapshot), None)
+
+
+class Sanitizer:
+    """The installed RT5xx checker pair."""
+
+    def __init__(self) -> None:
+        self.locks = LockOrderTracker()
+        self.pins = PinTracker()
+
+    def tracked_lock(self, name: str) -> TrackedLock:
+        return TrackedLock(self.locks, name)
+
+    def tracked_async_lock(self, name: str) -> TrackedAsyncLock:
+        return TrackedAsyncLock(self.locks, name)
+
+    def assert_clean(self) -> None:
+        """Raise for any violation outstanding at a checkpoint (end of a
+        test).  Reported state is consumed, so one leak does not poison
+        every later check."""
+        violations = list(self.locks.violations)
+        self.locks.violations.clear()
+        leaks = self.pins.leaks()
+        for snapshot, _ in leaks:
+            self.pins.forget(snapshot)
+        if leaks:
+            detail = ", ".join(
+                f"v{getattr(snap, 'version', '?')} ({net} pin(s))"
+                for snap, net in leaks
+            )
+            raise PinLeakError(
+                f"RT502: retired snapshot(s) still pinned: {detail} — every "
+                "pin() needs a matching unpin() on all paths"
+            )
+        if violations:
+            raise LockOrderError(
+                "RT501: lock-order violation(s) recorded during the test: "
+                + "; ".join(violations)
+            )
+
+
+_ACTIVE: Sanitizer | None = None
+
+
+def active_sanitizer() -> Sanitizer | None:
+    """The installed sanitizer, or ``None`` (the common, zero-cost case)."""
+    return _ACTIVE
+
+
+def install() -> Sanitizer:
+    """Install (idempotently) and return the process sanitizer."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = Sanitizer()
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    """Remove the sanitizer (tracked locks already handed out keep
+    working; they just keep reporting to the detached tracker)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def install_from_env() -> Sanitizer | None:
+    """Install when ``REPRO_SANITIZE=1`` is set (test harness hook)."""
+    if os.environ.get(SANITIZE_ENV_VAR, "") == "1":
+        return install()
+    return None
+
+
+def note_pin(snapshot: "DatabaseSnapshot") -> None:
+    """Pin hook for :class:`~repro.storage.snapshot.DatabaseSnapshot`."""
+    sanitizer = _ACTIVE
+    if sanitizer is not None:
+        sanitizer.pins.note_pin(snapshot)
+
+
+def note_unpin(snapshot: "DatabaseSnapshot") -> None:
+    """Unpin hook, mirror of :func:`note_pin`."""
+    sanitizer = _ACTIVE
+    if sanitizer is not None:
+        sanitizer.pins.note_unpin(snapshot)
+
+
+__all__ = [
+    "SANITIZE_ENV_VAR",
+    "SanitizerError",
+    "LockOrderError",
+    "PinLeakError",
+    "LockOrderTracker",
+    "TrackedLock",
+    "TrackedAsyncLock",
+    "PinTracker",
+    "Sanitizer",
+    "active_sanitizer",
+    "install",
+    "uninstall",
+    "install_from_env",
+    "note_pin",
+    "note_unpin",
+]

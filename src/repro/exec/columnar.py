@@ -30,9 +30,10 @@ becomes one columnar batch.
 from __future__ import annotations
 
 import os
-import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator, Sequence
+
+from .._concurrency import ThreadLocalStack
 
 try:  # numpy is an optional accelerator: without it the probe bypasses.
     import numpy as _np
@@ -89,29 +90,24 @@ def split_exec_mode(mode: str) -> tuple[str, bool]:
 # -- activation (a thread-local stack, like engines and budgets) -------------
 
 
-class _ActiveStack(threading.local):
-    def __init__(self) -> None:
-        self.depth = 0
-
-
-_TLS = _ActiveStack()
+#: Per-thread activation stack of booleans; the *top* entry decides, so
+#: ``columnar_mode(False)`` masks an enclosing activation exactly like
+#: the old depth-reset did.  Shares :class:`ThreadLocalStack` with the
+#: engine/budget/registry stacks.
+_STACK = ThreadLocalStack()
 
 
 @contextmanager
 def columnar_mode(enabled: bool = True) -> Iterator[None]:
     """Activate (or explicitly deactivate) the columnar fast path for the
     dynamic extent of the block, on this thread."""
-    previous = _TLS.depth
-    _TLS.depth = previous + 1 if enabled else 0
-    try:
+    with _STACK.pushed(enabled):
         yield
-    finally:
-        _TLS.depth = previous
 
 
 def columnar_active() -> bool:
     """Whether the columnar fast path is on for the current thread."""
-    return _TLS.depth > 0
+    return bool(_STACK.top())
 
 
 # -- the columnar morsel format ----------------------------------------------

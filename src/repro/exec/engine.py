@@ -38,11 +38,11 @@ import logging
 import multiprocessing
 import pickle
 import sys
-import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
+from .._concurrency import ThreadLocalStack
 from ..errors import ResourceExhausted
 from ..governor.budget import Budget, ProducerGuard, current_budget
 from ..obs import (
@@ -171,11 +171,11 @@ class ExecutionEngine:
     @contextmanager
     def activate(self) -> Iterator["ExecutionEngine"]:
         """Make this the engine :func:`current_engine` returns."""
-        _TLS.engines.append(self)
+        _STACK.push(self)
         try:
             yield self
         finally:
-            _TLS.engines.pop()
+            _STACK.pop()
 
     @property
     def closed(self) -> bool:
@@ -468,26 +468,21 @@ def merge_producing_outcomes(
 # -- active-engine stack -------------------------------------------------------
 
 
-class _ActiveStack(threading.local):
-    """Per-thread active-engine stack (mirrors budget/registry stacks)."""
-
-    def __init__(self) -> None:
-        self.engines: list[ExecutionEngine] = []
-
-
-_TLS = _ActiveStack()
+#: Per-thread active-engine stack (mirrors the budget/registry/columnar
+#: stacks; one shared implementation in :mod:`repro._concurrency`).
+_STACK = ThreadLocalStack()
 
 
 def current_engine() -> ExecutionEngine | None:
     """The engine governing the current evaluation, if any."""
-    stack = _TLS.engines
+    stack = _STACK.items
     return stack[-1] if stack else None
 
 
 def reset_active_engines() -> None:
     """Clear this thread's engine stack (worker-pool plumbing: a forked
     worker inherits the parent's stack and must never re-enter it)."""
-    _TLS.engines.clear()
+    _STACK.clear()
 
 
 def parallel_engine(n_items: int) -> ExecutionEngine | None:
@@ -500,7 +495,7 @@ def parallel_engine(n_items: int) -> ExecutionEngine | None:
     budget has already truncated (serial loops stop at their first guard
     check; dispatching would waste work and merge to nothing anyway).
     """
-    stack = _TLS.engines
+    stack = _STACK.items
     if not stack:
         return None
     engine = stack[-1]

@@ -41,13 +41,13 @@ solve is absorbed at the enclosing producer boundary.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from typing import Iterator
 
 from contextlib import contextmanager
 
+from .._concurrency import ThreadLocalStack
 from ..errors import (
     DeadlineExceeded,
     DNFBudgetExceeded,
@@ -159,11 +159,11 @@ class Budget:
         if self.deadline_seconds is not None:
             self._deadline_at = time.monotonic() + self.deadline_seconds
         self._active = True
-        _TLS.budgets.append(self)
+        _STACK.push(self)
         try:
             yield self
         finally:
-            _TLS.budgets.pop()
+            _STACK.pop()
             self._active = False
 
     def reset(self) -> None:
@@ -379,19 +379,16 @@ class BudgetSlice:
 # -- active-budget stack and cheap module-level hooks --------------------------
 
 
-class _ActiveStack(threading.local):
-    """Per-thread active-budget stack (see the module docstring)."""
-
-    def __init__(self) -> None:
-        self.budgets: list[Budget] = []
-
-
-_TLS = _ActiveStack()
+#: Per-thread active-budget stack (see the module docstring).  One of
+#: four activation stacks sharing the :class:`ThreadLocalStack`
+#: implementation — engines, registries, and columnar mode are the
+#: others.
+_STACK = ThreadLocalStack()
 
 
 def current_budget() -> Budget | None:
     """The budget governing the current evaluation, if any."""
-    stack = _TLS.budgets
+    stack = _STACK.items
     return stack[-1] if stack else None
 
 
@@ -403,19 +400,19 @@ def reset_active_budgets() -> None:
     absorb worker charges (or spuriously exhaust an ungoverned task).
     Task envelopes call this before activating their own sub-budget.
     """
-    _TLS.budgets.clear()
+    _STACK.clear()
 
 
 def checkpoint() -> None:
     """Deadline check at a loop boundary; no-op when ungoverned."""
-    stack = _TLS.budgets
+    stack = _STACK.items
     if stack:
         stack[-1].checkpoint()
 
 
 def charge(resource: str, n: int = 1) -> None:
     """Charge the active budget, if any."""
-    stack = _TLS.budgets
+    stack = _STACK.items
     if stack:
         stack[-1].charge(resource, n)
 
@@ -423,7 +420,7 @@ def charge(resource: str, n: int = 1) -> None:
 def charge_io(n: int = 1) -> None:
     """IO charge for the active budget, if any (hot path: one list test
     when ungoverned)."""
-    stack = _TLS.budgets
+    stack = _STACK.items
     if stack:
         stack[-1].charge_io(n)
 

@@ -38,6 +38,12 @@ from ..obs import (
 )
 from .mbr import MBR
 
+#: RT201 annotation: ``entries`` backs the cached corner arrays
+#: (:meth:`_Node.boxes`); ``repro devtools lint`` checks every mutation
+#: of ``<node>.entries`` pairs with ``<node>.invalidate()`` in the same
+#: function.
+__cache_registry__ = {"entries": "invalidate"}
+
 #: Stable monotonic ids.  ``id(node)`` is NOT a usable page identity:
 #: CPython recycles addresses as soon as a node is garbage-collected
 #: (condense discards underfull nodes, reinserts drop and rebuild), so an
@@ -480,7 +486,9 @@ class RStarTree:
                 split_node = self._split(node)
                 if is_root:
                     new_root = _Node(level=node.level + 1)
-                    new_root.entries = [
+                    # Freshly built node: boxes() has never run, there is
+                    # no cache to invalidate yet.
+                    new_root.entries = [  # devtools: allow[RT201]
                         _Entry(node.mbr(), child=node),
                         _Entry(split_node.mbr(), child=split_node),
                     ]

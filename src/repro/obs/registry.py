@@ -31,11 +31,11 @@ every worker task a fresh registry and merges the snapshots afterwards
 
 from __future__ import annotations
 
-import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator, Mapping
 
+from .._concurrency import ThreadLocalStack
 from .span import Span
 
 # -- canonical counter names --------------------------------------------------
@@ -267,11 +267,11 @@ class MetricsRegistry:
         del label  # scopes are anonymous captures; label aids call sites
         frame: dict[str, int] = {}
         self._frames.append(frame)
-        _TLS.registries.append(self)
+        _STACK.push(self)
         try:
             yield frame
         finally:
-            _TLS.registries.pop()
+            _STACK.pop()
             self._drop_frame(frame)
 
     @contextmanager
@@ -281,13 +281,13 @@ class MetricsRegistry:
         parent = self._span_stack[-1] if self._span_stack else None
         self._span_stack.append(span)
         self._frames.append(span.counters)
-        _TLS.registries.append(self)
         start = time.perf_counter()
+        _STACK.push(self)
         try:
             yield span
         finally:
             span.elapsed = time.perf_counter() - start
-            _TLS.registries.pop()
+            _STACK.pop()
             self._drop_frame(span.counters)
             self._span_stack.pop()
             if parent is not None:
@@ -308,11 +308,11 @@ class MetricsRegistry:
     @contextmanager
     def activate(self) -> Iterator["MetricsRegistry"]:
         """Make this the registry :func:`record` reports to."""
-        _TLS.registries.append(self)
+        _STACK.push(self)
         try:
             yield self
         finally:
-            _TLS.registries.pop()
+            _STACK.pop()
 
     # -- reporting -----------------------------------------------------------
 
@@ -385,18 +385,12 @@ class MetricsRegistry:
 # -- active-registry stack -----------------------------------------------------
 
 
-class _ActiveStack(threading.local):
-    """Per-thread active-registry stack.
-
-    Thread-local so the execution engine's thread-pool fallback can give
-    each worker thread its own activation chain without interleaving.
-    """
-
-    def __init__(self) -> None:
-        self.registries: list[MetricsRegistry] = []
-
-
-_TLS = _ActiveStack()
+#: Per-thread active-registry stack: thread-local so the execution
+#: engine's thread-pool fallback can give each worker thread its own
+#: activation chain without interleaving.  Shares the
+#: :class:`ThreadLocalStack` implementation with the budget, engine, and
+#: columnar-mode stacks.
+_STACK = ThreadLocalStack()
 _DEFAULT = MetricsRegistry()
 
 
@@ -407,7 +401,7 @@ def default_registry() -> MetricsRegistry:
 
 def current_registry() -> MetricsRegistry:
     """The registry unbound producers report to right now."""
-    stack = _TLS.registries
+    stack = _STACK.items
     return stack[-1] if stack else _DEFAULT
 
 
@@ -420,7 +414,7 @@ def reset_active_registries() -> None:
     before activating their own registry so inherited or leftover
     activations cannot absorb the task's metrics.
     """
-    _TLS.registries.clear()
+    _STACK.clear()
 
 
 def record(name: str, n: int = 1) -> None:

@@ -74,7 +74,7 @@ class ServerThread:
     def _run(self) -> None:
         try:
             asyncio.run(self._main())
-        except BaseException as exc:  # noqa: BLE001 - surfaced via stop()
+        except BaseException as exc:  # noqa: BLE001 - devtools: allow[RT402] — thread entry point; stop() re-raises
             self._error = exc
         finally:
             self._ready.set()

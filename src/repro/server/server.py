@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
+from .._concurrency import new_async_lock
 from ..errors import ProtocolError, ReproError, ResourceExhausted
 from ..governor.budget import Budget
 from ..model.database import Database
@@ -170,7 +171,11 @@ class _Tenant:
     name: str
     session: QuerySession
     snapshot: DatabaseSnapshot
-    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    lock: asyncio.Lock = field(
+        # Through the factory so REPRO_SANITIZE runs get order-tracked
+        # locks (see repro._concurrency.new_async_lock).
+        default_factory=lambda: new_async_lock("server.tenant")
+    )
     queries: int = 0
     last_used: float = field(default_factory=time.monotonic)
     retired: bool = False
@@ -297,12 +302,20 @@ class QueryServer:
         if retiring:
             await asyncio.wait(retiring, timeout=5.0)
         self._closed = True
-        for tenant in self._tenants.values():
-            self._close_tenant(tenant)
+        tenants = list(self._tenants.values())
         self._tenants.clear()
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        executor, self._executor = self._executor, None
+
+        def _teardown() -> None:
+            # Session close and executor join both touch files/threads —
+            # blocking work, so it runs off-loop (the loop must stay
+            # responsive for any last handler tasks unwinding above).
+            for tenant in tenants:
+                self._close_tenant(tenant)
+            if executor is not None:
+                executor.shutdown(wait=True)
+
+        await asyncio.to_thread(_teardown)
 
     @staticmethod
     def _close_tenant(tenant: _Tenant) -> None:
@@ -643,7 +656,9 @@ class QueryServer:
         async def _run() -> None:
             try:
                 await self._do_reload(None)
-            except Exception:
+            except (ReproError, OSError):
+                # Only the failure modes a bad source file can produce;
+                # anything else (a bug) propagates and fails loudly.
                 _LOG.exception("SIGHUP reload failed")
 
         task = asyncio.ensure_future(_run())
@@ -664,7 +679,8 @@ class QueryServer:
 
     async def _drain_tenant(self, tenant: _Tenant) -> None:
         async with tenant.lock:
-            tenant.session.close()
+            # close() may flush session state — blocking, so off-loop.
+            await asyncio.to_thread(tenant.session.close)
             tenant.snapshot.unpin()
 
     # -- idle-session eviction -----------------------------------------------

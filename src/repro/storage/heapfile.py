@@ -24,6 +24,11 @@ from ..model.tuples import HTuple
 from .pages import PageConfig, PageStatistics
 from .serialization import serialize_tuple
 
+#: RT201 annotation: ``_pages`` backs the per-page statistics memo
+#: (:meth:`HeapFile.page_cache`); the linter checks every mutation pairs
+#: with ``invalidate_page_cache`` in the same function.
+__cache_registry__ = {"_pages": "invalidate_page_cache"}
+
 
 class HeapFile:
     """A paged layout of one relation.

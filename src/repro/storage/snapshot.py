@@ -17,15 +17,28 @@ mutation point — :meth:`SnapshotManager.swap` atomically installs a new
 catalog and returns the retired snapshot so the caller can drain it.
 
 Everything here is thread-safe: the server touches snapshots both from
-its event loop and from executor threads running queries.
+its event loop and from executor threads running queries.  The lock
+discipline is machine-checked two ways: rule RT103 of ``repro devtools
+lint`` verifies every mutation of the fields in ``__lock_registry__``
+below sits inside the declared lock, and under ``REPRO_SANITIZE=1`` the
+locks come from :func:`repro._concurrency.new_lock` tracked, with every
+``pin()``/``unpin()`` reported to the RT502 balance checker.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Callable
 
+from .._concurrency import new_lock
+from ..devtools import sanitize as _sanitize
 from ..model.database import Database
+
+#: RT103 annotation: these fields may only be mutated under the named
+#: lock attribute (checked statically by ``repro devtools lint``).
+__lock_registry__ = {
+    "DatabaseSnapshot": {"_pins": "_lock", "_retired": "_lock"},
+    "SnapshotManager": {"_current": "_lock"},
+}
 
 
 class DatabaseSnapshot:
@@ -45,7 +58,7 @@ class DatabaseSnapshot:
         self.database = database
         self.version = version
         self._pins = 0
-        self._lock = threading.Lock()
+        self._lock = new_lock("storage.snapshot")
         self._retired = False
 
     @property
@@ -63,6 +76,7 @@ class DatabaseSnapshot:
     def pin(self) -> "DatabaseSnapshot":
         with self._lock:
             self._pins += 1
+        _sanitize.note_pin(self)
         return self
 
     def unpin(self) -> None:
@@ -72,6 +86,7 @@ class DatabaseSnapshot:
                     f"snapshot v{self.version} unpinned more times than pinned"
                 )
             self._pins -= 1
+        _sanitize.note_unpin(self)
 
     def _retire(self) -> None:
         with self._lock:
@@ -102,7 +117,7 @@ class SnapshotManager:
     """
 
     def __init__(self, database: Database, version: int = 1) -> None:
-        self._lock = threading.Lock()
+        self._lock = new_lock("storage.snapshot_manager")
         self._current = DatabaseSnapshot(database, version)
 
     def current(self) -> DatabaseSnapshot:

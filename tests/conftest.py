@@ -7,7 +7,24 @@ from fractions import Fraction
 import pytest
 from hypothesis import strategies as st
 
-from repro.constraints import Comparator, Conjunction, LinearConstraint, LinearExpression
+# Install the RT5xx runtime sanitizer BEFORE anything else imports repro:
+# locks created at import time (solver caches) only get order-tracked if
+# the sanitizer is already active when their module loads.
+from repro.devtools.sanitize import active_sanitizer, install_from_env
+
+install_from_env()
+
+from repro.constraints import Comparator, Conjunction, LinearConstraint, LinearExpression  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_clean():
+    """Under REPRO_SANITIZE=1, fail any test that ends with a lock-order
+    violation recorded or a retired-but-pinned snapshot (RT501/RT502)."""
+    yield
+    sanitizer = active_sanitizer()
+    if sanitizer is not None:
+        sanitizer.assert_clean()
 
 
 # -- hypothesis strategies ----------------------------------------------------

@@ -1,0 +1,243 @@
+"""RT5xx runtime sanitizer tests: the seeded lock-order inversion and
+snapshot pin leak the acceptance criteria require, plus the tracker
+mechanics around them."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.devtools.sanitize import (
+    LockOrderError,
+    PinLeakError,
+    Sanitizer,
+    active_sanitizer,
+    install,
+    uninstall,
+)
+
+
+@pytest.fixture()
+def sanitizer():
+    """A sanitizer installed for the duration of one test."""
+    previous = active_sanitizer()
+    uninstall()
+    yield install()
+    uninstall()
+    if previous is not None:
+        # Re-install so the suite-wide REPRO_SANITIZE instance (if any)
+        # keeps receiving hooks after this test.
+        import repro.devtools.sanitize as sanitize_module
+
+        sanitize_module._ACTIVE = previous
+
+
+# -- RT501: lock ordering ------------------------------------------------------
+
+
+def test_lock_order_inversion_detected(sanitizer):
+    """The seeded inversion: A then B in one context, B then A in
+    another, flagged deterministically without any unlucky scheduling."""
+    lock_a = sanitizer.tracked_lock("A")
+    lock_b = sanitizer.tracked_lock("B")
+    with lock_a:
+        with lock_b:
+            pass
+    with pytest.raises(LockOrderError, match="lock-order cycle"):
+        with lock_b:
+            with lock_a:
+                pass
+    # The violation is also recorded for end-of-test assert_clean...
+    assert sanitizer.locks.violations
+    with pytest.raises(LockOrderError):
+        sanitizer.assert_clean()
+    # ...and consumed by it.
+    sanitizer.assert_clean()
+
+
+def test_lock_order_inversion_across_threads(sanitizer):
+    lock_a = sanitizer.tracked_lock("A")
+    lock_b = sanitizer.tracked_lock("B")
+
+    def first():
+        with lock_a:
+            with lock_b:
+                pass
+
+    t = threading.Thread(target=first)
+    t.start()
+    t.join()
+
+    caught: list[BaseException] = []
+
+    def second():
+        try:
+            with lock_b:
+                with lock_a:
+                    pass
+        except LockOrderError as exc:
+            caught.append(exc)
+
+    t = threading.Thread(target=second)
+    t.start()
+    t.join()
+    assert caught, "inversion in a second thread must be flagged"
+    sanitizer.locks.violations.clear()
+
+
+def test_consistent_order_is_clean(sanitizer):
+    lock_a = sanitizer.tracked_lock("A")
+    lock_b = sanitizer.tracked_lock("B")
+    for _ in range(3):
+        with lock_a:
+            with lock_b:
+                pass
+    sanitizer.assert_clean()
+
+
+def test_recursive_acquisition_flagged(sanitizer):
+    lock = sanitizer.tracked_lock("A")
+    lock.acquire()
+    with pytest.raises(LockOrderError, match="recursive"):
+        lock.acquire()
+    lock.release()
+    sanitizer.locks.violations.clear()
+
+
+def test_same_role_different_instances_allowed(sanitizer):
+    """Two snapshots' locks share a role name; nested acquisition of
+    *different instances* is ordinary (drain loops do it) — only cycles
+    between distinct roles or same-instance re-entry are bugs."""
+    first = sanitizer.tracked_lock("storage.snapshot")
+    second = sanitizer.tracked_lock("storage.snapshot")
+    with first:
+        with second:
+            pass
+    sanitizer.assert_clean()
+
+
+def test_async_lock_inversion_detected(sanitizer):
+    lock_a = sanitizer.tracked_async_lock("A")
+    lock_b = sanitizer.tracked_async_lock("B")
+
+    async def scenario():
+        async with lock_a:
+            async with lock_b:
+                pass
+        async with lock_b:
+            async with lock_a:
+                pass
+
+    with pytest.raises(LockOrderError, match="lock-order cycle"):
+        asyncio.run(scenario())
+    sanitizer.locks.violations.clear()
+
+
+def test_failed_nonblocking_acquire_leaves_no_phantom_hold(sanitizer):
+    lock = sanitizer.tracked_lock("A")
+    lock.acquire()
+    result: list[bool] = []
+
+    def try_acquire():
+        result.append(lock.acquire(blocking=False))
+        result.append(sanitizer.locks.held_now() == [])
+
+    t = threading.Thread(target=try_acquire)
+    t.start()
+    t.join()
+    lock.release()
+    assert result == [False, True], "failed acquire must roll back its hold record"
+
+
+# -- RT502: snapshot pins ------------------------------------------------------
+
+
+def _snapshot_manager():
+    from repro.model.database import Database
+    from repro.storage.snapshot import SnapshotManager
+
+    return SnapshotManager(Database())
+
+
+def test_pin_leak_detected(sanitizer):
+    manager = _snapshot_manager()
+    snapshot = manager.current().pin()
+    manager.swap(_snapshot_manager().current().database)  # retires it
+    assert snapshot.retired
+    with pytest.raises(PinLeakError, match="RT502"):
+        sanitizer.assert_clean()
+    # Reported state is consumed: the suite is not poisoned afterwards.
+    sanitizer.assert_clean()
+
+
+def test_balanced_pins_are_clean(sanitizer):
+    manager = _snapshot_manager()
+    snapshot = manager.current().pin()
+    snapshot.unpin()
+    manager.swap(manager.current().database)
+    sanitizer.assert_clean()
+
+
+def test_live_snapshot_pins_are_not_leaks(sanitizer):
+    manager = _snapshot_manager()
+    snapshot = manager.current().pin()
+    sanitizer.assert_clean()  # pinned but not retired: a normal reader
+    snapshot.unpin()
+
+
+def test_unpin_below_zero_still_raises(sanitizer):
+    manager = _snapshot_manager()
+    snapshot = manager.current()
+    with pytest.raises(RuntimeError, match="unpinned more times"):
+        snapshot.unpin()
+
+
+# -- factories and installation ------------------------------------------------
+
+
+def test_new_lock_tracked_only_under_sanitizer(sanitizer):
+    from repro._concurrency import new_lock
+    from repro.devtools.sanitize import TrackedLock
+
+    assert isinstance(new_lock("x"), TrackedLock)
+    uninstall()
+    assert not isinstance(new_lock("x"), TrackedLock)
+
+
+def test_new_async_lock_tracked_only_under_sanitizer(sanitizer):
+    from repro._concurrency import new_async_lock
+    from repro.devtools.sanitize import TrackedAsyncLock
+
+    assert isinstance(new_async_lock("x"), TrackedAsyncLock)
+    uninstall()
+    lock = new_async_lock("x")
+    assert isinstance(lock, asyncio.Lock)
+    assert not isinstance(lock, TrackedAsyncLock)
+
+
+def test_install_from_env(monkeypatch):
+    from repro.devtools.sanitize import SANITIZE_ENV_VAR, install_from_env
+
+    previous = active_sanitizer()
+    uninstall()
+    try:
+        monkeypatch.delenv(SANITIZE_ENV_VAR, raising=False)
+        assert install_from_env() is None
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "1")
+        assert install_from_env() is not None
+    finally:
+        uninstall()
+        if previous is not None:
+            import repro.devtools.sanitize as sanitize_module
+
+            sanitize_module._ACTIVE = previous
+
+
+def test_tracked_lock_is_context_manager_and_reports_locked(sanitizer):
+    lock = sanitizer.tracked_lock("x")
+    assert not lock.locked()
+    with lock:
+        assert lock.locked()
+    assert not lock.locked()
